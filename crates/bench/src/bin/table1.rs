@@ -1,0 +1,80 @@
+//! Regenerates **Table 1**: "Important features of our collections of XML
+//! documents" — documents, elements, links, serialized size — for the
+//! DBLP-like and INEX-like synthetic collections, next to the paper's
+//! full-scale numbers.
+//!
+//! ```sh
+//! cargo run -p hopi-bench --release --bin table1 [--scale 0.05]
+//! ```
+
+use hopi_bench::{dblp_collection, inex_collection, scale_arg, TablePrinter};
+use hopi_xml::CollectionStats;
+
+fn main() {
+    let scale = scale_arg(0.05);
+    let inex_scale = scale * 0.04; // INEX is ~70x larger; keep it laptop-sized.
+
+    println!("Table 1 — collection features (scale {scale} for DBLP-like, {inex_scale:.4} for INEX-like)\n");
+    let t = TablePrinter::new(&[
+        ("collection", 14),
+        ("# docs", 9),
+        ("# els", 11),
+        ("# links", 9),
+        ("size", 10),
+    ]);
+
+    let dblp = dblp_collection(scale);
+    let s = CollectionStats::of(&dblp);
+    t.row(&[
+        "DBLP-like".into(),
+        s.docs.to_string(),
+        s.elements.to_string(),
+        s.inter_links.to_string(),
+        s.size_human(),
+    ]);
+
+    let inex = inex_collection(inex_scale);
+    let s = CollectionStats::of(&inex);
+    t.row(&[
+        "INEX-like".into(),
+        s.docs.to_string(),
+        s.elements.to_string(),
+        s.inter_links.to_string(),
+        s.size_human(),
+    ]);
+
+    println!("\npaper (full scale):");
+    let t = TablePrinter::new(&[
+        ("collection", 14),
+        ("# docs", 9),
+        ("# els", 11),
+        ("# links", 9),
+        ("size", 10),
+    ]);
+    t.row(&[
+        "DBLP".into(),
+        "6,210".into(),
+        "168,991".into(),
+        "25,368".into(),
+        "13.2MB".into(),
+    ]);
+    t.row(&[
+        "INEX".into(),
+        "12,232".into(),
+        "12,061,348".into(),
+        "408,085".into(),
+        "534MB".into(),
+    ]);
+
+    let ratio_els = |s: &CollectionStats, full: f64| s.elements as f64 / full;
+    let dblp_stats = CollectionStats::of(&dblp);
+    println!(
+        "\nDBLP-like per-document shape: {:.1} elements/doc (paper 27.2), {:.2} links/doc (paper 4.08)",
+        dblp_stats.elements_per_doc(),
+        dblp_stats.links_per_doc()
+    );
+    println!(
+        "scale factor realized: {:.4} of the paper's element count",
+        ratio_els(&dblp_stats, 168_991.0)
+    );
+}

@@ -1,0 +1,127 @@
+//! # hopi-bench — the harness regenerating the paper's evaluation (§7)
+//!
+//! One binary per table/experiment:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — collection features (DBLP, INEX) |
+//! | `table2` | Table 2 — build time/size/compression for baseline, Px, single, Nx (+ flat) |
+//! | `maintenance` | §7.3 — separator fraction, separator-test / deletion / insertion timings |
+//! | `distance_overhead` | §5 — space and time overhead of the distance-aware cover |
+//! | `inex_stats` | §7.2 — INEX build: cover entries per node |
+//!
+//! All binaries accept a `--scale <f64>` argument (default 0.05 for DBLP,
+//! 0.002 for INEX) scaling the paper's collection sizes; absolute numbers
+//! shift, the *shape* of the results is preserved (see EXPERIMENTS.md).
+//!
+//! Criterion microbenches live in `benches/`: query latency and algorithmic
+//! kernels.
+
+use hopi_xml::generator::{dblp, inex, DblpConfig, InexConfig};
+use hopi_xml::Collection;
+
+/// Paper-scale constants for translating Table 2 parameter names.
+pub mod paper {
+    /// Elements in the paper's DBLP subset.
+    pub const DBLP_ELEMENTS: f64 = 168_991.0;
+    /// Transitive-closure connections of the paper's DBLP subset.
+    pub const DBLP_CLOSURE: f64 = 344_992_370.0;
+    /// Cover size of the paper's no-partitioning baseline.
+    pub const DBLP_FLAT_COVER: f64 = 1_289_930.0;
+    /// Cover size of the paper's old-join baseline.
+    pub const DBLP_OLD_JOIN_COVER: f64 = 15_976_677.0;
+}
+
+/// Parses `--scale <f>` (or a bare positional float) from argv.
+pub fn scale_arg(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--scale" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+        if let Ok(v) = a.parse::<f64>() {
+            if i > 0 {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// The DBLP-like evaluation collection at a given scale.
+pub fn dblp_collection(scale: f64) -> Collection {
+    dblp(&DblpConfig::scaled(scale))
+}
+
+/// The INEX-like evaluation collection at a given scale.
+pub fn inex_collection(scale: f64) -> Collection {
+    inex(&InexConfig::scaled(scale))
+}
+
+/// Scales a paper `Px` node cap (`x·10⁴` of 168,991 elements) to a
+/// collection with `elements` elements.
+pub fn scaled_px_cap(x: f64, elements: usize) -> u64 {
+    ((x * 1e4) * (elements as f64 / paper::DBLP_ELEMENTS)).max(8.0) as u64
+}
+
+/// Scales a paper `Nx` closure budget (`x·10⁵` of ~345M connections) to a
+/// collection whose closure has `closure_connections` connections.
+pub fn scaled_nx_budget(x: f64, closure_connections: u64) -> u64 {
+    ((x * 1e5) * (closure_connections as f64 / paper::DBLP_CLOSURE)).max(64.0) as u64
+}
+
+/// Simple fixed-width table printer for the bench binaries.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer and emits the header row.
+    pub fn new(columns: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = columns.iter().map(|&(_, w)| w).collect();
+        let header: Vec<String> = columns
+            .iter()
+            .map(|&(name, w)| format!("{name:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        TablePrinter { widths }
+    }
+
+    /// Emits one data row.
+    pub fn row(&self, cells: &[String]) {
+        let formatted: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, &w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", formatted.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn px_cap_scales_linearly() {
+        assert_eq!(scaled_px_cap(5.0, 168_991), 50_000);
+        assert_eq!(scaled_px_cap(5.0, 16_899), 4_999);
+        assert!(scaled_px_cap(5.0, 10) >= 8);
+    }
+
+    #[test]
+    fn nx_budget_scales_linearly() {
+        let full = scaled_nx_budget(10.0, 344_992_370);
+        assert_eq!(full, 1_000_000);
+        assert!(scaled_nx_budget(10.0, 3_449_923) > 0);
+    }
+
+    #[test]
+    fn collections_generate() {
+        assert!(dblp_collection(0.002).doc_count() > 5);
+        assert!(inex_collection(0.0001).doc_count() >= 1);
+    }
+}

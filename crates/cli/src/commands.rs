@@ -1,0 +1,156 @@
+//! CLI subcommand implementations.
+
+use crate::load::{flag_value, load_dir, positional};
+use hopi_build::{build_index, BuildConfig, JoinAlgorithm, PartitionerChoice};
+use hopi_core::TwoHopCover;
+use hopi_partition::OldPartitionerConfig;
+use hopi_query::{evaluate, parse_path, TagIndex};
+use hopi_store::{load_store, save_store, LinLoutStore};
+use hopi_xml::generator::{dblp, inex, DblpConfig, InexConfig};
+use hopi_xml::CollectionStats;
+use std::path::Path;
+use std::time::Instant;
+
+/// `hopi gen --kind dblp|inex --scale F --out DIR`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let kind = flag_value(args, "--kind").unwrap_or_else(|| "dblp".into());
+    let scale: f64 = flag_value(args, "--scale")
+        .unwrap_or_else(|| "0.01".into())
+        .parse()
+        .map_err(|e| format!("bad --scale: {e}"))?;
+    let out = flag_value(args, "--out").ok_or("missing --out DIR")?;
+    let collection = match kind.as_str() {
+        "dblp" => dblp(&DblpConfig::scaled(scale)),
+        "inex" => inex(&InexConfig::scaled(scale)),
+        other => return Err(format!("unknown --kind '{other}' (dblp|inex)")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create '{out}': {e}"))?;
+    let mut written = 0usize;
+    for d in collection.doc_ids() {
+        let doc = collection.document(d).expect("live doc");
+        let xml = collection
+            .serialize_document(d)
+            .expect("live document serializes");
+        std::fs::write(Path::new(&out).join(format!("{}.xml", doc.name)), xml)
+            .map_err(|e| format!("write failed: {e}"))?;
+        written += 1;
+    }
+    println!(
+        "wrote {written} documents ({} elements, {} links) to {out}",
+        collection.element_count(),
+        collection.links().len()
+    );
+    Ok(())
+}
+
+/// `hopi stats --dir DIR`
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    let collection = load_dir(&dir)?;
+    let s = CollectionStats::of(&collection);
+    println!("{s}");
+    println!(
+        "  {:.1} elements/doc, {:.2} links/doc",
+        s.elements_per_doc(),
+        s.links_per_doc()
+    );
+    Ok(())
+}
+
+fn build_config(mode: &str) -> Result<BuildConfig, String> {
+    match mode {
+        "default" => Ok(BuildConfig::default()),
+        "flat" => Ok(BuildConfig {
+            partitioner: PartitionerChoice::Flat,
+            ..Default::default()
+        }),
+        "old" => Ok(BuildConfig {
+            partitioner: PartitionerChoice::Old(OldPartitionerConfig::default()),
+            join: JoinAlgorithm::Incremental,
+            ..Default::default()
+        }),
+        other => Err(format!("unknown --mode '{other}' (default|flat|old)")),
+    }
+}
+
+/// `hopi build --dir DIR --out FILE [--mode default|flat|old]`
+pub fn build(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    let out = flag_value(args, "--out").ok_or("missing --out FILE")?;
+    let mode = flag_value(args, "--mode").unwrap_or_else(|| "default".into());
+    let collection = load_dir(&dir)?;
+    let t = Instant::now();
+    let (index, report) = build_index(&collection, &build_config(&mode)?);
+    println!(
+        "built: {} partitions, {} cover entries in {:?}",
+        report.partitions,
+        report.cover_size,
+        t.elapsed()
+    );
+    let store = LinLoutStore::from_cover(index.cover());
+    save_store(&store, Path::new(&out)).map_err(|e| format!("save failed: {e}"))?;
+    println!("persisted LIN/LOUT tables to {out}");
+    Ok(())
+}
+
+/// Reconstructs an in-memory cover from a persisted store.
+fn cover_from_store(store: &LinLoutStore) -> TwoHopCover {
+    let mut cover = TwoHopCover::new();
+    for r in store.lout().rows() {
+        cover.add_out(r.id, r.other);
+    }
+    for r in store.lin().rows() {
+        cover.add_in(r.id, r.other);
+    }
+    cover
+}
+
+/// `hopi query --dir DIR --index FILE EXPR`
+pub fn query(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    let index_path = flag_value(args, "--index").ok_or("missing --index FILE")?;
+    let expr_src = positional(args).ok_or("missing path expression")?;
+    let collection = load_dir(&dir)?;
+    let store = load_store(Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
+    let index = hopi_build::HopiIndex::from_cover(cover_from_store(&store));
+    let tags = TagIndex::build(&collection);
+    let expr = parse_path(&expr_src).map_err(|e| format!("{e}"))?;
+    let t = Instant::now();
+    let result = evaluate(&collection, &index, &tags, &expr);
+    let elapsed = t.elapsed();
+    for &e in &result {
+        let (d, local) = collection.to_local(e).expect("live element");
+        let doc = collection.document(d).expect("live doc");
+        println!("{}#{} <{}>", doc.name, local, doc.element(local).tag);
+    }
+    eprintln!("{} matches in {elapsed:?}", result.len());
+    Ok(())
+}
+
+/// `hopi check --dir DIR --index FILE [--samples N]`
+pub fn check(args: &[String]) -> Result<(), String> {
+    use rand::prelude::*;
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    let index_path = flag_value(args, "--index").ok_or("missing --index FILE")?;
+    let samples: usize = flag_value(args, "--samples")
+        .unwrap_or_else(|| "10000".into())
+        .parse()
+        .map_err(|e| format!("bad --samples: {e}"))?;
+    let collection = load_dir(&dir)?;
+    let store = load_store(Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
+    let graph = collection.element_graph();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xc4ec);
+    let n = graph.id_bound() as u32;
+    for i in 0..samples {
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        let expect = hopi_graph::traversal::is_reachable(&graph, u, v);
+        if store.connected(u, v) != expect {
+            return Err(format!(
+                "MISMATCH on pair ({u}, {v}) after {i} checks: index says {}, graph says {expect}",
+                store.connected(u, v)
+            ));
+        }
+    }
+    println!("OK: {samples} sampled pairs agree with the BFS oracle");
+    Ok(())
+}

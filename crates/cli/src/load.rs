@@ -1,0 +1,109 @@
+//! Loading collections from directories of XML files, and tiny argv
+//! parsing helpers.
+
+use hopi_xml::parser::parse_collection;
+use hopi_xml::Collection;
+use std::path::{Path, PathBuf};
+
+/// Extracts `--flag value` from an argv slice.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// First argument that is not a `--flag` or a flag value.
+pub fn positional(args: &[String]) -> Option<String> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+/// Loads every `*.xml` file of a directory (sorted by name for
+/// deterministic ids) into a collection. The file stem becomes the document
+/// name for `href` resolution.
+pub fn load_dir(dir: &str) -> Result<Collection, String> {
+    let path = Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("'{dir}' is not a directory"));
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read '{dir}': {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no *.xml files in '{dir}'"));
+    }
+    let mut docs: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for f in &files {
+        let name = f
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("bad file name {f:?}"))?
+            .to_string();
+        let content =
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f:?}: {e}"))?;
+        docs.push((name, content));
+    }
+    parse_collection(docs.iter().map(|(n, c)| (n.as_str(), c.as_str())))
+        .map_err(|e| format!("parse error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = argv(&["--dir", "d", "--out", "o.idx", "expr"]);
+        assert_eq!(flag_value(&a, "--dir").as_deref(), Some("d"));
+        assert_eq!(flag_value(&a, "--out").as_deref(), Some("o.idx"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert_eq!(positional(&a).as_deref(), Some("expr"));
+    }
+
+    #[test]
+    fn positional_none_when_only_flags() {
+        let a = argv(&["--dir", "d"]);
+        assert_eq!(positional(&a), None);
+    }
+
+    #[test]
+    fn load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join("hopi_cli_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.xml"), r#"<r><x href="b"/></r>"#).unwrap();
+        std::fs::write(dir.join("b.xml"), "<r/>").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not xml").unwrap();
+        let c = load_dir(dir.to_str().unwrap()).unwrap();
+        assert_eq!(c.doc_count(), 2);
+        assert_eq!(c.links().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_dir_errors() {
+        assert!(load_dir("/definitely/not/a/dir").is_err());
+        let empty = std::env::temp_dir().join("hopi_cli_empty_test");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(load_dir(empty.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(empty).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! `hopi` — command-line interface for the HOPI XML connection index.
+//!
+//! ```text
+//! hopi gen   --kind dblp|inex --scale 0.01 --out DIR     generate a sample collection
+//! hopi stats --dir DIR                                    Table-1 style statistics
+//! hopi build --dir DIR --out FILE [--mode default|flat|old]
+//! hopi query --dir DIR --index FILE EXPR                  evaluate a path expression
+//! hopi check --dir DIR --index FILE [--samples N]         verify index vs BFS oracle
+//! ```
+//!
+//! A "collection directory" is a directory of `*.xml` files; the file stem
+//! is the document name used for cross-document `href` resolution.
+
+mod commands;
+mod load;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "build" => commands::build(rest),
+        "query" => commands::query(rest),
+        "check" => commands::check(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hopi — 2-hop connection index for XML document collections (ICDE 2005)
+
+USAGE:
+  hopi gen   --kind dblp|inex --scale F --out DIR   generate a sample collection
+  hopi stats --dir DIR                              collection statistics (Table 1)
+  hopi build --dir DIR --out FILE [--mode default|flat|old]
+                                                    build and persist the index
+  hopi query --dir DIR --index FILE EXPR            evaluate a path expression,
+                                                    e.g. \"//article//author\"
+  hopi check --dir DIR --index FILE [--samples N]   verify the index against a
+                                                    BFS reachability oracle";

@@ -1,0 +1,121 @@
+//! End-to-end CLI test: gen → stats → build → query → check, driving the
+//! compiled `hopi` binary the way a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hopi() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hopi"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hopi_cli_e2e_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow() {
+    let docs = tempdir("docs");
+    let index = docs.join("out.idx");
+
+    // gen
+    let out = hopi()
+        .args(["gen", "--kind", "dblp", "--scale", "0.003", "--out"])
+        .arg(&docs)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let xml_files = std::fs::read_dir(&docs)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "xml"))
+        .count();
+    assert!(xml_files > 5, "expected generated XML files, got {xml_files}");
+
+    // stats
+    let out = hopi().args(["stats", "--dir"]).arg(&docs).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("docs"), "stats output: {text}");
+
+    // build
+    let out = hopi()
+        .args(["build", "--dir"])
+        .arg(&docs)
+        .args(["--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(index.exists());
+
+    // query
+    let out = hopi()
+        .args(["query", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .arg("//article//author")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("matches"), "query stderr: {stderr}");
+
+    // check (index vs BFS oracle)
+    let out = hopi()
+        .args(["check", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--samples", "5000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    std::fs::remove_dir_all(&docs).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = hopi().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = hopi().args(["stats", "--dir", "/no/such/dir"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = hopi().args(["build", "--dir"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = hopi().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn query_parse_error_reported() {
+    let docs = tempdir("parse_err");
+    std::fs::write(docs.join("a.xml"), "<r/>").unwrap();
+    let index = docs.join("i.idx");
+    assert!(hopi()
+        .args(["build", "--dir"])
+        .arg(&docs)
+        .args(["--out"])
+        .arg(&index)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = hopi()
+        .args(["query", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .arg("not-a-path")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&docs).ok();
+}

@@ -1,0 +1,551 @@
+//! The 2-hop cover: per-node `Lin`/`Lout` label sets plus an inverted center
+//! index.
+//!
+//! Storage convention (paper §3.4): the node itself is **not** stored in its
+//! own labels; reachability queries special-case `u == v`, `v ∈ Lout(u)` and
+//! `u ∈ Lin(v)`.
+//!
+//! The inverted index maps a center `c` to the nodes holding `c` in their
+//! `Lout` (nodes that reach `c`) and in their `Lin` (nodes `c` reaches).
+//! Both the cover-joining algorithms (paper §3.3, §4.1) and incremental
+//! maintenance (paper §6) repeatedly ask "which nodes are ancestors /
+//! descendants of `x` *under the current cover*" while mutating labels, so
+//! the index is maintained eagerly on every label edit.
+
+use rustc_hash::FxHashSet;
+
+/// Node identifier (matches `hopi_graph::NodeId`).
+pub type NodeId = u32;
+
+/// A 2-hop cover over nodes `0..len`.
+///
+/// ```
+/// use hopi_core::TwoHopCover;
+///
+/// // Cover for the path 0 → 1 → 2 with node 1 as the center.
+/// let mut cover = TwoHopCover::with_nodes(3);
+/// cover.add_out(0, 1); // 0 reaches center 1
+/// cover.add_in(2, 1);  // center 1 reaches 2
+///
+/// assert!(cover.connected(0, 2)); // via Lout(0) ∩ Lin(2) = {1}
+/// assert!(cover.connected(0, 1)); // via the implicit self label of 1
+/// assert!(!cover.connected(2, 0));
+/// assert_eq!(cover.descendants(0), vec![0, 1, 2]);
+/// assert_eq!(cover.size(), 2); // stored entries only
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TwoHopCover {
+    lin: Vec<Vec<NodeId>>,
+    lout: Vec<Vec<NodeId>>,
+    /// `inv_out[c]` = nodes `x` with `c ∈ Lout(x)` (they reach `c`).
+    inv_out: Vec<Vec<NodeId>>,
+    /// `inv_in[c]` = nodes `y` with `c ∈ Lin(y)` (`c` reaches them).
+    inv_in: Vec<Vec<NodeId>>,
+    entries: usize,
+}
+
+impl TwoHopCover {
+    /// Creates an empty cover with no nodes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty cover for nodes `0..n`.
+    pub fn with_nodes(n: usize) -> Self {
+        TwoHopCover {
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+            inv_out: vec![Vec::new(); n],
+            inv_in: vec![Vec::new(); n],
+            entries: 0,
+        }
+    }
+
+    /// Number of node slots.
+    pub fn num_nodes(&self) -> usize {
+        self.lin.len()
+    }
+
+    /// Ensures slots `0..=id` exist.
+    pub fn ensure_node(&mut self, id: NodeId) {
+        let need = id as usize + 1;
+        if self.lin.len() < need {
+            self.lin.resize_with(need, Vec::new);
+            self.lout.resize_with(need, Vec::new);
+            self.inv_out.resize_with(need, Vec::new);
+            self.inv_in.resize_with(need, Vec::new);
+        }
+    }
+
+    /// Cover size `|L| = Σ_v |Lin(v)| + |Lout(v)|` — the paper's size metric
+    /// (number of stored label entries).
+    pub fn size(&self) -> usize {
+        self.entries
+    }
+
+    /// The stored `Lin(v)` (sorted, without the implicit `v` itself).
+    pub fn lin(&self, v: NodeId) -> &[NodeId] {
+        self.lin.get(v as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The stored `Lout(v)` (sorted, without the implicit `v` itself).
+    pub fn lout(&self, v: NodeId) -> &[NodeId] {
+        self.lout.get(v as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Nodes holding `c` in `Lout` — the nodes that reach `c` through the
+    /// cover (without `c` itself).
+    pub fn holders_out(&self, c: NodeId) -> &[NodeId] {
+        self.inv_out.get(c as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Nodes holding `c` in `Lin` — the nodes `c` reaches through the cover
+    /// (without `c` itself).
+    pub fn holders_in(&self, c: NodeId) -> &[NodeId] {
+        self.inv_in.get(c as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Adds `center` to `Lout(node)`. Self-entries are skipped (implicit).
+    /// Returns `true` if the entry is new.
+    pub fn add_out(&mut self, node: NodeId, center: NodeId) -> bool {
+        if node == center {
+            return false;
+        }
+        self.ensure_node(node.max(center));
+        let row = &mut self.lout[node as usize];
+        match row.binary_search(&center) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(pos, center);
+                self.inv_out[center as usize].push(node);
+                self.entries += 1;
+                true
+            }
+        }
+    }
+
+    /// Adds `center` to `Lin(node)`. Self-entries are skipped (implicit).
+    /// Returns `true` if the entry is new.
+    pub fn add_in(&mut self, node: NodeId, center: NodeId) -> bool {
+        if node == center {
+            return false;
+        }
+        self.ensure_node(node.max(center));
+        let row = &mut self.lin[node as usize];
+        match row.binary_search(&center) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(pos, center);
+                self.inv_in[center as usize].push(node);
+                self.entries += 1;
+                true
+            }
+        }
+    }
+
+    /// The 2-hop reachability test: is there a path `u →* v`?
+    ///
+    /// Implements the paper's query with implicit self-labels:
+    /// `u == v`, or `v ∈ Lout(u)`, or `u ∈ Lin(v)`, or
+    /// `Lout(u) ∩ Lin(v) ≠ ∅` (sorted-merge intersection — the database
+    /// analogue is the `LIN ⋈ LOUT` count query of §3.4).
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        if self.lout(u).binary_search(&v).is_ok() {
+            return true;
+        }
+        if self.lin(v).binary_search(&u).is_ok() {
+            return true;
+        }
+        sorted_intersects(self.lout(u), self.lin(v))
+    }
+
+    /// All descendants of `u` under the cover (including `u`), sorted.
+    pub fn descendants(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out: FxHashSet<NodeId> = FxHashSet::default();
+        out.insert(u);
+        for &y in self.holders_in(u) {
+            out.insert(y);
+        }
+        for &c in self.lout(u) {
+            out.insert(c);
+            for &y in self.holders_in(c) {
+                out.insert(y);
+            }
+        }
+        let mut v: Vec<NodeId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All ancestors of `u` under the cover (including `u`), sorted.
+    pub fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out: FxHashSet<NodeId> = FxHashSet::default();
+        out.insert(u);
+        for &x in self.holders_out(u) {
+            out.insert(x);
+        }
+        for &c in self.lin(u) {
+            out.insert(c);
+            for &x in self.holders_out(c) {
+                out.insert(x);
+            }
+        }
+        let mut v: Vec<NodeId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Component-wise union with another cover (paper §3.3 step 3 starts
+    /// from "the (component-wise) union of the partition covers").
+    pub fn merge(&mut self, other: &TwoHopCover) {
+        if other.num_nodes() > 0 {
+            self.ensure_node(other.num_nodes() as NodeId - 1);
+        }
+        for (node, row) in other.lout.iter().enumerate() {
+            for &c in row {
+                self.add_out(node as NodeId, c);
+            }
+        }
+        for (node, row) in other.lin.iter().enumerate() {
+            for &c in row {
+                self.add_in(node as NodeId, c);
+            }
+        }
+    }
+
+    /// Merges `other` whose node ids are *local*, translating them through
+    /// `map` (`local id → global id`). Used to lift per-partition covers
+    /// into the collection-wide cover.
+    pub fn merge_remapped(&mut self, other: &TwoHopCover, map: &[NodeId]) {
+        for (node, row) in other.lout.iter().enumerate() {
+            for &c in row {
+                self.add_out(map[node], map[c as usize]);
+            }
+        }
+        for (node, row) in other.lin.iter().enumerate() {
+            for &c in row {
+                self.add_in(map[node], map[c as usize]);
+            }
+        }
+    }
+
+    /// Removes `center` from `Lout(node)`. Returns `true` if present.
+    pub fn remove_out(&mut self, node: NodeId, center: NodeId) -> bool {
+        let Some(row) = self.lout.get_mut(node as usize) else {
+            return false;
+        };
+        let Ok(pos) = row.binary_search(&center) else {
+            return false;
+        };
+        row.remove(pos);
+        let inv = &mut self.inv_out[center as usize];
+        let p = inv.iter().position(|&x| x == node).expect("inv_out sync");
+        inv.swap_remove(p);
+        self.entries -= 1;
+        true
+    }
+
+    /// Removes `center` from `Lin(node)`. Returns `true` if present.
+    pub fn remove_in(&mut self, node: NodeId, center: NodeId) -> bool {
+        let Some(row) = self.lin.get_mut(node as usize) else {
+            return false;
+        };
+        let Ok(pos) = row.binary_search(&center) else {
+            return false;
+        };
+        row.remove(pos);
+        let inv = &mut self.inv_in[center as usize];
+        let p = inv.iter().position(|&x| x == node).expect("inv_in sync");
+        inv.swap_remove(p);
+        self.entries -= 1;
+        true
+    }
+
+    /// Keeps only `Lout(node)` centers satisfying `keep` (Theorem 2 removes
+    /// whole id sets from labels).
+    pub fn retain_out(&mut self, node: NodeId, mut keep: impl FnMut(NodeId) -> bool) {
+        let Some(row) = self.lout.get_mut(node as usize) else {
+            return;
+        };
+        let removed: Vec<NodeId> = row.iter().copied().filter(|&c| !keep(c)).collect();
+        for c in removed {
+            self.remove_out(node, c);
+        }
+    }
+
+    /// Keeps only `Lin(node)` centers satisfying `keep`.
+    pub fn retain_in(&mut self, node: NodeId, mut keep: impl FnMut(NodeId) -> bool) {
+        let Some(row) = self.lin.get_mut(node as usize) else {
+            return;
+        };
+        let removed: Vec<NodeId> = row.iter().copied().filter(|&c| !keep(c)).collect();
+        for c in removed {
+            self.remove_in(node, c);
+        }
+    }
+
+    /// Replaces `Lout(node)` wholesale (Theorem 3 sets `L'out(a) := L̂out(a)`).
+    pub fn set_lout(&mut self, node: NodeId, centers: &[NodeId]) {
+        let old: Vec<NodeId> = self.lout(node).to_vec();
+        for c in old {
+            self.remove_out(node, c);
+        }
+        for &c in centers {
+            self.add_out(node, c);
+        }
+    }
+
+    /// Replaces `Lin(node)` wholesale.
+    pub fn set_lin(&mut self, node: NodeId, centers: &[NodeId]) {
+        let old: Vec<NodeId> = self.lin(node).to_vec();
+        for c in old {
+            self.remove_in(node, c);
+        }
+        for &c in centers {
+            self.add_in(node, c);
+        }
+    }
+
+    /// Deletes all label entries *of* node `u` (its `Lin`/`Lout`) and all
+    /// occurrences of `u` *as a center* in other nodes' labels. Used when a
+    /// node is removed from the graph (paper §6.2).
+    pub fn purge_node(&mut self, u: NodeId) {
+        if (u as usize) >= self.lin.len() {
+            return;
+        }
+        self.set_lout(u, &[]);
+        self.set_lin(u, &[]);
+        for holder in std::mem::take(&mut self.inv_out[u as usize]) {
+            let row = &mut self.lout[holder as usize];
+            if let Ok(pos) = row.binary_search(&u) {
+                row.remove(pos);
+                self.entries -= 1;
+            }
+        }
+        for holder in std::mem::take(&mut self.inv_in[u as usize]) {
+            let row = &mut self.lin[holder as usize];
+            if let Ok(pos) = row.binary_search(&u) {
+                row.remove(pos);
+                self.entries -= 1;
+            }
+        }
+    }
+
+    /// Iterates over all stored `(node, center)` `Lout` entries.
+    pub fn iter_out_entries(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.lout
+            .iter()
+            .enumerate()
+            .flat_map(|(n, row)| row.iter().map(move |&c| (n as NodeId, c)))
+    }
+
+    /// Iterates over all stored `(node, center)` `Lin` entries.
+    pub fn iter_in_entries(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.lin
+            .iter()
+            .enumerate()
+            .flat_map(|(n, row)| row.iter().map(move |&c| (n as NodeId, c)))
+    }
+
+    /// Debug invariant check: inverted index matches labels, labels sorted,
+    /// no self entries, entry count correct.
+    pub fn check_invariants(&self) {
+        let mut count = 0;
+        for (n, row) in self.lout.iter().enumerate() {
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "Lout sorted+dedup");
+            for &c in row {
+                assert_ne!(c as usize, n, "self entry in Lout");
+                assert!(
+                    self.inv_out[c as usize].contains(&(n as NodeId)),
+                    "inv_out missing"
+                );
+                count += 1;
+            }
+        }
+        for (n, row) in self.lin.iter().enumerate() {
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "Lin sorted+dedup");
+            for &c in row {
+                assert_ne!(c as usize, n, "self entry in Lin");
+                assert!(
+                    self.inv_in[c as usize].contains(&(n as NodeId)),
+                    "inv_in missing"
+                );
+                count += 1;
+            }
+        }
+        for (c, holders) in self.inv_out.iter().enumerate() {
+            for &h in holders {
+                assert!(self.lout[h as usize].binary_search(&(c as u32)).is_ok());
+            }
+        }
+        for (c, holders) in self.inv_in.iter().enumerate() {
+            for &h in holders {
+                assert!(self.lin[h as usize].binary_search(&(c as u32)).is_ok());
+            }
+        }
+        assert_eq!(count, self.entries, "entry count drift");
+    }
+}
+
+/// Sorted-slice intersection test (merge scan).
+fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cover for the path 0 -> 1 -> 2 with center 1.
+    fn path_cover() -> TwoHopCover {
+        let mut c = TwoHopCover::with_nodes(3);
+        c.add_out(0, 1);
+        c.add_in(2, 1);
+        c
+    }
+
+    #[test]
+    fn connected_via_center() {
+        let c = path_cover();
+        assert!(c.connected(0, 2));
+        assert!(c.connected(0, 1)); // 1 ∈ Lout(0), implicit self in Lin(1)
+        assert!(c.connected(1, 2)); // 1 ∈ Lin(2), implicit self in Lout(1)
+        assert!(c.connected(1, 1)); // reflexive
+        assert!(!c.connected(2, 0));
+        assert!(!c.connected(2, 1));
+    }
+
+    #[test]
+    fn self_entries_not_stored() {
+        let mut c = TwoHopCover::with_nodes(2);
+        assert!(!c.add_out(1, 1));
+        assert!(!c.add_in(1, 1));
+        assert_eq!(c.size(), 0);
+        assert!(c.connected(1, 1));
+    }
+
+    #[test]
+    fn size_counts_both_sides() {
+        let c = path_cover();
+        assert_eq!(c.size(), 2);
+        assert_eq!(c.lout(0), &[1]);
+        assert_eq!(c.lin(2), &[1]);
+        assert!(c.lin(0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_add_is_noop() {
+        let mut c = path_cover();
+        assert!(!c.add_out(0, 1));
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn ancestors_descendants_enumeration() {
+        let c = path_cover();
+        assert_eq!(c.descendants(0), vec![0, 1, 2]);
+        assert_eq!(c.descendants(1), vec![1, 2]);
+        assert_eq!(c.ancestors(2), vec![0, 1, 2]);
+        assert_eq!(c.ancestors(0), vec![0]);
+    }
+
+    #[test]
+    fn merge_unions_labels() {
+        let mut a = path_cover();
+        let mut b = TwoHopCover::with_nodes(4);
+        b.add_out(3, 1); // 3 reaches 1
+        b.add_out(0, 1); // duplicate with a
+        a.merge(&b);
+        assert_eq!(a.size(), 3);
+        assert!(a.connected(3, 2));
+        a.check_invariants();
+    }
+
+    #[test]
+    fn merge_remapped_translates_ids() {
+        // Local cover on {0,1,2} mapped to globals {10,11,12}.
+        let local = path_cover();
+        let mut global = TwoHopCover::with_nodes(13);
+        global.merge_remapped(&local, &[10, 11, 12]);
+        assert!(global.connected(10, 12));
+        assert!(!global.connected(0, 2));
+        global.check_invariants();
+    }
+
+    #[test]
+    fn removal_updates_inverted_index() {
+        let mut c = path_cover();
+        assert!(c.remove_out(0, 1));
+        assert!(!c.remove_out(0, 1));
+        assert!(!c.connected(0, 2));
+        assert_eq!(c.size(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut c = TwoHopCover::with_nodes(5);
+        c.add_out(0, 1);
+        c.add_out(0, 2);
+        c.add_out(0, 3);
+        c.retain_out(0, |ctr| ctr != 2);
+        assert_eq!(c.lout(0), &[1, 3]);
+        c.retain_in(0, |_| false); // empty Lin, still fine
+        c.check_invariants();
+    }
+
+    #[test]
+    fn set_labels_wholesale() {
+        let mut c = path_cover();
+        c.set_lout(0, &[2]);
+        assert_eq!(c.lout(0), &[2]);
+        assert!(c.connected(0, 2)); // now via 2 ∈ Lout(0)
+        c.set_lin(2, &[]);
+        assert_eq!(c.size(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn purge_node_removes_all_traces() {
+        let mut c = path_cover();
+        c.add_out(0, 2);
+        c.purge_node(1);
+        assert_eq!(c.lout(0), &[2]);
+        assert!(c.lin(2).is_empty());
+        assert!(c.holders_out(1).is_empty());
+        assert_eq!(c.size(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn entries_iterators() {
+        let c = path_cover();
+        let outs: Vec<_> = c.iter_out_entries().collect();
+        let ins: Vec<_> = c.iter_in_entries().collect();
+        assert_eq!(outs, vec![(0, 1)]);
+        assert_eq!(ins, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn descendants_via_multiple_centers() {
+        // 0 -> {1,2} as centers; 1 -> 3, 2 -> 4.
+        let mut c = TwoHopCover::with_nodes(5);
+        c.add_out(0, 1);
+        c.add_out(0, 2);
+        c.add_in(3, 1);
+        c.add_in(4, 2);
+        assert_eq!(c.descendants(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.ancestors(4), vec![0, 2, 4]);
+    }
+}

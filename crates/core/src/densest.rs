@@ -1,0 +1,303 @@
+//! Densest-subgraph 2-approximation on bipartite center graphs.
+//!
+//! For a candidate center `w`, the *center graph* `CG_w` is the undirected
+//! bipartite graph with left vertices `u ∈ Cin(w)` (ancestors of `w`), right
+//! vertices `v ∈ Cout(w)` (descendants), and an edge `(u, v)` for every *not
+//! yet covered* connection through `w` (paper §3.2). The density of a
+//! subgraph is `|E'| / |V'|`; the densest subgraph determines the label sets
+//! `C'in`, `C'out` that the greedy cover construction commits to.
+//!
+//! The densest subgraph is 2-approximated by the classic peeling algorithm:
+//! iteratively remove a vertex of minimum degree and return the intermediate
+//! subgraph of maximum density.
+
+use hopi_graph::FixedBitSet;
+
+/// A materialized bipartite center graph.
+///
+/// `adj[i]` holds the right-side *indices* adjacent to left vertex `i`;
+/// `left`/`right` translate side indices back to graph node ids. The same
+/// node may legally appear on both sides (cycles through the center).
+#[derive(Debug, Clone)]
+pub struct BipartiteCenterGraph {
+    /// Left-side node ids (`C'in` candidates — ancestors of the center).
+    pub left: Vec<u32>,
+    /// Right-side node ids (`C'out` candidates — descendants of the center).
+    pub right: Vec<u32>,
+    /// `adj[i]` = bit set over `0..right.len()`.
+    pub adj: Vec<FixedBitSet>,
+}
+
+impl BipartiteCenterGraph {
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(FixedBitSet::count).sum()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.adj.iter().all(FixedBitSet::is_empty)
+    }
+}
+
+/// Result of the densest-subgraph approximation.
+#[derive(Debug, Clone)]
+pub struct DensestResult {
+    /// Chosen left-side node ids (`C'in`).
+    pub left: Vec<u32>,
+    /// Chosen right-side node ids (`C'out`).
+    pub right: Vec<u32>,
+    /// Density `|E'| / |V'|` of the chosen subgraph.
+    pub density: f64,
+    /// Edge count of the chosen subgraph.
+    pub edges: usize,
+}
+
+/// Peeling 2-approximation of the densest subgraph.
+///
+/// Runs in `O(V + E)` using a bucket queue over degrees. Returns `None` for
+/// an edgeless graph.
+pub fn densest_subgraph(g: &BipartiteCenterGraph) -> Option<DensestResult> {
+    let nl = g.left.len();
+    let nr = g.right.len();
+    let n = nl + nr;
+    if n == 0 {
+        return None;
+    }
+    // Reverse adjacency (right -> left indices).
+    let mut radj: Vec<FixedBitSet> = vec![FixedBitSet::new(nl); nr];
+    let mut ldeg = vec![0usize; nl];
+    let mut rdeg = vec![0usize; nr];
+    let mut edges = 0usize;
+    for (i, row) in g.adj.iter().enumerate() {
+        for j in row.iter() {
+            radj[j as usize].insert(i as u32);
+            ldeg[i] += 1;
+            rdeg[j as usize] += 1;
+            edges += 1;
+        }
+    }
+    if edges == 0 {
+        return None;
+    }
+
+    // Bucket queue over degrees with lazy entries. Vertex encoding:
+    // 0..nl = left i, nl..n = right j.
+    let max_deg = ldeg.iter().chain(rdeg.iter()).copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    let deg = |v: usize, ldeg: &[usize], rdeg: &[usize]| {
+        if v < nl {
+            ldeg[v]
+        } else {
+            rdeg[v - nl]
+        }
+    };
+    for v in 0..n {
+        buckets[deg(v, &ldeg, &rdeg)].push(v);
+    }
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut cur_edges = edges;
+    let mut removal_order: Vec<usize> = Vec::with_capacity(n);
+
+    let mut best_density = cur_edges as f64 / alive_count as f64;
+    let mut best_prefix = 0usize; // number of removals at the best point
+
+    let mut cursor = 0usize; // lowest possibly-non-empty bucket
+    while alive_count > 0 {
+        // Find the minimum-degree alive vertex (lazy bucket scan).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        if cursor >= buckets.len() {
+            break;
+        }
+        let v = buckets[cursor].pop().expect("bucket non-empty");
+        if !alive[v] || deg(v, &ldeg, &rdeg) != cursor {
+            continue; // stale entry
+        }
+        // Remove v.
+        alive[v] = false;
+        alive_count -= 1;
+        removal_order.push(v);
+        if v < nl {
+            let i = v;
+            for j in g.adj[i].iter() {
+                let j = j as usize;
+                if alive[nl + j] {
+                    rdeg[j] -= 1;
+                    cur_edges -= 1;
+                    if rdeg[j] < cursor {
+                        cursor = rdeg[j];
+                    }
+                    buckets[rdeg[j]].push(nl + j);
+                }
+            }
+        } else {
+            let j = v - nl;
+            for i in radj[j].iter() {
+                let i = i as usize;
+                if alive[i] {
+                    ldeg[i] -= 1;
+                    cur_edges -= 1;
+                    if ldeg[i] < cursor {
+                        cursor = ldeg[i];
+                    }
+                    buckets[ldeg[i]].push(i);
+                }
+            }
+        }
+        if alive_count > 0 {
+            let d = cur_edges as f64 / alive_count as f64;
+            if d > best_density {
+                best_density = d;
+                best_prefix = removal_order.len();
+            }
+        }
+    }
+
+    // Reconstruct the best subgraph: everything except the first
+    // `best_prefix` removals.
+    let mut in_best = vec![true; n];
+    for &v in &removal_order[..best_prefix] {
+        in_best[v] = false;
+    }
+    let left: Vec<u32> = (0..nl).filter(|&i| in_best[i]).map(|i| g.left[i]).collect();
+    let right: Vec<u32> = (0..nr)
+        .filter(|&j| in_best[nl + j])
+        .map(|j| g.right[j])
+        .collect();
+    // Count edges of the best subgraph.
+    let mut right_alive = FixedBitSet::new(nr);
+    for j in 0..nr {
+        if in_best[nl + j] {
+            right_alive.insert(j as u32);
+        }
+    }
+    let best_edges: usize = (0..nl)
+        .filter(|&i| in_best[i])
+        .map(|i| g.adj[i].intersection_count(&right_alive))
+        .sum();
+    debug_assert!(
+        (best_density - best_edges as f64 / (left.len() + right.len()).max(1) as f64).abs()
+            < 1e-9
+    );
+    Some(DensestResult {
+        left,
+        right,
+        density: best_density,
+        edges: best_edges,
+    })
+}
+
+/// Density of a complete bipartite graph with `a` left and `d` right
+/// vertices: `a·d / (a+d)`. HOPI's optimization (paper §3.2): *initial*
+/// center graphs are complete, hence their own densest subgraph, so this
+/// value seeds the priority queue without materializing anything.
+pub fn complete_bipartite_density(a: usize, d: usize) -> f64 {
+    if a + d == 0 {
+        return 0.0;
+    }
+    (a as f64 * d as f64) / (a + d) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(nl: usize, nr: usize, edges: &[(u32, u32)]) -> BipartiteCenterGraph {
+        let mut adj = vec![FixedBitSet::new(nr); nl];
+        for &(i, j) in edges {
+            adj[i as usize].insert(j);
+        }
+        BipartiteCenterGraph {
+            left: (0..nl as u32).collect(),
+            right: (100..100 + nr as u32).collect(),
+            adj,
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_its_own_densest() {
+        // K_{2,3}: density 6/5.
+        let edges: Vec<(u32, u32)> = (0..2).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
+        let g = graph(2, 3, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!((r.density - 1.2).abs() < 1e-9);
+        assert_eq!(r.left.len(), 2);
+        assert_eq!(r.right.len(), 3);
+        assert_eq!(r.edges, 6);
+    }
+
+    #[test]
+    fn pendant_vertices_peeled() {
+        // K_{2,2} (density 4/4 = 1) plus a pendant right vertex attached to
+        // left 0 (full graph density 5/5 = 1). Peeling should isolate a
+        // subgraph at least as dense as the full graph.
+        let mut edges: Vec<(u32, u32)> =
+            (0..2).flat_map(|i| (0..2).map(move |j| (i, j))).collect();
+        edges.push((0, 2));
+        let g = graph(2, 3, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!(r.density >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn star_density() {
+        // One left vertex connected to 4 right: density 4/5.
+        let edges: Vec<(u32, u32)> = (0..4).map(|j| (0, j)).collect();
+        let g = graph(1, 4, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!((r.density - 0.8).abs() < 1e-9);
+        assert_eq!(r.edges, 4);
+    }
+
+    #[test]
+    fn empty_graph_none() {
+        let g = graph(2, 2, &[]);
+        assert!(densest_subgraph(&g).is_none());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_excluded_from_best() {
+        // K_{2,2} plus an isolated left vertex: best subgraph must exclude
+        // the isolated vertex (density 1.0 vs 0.8).
+        let edges: Vec<(u32, u32)> = (0..2).flat_map(|i| (0..2).map(move |j| (i, j))).collect();
+        let g = graph(3, 2, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!((r.density - 1.0).abs() < 1e-9);
+        assert_eq!(r.left.len(), 2);
+    }
+
+    #[test]
+    fn two_approximation_guarantee() {
+        // Random-ish graph: peeling density must be ≥ half the true optimum.
+        // True optimum here is K_{3,3} embedded among noise: density 9/6=1.5.
+        let mut edges: Vec<(u32, u32)> =
+            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
+        edges.push((3, 3));
+        edges.push((4, 4));
+        let g = graph(6, 6, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!(r.density >= 0.75, "density {} < optimum/2", r.density);
+    }
+
+    #[test]
+    fn complete_density_formula() {
+        assert_eq!(complete_bipartite_density(0, 0), 0.0);
+        assert!((complete_bipartite_density(2, 3) - 1.2).abs() < 1e-12);
+        assert!((complete_bipartite_density(1, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_upper_bounded_by_complete() {
+        let edges: Vec<(u32, u32)> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .filter(|&(i, j)| (i + j) % 3 != 0)
+            .collect();
+        let g = graph(4, 4, &edges);
+        let r = densest_subgraph(&g).unwrap();
+        assert!(r.density <= complete_bipartite_density(4, 4) + 1e-9);
+    }
+}

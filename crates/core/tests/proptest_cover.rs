@@ -1,0 +1,105 @@
+//! Property tests: on arbitrary digraphs the constructed 2-hop covers must
+//! agree *exactly* with the transitive closure (soundness: no phantom
+//! connections; completeness: every connection covered), and distance-aware
+//! covers must report exact shortest path lengths.
+
+use hopi_core::{CoverBuilder, DistanceCoverBuilder};
+use hopi_graph::{DiGraph, DistanceClosure, TransitiveClosure};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=max_edges);
+        (Just(n), edges)
+    })
+}
+
+fn build_graph(n: u32, edges: &[(u32, u32)]) -> DiGraph {
+    let mut g = DiGraph::new();
+    g.ensure_node(n - 1);
+    for &(u, v) in edges {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cover_equals_closure((n, edges) in arb_graph(30, 90)) {
+        let g = build_graph(n, &edges);
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        cover.check_invariants();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(cover.connected(u, v), tc.contains(u, v),
+                    "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_never_larger_than_closure((n, edges) in arb_graph(30, 90)) {
+        // Worst case the greedy cover stores one Lout + one Lin entry per
+        // connection; it must never exceed twice the non-reflexive closure.
+        let g = build_graph(n, &edges);
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let nonreflexive = tc.connection_count() - tc.iter_pairs().filter(|(u, v)| u == v).count();
+        prop_assert!(cover.size() <= 2 * nonreflexive.max(1));
+    }
+
+    #[test]
+    fn ancestors_descendants_match_closure((n, edges) in arb_graph(25, 70)) {
+        let g = build_graph(n, &edges);
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        for u in 0..n {
+            prop_assert_eq!(cover.descendants(u), tc.descendants(u).to_vec());
+            prop_assert_eq!(cover.ancestors(u), tc.ancestors(u).to_vec());
+        }
+    }
+
+    #[test]
+    fn preselection_preserves_exactness((n, edges) in arb_graph(25, 70)) {
+        let g = build_graph(n, &edges);
+        let tc = TransitiveClosure::from_graph(&g);
+        // Preselect a third of the nodes as forced centers (§4.2).
+        let preselected: Vec<u32> = (0..n).step_by(3).collect();
+        let (cover, _) = CoverBuilder::new(&tc).build_with_preselected(&preselected);
+        cover.check_invariants();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(cover.connected(u, v), tc.contains(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_cover_exact((n, edges) in arb_graph(20, 50)) {
+        let g = build_graph(n, &edges);
+        let dc = DistanceClosure::from_graph(&g);
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(cover.distance(u, v), dc.dist(u, v),
+                    "distance ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_enumeration_matches_rows((n, edges) in arb_graph(15, 40)) {
+        let g = build_graph(n, &edges);
+        let dc = DistanceClosure::from_graph(&g);
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        for u in 0..n {
+            let mut expect: Vec<(u32, u32)> =
+                dc.out_row(u).iter().map(|(&v, &d)| (v, d)).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(cover.descendants_with_distance(u), expect);
+        }
+    }
+}

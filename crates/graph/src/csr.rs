@@ -1,0 +1,105 @@
+//! Immutable compressed-sparse-row snapshot of a [`DiGraph`].
+//!
+//! Bulk index construction (paper §4) performs millions of adjacency scans;
+//! a CSR layout keeps successor lists contiguous. Dead node slots are kept as
+//! empty rows so node ids remain valid indices.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Compressed-sparse-row adjacency (successors only). Build one from a
+/// [`DiGraph`] via [`Csr::from_digraph`], or reversed via
+/// [`Csr::from_digraph_reversed`] for predecessor scans.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds the forward CSR (rows = successor lists).
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        Self::build(g.id_bound(), |u| g.successors(u))
+    }
+
+    /// Builds the reversed CSR (rows = predecessor lists).
+    pub fn from_digraph_reversed(g: &DiGraph) -> Self {
+        Self::build(g.id_bound(), |u| g.predecessors(u))
+    }
+
+    fn build<'a>(n: usize, row: impl Fn(NodeId) -> &'a [NodeId]) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for u in 0..n as NodeId {
+            let mut r = row(u).to_vec();
+            r.sort_unstable();
+            targets.extend_from_slice(&r);
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of rows (== the source graph's `id_bound`).
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The (sorted) neighbor row of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Binary-searched edge test.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_matches_digraph() {
+        let mut g = DiGraph::new();
+        for (u, v) in [(0, 3), (0, 1), (1, 2), (3, 3), (2, 0)] {
+            g.add_edge(u, v);
+        }
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.neighbors(0), &[1, 3]); // sorted
+        assert!(csr.has_edge(3, 3));
+        assert!(!csr.has_edge(1, 3));
+    }
+
+    #[test]
+    fn reversed_rows_are_predecessors() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let rev = Csr::from_digraph_reversed(&g);
+        assert_eq!(rev.neighbors(2), &[0, 1]);
+        assert!(rev.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn dead_slots_are_empty_rows() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.remove_node(1);
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.num_rows(), 3);
+        assert!(csr.neighbors(0).is_empty());
+        assert!(csr.neighbors(1).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Tarjan strongly-connected components and graph condensation.
+//!
+//! XML collections with XLink/IDREF links can contain cycles (mutually citing
+//! documents), so the transitive-closure builder condenses the graph first:
+//! every node of an SCC shares one closure row.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes strongly connected components with an iterative Tarjan.
+///
+/// Returns one `Vec<NodeId>` per component, emitted in **reverse topological
+/// order** of the condensation: a component appears *after* every component
+/// it has an edge into. Dead node slots are skipped.
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.id_bound();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS machine: (node, next-successor-position).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            if *pos == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let succ = g.successors(v);
+            if *pos < succ.len() {
+                let w = succ[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Condensation of a digraph: one node per SCC, edges between distinct SCCs.
+#[derive(Debug)]
+pub struct Condensation {
+    /// The condensed DAG; node `i` represents `components[i]`.
+    pub dag: DiGraph,
+    /// Members of each component.
+    pub components: Vec<Vec<NodeId>>,
+    /// `component_of[v]` maps an original node to its component index
+    /// (`u32::MAX` for dead slots).
+    pub component_of: Vec<u32>,
+}
+
+/// Builds the condensation. The component order matches [`tarjan_scc`]
+/// (reverse topological: successors come first).
+pub fn condensation(g: &DiGraph) -> Condensation {
+    let components = tarjan_scc(g);
+    let mut component_of = vec![u32::MAX; g.id_bound()];
+    for (ci, comp) in components.iter().enumerate() {
+        for &v in comp {
+            component_of[v as usize] = ci as u32;
+        }
+    }
+    let mut dag = DiGraph::with_nodes(components.len());
+    for (u, v) in g.edges() {
+        let (cu, cv) = (component_of[u as usize], component_of[v as usize]);
+        if cu != cv {
+            dag.add_edge(cu, cv);
+        }
+    }
+    Condensation {
+        dag,
+        components,
+        component_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_yields_singletons() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        // reverse topological: 2 before 1 before 0
+        let order: Vec<NodeId> = comps.iter().map(|c| c[0]).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 2);
+        let mut big: Vec<_> = comps.iter().find(|c| c.len() == 3).unwrap().clone();
+        big.sort_unstable();
+        assert_eq!(big, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reverse_topological_property() {
+        // 0 -> {1,2} -> 3, plus cycle 4 <-> 5 hanging off 3
+        let mut g = DiGraph::new();
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 4)] {
+            g.add_edge(u, v);
+        }
+        let cond = condensation(&g);
+        // every edge in the condensed DAG goes from a later to an earlier
+        // component index (successors emitted first)
+        for (cu, cv) in cond.dag.edges() {
+            assert!(cu > cv, "edge {cu}->{cv} violates reverse topo order");
+        }
+    }
+
+    #[test]
+    fn condensation_maps_members() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        let cond = condensation(&g);
+        assert_eq!(cond.components.len(), 2);
+        assert_eq!(
+            cond.component_of[0], cond.component_of[1],
+            "cycle members share a component"
+        );
+        assert_ne!(cond.component_of[0], cond.component_of[2]);
+        assert_eq!(cond.dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn skips_dead_nodes() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.remove_node(1);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 2);
+        let cond = condensation(&g);
+        assert_eq!(cond.component_of[1], u32::MAX);
+    }
+
+    #[test]
+    fn self_loop_single_component() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 0);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps, vec![vec![0]]);
+    }
+
+    #[test]
+    fn large_path_no_stack_overflow() {
+        // Iterative Tarjan must handle deep graphs.
+        let mut g = DiGraph::new();
+        for i in 0..200_000u32 {
+            g.add_edge(i, i + 1);
+        }
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 200_001);
+    }
+}

@@ -1,0 +1,415 @@
+//! Deletions (paper §6.2).
+//!
+//! Deleting a document `d_i` must remove exactly the connections that have
+//! *no* remaining path — "even if the center for a connection is in
+//! `V_E(d_i)`, there may be another path between these nodes", and
+//! conversely connections may die whose center survives. Two algorithms:
+//!
+//! * **Theorem 2 (fast)** — applicable when `d_i` *separates* the
+//!   document-level graph: every ancestor document reaches every descendant
+//!   document only through `d_i`. Then every `VA → VD` connection dies with
+//!   `d_i`, and it suffices to strip `V_di ∪ VD` from the `Lout` labels of
+//!   `VA` and `V_di ∪ VA` from the `Lin` labels of `VD`.
+//! * **Theorem 3 (general)** — recompute a *partial* closure `Ĉ` seeded at
+//!   the element-level ancestors `A_di` of the deleted elements, build a
+//!   cover `L̂` over it, and splice: `L'out(a) := L̂out(a)` for `a ∈ A_di`,
+//!   `L'in(d) := (Lin(d) \ A_di) ∪ L̂in(d)` for `d ∈ D_di`.
+//!
+//! Single-link deletion reuses the Theorem 3 scheme with the link endpoints
+//! in place of the document.
+
+use hopi_build::HopiIndex;
+use hopi_core::{CoverBuilder, TwoHopCover};
+use hopi_graph::closure::partial_closure;
+use hopi_graph::{traversal, FixedBitSet, TransitiveClosure};
+use hopi_xml::{Collection, DocId, ElemId};
+use rustc_hash::FxHashSet;
+
+/// Which deletion algorithm ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeletionAlgorithm {
+    /// Theorem 2: the document separated the document-level graph.
+    FastSeparator,
+    /// Theorem 3: partial closure recomputation.
+    General,
+}
+
+/// Result of a document deletion.
+#[derive(Clone, Debug)]
+pub struct DeletionOutcome {
+    /// Algorithm used.
+    pub algorithm: DeletionAlgorithm,
+    /// Label entries removed (net change can differ: General also adds).
+    pub entries_removed: usize,
+    /// Seed count of the partial recomputation (General only).
+    pub recompute_seeds: usize,
+}
+
+/// Does `d_i` separate the document-level graph? (paper §6.2)
+///
+/// True iff after removing `d_i` no (proper) ancestor document can reach any
+/// (proper) descendant document. "The separation criterion serves as an
+/// efficient test for whether we can simply drop the deleted document or
+/// need to take additional measures" — cost is two BFS passes over `G_D`.
+pub fn separates(collection: &Collection, di: DocId) -> bool {
+    let (mut gd, _) = collection.document_graph();
+    if !gd.is_alive(di) {
+        return true;
+    }
+    let anc = {
+        let mut a = traversal::reaching_to(&gd, di);
+        a.remove(di);
+        a
+    };
+    let desc = {
+        let mut d = traversal::reachable_from(&gd, di);
+        d.remove(di);
+        d
+    };
+    if anc.is_empty() || desc.is_empty() {
+        return true;
+    }
+    // A document that is both ancestor and descendant (cycle through d_i)
+    // trivially keeps an ancestor→descendant connection (itself).
+    if anc.intersects(&desc) {
+        return false;
+    }
+    gd.remove_node(di);
+    let reached = traversal::reachable_from_many(&gd, anc.iter());
+    !reached.intersects(&desc)
+}
+
+/// Deletes a document, dispatching to the Theorem 2 fast path when the
+/// separator test passes and to the Theorem 3 general algorithm otherwise.
+pub fn delete_document(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    di: DocId,
+) -> DeletionOutcome {
+    if separates(collection, di) {
+        delete_document_fast(collection, index, di)
+    } else {
+        delete_document_general(collection, index, di)
+    }
+}
+
+/// Theorem 2 fast deletion. Caller must have verified [`separates`].
+pub fn delete_document_fast(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    di: DocId,
+) -> DeletionOutcome {
+    let before = index.size();
+    let (gd, _) = collection.document_graph();
+    let mut anc_docs = traversal::reaching_to(&gd, di);
+    anc_docs.remove(di);
+    let mut desc_docs = traversal::reachable_from(&gd, di);
+    desc_docs.remove(di);
+
+    let vdi = elements_of_doc(collection, di);
+    let va = elements_of_docs(collection, &anc_docs);
+    let vd = elements_of_docs(collection, &desc_docs);
+
+    let cover = index.cover_mut();
+    // Strip V_di ∪ VD centers from Lout of every a ∈ VA.
+    for &a in &va {
+        cover.retain_out(a, |c| !vdi.contains(&c) && !vd.contains(&c));
+    }
+    // Strip V_di ∪ VA centers from Lin of every d ∈ VD.
+    for &d in &vd {
+        cover.retain_in(d, |c| !vdi.contains(&c) && !va.contains(&c));
+    }
+    // Drop the deleted elements' own labels and all their occurrences as
+    // centers anywhere else.
+    for &e in &vdi {
+        cover.purge_node(e);
+    }
+    collection.remove_document(di);
+    DeletionOutcome {
+        algorithm: DeletionAlgorithm::FastSeparator,
+        entries_removed: before - index.size(),
+        recompute_seeds: 0,
+    }
+}
+
+/// Theorem 3 general deletion: partial closure recomputation from the
+/// element-level ancestors of the deleted elements.
+pub fn delete_document_general(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    di: DocId,
+) -> DeletionOutcome {
+    let vdi = elements_of_doc(collection, di);
+    let vdi_set: FxHashSet<ElemId> = vdi.iter().copied().collect();
+    delete_general_impl(collection, index, &vdi_set, |collection| {
+        collection.remove_document(di);
+    })
+}
+
+/// Deletes a single inter-document link, updating the index with the same
+/// partial-recomputation scheme ("a similar algorithm can be applied for
+/// deleting a single edge from the index").
+pub fn delete_link(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    from: ElemId,
+    to: ElemId,
+) -> DeletionOutcome {
+    // Treat the link source as the "deleted region": connections that may
+    // die all pass through `from → to`.
+    let affected: FxHashSet<ElemId> = [from, to].into_iter().collect();
+    delete_general_impl(collection, index, &affected, |collection| {
+        collection.remove_link(from, to);
+    })
+}
+
+/// Shared Theorem 3 machinery.
+///
+/// `affected` is the element set whose incident connections may die (the
+/// deleted document's elements, or a deleted link's endpoints);
+/// `apply_removal` performs the structural change on the collection.
+/// Elements in `affected` that survive the removal keep their labels
+/// refreshed; elements that die are purged.
+fn delete_general_impl(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    affected: &FxHashSet<ElemId>,
+    apply_removal: impl FnOnce(&mut Collection),
+) -> DeletionOutcome {
+    let before = index.size();
+
+    // A_di / D_di: ancestors and descendants of the affected elements under
+    // the *old* cover (paper: "A_di := {a | ∃v ∈ V_E(d_i): (a,v) ∈ T}";
+    // V_E(d_i) itself is included there, we track it via `affected`).
+    let cover = index.cover_mut();
+    let mut a_di: FxHashSet<ElemId> = FxHashSet::default();
+    let mut d_di: FxHashSet<ElemId> = FxHashSet::default();
+    for &e in affected {
+        a_di.extend(cover.ancestors(e));
+        d_di.extend(cover.descendants(e));
+    }
+
+    // Structural removal, then the surviving graph G'.
+    apply_removal(collection);
+    let g = collection.element_graph();
+    let dead = |e: ElemId| !g.is_alive(e);
+
+    // Partial closure Ĉ from the surviving seeds.
+    let seeds: Vec<ElemId> = a_di.iter().copied().filter(|&e| !dead(e)).collect();
+    let rows = partial_closure(&g, &seeds);
+
+    // Synthetic closure: full rows for seeds, reflexive rows elsewhere.
+    let n = g.id_bound();
+    let mut desc_rows: Vec<FixedBitSet> = (0..n).map(|_| FixedBitSet::new(n)).collect();
+    let alive: Vec<bool> = (0..n as u32).map(|e| g.is_alive(e)).collect();
+    for (&s, row) in &rows {
+        desc_rows[s as usize] = row.clone();
+    }
+    let partial = TransitiveClosure::from_desc_rows(desc_rows, alive);
+    let hat: TwoHopCover = CoverBuilder::new(&partial).build();
+
+    let cover = index.cover_mut();
+    // Purge dead elements entirely.
+    for &e in affected {
+        if dead(e) {
+            cover.purge_node(e);
+        }
+    }
+    // L' := L ∪ L̂ …
+    cover.merge(&hat);
+    // … except: L'out(a) := L̂out(a) for a ∈ A_di,
+    for &a in &a_di {
+        if dead(a) {
+            continue;
+        }
+        cover.set_lout(a, hat.lout(a));
+    }
+    // … and L'in(d) := (Lin(d) \ A_di) ∪ L̂in(d) for d ∈ D_di.
+    for &d in &d_di {
+        if dead(d) {
+            continue;
+        }
+        let hat_lin: FxHashSet<ElemId> = hat.lin(d).iter().copied().collect();
+        cover.retain_in(d, |c| !a_di.contains(&c) || hat_lin.contains(&c));
+    }
+    DeletionOutcome {
+        algorithm: DeletionAlgorithm::General,
+        entries_removed: before.saturating_sub(index.size()),
+        recompute_seeds: seeds.len(),
+    }
+}
+
+fn elements_of_doc(collection: &Collection, d: DocId) -> Vec<ElemId> {
+    let doc = collection.document(d).expect("live document");
+    let base = collection.global_id(d, 0);
+    (0..doc.len() as u32).map(|l| base + l).collect()
+}
+
+fn elements_of_docs(collection: &Collection, docs: &FixedBitSet) -> FxHashSet<ElemId> {
+    let mut out = FxHashSet::default();
+    for d in docs.iter() {
+        if collection.document(d).is_some() {
+            out.extend(elements_of_doc(collection, d));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_build::{build_index, BuildConfig};
+    use hopi_xml::generator::{random_collection, RandomConfig};
+    use hopi_xml::XmlDocument;
+
+    fn assert_exact(c: &Collection, index: &HopiIndex) {
+        let g = c.element_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        // Dead id slots are skipped: reflexive queries on deleted elements
+        // are vacuously true in the cover (`u == v`), and the index contract
+        // only covers live elements.
+        for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
+            for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
+                assert_eq!(index.connected(u, v), tc.contains(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    /// Figure 6 shape: 1 -> 2 -> 3 chain of documents; 2 separates.
+    /// Extra pair 4 -> 5 -> 6 with a bypass 4 -> 6: 5 does not separate.
+    fn figure6() -> Collection {
+        let mut c = Collection::new();
+        for i in 0..7 {
+            let mut d = XmlDocument::new(format!("d{i}"), "r");
+            d.add_element(0, "s");
+            c.add_document(d);
+        }
+        let link = |c: &mut Collection, a: u32, b: u32| {
+            let from = c.global_id(a, 1);
+            let to = c.global_id(b, 0);
+            c.add_link(from, to);
+        };
+        link(&mut c, 1, 2);
+        link(&mut c, 2, 3);
+        link(&mut c, 4, 5);
+        link(&mut c, 5, 6);
+        link(&mut c, 4, 6); // bypass
+        c
+    }
+
+    #[test]
+    fn separator_test_matches_figure_6() {
+        let c = figure6();
+        assert!(separates(&c, 2), "doc 2 separates the chain");
+        assert!(!separates(&c, 5), "doc 5 is bypassed");
+        assert!(separates(&c, 0), "isolated doc trivially separates");
+        assert!(separates(&c, 1), "no ancestors → separates");
+        assert!(separates(&c, 3), "no descendants → separates");
+    }
+
+    #[test]
+    fn separator_false_on_cycles() {
+        let mut c = figure6();
+        // close a cycle 3 -> 1 through new link; now 2 sits on a cycle.
+        let from = c.global_id(3, 1);
+        let to = c.global_id(1, 0);
+        c.add_link(from, to);
+        assert!(!separates(&c, 2));
+    }
+
+    #[test]
+    fn fast_delete_separator_document() {
+        let mut c = figure6();
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let outcome = delete_document(&mut c, &mut index, 2);
+        assert_eq!(outcome.algorithm, DeletionAlgorithm::FastSeparator);
+        assert_exact(&c, &index);
+        index.cover().check_invariants();
+        assert!(outcome.entries_removed > 0);
+    }
+
+    #[test]
+    fn general_delete_bypassed_document() {
+        let mut c = figure6();
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let outcome = delete_document(&mut c, &mut index, 5);
+        assert_eq!(outcome.algorithm, DeletionAlgorithm::General);
+        assert!(outcome.recompute_seeds > 0);
+        // 4 must still reach 6 via the bypass.
+        assert!(index.connected(c.global_id(4, 0), c.global_id(6, 0)));
+        assert_exact(&c, &index);
+        index.cover().check_invariants();
+    }
+
+    #[test]
+    fn general_delete_on_cycle_member() {
+        let mut c = figure6();
+        let from = c.global_id(3, 1);
+        let to = c.global_id(1, 0);
+        c.add_link(from, to);
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let outcome = delete_document(&mut c, &mut index, 2);
+        assert_eq!(outcome.algorithm, DeletionAlgorithm::General);
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn delete_isolated_document() {
+        let mut c = figure6();
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let outcome = delete_document(&mut c, &mut index, 0);
+        assert_eq!(outcome.algorithm, DeletionAlgorithm::FastSeparator);
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn delete_link_with_bypass() {
+        let mut c = figure6();
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        // Delete 4 -> 6 bypass: 4 still reaches 6 via 5.
+        let from = c.global_id(4, 1);
+        let to = c.global_id(6, 0);
+        // figure6 adds 4->6 with source (4,1)? No: bypass used (4,1)->(6,0)
+        // same as 4->5 source. Both links share the source element.
+        delete_link(&mut c, &mut index, from, to);
+        assert!(index.connected(c.global_id(4, 0), c.global_id(6, 0)));
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn delete_link_severs_unique_path() {
+        let mut c = figure6();
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let from = c.global_id(1, 1);
+        let to = c.global_id(2, 0);
+        delete_link(&mut c, &mut index, from, to);
+        assert!(!index.connected(c.global_id(1, 0), c.global_id(3, 0)));
+        assert_exact(&c, &index);
+        index.cover().check_invariants();
+    }
+
+    #[test]
+    fn random_deletion_storm_stays_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut c = random_collection(&RandomConfig {
+            num_docs: 14,
+            elements_range: (2, 6),
+            num_links: 22,
+            num_intra_links: 5,
+            allow_cycles: true,
+            seed: 77,
+        });
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let mut live: Vec<DocId> = c.doc_ids().collect();
+        for _ in 0..8 {
+            let pick = live.remove(rng.gen_range(0..live.len()));
+            delete_document(&mut c, &mut index, pick);
+            assert_exact(&c, &index);
+            index.cover().check_invariants();
+            if live.len() <= 2 {
+                break;
+            }
+        }
+    }
+}

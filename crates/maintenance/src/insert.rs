@@ -1,0 +1,334 @@
+//! Insertions (paper §6.1).
+//!
+//! * Isolated nodes need no cover entries.
+//! * A new edge `(u, v)` is inserted "by the same method that was used to
+//!   add a link between partitions": `v` becomes the center node for all
+//!   newly created connections (see [`hopi_build::old_join::integrate_link`]).
+//! * A new document is "considered as a new partition": its private 2-hop
+//!   cover is computed and merged, then its incoming/outgoing links are
+//!   integrated one by one.
+
+use hopi_build::{old_join, HopiIndex};
+use hopi_core::{CoverBuilder, DistanceCover};
+use hopi_graph::{DiGraph, TransitiveClosure};
+use hopi_xml::{Collection, DocId, ElemId, LocalElemId, XmlDocument};
+
+/// Links connecting a new document to the existing collection, expressed
+/// with document-local ids on the new side.
+#[derive(Clone, Debug, Default)]
+pub struct DocumentLinks {
+    /// Outgoing: (local source element in the new doc, existing global
+    /// target).
+    pub outgoing: Vec<(LocalElemId, ElemId)>,
+    /// Incoming: (existing global source, local target element in the new
+    /// doc).
+    pub incoming: Vec<(ElemId, LocalElemId)>,
+}
+
+/// Inserts an inter-document link and updates the index incrementally.
+/// Both endpoints must exist in the collection.
+pub fn insert_link(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    from: ElemId,
+    to: ElemId,
+) -> usize {
+    collection.add_link(from, to);
+    index.cover_mut().ensure_node(from.max(to));
+    old_join::integrate_link(index.cover_mut(), from, to)
+}
+
+/// Inserts a whole document plus its links (paper §6.1: "considering the
+/// document as a new partition, computing the 2–hop cover for this
+/// partition and applying the (old) algorithm for merging partitions").
+/// Returns the assigned document id.
+pub fn insert_document(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    doc: XmlDocument,
+    links: &DocumentLinks,
+) -> DocId {
+    // Build the document's private cover over local ids.
+    let mut local = DiGraph::with_nodes(doc.len());
+    for (p, c) in doc.tree_edges() {
+        local.add_edge(p, c);
+    }
+    for &(f, t) in doc.intra_links() {
+        local.add_edge(f, t);
+    }
+    let tc = TransitiveClosure::from_graph(&local);
+    let doc_cover = CoverBuilder::new(&tc).build();
+
+    let d = collection.add_document(doc);
+    let base = collection.global_id(d, 0);
+    let cover = index.cover_mut();
+    if collection.elem_id_bound() > 0 {
+        cover.ensure_node(collection.elem_id_bound() as u32 - 1);
+    }
+    // Merge the document cover shifted into the global id space.
+    let map: Vec<ElemId> = (0..tc.num_nodes() as u32).map(|l| base + l).collect();
+    cover.merge_remapped(&doc_cover, &map);
+
+    // Integrate links with the old join primitive.
+    for &(local_src, target) in &links.outgoing {
+        let from = collection.global_id(d, local_src);
+        collection.add_link(from, target);
+        old_join::integrate_link(cover, from, target);
+    }
+    for &(source, local_tgt) in &links.incoming {
+        let to = collection.global_id(d, local_tgt);
+        collection.add_link(source, to);
+        old_join::integrate_link(cover, source, to);
+    }
+    d
+}
+
+/// Distance-aware edge insertion (paper §6: "the algorithms presented...
+/// can be applied also for distance-aware covers").
+///
+/// `v` becomes the center: every ancestor `a` of `u` receives
+/// `(v, dist(a,u) + 1)` in `Lout`, every descendant `d` of `v` receives
+/// `(v, dist(v,d))` in `Lin`. Any shortest path created or shortened by the
+/// new edge decomposes as `a →* u → v →* d` over *old* shortest segments,
+/// so these entries capture exactly the improved distances; stale longer
+/// entries are harmless because the distance query takes the minimum.
+pub fn insert_edge_distance(cover: &mut DistanceCover, u: u32, v: u32) {
+    cover.ensure_node(u.max(v));
+    let ancestors = cover.ancestors_with_distance(u); // includes (u, 0)
+    let descendants = cover.descendants_with_distance(v); // includes (v, 0)
+    for &(a, dau) in &ancestors {
+        cover.add_out(a, v, dau + 1);
+    }
+    for &(d, dvd) in &descendants {
+        cover.add_in(d, v, dvd);
+    }
+}
+
+/// Distance-aware document insertion: the distance analogue of
+/// [`insert_document`]. The new document gets a private distance cover
+/// (computed over its local element graph), which is merged shifted into
+/// the global cover; links are then integrated with
+/// [`insert_edge_distance`].
+///
+/// The caller adds the document to the collection; this function only
+/// maintains the cover (mirroring how a distance-aware HOPI deployment
+/// would run both covers side by side).
+pub fn insert_document_distance(
+    collection: &mut Collection,
+    cover: &mut DistanceCover,
+    doc: XmlDocument,
+    links: &DocumentLinks,
+) -> DocId {
+    use hopi_core::DistanceCoverBuilder;
+    use hopi_graph::DistanceClosure;
+
+    let mut local = DiGraph::with_nodes(doc.len());
+    for (p, c) in doc.tree_edges() {
+        local.add_edge(p, c);
+    }
+    for &(f, t) in doc.intra_links() {
+        local.add_edge(f, t);
+    }
+    let dc = DistanceClosure::from_graph(&local);
+    let doc_cover = DistanceCoverBuilder::new(&dc).build();
+
+    let d = collection.add_document(doc);
+    let base = collection.global_id(d, 0);
+    if collection.elem_id_bound() > 0 {
+        cover.ensure_node(collection.elem_id_bound() as u32 - 1);
+    }
+    for (node, center, dist) in doc_cover.iter_out_entries() {
+        cover.add_out(base + node, base + center, dist);
+    }
+    for (node, center, dist) in doc_cover.iter_in_entries() {
+        cover.add_in(base + node, base + center, dist);
+    }
+    for &(local_src, target) in &links.outgoing {
+        let from = collection.global_id(d, local_src);
+        collection.add_link(from, target);
+        insert_edge_distance(cover, from, target);
+    }
+    for &(source, local_tgt) in &links.incoming {
+        let to = collection.global_id(d, local_tgt);
+        collection.add_link(source, to);
+        insert_edge_distance(cover, source, to);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_build::{build_index, BuildConfig};
+    use hopi_graph::DistanceClosure;
+
+    fn two_docs() -> (Collection, HopiIndex) {
+        let mut c = Collection::new();
+        for name in ["a", "b"] {
+            let mut d = XmlDocument::new(name, "r");
+            d.add_element(0, "s");
+            c.add_document(d);
+        }
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        (c, index)
+    }
+
+    fn assert_exact(c: &Collection, index: &HopiIndex) {
+        let g = c.element_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        // Dead id slots are skipped: reflexive queries on deleted elements
+        // are vacuously true in the cover (`u == v`), and the index contract
+        // only covers live elements.
+        for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
+            for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
+                assert_eq!(index.connected(u, v), tc.contains(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_link_updates_index() {
+        let (mut c, mut index) = two_docs();
+        assert!(!index.connected(0, 3));
+        insert_link(&mut c, &mut index, 1, 2); // a/s -> b/root
+        assert!(index.connected(0, 3));
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn insert_document_with_links() {
+        let (mut c, mut index) = two_docs();
+        let mut doc = XmlDocument::new("new", "r");
+        let child = doc.add_element(0, "c");
+        let grand = doc.add_element(child, "g");
+        let links = DocumentLinks {
+            outgoing: vec![(grand, 2)],   // new/g -> b/root
+            incoming: vec![(1, 0)],       // a/s -> new/root
+        };
+        let d = insert_document(&mut c, &mut index, doc, &links);
+        assert_eq!(d, 2);
+        // a/root(0) -> a/s(1) -> new/root(4) -> ... -> new/g(6) -> b(2,3).
+        assert!(index.connected(0, 3));
+        assert!(index.connected(4, 2));
+        assert_exact(&c, &index);
+        index.cover().check_invariants();
+    }
+
+    #[test]
+    fn insert_isolated_document() {
+        let (mut c, mut index) = two_docs();
+        let doc = XmlDocument::new("island", "r");
+        let d = insert_document(&mut c, &mut index, doc, &DocumentLinks::default());
+        let root = c.global_id(d, 0);
+        assert!(index.connected(root, root));
+        assert!(!index.connected(0, root));
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn insert_link_cycle() {
+        let (mut c, mut index) = two_docs();
+        insert_link(&mut c, &mut index, 1, 2);
+        insert_link(&mut c, &mut index, 3, 0);
+        assert!(index.connected(2, 1), "cycle closes");
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn repeated_inserts_stay_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut c = Collection::new();
+        for i in 0..6 {
+            let mut d = XmlDocument::new(format!("d{i}"), "r");
+            d.add_element(0, "x");
+            d.add_element(0, "y");
+            c.add_document(d);
+        }
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        for _ in 0..20 {
+            let di = rng.gen_range(0..6u32);
+            let dj = rng.gen_range(0..6u32);
+            if di == dj {
+                continue;
+            }
+            let from = c.global_id(di, rng.gen_range(0..3));
+            let to = c.global_id(dj, rng.gen_range(0..3));
+            insert_link(&mut c, &mut index, from, to);
+            assert_exact(&c, &index);
+        }
+        index.cover().check_invariants();
+    }
+
+    #[test]
+    fn distance_document_insert_matches_closure() {
+        // Bootstrap two docs with a distance cover, then insert a third
+        // with links and compare all distances against a fresh closure.
+        let mut c = Collection::new();
+        for name in ["a", "b"] {
+            let mut d = XmlDocument::new(name, "r");
+            d.add_element(0, "s");
+            c.add_document(d);
+        }
+        let dc = DistanceClosure::from_graph(&c.element_graph());
+        let mut cover = hopi_core::DistanceCoverBuilder::new(&dc).build();
+
+        let mut doc = XmlDocument::new("new", "r");
+        let child = doc.add_element(0, "c");
+        let links = DocumentLinks {
+            outgoing: vec![(child, 2)], // new/c -> b/root
+            incoming: vec![(1, 0)],     // a/s -> new/root
+        };
+        insert_document_distance(&mut c, &mut cover, doc, &links);
+
+        let fresh = DistanceClosure::from_graph(&c.element_graph());
+        let n = c.elem_id_bound() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(cover.distance(u, v), fresh.dist(u, v), "dist({u},{v})");
+            }
+        }
+        // a/root -> ... -> b/s is a 5-edge chain: 0->1->4->5->2->3.
+        assert_eq!(cover.distance(0, 3), Some(5));
+    }
+
+    #[test]
+    fn distance_insert_matches_closure() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = 15u32;
+            let mut g = DiGraph::new();
+            g.ensure_node(n - 1);
+            // Start from a random base graph, build an exact cover…
+            let base: Vec<(u32, u32)> = (0..20)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            for &(u, v) in &base {
+                g.add_edge(u, v);
+            }
+            let dc = DistanceClosure::from_graph(&g);
+            let mut cover = hopi_core::DistanceCoverBuilder::new(&dc).build();
+            // …then insert edges incrementally and compare against a fresh
+            // closure.
+            for _ in 0..8 {
+                let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if u == v {
+                    continue;
+                }
+                g.add_edge(u, v);
+                insert_edge_distance(&mut cover, u, v);
+                let fresh = DistanceClosure::from_graph(&g);
+                for a in 0..n {
+                    for b in 0..n {
+                        assert_eq!(
+                            cover.distance(a, b),
+                            fresh.dist(a, b),
+                            "dist({a},{b}) after inserting ({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

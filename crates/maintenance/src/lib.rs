@@ -1,0 +1,52 @@
+//! # hopi-maintenance — incremental maintenance of the HOPI index
+//!
+//! Implements paper §6: the HOPI index must absorb insertions and deletions
+//! of nodes, edges, and whole documents "in an incremental manner, without
+//! having to recompute the entire index from scratch".
+//!
+//! * [`insert`] — new nodes are trivial; a new edge `u → v` is integrated by
+//!   choosing `v` as the center for all new connections (the §3.3 link-join
+//!   primitive); a new document is treated as a fresh partition: its own
+//!   2-hop cover is computed and merged, then its links are integrated.
+//!   Distance-aware variants update a [`hopi_core::DistanceCover`].
+//! * [`delete`] — document deletion with two algorithms:
+//!   * **Theorem 2 fast path** when the document *separates* the
+//!     document-level graph (every ancestor–descendant path runs through
+//!     it): simply strip the dead id sets from the affected labels.
+//!   * **Theorem 3 general algorithm** otherwise: recompute a *partial*
+//!     closure from the deleted document's ancestors, build a fresh cover
+//!     `L̂` over it, and splice it into the old cover.
+//!
+//!   Single-edge deletion uses the same partial-recomputation scheme.
+//! * [`modify`] — document modification = drop + reinsert (paper §6.3).
+//! * [`rebuild`] — degradation tracking and occasional full rebuilds with
+//!   the efficient §4 pipeline ("over time, the space efficiency … may
+//!   degrade").
+//! * [`online`] — 24×7 operation (paper §1.1): concurrent queries, brief
+//!   write-locked incremental updates, and background rebuilds with atomic
+//!   swap that never interrupt query service.
+//!
+//! All operations keep the [`hopi_xml::Collection`] and the
+//! [`hopi_build::HopiIndex`] in sync and preserve the exactness invariant
+//! `index.connected(u,v) ⇔ u →* v in G_E(X)`, which the test suite checks
+//! against closure oracles after every operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delete;
+pub mod insert;
+pub mod modify;
+pub mod online;
+pub mod rebuild;
+
+pub use delete::{
+    delete_document, delete_link, separates, DeletionAlgorithm, DeletionOutcome,
+};
+pub use insert::{
+    insert_document, insert_document_distance, insert_edge_distance, insert_link,
+    DocumentLinks,
+};
+pub use modify::modify_document;
+pub use online::OnlineIndex;
+pub use rebuild::{degradation, rebuild, should_rebuild, Degradation, RebuildPolicy};

@@ -1,0 +1,154 @@
+//! Occasional index rebuilds (paper §6).
+//!
+//! "Over time, the space efficiency of the 2–hop cover that HOPI maintains
+//! may degrade. Then occasional rebuilds of the index may be considered,
+//! using the efficient algorithm presented in Section 4." Incremental link
+//! integration (§6.1) and the Theorem 3 splice both add entries greedily —
+//! each insertion picks a fixed center instead of the globally densest one
+//! — so the cover drifts away from what a fresh build would produce. This
+//! module quantifies that drift and performs in-place rebuilds.
+
+use hopi_build::{build_index, BuildConfig, HopiIndex};
+use hopi_xml::Collection;
+
+/// Degradation snapshot of a maintained index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degradation {
+    /// Current cover entries.
+    pub entries: usize,
+    /// Live elements in the collection.
+    pub live_elements: usize,
+    /// Entries per live element — the paper's INEX yardstick was
+    /// "less than three index entries per node".
+    pub entries_per_element: f64,
+}
+
+/// Policy deciding when a rebuild pays off.
+#[derive(Clone, Copy, Debug)]
+pub struct RebuildPolicy {
+    /// Rebuild when entries/element exceeds this bound.
+    pub max_entries_per_element: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        // Generous default: trees need <3 (paper §7.2); linked collections
+        // land around 10–40 at our scales, so 4x that headroom.
+        RebuildPolicy {
+            max_entries_per_element: 150.0,
+        }
+    }
+}
+
+/// Measures the current degradation.
+pub fn degradation(collection: &Collection, index: &HopiIndex) -> Degradation {
+    let live = collection.element_count().max(1);
+    Degradation {
+        entries: index.size(),
+        live_elements: live,
+        entries_per_element: index.size() as f64 / live as f64,
+    }
+}
+
+/// Should the index be rebuilt under the policy?
+pub fn should_rebuild(
+    collection: &Collection,
+    index: &HopiIndex,
+    policy: &RebuildPolicy,
+) -> bool {
+    degradation(collection, index).entries_per_element > policy.max_entries_per_element
+}
+
+/// Rebuilds the index from scratch with the efficient §4 pipeline,
+/// replacing the maintained cover in place. Returns `(entries_before,
+/// entries_after)`.
+pub fn rebuild(
+    collection: &Collection,
+    index: &mut HopiIndex,
+    config: &BuildConfig,
+) -> (usize, usize) {
+    let before = index.size();
+    let (fresh, _) = build_index(collection, config);
+    *index = fresh;
+    (before, index.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::insert_link;
+    use hopi_graph::TransitiveClosure;
+    use hopi_xml::generator::{dblp, DblpConfig};
+    use rand::prelude::*;
+
+    #[test]
+    fn churn_degrades_then_rebuild_recovers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut c = dblp(&DblpConfig::scaled(0.004));
+        let (mut index, report) = build_index(&c, &BuildConfig::default());
+        let fresh_size = report.cover_size;
+
+        // Heavy link churn through the greedy §6.1 insertion.
+        let docs: Vec<u32> = c.doc_ids().collect();
+        for _ in 0..80 {
+            let a = docs[rng.gen_range(0..docs.len())];
+            let b = docs[rng.gen_range(0..docs.len())];
+            if a != b {
+                let (from, to) = (c.global_id(a, 0), c.global_id(b, 0));
+                insert_link(&mut c, &mut index, from, to);
+            }
+        }
+        let degraded = degradation(&c, &index);
+        assert!(
+            degraded.entries > fresh_size,
+            "churn should grow the cover ({} vs fresh {fresh_size})",
+            degraded.entries
+        );
+
+        let (before, after) = rebuild(&c, &mut index, &BuildConfig::default());
+        assert_eq!(before, degraded.entries);
+        assert!(
+            after < before,
+            "rebuild should shrink a churned cover ({after} !< {before})"
+        );
+
+        // Exactness after rebuild.
+        let g = c.element_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        for u in (0..g.id_bound() as u32).step_by(7) {
+            for v in (0..g.id_bound() as u32).step_by(7) {
+                assert_eq!(index.connected(u, v), tc.contains(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn policy_threshold() {
+        let c = dblp(&DblpConfig::scaled(0.002));
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        assert!(!should_rebuild(
+            &c,
+            &index,
+            &RebuildPolicy {
+                max_entries_per_element: 1e9
+            }
+        ));
+        assert!(should_rebuild(
+            &c,
+            &index,
+            &RebuildPolicy {
+                max_entries_per_element: 0.0
+            }
+        ));
+    }
+
+    #[test]
+    fn degradation_metric() {
+        let c = dblp(&DblpConfig::scaled(0.002));
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let d = degradation(&c, &index);
+        assert_eq!(d.entries, index.size());
+        assert_eq!(d.live_elements, c.element_count());
+        assert!((d.entries_per_element - d.entries as f64 / d.live_elements as f64).abs() < 1e-12);
+    }
+}

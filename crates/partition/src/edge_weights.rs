@@ -1,0 +1,164 @@
+//! Edge-weight strategies for the document-level graph (paper §3.3 / §4.3).
+//!
+//! The original HOPI partitioner weights a document edge `(d_i, d_k)` by the
+//! number of links from `d_i` to `d_k`. Paper §4.3 proposes weighting by how
+//! many *connections* a link carries: with `A` the (approximate) global
+//! ancestor count of the link source and `D` the descendant count of the
+//! link target, `A·D` counts the connections over the link and `A+D` the
+//! nodes connected over it — "giving more weight to edges in the center of
+//! the graph".
+
+use crate::skeleton::SkeletonGraph;
+use hopi_xml::{Collection, DocId};
+use rustc_hash::FxHashMap;
+
+/// How to weight document-level edges for partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EdgeWeightStrategy {
+    /// Number of links between the two documents (the default of [26]).
+    #[default]
+    LinkCount,
+    /// Per link, `A(source) · D(target)` — the number of connections made
+    /// over this link (paper §4.3).
+    AncTimesDesc,
+    /// Per link, `A(source) + D(target)` — the number of nodes connected
+    /// over this link (paper §4.3).
+    AncPlusDesc,
+}
+
+/// Bounded-BFS depth used when approximating `A`/`D` on the skeleton graph.
+pub const DEFAULT_APPROX_DEPTH: u32 = 4;
+
+/// Computed document-edge weights.
+#[derive(Clone, Debug, Default)]
+pub struct DocEdgeWeights {
+    weights: FxHashMap<(DocId, DocId), u64>,
+}
+
+impl DocEdgeWeights {
+    /// Computes edge weights under the chosen strategy.
+    pub fn compute(collection: &Collection, strategy: EdgeWeightStrategy) -> Self {
+        match strategy {
+            EdgeWeightStrategy::LinkCount => {
+                let (_, counts) = collection.document_graph();
+                DocEdgeWeights {
+                    weights: counts
+                        .into_iter()
+                        .map(|(k, v)| (k, v as u64))
+                        .collect(),
+                }
+            }
+            EdgeWeightStrategy::AncTimesDesc | EdgeWeightStrategy::AncPlusDesc => {
+                let skeleton = SkeletonGraph::build(collection);
+                let a = skeleton.approx_ancestor_counts(DEFAULT_APPROX_DEPTH);
+                let d = skeleton.approx_descendant_counts(DEFAULT_APPROX_DEPTH);
+                let mut weights: FxHashMap<(DocId, DocId), u64> = FxHashMap::default();
+                for l in collection.links() {
+                    let fd = collection.doc_of(l.from).expect("live source");
+                    let td = collection.doc_of(l.to).expect("live target");
+                    let fi = skeleton.index[&l.from] as usize;
+                    let ti = skeleton.index[&l.to] as usize;
+                    // +1: the endpoints themselves take part in every
+                    // connection over the link.
+                    let av = a[fi] + 1;
+                    let dv = d[ti] + 1;
+                    let w = match strategy {
+                        EdgeWeightStrategy::AncTimesDesc => av * dv,
+                        EdgeWeightStrategy::AncPlusDesc => av + dv,
+                        EdgeWeightStrategy::LinkCount => unreachable!(),
+                    };
+                    *weights.entry((fd, td)).or_insert(0) += w;
+                }
+                DocEdgeWeights { weights }
+            }
+        }
+    }
+
+    /// Weight of document edge `(from, to)` (0 when absent).
+    pub fn get(&self, from: DocId, to: DocId) -> u64 {
+        self.weights.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Undirected weight between two documents (sum of both directions) —
+    /// partition growth treats the document graph as undirected.
+    pub fn undirected(&self, a: DocId, b: DocId) -> u64 {
+        self.get(a, b) + self.get(b, a)
+    }
+
+    /// Iterates `(from, to, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, DocId, u64)> + '_ {
+        self.weights.iter().map(|(&(f, t), &w)| (f, t, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_xml::XmlDocument;
+
+    /// d0 has a deep tree whose leaf links to d1's root; d1 has a large
+    /// subtree. Also d0 -> d2 twice from shallow elements.
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        let mut d0 = XmlDocument::new("d0", "r");
+        let a = d0.add_element(0, "a");
+        let b = d0.add_element(a, "b");
+        let leaf = d0.add_element(b, "leaf");
+        let s1 = d0.add_element(0, "s1");
+        let s2 = d0.add_element(0, "s2");
+        let _ = (leaf, s1, s2);
+        c.add_document(d0); // globals 0..=5
+        let mut d1 = XmlDocument::new("d1", "r");
+        for _ in 0..6 {
+            d1.add_element(0, "x");
+        }
+        c.add_document(d1); // globals 6..=12
+        let mut d2 = XmlDocument::new("d2", "r");
+        d2.add_element(0, "y");
+        c.add_document(d2); // globals 13..=14
+        c.add_link(3, 6); // d0/leaf -> d1/root (deep source, big target)
+        c.add_link(4, 13); // d0/s1 -> d2/root
+        c.add_link(5, 13); // d0/s2 -> d2/root
+        c
+    }
+
+    #[test]
+    fn link_count_weights() {
+        let c = collection();
+        let w = DocEdgeWeights::compute(&c, EdgeWeightStrategy::LinkCount);
+        assert_eq!(w.get(0, 1), 1);
+        assert_eq!(w.get(0, 2), 2);
+        assert_eq!(w.get(1, 2), 0);
+        assert_eq!(w.undirected(2, 0), 2);
+    }
+
+    #[test]
+    fn anc_times_desc_favors_central_links() {
+        let c = collection();
+        let w = DocEdgeWeights::compute(&c, EdgeWeightStrategy::AncTimesDesc);
+        // d0/leaf has 3 tree ancestors, d1/root has 6 descendants:
+        // weight (3+1)*(6+1) = 28.
+        assert_eq!(w.get(0, 1), 28);
+        // Each s_i has 1 ancestor, d2/root has 1 descendant: (1+1)*(1+1)=4
+        // per link, 8 total.
+        assert_eq!(w.get(0, 2), 8);
+        assert!(w.get(0, 1) > w.get(0, 2), "central link outweighs");
+    }
+
+    #[test]
+    fn anc_plus_desc_weights() {
+        let c = collection();
+        let w = DocEdgeWeights::compute(&c, EdgeWeightStrategy::AncPlusDesc);
+        // (3+1)+(6+1) = 11 for the central link.
+        assert_eq!(w.get(0, 1), 11);
+        // ((1+1)+(1+1)) = 4 per s_i link, 8 total.
+        assert_eq!(w.get(0, 2), 8);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = Collection::new();
+        let w = DocEdgeWeights::compute(&c, EdgeWeightStrategy::AncTimesDesc);
+        assert_eq!(w.iter().count(), 0);
+    }
+}

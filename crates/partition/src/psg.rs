@@ -1,0 +1,232 @@
+//! The partition-level skeleton graph `S(P)` (paper §4.1, Definition 1).
+//!
+//! Nodes: sources and targets of cross-partition links. Edges: the
+//! cross-partition links `L_P`, plus edges that "represent connections of
+//! link targets and sources within the same partition" — i.e. `t → s`
+//! whenever target `t` reaches source `s` inside their shared partition.
+//! The intra-partition reachability test is delegated to an oracle (in the
+//! build pipeline: the already-computed partition cover).
+
+use crate::partitioning::Partitioning;
+use hopi_graph::DiGraph;
+use hopi_xml::{Collection, ElemId};
+use rustc_hash::FxHashMap;
+
+/// The PSG with compact node indexing.
+pub struct PartitionSkeletonGraph {
+    /// Global element ids of the PSG nodes.
+    pub nodes: Vec<ElemId>,
+    /// Global element id → compact PSG index.
+    pub index: FxHashMap<ElemId, u32>,
+    /// Graph over compact indices.
+    pub graph: DiGraph,
+    /// Is the node a source of a cross-partition link?
+    pub is_source: Vec<bool>,
+    /// Is the node a target of a cross-partition link?
+    pub is_target: Vec<bool>,
+    /// Partition of each node.
+    pub partition: Vec<u32>,
+}
+
+impl PartitionSkeletonGraph {
+    /// Builds the PSG. `connected_in_partition(partition, from, to)` must
+    /// answer whether `from →* to` holds within the partition's element
+    /// graph (global element ids).
+    pub fn build(
+        collection: &Collection,
+        partitioning: &Partitioning,
+        mut connected_in_partition: impl FnMut(u32, ElemId, ElemId) -> bool,
+    ) -> Self {
+        let mut nodes: Vec<ElemId> = Vec::new();
+        let mut index: FxHashMap<ElemId, u32> = FxHashMap::default();
+        let mut is_source: Vec<bool> = Vec::new();
+        let mut is_target: Vec<bool> = Vec::new();
+        let mut partition: Vec<u32> = Vec::new();
+        {
+            let mut intern = |e: ElemId| -> u32 {
+                *index.entry(e).or_insert_with(|| {
+                    nodes.push(e);
+                    is_source.push(false);
+                    is_target.push(false);
+                    partition.push(
+                        partitioning
+                            .partition_of_elem(collection, e)
+                            .expect("PSG node in live partition"),
+                    );
+                    nodes.len() as u32 - 1
+                })
+            };
+            for l in &partitioning.cross_links {
+                let f = intern(l.from);
+                let t = intern(l.to);
+                // Recorded below once the borrow ends.
+                let _ = (f, t);
+            }
+        }
+        let mut graph = DiGraph::new();
+        if !nodes.is_empty() {
+            graph.ensure_node(nodes.len() as u32 - 1);
+        }
+        for l in &partitioning.cross_links {
+            let f = index[&l.from];
+            let t = index[&l.to];
+            is_source[f as usize] = true;
+            is_target[t as usize] = true;
+            graph.add_edge(f, t);
+        }
+
+        // Intra-partition connection edges: target t → source s, same
+        // partition, t reaches s in the partition.
+        let mut per_partition: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (i, &p) in partition.iter().enumerate() {
+            per_partition.entry(p).or_default().push(i as u32);
+        }
+        for (&p, members) in &per_partition {
+            for &ti in members {
+                if !is_target[ti as usize] {
+                    continue;
+                }
+                for &si in members {
+                    if si == ti || !is_source[si as usize] {
+                        continue;
+                    }
+                    if connected_in_partition(p, nodes[ti as usize], nodes[si as usize]) {
+                        graph.add_edge(ti, si);
+                    }
+                }
+            }
+        }
+        PartitionSkeletonGraph {
+            nodes,
+            index,
+            graph,
+            is_source,
+            is_target,
+            partition,
+        }
+    }
+
+    /// Number of PSG nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no cross-partition links at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Compact indices of all link sources.
+    pub fn sources(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len() as u32).filter(|&i| self.is_source[i as usize])
+    }
+
+    /// Compact indices of all link targets.
+    pub fn targets(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len() as u32).filter(|&i| self.is_target[i as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_graph::{traversal, TransitiveClosure};
+    use hopi_xml::XmlDocument;
+
+    /// Reproduces the paper's Figure 3 situation: two partitions, the link
+    /// target in P1 connects within the partition down to the sources of
+    /// further cross links.
+    fn fixture() -> (Collection, Partitioning) {
+        let mut c = Collection::new();
+        // P0: doc a (root 0, child 1), doc b (root 2, child 3).
+        // P1: doc x (root 4, children 5,6).
+        let mut a = XmlDocument::new("a", "r");
+        a.add_element(0, "s");
+        c.add_document(a);
+        let mut b = XmlDocument::new("b", "r");
+        b.add_element(0, "s");
+        c.add_document(b);
+        let mut x = XmlDocument::new("x", "r");
+        x.add_element(0, "p");
+        x.add_element(0, "q");
+        c.add_document(x);
+        // Intra-partition link a/s -> b/root (inside P0).
+        c.add_link(1, 2);
+        // Cross links: b/s(3) -> x/root(4); x/q(6) -> a/root(0).
+        c.add_link(3, 4);
+        c.add_link(6, 0);
+        let part = Partitioning::from_assignment(&c, 2, vec![0, 0, 1]);
+        (c, part)
+    }
+
+    fn oracle(c: &Collection, p: &Partitioning) -> impl FnMut(u32, ElemId, ElemId) -> bool {
+        let mut closures: FxHashMap<u32, (TransitiveClosure, FxHashMap<ElemId, u32>)> =
+            FxHashMap::default();
+        for pi in 0..p.len() as u32 {
+            let (g, _, g2l) = p.partition_element_graph(c, pi);
+            closures.insert(pi, (TransitiveClosure::from_graph(&g), g2l));
+        }
+        move |part, from, to| {
+            let (tc, g2l) = &closures[&part];
+            match (g2l.get(&from), g2l.get(&to)) {
+                (Some(&f), Some(&t)) => tc.contains(f, t),
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn psg_nodes_and_edges() {
+        let (c, p) = fixture();
+        let mut orc = oracle(&c, &p);
+        let psg = PartitionSkeletonGraph::build(&c, &p, &mut orc);
+        // Cross-link endpoints: 3, 4, 6, 0.
+        let mut ns = psg.nodes.clone();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0, 3, 4, 6]);
+        // Cross edges 3→4 and 6→0.
+        assert!(psg.graph.has_edge(psg.index[&3], psg.index[&4]));
+        assert!(psg.graph.has_edge(psg.index[&6], psg.index[&0]));
+        // Intra-partition connection edges: target 4 (x/root) reaches source
+        // 6 (x/q) inside P1; target 0 (a/root) reaches source 3? 0→1→(link
+        // 1→2 inside P0)→2→3: yes, via the intra-partition link.
+        assert!(psg.graph.has_edge(psg.index[&4], psg.index[&6]));
+        assert!(psg.graph.has_edge(psg.index[&0], psg.index[&3]));
+        // The PSG is strongly connected in this fixture.
+        assert!(traversal::is_reachable(
+            &psg.graph,
+            psg.index[&3],
+            psg.index[&3]
+        ));
+    }
+
+    #[test]
+    fn source_target_flags() {
+        let (c, p) = fixture();
+        let mut orc = oracle(&c, &p);
+        let psg = PartitionSkeletonGraph::build(&c, &p, &mut orc);
+        assert!(psg.is_source[psg.index[&3] as usize]);
+        assert!(psg.is_target[psg.index[&4] as usize]);
+        assert!(psg.is_source[psg.index[&6] as usize]);
+        assert!(psg.is_target[psg.index[&0] as usize]);
+        assert_eq!(psg.sources().count(), 2);
+        assert_eq!(psg.targets().count(), 2);
+    }
+
+    #[test]
+    fn empty_when_no_cross_links() {
+        let (c, _) = fixture();
+        let p = Partitioning::single_partition(&c);
+        let psg = PartitionSkeletonGraph::build(&c, &p, |_, _, _| true);
+        assert!(psg.is_empty());
+    }
+
+    #[test]
+    fn partition_annotation() {
+        let (c, p) = fixture();
+        let mut orc = oracle(&c, &p);
+        let psg = PartitionSkeletonGraph::build(&c, &p, &mut orc);
+        assert_eq!(psg.partition[psg.index[&3] as usize], 0);
+        assert_eq!(psg.partition[psg.index[&4] as usize], 1);
+    }
+}

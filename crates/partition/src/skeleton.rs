@@ -1,0 +1,275 @@
+//! The skeleton graph `S(X)` (paper §4.3, Definition 2).
+//!
+//! Nodes are the sources and targets of links in `L(X)`; edges are the links
+//! plus, for every link target `v`, an edge to every link source `x` in the
+//! same document with `v →* x` in the element-level **tree** of the
+//! document. Each node is annotated with its tree ancestor count `anc(x)`
+//! and descendant count `desc(x)`; a bounded breadth-first traversal then
+//! approximates the *global* ancestor/descendant counts `A(x)`, `D(x)` that
+//! the connection-count edge weights `A·D` and `A+D` are built from.
+
+use hopi_graph::{traversal, DiGraph};
+use hopi_xml::{Collection, ElemId};
+use rustc_hash::FxHashMap;
+
+/// The skeleton graph with annotations.
+pub struct SkeletonGraph {
+    /// Node ids (global element ids) in compact order.
+    pub nodes: Vec<ElemId>,
+    /// Global element id → compact skeleton index.
+    pub index: FxHashMap<ElemId, u32>,
+    /// The graph over compact indices.
+    pub graph: DiGraph,
+    /// Whether a node is a link source.
+    pub is_source: Vec<bool>,
+    /// Whether a node is a link target.
+    pub is_target: Vec<bool>,
+    /// Tree-local ancestor counts `anc(x)`.
+    pub anc: Vec<u32>,
+    /// Tree-local descendant counts `desc(x)`.
+    pub desc: Vec<u32>,
+    /// Which compact edges correspond to actual links (vs intra-document
+    /// target→source connection edges): `(from_idx, to_idx)` pairs.
+    pub link_edges: Vec<(u32, u32)>,
+}
+
+impl SkeletonGraph {
+    /// Builds `S(X)` for a collection. Considers inter-document links *and*
+    /// intra-document links as `L(X)` (paper: `L(X) := L ∪ ⋃_d L_I(d)`).
+    pub fn build(collection: &Collection) -> Self {
+        let all_links = collection.all_links();
+        let mut nodes: Vec<ElemId> = Vec::new();
+        let mut index: FxHashMap<ElemId, u32> = FxHashMap::default();
+        let mut is_source: Vec<bool> = Vec::new();
+        let mut is_target: Vec<bool> = Vec::new();
+        let mut intern = |e: ElemId,
+                          nodes: &mut Vec<ElemId>,
+                          is_source: &mut Vec<bool>,
+                          is_target: &mut Vec<bool>|
+         -> u32 {
+            *index.entry(e).or_insert_with(|| {
+                nodes.push(e);
+                is_source.push(false);
+                is_target.push(false);
+                nodes.len() as u32 - 1
+            })
+        };
+        let mut graph = DiGraph::new();
+        let mut link_edges = Vec::new();
+        for l in &all_links {
+            let f = intern(l.from, &mut nodes, &mut is_source, &mut is_target);
+            let t = intern(l.to, &mut nodes, &mut is_source, &mut is_target);
+            is_source[f as usize] = true;
+            is_target[t as usize] = true;
+            graph.ensure_node(f.max(t));
+            graph.add_edge(f, t);
+            link_edges.push((f, t));
+        }
+        if !nodes.is_empty() {
+            graph.ensure_node(nodes.len() as u32 - 1);
+        }
+
+        // Tree annotations.
+        let mut anc = vec![0u32; nodes.len()];
+        let mut desc = vec![0u32; nodes.len()];
+        for (i, &e) in nodes.iter().enumerate() {
+            let (d, local) = collection.to_local(e).expect("live skeleton node");
+            let doc = collection.document(d).expect("live doc");
+            anc[i] = doc.tree_ancestor_count(local);
+            desc[i] = doc.tree_descendant_count(local);
+        }
+
+        // Intra-document connection edges: target v → source x when v is a
+        // tree ancestor of x (v →* x in T_E(doc)).
+        // Group skeleton nodes per document for the pairing.
+        let mut per_doc: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (i, &e) in nodes.iter().enumerate() {
+            let d = collection.doc_of(e).expect("live node");
+            per_doc.entry(d).or_default().push(i as u32);
+        }
+        for (d, members) in &per_doc {
+            let doc = collection.document(*d).expect("live doc");
+            let base = collection.global_id(*d, 0);
+            for &vi in members {
+                if !is_target[vi as usize] {
+                    continue;
+                }
+                let v_local = nodes[vi as usize] - base;
+                for &xi in members {
+                    if xi == vi || !is_source[xi as usize] {
+                        continue;
+                    }
+                    let x_local = nodes[xi as usize] - base;
+                    if is_tree_ancestor(doc, v_local, x_local) {
+                        graph.add_edge(vi, xi);
+                    }
+                }
+            }
+        }
+        SkeletonGraph {
+            nodes,
+            index,
+            graph,
+            is_source,
+            is_target,
+            anc,
+            desc,
+            link_edges,
+        }
+    }
+
+    /// Approximates global descendant counts `D(x)` by a bounded forward
+    /// BFS: whenever the traversal from `x` crosses into a node `v`, `D(x)`
+    /// grows by `desc(v)` (paper §4.3; "the computation is limited to paths
+    /// of a certain length, hence the resulting numbers are only
+    /// approximates").
+    pub fn approx_descendant_counts(&self, max_depth: u32) -> Vec<u64> {
+        let n = self.nodes.len();
+        let mut out = vec![0u64; n];
+        for x in 0..n as u32 {
+            let mut total = self.desc[x as usize] as u64;
+            traversal::bounded_bfs(&self.graph, x, max_depth, |node, depth| {
+                if depth > 0 {
+                    total += self.desc[node as usize] as u64;
+                }
+            });
+            out[x as usize] = total;
+        }
+        out
+    }
+
+    /// Approximates global ancestor counts `A(x)` by a bounded backward BFS.
+    pub fn approx_ancestor_counts(&self, max_depth: u32) -> Vec<u64> {
+        let n = self.nodes.len();
+        let rev = self.graph.reversed();
+        let mut out = vec![0u64; n];
+        for x in 0..n as u32 {
+            let mut total = self.anc[x as usize] as u64;
+            traversal::bounded_bfs(&rev, x, max_depth, |node, depth| {
+                if depth > 0 {
+                    total += self.anc[node as usize] as u64;
+                }
+            });
+            out[x as usize] = total;
+        }
+        out
+    }
+}
+
+/// Is `a` an ancestor of `x` (or equal) in the document tree?
+fn is_tree_ancestor(doc: &hopi_xml::XmlDocument, a: u32, x: u32) -> bool {
+    let mut cur = Some(x);
+    while let Some(c) = cur {
+        if c == a {
+            return true;
+        }
+        cur = doc.element(c).parent;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_xml::XmlDocument;
+
+    /// Three documents: d2/x links to d0/mid (making mid a link target that
+    /// sits *above* the link source d0/src in d0's tree), and d0/src links
+    /// to d1's root.
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        let mut d0 = XmlDocument::new("d0", "r"); // global 0
+        let mid = d0.add_element(0, "mid"); // global 1
+        let s = d0.add_element(mid, "src"); // global 2
+        let _ = s;
+        c.add_document(d0);
+        let mut d1 = XmlDocument::new("d1", "r"); // global 3
+        let leaf = d1.add_element(0, "leaf"); // global 4
+        let _ = leaf;
+        c.add_document(d1);
+        // external -> d0/mid so that d0/mid is a target above source d0/src.
+        let mut d2 = XmlDocument::new("d2", "r"); // global 5
+        d2.add_element(0, "x"); // global 6
+        c.add_document(d2);
+        c.add_link(6, 1); // d2/x -> d0/mid
+        c.add_link(2, 3); // d0/src -> d1/root
+        c
+    }
+
+    #[test]
+    fn skeleton_nodes_are_link_endpoints() {
+        let c = collection();
+        let sk = SkeletonGraph::build(&c);
+        let mut ns = sk.nodes.clone();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![1, 2, 3, 6]);
+        assert_eq!(sk.link_edges.len(), 2);
+    }
+
+    #[test]
+    fn target_to_source_connection_edge() {
+        let c = collection();
+        let sk = SkeletonGraph::build(&c);
+        // d0/mid (target, global 1) is tree ancestor of d0/src (source,
+        // global 2) → edge mid→src in the skeleton.
+        let mid = sk.index[&1];
+        let src = sk.index[&2];
+        assert!(sk.graph.has_edge(mid, src));
+        // Therefore d2/x reaches d1/root in the skeleton transitively.
+        let x = sk.index[&6];
+        let d1root = sk.index[&3];
+        assert!(hopi_graph::traversal::is_reachable(&sk.graph, x, d1root));
+    }
+
+    #[test]
+    fn annotations_match_trees() {
+        let c = collection();
+        let sk = SkeletonGraph::build(&c);
+        let mid = sk.index[&1] as usize;
+        assert_eq!(sk.anc[mid], 1); // root above it
+        assert_eq!(sk.desc[mid], 1); // src below it
+        let d1root = sk.index[&3] as usize;
+        assert_eq!(sk.anc[d1root], 0);
+        assert_eq!(sk.desc[d1root], 1);
+    }
+
+    #[test]
+    fn approx_counts_accumulate_over_links() {
+        let c = collection();
+        let sk = SkeletonGraph::build(&c);
+        let d = sk.approx_descendant_counts(4);
+        let a = sk.approx_ancestor_counts(4);
+        let x = sk.index[&6] as usize;
+        // From d2/x: desc(x)=0, reaches mid (desc 1), src (desc 0),
+        // d1/root (desc 1) → D ≈ 2.
+        assert_eq!(d[x], 2);
+        let d1root = sk.index[&3] as usize;
+        // Ancestors of d1/root: src (anc 2: root+mid), mid (anc 1),
+        // x (anc 1) → A ≈ 4.
+        assert_eq!(a[d1root], 4);
+    }
+
+    #[test]
+    fn bounded_depth_truncates() {
+        let c = collection();
+        let sk = SkeletonGraph::build(&c);
+        let d0 = sk.approx_descendant_counts(0);
+        let x = sk.index[&6] as usize;
+        assert_eq!(d0[x], 0, "depth 0 sees only the node's own tree");
+        let d1 = sk.approx_descendant_counts(1);
+        assert_eq!(d1[x], 1, "depth 1 reaches mid only");
+    }
+
+    #[test]
+    fn intra_links_count_as_skeleton_links() {
+        let mut c = Collection::new();
+        let mut d = XmlDocument::new("d", "r");
+        let a = d.add_element(0, "a");
+        let b = d.add_element(0, "b");
+        d.add_intra_link(a, b);
+        c.add_document(d);
+        let sk = SkeletonGraph::build(&c);
+        assert_eq!(sk.nodes.len(), 2);
+        assert_eq!(sk.link_edges.len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the partitioners: any partitioning must be a disjoint
+//! cover of the live documents with exactly the crossing links in `L_P`,
+//! node caps / closure budgets must hold, and the PSG must witness exactly
+//! the source→target connectivity of the underlying element graph.
+
+use hopi_graph::{traversal, TransitiveClosure};
+use hopi_partition::{
+    old_partitioner, tc_partitioner, EdgeWeightStrategy, OldPartitionerConfig,
+    PartitionSkeletonGraph, Partitioning, TcPartitionerConfig,
+};
+use hopi_xml::{Collection, XmlDocument};
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+type Blueprint = (Vec<usize>, Vec<(usize, usize)>);
+
+fn arb_collection() -> impl Strategy<Value = Blueprint> {
+    let docs = proptest::collection::vec(1usize..8, 2..12);
+    docs.prop_flat_map(|docs| {
+        let n = docs.len();
+        let links = proptest::collection::vec((0..n, 0..n), 0..20);
+        (Just(docs), links)
+    })
+}
+
+fn realize((docs, links): &Blueprint) -> Collection {
+    let mut c = Collection::new();
+    for (i, &n) in docs.iter().enumerate() {
+        let mut d = XmlDocument::new(format!("d{i}"), "r");
+        for k in 1..n {
+            d.add_element((k - 1) as u32 / 2, "e");
+        }
+        c.add_document(d);
+    }
+    for &(a, b) in links {
+        if a != b {
+            let (a, b) = (a as u32, b as u32);
+            c.add_link(c.global_id(a, 0), c.global_id(b, 0));
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn old_partitioner_invariants(bp in arb_collection(), cap in 4u64..40) {
+        let c = realize(&bp);
+        let p = old_partitioner::partition(&c, &OldPartitionerConfig {
+            max_nodes_per_partition: cap,
+            strategy: EdgeWeightStrategy::LinkCount,
+            seed: 5,
+        });
+        p.check_invariants(&c);
+        for part in &p.partitions {
+            prop_assert!(
+                part.node_weight <= cap || part.docs.len() == 1,
+                "weight {} cap {cap} docs {}", part.node_weight, part.docs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn tc_partitioner_invariants(bp in arb_collection(), budget in 8u64..120) {
+        let c = realize(&bp);
+        let p = tc_partitioner::partition(&c, &TcPartitionerConfig {
+            max_connections_per_partition: budget,
+            strategy: EdgeWeightStrategy::LinkCount,
+            seed: 5,
+        });
+        p.check_invariants(&c);
+        for (pi, part) in p.partitions.iter().enumerate() {
+            // Tracked closure size matches a fresh computation.
+            let (g, _, _) = p.partition_element_graph(&c, pi as u32);
+            let actual = TransitiveClosure::from_graph(&g).connection_count() as u64;
+            prop_assert_eq!(part.tc_size, Some(actual));
+            prop_assert!(
+                actual <= budget || part.docs.len() == 1,
+                "closure {actual} budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn psg_reachability_matches_element_graph(bp in arb_collection()) {
+        let c = realize(&bp);
+        let p = Partitioning::per_document(&c);
+        // Oracle connectivity within partitions via per-partition closures.
+        let mut closures = FxHashMap::default();
+        for pi in 0..p.len() as u32 {
+            let (g, _, g2l) = p.partition_element_graph(&c, pi);
+            closures.insert(pi, (TransitiveClosure::from_graph(&g), g2l));
+        }
+        let psg = PartitionSkeletonGraph::build(&c, &p, |pi, from, to| {
+            let (tc, g2l) = &closures[&pi];
+            match (g2l.get(&from), g2l.get(&to)) {
+                (Some(&f), Some(&t)) => tc.contains(f, t),
+                _ => false,
+            }
+        });
+        // For every (source, target) PSG pair: PSG reachability must equal
+        // element-graph reachability.
+        let ge = c.element_graph();
+        for s in psg.sources() {
+            for t in psg.targets() {
+                let psg_reach = traversal::is_reachable(&psg.graph, s, t);
+                let elem_reach =
+                    traversal::is_reachable(&ge, psg.nodes[s as usize], psg.nodes[t as usize]);
+                prop_assert_eq!(
+                    psg_reach, elem_reach,
+                    "source {} target {}", psg.nodes[s as usize], psg.nodes[t as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_graphs_tile_the_element_graph(bp in arb_collection(), budget in 8u64..200) {
+        let c = realize(&bp);
+        let p = tc_partitioner::partition(&c, &TcPartitionerConfig {
+            max_connections_per_partition: budget,
+            ..Default::default()
+        });
+        let total_edges: usize = (0..p.len() as u32)
+            .map(|i| p.partition_element_graph(&c, i).0.edge_count())
+            .sum();
+        prop_assert_eq!(
+            total_edges + p.cross_links.len(),
+            c.element_graph().edge_count()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The path-expression language.
+//!
+//! Grammar (a pragmatic subset of XPath's abbreviated syntax, with `//`
+//! generalized to the *connection* axis — descendants along tree **and**
+//! link edges, possibly crossing documents):
+//!
+//! ```text
+//! path  := axis step (axis step)*
+//! axis  := '/' | '//'
+//! step  := tag | '*'
+//! tag   := [A-Za-z_][A-Za-z0-9_.-]*
+//! ```
+//!
+//! A leading `/` anchors the first step at document roots; a leading `//`
+//! matches the first step anywhere.
+
+/// Step axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — direct parent/child tree edge.
+    Child,
+    /// `//` — the connection axis: any path of tree edges and links,
+    /// including the node itself being a direct child (one or more edges;
+    /// `a//b` requires `a →+ b`... see [`crate::eval`] for exact
+    /// semantics: one or more graph edges).
+    Connection,
+}
+
+/// One step: an axis plus a node test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// Tag test; `None` = `*` wildcard.
+    pub tag: Option<String>,
+}
+
+/// A parsed path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathExpr {
+    /// Steps in order. The first step's axis anchors it: `Child` = at
+    /// document roots, `Connection` = anywhere.
+    pub steps: Vec<Step>,
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a path expression.
+pub fn parse_path(input: &str) -> Result<PathExpr, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut steps = Vec::new();
+    if bytes.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "empty expression".into(),
+        });
+    }
+    while pos < bytes.len() {
+        // Axis.
+        if bytes[pos] != b'/' {
+            return Err(ParseError {
+                position: pos,
+                message: format!("expected '/' or '//', found {:?}", input[pos..].chars().next()),
+            });
+        }
+        let axis = if pos + 1 < bytes.len() && bytes[pos + 1] == b'/' {
+            pos += 2;
+            Axis::Connection
+        } else {
+            pos += 1;
+            Axis::Child
+        };
+        // Step.
+        let start = pos;
+        if pos < bytes.len() && bytes[pos] == b'*' {
+            pos += 1;
+            steps.push(Step { axis, tag: None });
+            continue;
+        }
+        while pos < bytes.len()
+            && (bytes[pos].is_ascii_alphanumeric() || matches!(bytes[pos], b'_' | b'.' | b'-'))
+        {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(ParseError {
+                position: pos,
+                message: "expected tag name or '*'".into(),
+            });
+        }
+        if !(bytes[start].is_ascii_alphabetic() || bytes[start] == b'_') {
+            return Err(ParseError {
+                position: start,
+                message: "tag must start with a letter or '_'".into(),
+            });
+        }
+        steps.push(Step {
+            axis,
+            tag: Some(input[start..pos].to_string()),
+        });
+    }
+    if steps.is_empty() {
+        return Err(ParseError {
+            position: 0,
+            message: "expression has no steps".into(),
+        });
+    }
+    Ok(PathExpr { steps })
+}
+
+impl std::fmt::Display for PathExpr {
+    /// Writes the canonical syntax back out.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            match step.axis {
+                Axis::Child => write!(f, "/")?,
+                Axis::Connection => write!(f, "//")?,
+            }
+            match &step.tag {
+                Some(t) => write!(f, "{t}")?,
+                None => write!(f, "*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_paths() {
+        let p = parse_path("/site/nav").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[0].tag.as_deref(), Some("site"));
+        assert_eq!(p.steps[1].tag.as_deref(), Some("nav"));
+    }
+
+    #[test]
+    fn parses_connection_axis() {
+        let p = parse_path("//article//author").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Connection));
+    }
+
+    #[test]
+    fn parses_wildcards_and_mixed_axes() {
+        let p = parse_path("/a//*/b").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].tag, None);
+        assert_eq!(p.steps[1].axis, Axis::Connection);
+        assert_eq!(p.steps[2].axis, Axis::Child);
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        for s in ["/a/b", "//x//y", "/a//*/b-2", "//*"] {
+            assert_eq!(parse_path(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("a/b").is_err());
+        assert!(parse_path("/").is_err());
+        assert!(parse_path("//").is_err());
+        assert!(parse_path("/a/ /b").is_err());
+        assert!(parse_path("/9tag").is_err());
+    }
+
+    #[test]
+    fn tags_with_punctuation() {
+        let p = parse_path("/ss1.x/_priv//fig-2").unwrap();
+        assert_eq!(p.steps[0].tag.as_deref(), Some("ss1.x"));
+        assert_eq!(p.steps[1].tag.as_deref(), Some("_priv"));
+        assert_eq!(p.steps[2].tag.as_deref(), Some("fig-2"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hopi-query — path expressions with wildcards over the HOPI index
+//!
+//! The paper's motivation (§1.1): "the HOPI index … has been judiciously
+//! designed to handle path expressions over arbitrary graphs and to support
+//! the efficient evaluation of path queries with wildcards." This crate
+//! provides that evaluation layer:
+//!
+//! * [`expr`] — a small path-expression language:
+//!   `//article//author`, `/site/nav//book/title`, `//*//sec` — child axis
+//!   (`/`), connection axis (`//`, parent/child *and* link edges, across
+//!   documents), tag tests and `*` wildcards.
+//! * [`tag_index`] — an inverted element-by-tag index used to seed and
+//!   filter step candidates.
+//! * [`eval`] — set-at-a-time evaluation against a [`hopi_build::HopiIndex`]
+//!   (each `//` step is a batch of 2-hop reachability probes, choosing the
+//!   cheaper probing direction).
+//! * [`witness`] — EXPLAIN-style witness-path reconstruction for index
+//!   answers (and an index-vs-BFS cross-check).
+//! * [`ranking`] — distance-ranked evaluation against a
+//!   [`hopi_core::DistanceCover`], scoring results XXL-style by link
+//!   distance (paper §5.1: "a path where an author element is found far
+//!   away from a book element should be ranked lower").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod expr;
+pub mod ranking;
+pub mod tag_index;
+pub mod witness;
+
+pub use eval::{evaluate, EvalError};
+pub use expr::{parse_path, Axis, ParseError, PathExpr, Step};
+pub use ranking::{evaluate_ranked, RankedMatch};
+pub use tag_index::TagIndex;
+pub use witness::{verify_connection, witness_path, WitnessPath};

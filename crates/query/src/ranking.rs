@@ -1,0 +1,241 @@
+//! Distance-ranked path evaluation (paper §5.1).
+//!
+//! For IR-style XML retrieval, "the ranking of entire XML paths may take
+//! into consideration … the length of the connections between qualifying
+//! elements. For example, a path where an author element is found far away
+//! from a book element should be ranked lower than an author that is a
+//! child or grandchild of a book." This module evaluates a path expression
+//! against a distance-aware cover, tracking for every result the minimal
+//! total link distance along the step chain, and scores matches
+//! XXL-style with a decaying `1 / (1 + distance)`.
+
+use crate::expr::{Axis, PathExpr};
+use crate::tag_index::TagIndex;
+use hopi_core::DistanceCover;
+use hopi_xml::{Collection, ElemId};
+use rustc_hash::FxHashMap;
+
+/// A ranked match: an element plus the minimal accumulated distance of a
+/// qualifying path binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankedMatch {
+    /// The matched (final-step) element.
+    pub element: ElemId,
+    /// Minimal total number of edges across all steps.
+    pub distance: u32,
+}
+
+impl RankedMatch {
+    /// XXL-style decaying relevance score in `(0, 1]`.
+    pub fn score(&self) -> f64 {
+        1.0 / (1.0 + self.distance as f64)
+    }
+}
+
+/// Evaluates `expr` with distance tracking. Results are sorted by ascending
+/// total distance (ties by element id).
+pub fn evaluate_ranked(
+    collection: &Collection,
+    cover: &DistanceCover,
+    tags: &TagIndex,
+    expr: &PathExpr,
+) -> Vec<RankedMatch> {
+    // dist[e] = minimal accumulated distance of a binding ending at e.
+    let mut dist: FxHashMap<ElemId, u32> = FxHashMap::default();
+    let first = &expr.steps[0];
+    match first.axis {
+        Axis::Child => {
+            for d in collection.doc_ids() {
+                let root = collection.global_id(d, 0);
+                if tag_matches(collection, root, first.tag.as_deref()) {
+                    dist.insert(root, 0);
+                }
+            }
+        }
+        Axis::Connection => {
+            for &e in candidate_list(collection, tags, first.tag.as_deref()).iter() {
+                dist.insert(e, 0);
+            }
+        }
+    }
+
+    for step in &expr.steps[1..] {
+        let mut next: FxHashMap<ElemId, u32> = FxHashMap::default();
+        match step.axis {
+            Axis::Child => {
+                for (&u, &du) in &dist {
+                    let Some((d, local)) = collection.to_local(u) else {
+                        continue;
+                    };
+                    let doc = collection.document(d).expect("live doc");
+                    let base = collection.global_id(d, 0);
+                    for &c in &doc.element(local).children {
+                        if step.tag.as_deref().is_none_or(|t| doc.element(c).tag == t) {
+                            relax(&mut next, base + c, du + 1);
+                        }
+                    }
+                }
+            }
+            Axis::Connection => {
+                let cands = candidate_list(collection, tags, step.tag.as_deref());
+                for &t in cands.iter() {
+                    let mut best: Option<u32> = None;
+                    for (&u, &du) in &dist {
+                        if u == t {
+                            continue;
+                        }
+                        if let Some(d) = cover.distance(u, t) {
+                            let total = du + d;
+                            best = Some(best.map_or(total, |b| b.min(total)));
+                        }
+                    }
+                    if let Some(b) = best {
+                        relax(&mut next, t, b);
+                    }
+                }
+            }
+        }
+        dist = next;
+        if dist.is_empty() {
+            break;
+        }
+    }
+
+    let mut out: Vec<RankedMatch> = dist
+        .into_iter()
+        .map(|(element, distance)| RankedMatch { element, distance })
+        .collect();
+    out.sort_unstable_by_key(|m| (m.distance, m.element));
+    out
+}
+
+fn relax(map: &mut FxHashMap<ElemId, u32>, e: ElemId, d: u32) {
+    map.entry(e).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
+}
+
+fn candidate_list<'a>(
+    collection: &Collection,
+    tags: &'a TagIndex,
+    tag: Option<&str>,
+) -> std::borrow::Cow<'a, [ElemId]> {
+    match tag {
+        Some(t) => std::borrow::Cow::Borrowed(tags.elements(t)),
+        None => {
+            let mut out = Vec::with_capacity(collection.element_count());
+            for d in collection.doc_ids() {
+                let base = collection.global_id(d, 0);
+                let len = collection.document(d).expect("live doc").len() as u32;
+                out.extend(base..base + len);
+            }
+            std::borrow::Cow::Owned(out)
+        }
+    }
+}
+
+fn tag_matches(collection: &Collection, e: ElemId, tag: Option<&str>) -> bool {
+    match tag {
+        None => true,
+        Some(t) => collection
+            .to_local(e)
+            .and_then(|(d, l)| collection.document(d).map(|doc| doc.element(l).tag == t))
+            .unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_path;
+    use hopi_core::DistanceCoverBuilder;
+    use hopi_graph::DistanceClosure;
+    use hopi_xml::parser::parse_collection;
+
+    fn fixture() -> (Collection, DistanceCover, TagIndex) {
+        let c = parse_collection([
+            (
+                "near",
+                r#"<book><chapter><author id="close"/></chapter></book>"#,
+            ),
+            (
+                "far",
+                r#"<book><refs><link xlink:href="elsewhere"/></refs></book>"#,
+            ),
+            (
+                "elsewhere",
+                r#"<page><sec><sub><author id="distant"/></sub></sec></page>"#,
+            ),
+        ])
+        .unwrap();
+        let dc = DistanceClosure::from_graph(&c.element_graph());
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let tags = TagIndex::build(&c);
+        (c, cover, tags)
+    }
+
+    #[test]
+    fn ranks_close_matches_first() {
+        let (c, cover, tags) = fixture();
+        let expr = parse_path("//book//author").unwrap();
+        let r = evaluate_ranked(&c, &cover, &tags, &expr);
+        assert_eq!(r.len(), 2);
+        let close = c.resolve_ref("near", "close").unwrap();
+        let distant = c.resolve_ref("elsewhere", "distant").unwrap();
+        assert_eq!(r[0].element, close);
+        assert_eq!(r[0].distance, 2); // book → chapter → author
+        assert_eq!(r[1].element, distant);
+        // book → refs → link → page → sec → sub → author = 6 edges.
+        assert_eq!(r[1].distance, 6);
+        assert!(r[0].score() > r[1].score());
+    }
+
+    #[test]
+    fn child_steps_add_one() {
+        let (c, cover, tags) = fixture();
+        let expr = parse_path("/book/chapter/author").unwrap();
+        let r = evaluate_ranked(&c, &cover, &tags, &expr);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].distance, 2);
+    }
+
+    #[test]
+    fn distances_accumulate_over_steps() {
+        let (c, cover, tags) = fixture();
+        let expr = parse_path("//book//link//author").unwrap();
+        let r = evaluate_ranked(&c, &cover, &tags, &expr);
+        assert_eq!(r.len(), 1);
+        // book →2 link, link →4 author = 6.
+        assert_eq!(r[0].distance, 6);
+    }
+
+    #[test]
+    fn empty_result_for_unmatched() {
+        let (c, cover, tags) = fixture();
+        let expr = parse_path("//author//book").unwrap();
+        let r = evaluate_ranked(&c, &cover, &tags, &expr);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn score_is_monotone_in_distance() {
+        let a = RankedMatch { element: 0, distance: 0 };
+        let b = RankedMatch { element: 0, distance: 5 };
+        assert!(a.score() > b.score());
+        assert_eq!(a.score(), 1.0);
+    }
+
+    #[test]
+    fn ranked_agrees_with_boolean_eval_on_membership() {
+        use hopi_build::{build_index, BuildConfig};
+        let (c, cover, tags) = fixture();
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let expr = parse_path("//book//author").unwrap();
+        let ranked: Vec<ElemId> = evaluate_ranked(&c, &cover, &tags, &expr)
+            .into_iter()
+            .map(|m| m.element)
+            .collect();
+        let mut ranked_sorted = ranked.clone();
+        ranked_sorted.sort_unstable();
+        let boolean = crate::eval::evaluate(&c, &index, &tags, &expr);
+        assert_eq!(ranked_sorted, boolean);
+    }
+}

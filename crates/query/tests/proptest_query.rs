@@ -1,0 +1,200 @@
+//! Property tests for path evaluation: on arbitrary collections, the
+//! index-backed evaluator must agree with a naive BFS-based oracle for
+//! every expression shape, and the ranked evaluator must agree on
+//! membership with correct minimal distances.
+
+use hopi_build::{build_index, BuildConfig};
+use hopi_core::DistanceCoverBuilder;
+use hopi_graph::{traversal, DistanceClosure};
+use hopi_query::{evaluate, evaluate_ranked, parse_path, Axis, PathExpr, Step, TagIndex};
+use hopi_xml::{Collection, ElemId, XmlDocument};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+/// (element counts per doc, links, unused shape entropy).
+type CollectionBlueprint = (Vec<usize>, Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Arbitrary collection with a limited tag alphabet so expressions match.
+fn arb_collection() -> impl Strategy<Value = CollectionBlueprint> {
+    let docs = proptest::collection::vec(2usize..7, 2..6);
+    docs.prop_flat_map(|docs| {
+        let n = docs.len();
+        let links = proptest::collection::vec((0..n, 0..n), 0..8);
+        let shapes = proptest::collection::vec((0..n, 0usize..100), 0..6);
+        (Just(docs), links, shapes)
+    })
+}
+
+fn realize(
+    docs: &[usize],
+    links: &[(usize, usize)],
+    _shapes: &[(usize, usize)],
+) -> Collection {
+    let tags = ["a", "b", "c"];
+    let mut c = Collection::new();
+    for (i, &n) in docs.iter().enumerate() {
+        let mut d = XmlDocument::new(format!("d{i}"), "root");
+        for k in 1..n {
+            d.add_element((k / 2) as u32, tags[k % tags.len()]);
+        }
+        c.add_document(d);
+    }
+    for &(da, db) in links {
+        if da == db {
+            continue;
+        }
+        let (da, db) = (da as u32, db as u32);
+        let la = (da as usize) % c.document(da).unwrap().len();
+        let lb = (db as usize + 1) % c.document(db).unwrap().len();
+        c.add_link(c.global_id(da, la as u32), c.global_id(db, lb as u32));
+    }
+    c
+}
+
+/// Naive oracle: evaluate step-by-step with BFS reachability.
+fn oracle(collection: &Collection, expr: &PathExpr) -> Vec<ElemId> {
+    let g = collection.element_graph();
+    let all: Vec<ElemId> = (0..g.id_bound() as u32).filter(|&e| g.is_alive(e)).collect();
+    let tag_of = |e: ElemId| -> String {
+        let (d, l) = collection.to_local(e).unwrap();
+        collection.document(d).unwrap().element(l).tag.clone()
+    };
+    let matches = |e: ElemId, tag: &Option<String>| match tag {
+        None => true,
+        Some(t) => &tag_of(e) == t,
+    };
+    let mut current: Vec<ElemId> = match expr.steps[0].axis {
+        Axis::Child => collection
+            .doc_ids()
+            .map(|d| collection.global_id(d, 0))
+            .filter(|&r| matches(r, &expr.steps[0].tag))
+            .collect(),
+        Axis::Connection => all
+            .iter()
+            .copied()
+            .filter(|&e| matches(e, &expr.steps[0].tag))
+            .collect(),
+    };
+    for step in &expr.steps[1..] {
+        let mut next: FxHashSet<ElemId> = FxHashSet::default();
+        match step.axis {
+            Axis::Child => {
+                for &u in &current {
+                    let (d, l) = collection.to_local(u).unwrap();
+                    let doc = collection.document(d).unwrap();
+                    let base = collection.global_id(d, 0);
+                    for &ch in &doc.element(l).children {
+                        if matches(base + ch, &step.tag) {
+                            next.insert(base + ch);
+                        }
+                    }
+                }
+            }
+            Axis::Connection => {
+                for &t in &all {
+                    if !matches(t, &step.tag) {
+                        continue;
+                    }
+                    if current
+                        .iter()
+                        .any(|&u| u != t && traversal::is_reachable(&g, u, t))
+                    {
+                        next.insert(t);
+                    }
+                }
+            }
+        }
+        current = next.into_iter().collect();
+        current.sort_unstable();
+    }
+    current.sort_unstable();
+    current
+}
+
+fn expressions() -> Vec<PathExpr> {
+    [
+        "//a", "//b//c", "/root//a", "/root/a", "/root/*//b", "//a//*", "//c//a//b",
+        "/root/a/b", "//*//a",
+    ]
+    .iter()
+    .map(|s| parse_path(s).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eval_matches_oracle((docs, links, shapes) in arb_collection()) {
+        let c = realize(&docs, &links, &shapes);
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let tags = TagIndex::build(&c);
+        for expr in expressions() {
+            let got = evaluate(&c, &index, &tags, &expr);
+            let expect = oracle(&c, &expr);
+            prop_assert_eq!(got, expect, "expr {}", expr);
+        }
+    }
+
+    #[test]
+    fn ranked_matches_boolean_membership((docs, links, shapes) in arb_collection()) {
+        let c = realize(&docs, &links, &shapes);
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let dc = DistanceClosure::from_graph(&c.element_graph());
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let tags = TagIndex::build(&c);
+        for expr in expressions() {
+            let boolean = evaluate(&c, &index, &tags, &expr);
+            let mut ranked: Vec<ElemId> = evaluate_ranked(&c, &cover, &tags, &expr)
+                .into_iter()
+                .map(|m| m.element)
+                .collect();
+            ranked.sort_unstable();
+            prop_assert_eq!(ranked, boolean, "expr {}", expr);
+        }
+    }
+
+    #[test]
+    fn single_connection_step_distances_are_minimal((docs, links, shapes) in arb_collection()) {
+        // For two-step //X//Y expressions, the reported distance must equal
+        // the minimal BFS distance from any X element.
+        let c = realize(&docs, &links, &shapes);
+        let dc = DistanceClosure::from_graph(&c.element_graph());
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let tags = TagIndex::build(&c);
+        let expr = parse_path("//a//b").unwrap();
+        let ranked = evaluate_ranked(&c, &cover, &tags, &expr);
+        let g = c.element_graph();
+        for m in ranked {
+            let expect = tags
+                .elements("a")
+                .iter()
+                .filter(|&&u| u != m.element)
+                .filter_map(|&u| {
+                    let d = traversal::bfs_distances(&g, u)[m.element as usize];
+                    (d != u32::MAX).then_some(d)
+                })
+                .min()
+                .expect("ranked match must be reachable");
+            prop_assert_eq!(m.distance, expect, "element {}", m.element);
+        }
+    }
+}
+
+#[test]
+fn step_struct_is_constructible() {
+    // API sanity: Step/PathExpr are plain data for programmatic building.
+    let expr = PathExpr {
+        steps: vec![
+            Step {
+                axis: Axis::Connection,
+                tag: Some("a".into()),
+            },
+            Step {
+                axis: Axis::Child,
+                tag: None,
+            },
+        ],
+    };
+    assert_eq!(expr.to_string(), "//a/*");
+}

@@ -1,0 +1,264 @@
+//! The query engine over the LIN/LOUT tables — the SQL statements of the
+//! paper (§3.4, §5.1) executed against [`IndexOrganizedTable`]s.
+
+use crate::table::{IndexOrganizedTable, Row};
+use hopi_core::{DistanceCover, TwoHopCover};
+use rustc_hash::FxHashSet;
+
+/// The stored HOPI index: `LIN` + `LOUT` tables.
+///
+/// ```
+/// use hopi_core::TwoHopCover;
+/// use hopi_store::LinLoutStore;
+///
+/// let mut cover = TwoHopCover::with_nodes(3);
+/// cover.add_out(0, 1);
+/// cover.add_in(2, 1);
+/// let store = LinLoutStore::from_cover(&cover);
+///
+/// assert!(store.connected(0, 2));     // SELECT COUNT(*) … > 0
+/// assert_eq!(store.entry_count(), 2); // one LIN row + one LOUT row
+/// assert_eq!(store.stored_integers(), 8); // ×2 ints ×2 (fwd + bwd index)
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LinLoutStore {
+    lin: IndexOrganizedTable,
+    lout: IndexOrganizedTable,
+}
+
+impl LinLoutStore {
+    /// Materializes the tables from a plain cover (no DIST column).
+    pub fn from_cover(cover: &TwoHopCover) -> Self {
+        let lin: Vec<Row> = cover
+            .iter_in_entries()
+            .map(|(id, c)| Row { id, other: c, dist: 0 })
+            .collect();
+        let lout: Vec<Row> = cover
+            .iter_out_entries()
+            .map(|(id, c)| Row { id, other: c, dist: 0 })
+            .collect();
+        LinLoutStore {
+            lin: IndexOrganizedTable::new(lin, false),
+            lout: IndexOrganizedTable::new(lout, false),
+        }
+    }
+
+    /// Materializes the tables from a distance-aware cover (with DIST).
+    pub fn from_distance_cover(cover: &DistanceCover) -> Self {
+        let lin: Vec<Row> = cover
+            .iter_in_entries()
+            .map(|(id, c, d)| Row { id, other: c, dist: d })
+            .collect();
+        let lout: Vec<Row> = cover
+            .iter_out_entries()
+            .map(|(id, c, d)| Row { id, other: c, dist: d })
+            .collect();
+        LinLoutStore {
+            lin: IndexOrganizedTable::new(lin, true),
+            lout: IndexOrganizedTable::new(lout, true),
+        }
+    }
+
+    /// Direct table construction (e.g. from [`crate::persist::load_store`]).
+    pub fn from_tables(lin: IndexOrganizedTable, lout: IndexOrganizedTable) -> Self {
+        LinLoutStore { lin, lout }
+    }
+
+    /// The LIN table.
+    pub fn lin(&self) -> &IndexOrganizedTable {
+        &self.lin
+    }
+
+    /// The LOUT table.
+    pub fn lout(&self) -> &IndexOrganizedTable {
+        &self.lout
+    }
+
+    /// The paper's connection test:
+    /// `SELECT COUNT(*) FROM LIN, LOUT WHERE LOUT.ID=:u AND LIN.ID=:v AND
+    /// LOUT.OUTID=LIN.INID`, plus the "simple additional queries" covering
+    /// the unstored self labels (`u == v`, `v ∈ Lout(u)`, `u ∈ Lin(v)`).
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        if self.lout.get(u, v).is_some() || self.lin.get(v, u).is_some() {
+            return true;
+        }
+        self.join_count(u, v) > 0
+    }
+
+    /// The raw `COUNT(*)` of the label join (without self-label
+    /// compensation) — exposed for tests and statistics.
+    pub fn join_count(&self, u: u32, v: u32) -> usize {
+        let outs = self.lout.scan_id(u);
+        let ins = self.lin.scan_id(v);
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < outs.len() && j < ins.len() {
+            match outs[i].other.cmp(&ins[j].other) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The paper's §5.1 distance query:
+    /// `SELECT MIN(LOUT.DIST + LIN.DIST) FROM LIN, LOUT WHERE LOUT.ID=:u
+    /// AND LIN.ID=:v AND LOUT.OUTID=LIN.INID`, with self-label
+    /// compensation. `None` when unreachable.
+    pub fn distance(&self, u: u32, v: u32) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let mut best: Option<u32> = None;
+        let mut consider = |d: u32| best = Some(best.map_or(d, |b| b.min(d)));
+        if let Some(r) = self.lout.get(u, v) {
+            consider(r.dist);
+        }
+        if let Some(r) = self.lin.get(v, u) {
+            consider(r.dist);
+        }
+        let outs = self.lout.scan_id(u);
+        let ins = self.lin.scan_id(v);
+        let (mut i, mut j) = (0, 0);
+        while i < outs.len() && j < ins.len() {
+            match outs[i].other.cmp(&ins[j].other) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    consider(outs[i].dist + ins[j].dist);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Descendant enumeration ("similar queries are used to find
+    /// descendants or ancestors of a fixed node"): forward scan of
+    /// `LOUT(u)` for the centers, backward scans of `LIN` for nodes those
+    /// centers reach.
+    pub fn descendants(&self, u: u32) -> Vec<u32> {
+        let mut out: FxHashSet<u32> = FxHashSet::default();
+        out.insert(u);
+        for r in self.lin.scan_other(u) {
+            out.insert(r.id);
+        }
+        for c in self.lout.scan_id(u) {
+            out.insert(c.other);
+            for r in self.lin.scan_other(c.other) {
+                out.insert(r.id);
+            }
+        }
+        let mut v: Vec<u32> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ancestor enumeration (mirror of [`LinLoutStore::descendants`]).
+    pub fn ancestors(&self, u: u32) -> Vec<u32> {
+        let mut out: FxHashSet<u32> = FxHashSet::default();
+        out.insert(u);
+        for r in self.lout.scan_other(u) {
+            out.insert(r.id);
+        }
+        for c in self.lin.scan_id(u) {
+            out.insert(c.other);
+            for r in self.lout.scan_other(c.other) {
+                out.insert(r.id);
+            }
+        }
+        let mut v: Vec<u32> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total stored integers across both tables and their backward indexes
+    /// (the §7.2 storage metric).
+    pub fn stored_integers(&self) -> usize {
+        self.lin.stored_integers() + self.lout.stored_integers()
+    }
+
+    /// Number of label entries (rows across both tables).
+    pub fn entry_count(&self) -> usize {
+        self.lin.len() + self.lout.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_core::{CoverBuilder, DistanceCoverBuilder};
+    use hopi_graph::{DiGraph, DistanceClosure, TransitiveClosure};
+    use rand::prelude::*;
+
+    fn random_graph(seed: u64, n: u32, m: usize) -> DiGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DiGraph::new();
+        g.ensure_node(n - 1);
+        for _ in 0..m {
+            g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n));
+        }
+        g
+    }
+
+    #[test]
+    fn store_answers_match_cover() {
+        let g = random_graph(3, 30, 70);
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let store = LinLoutStore::from_cover(&cover);
+        for u in 0..30 {
+            for v in 0..30 {
+                assert_eq!(store.connected(u, v), cover.connected(u, v), "({u},{v})");
+            }
+            assert_eq!(store.descendants(u), cover.descendants(u));
+            assert_eq!(store.ancestors(u), cover.ancestors(u));
+        }
+        assert_eq!(store.entry_count(), cover.size());
+    }
+
+    #[test]
+    fn distance_store_matches_cover() {
+        let g = random_graph(9, 20, 45);
+        let dc = DistanceClosure::from_graph(&g);
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let store = LinLoutStore::from_distance_cover(&cover);
+        for u in 0..20 {
+            for v in 0..20 {
+                assert_eq!(store.distance(u, v), cover.distance(u, v), "({u},{v})");
+                assert_eq!(store.connected(u, v), cover.connected(u, v));
+            }
+        }
+        assert!(store.lin().with_dist());
+    }
+
+    #[test]
+    fn join_count_excludes_self_compensation() {
+        // Path 0 -> 1 with no explicit common center: the raw join is 0 but
+        // the compensated test is true.
+        let mut cover = hopi_core::TwoHopCover::with_nodes(2);
+        cover.add_out(0, 1);
+        let store = LinLoutStore::from_cover(&cover);
+        assert_eq!(store.join_count(0, 1), 0);
+        assert!(store.connected(0, 1));
+    }
+
+    #[test]
+    fn storage_metric_doubles_for_backward_index() {
+        let mut cover = hopi_core::TwoHopCover::with_nodes(4);
+        cover.add_out(0, 1);
+        cover.add_in(2, 1);
+        cover.add_in(3, 1);
+        let store = LinLoutStore::from_cover(&cover);
+        // 3 entries × 2 ints × 2 indexes = 12.
+        assert_eq!(store.stored_integers(), 12);
+    }
+}

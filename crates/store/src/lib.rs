@@ -1,0 +1,37 @@
+//! # hopi-store — database-backed storage for the HOPI index
+//!
+//! The paper stores the 2-hop cover "in database tables and [runs] SQL
+//! queries against these tables" (§3.4): two index-organized tables
+//!
+//! ```sql
+//! CREATE TABLE LIN (ID NUMBER(10), INID  NUMBER(10) [, DIST NUMBER(10)]);
+//! CREATE TABLE LOUT(ID NUMBER(10), OUTID NUMBER(10) [, DIST NUMBER(10)]);
+//! ```
+//!
+//! each with a *forward* index on `(ID, INID/OUTID)` and a *backward* index
+//! on `(INID/OUTID, ID)`. A connection test is the join
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM LIN, LOUT
+//!  WHERE LOUT.ID = :u AND LIN.ID = :v AND LOUT.OUTID = LIN.INID
+//! ```
+//!
+//! and the distance lookup replaces `COUNT(*)` with
+//! `MIN(LOUT.DIST + LIN.DIST)` (§5.1). This crate reproduces the same
+//! physical design in an embedded engine: [`table::IndexOrganizedTable`]
+//! keeps rows clustered in forward-index order with a backward permutation
+//! index (doubling storage exactly as the paper notes), and
+//! [`engine::LinLoutStore`] executes the paper's queries — including the
+//! "simple additional queries" that compensate for the unstored self
+//! labels. [`persist`] serializes the tables to a compact binary file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod persist;
+pub mod table;
+
+pub use engine::LinLoutStore;
+pub use persist::{load_store, save_store, PersistError};
+pub use table::IndexOrganizedTable;

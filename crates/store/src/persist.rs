@@ -1,0 +1,210 @@
+//! Binary persistence of the LIN/LOUT tables.
+//!
+//! Format (little-endian, built with the `bytes` crate):
+//!
+//! ```text
+//! magic   4 bytes  "HOPI"
+//! version u32      1
+//! flags   u32      bit 0: DIST column present
+//! lin_len u64      row count of LIN
+//! lout_len u64     row count of LOUT
+//! rows             (id: u32, other: u32 [, dist: u32]) × (lin_len + lout_len)
+//! ```
+//!
+//! Backward indexes are rebuilt on load — they are derived data, and
+//! rebuilding keeps the file at half the in-memory footprint (mirroring the
+//! paper's observation that the backward index doubles the stored size).
+
+use crate::engine::LinLoutStore;
+use crate::table::{IndexOrganizedTable, Row};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HOPI";
+const VERSION: u32 = 1;
+
+/// Errors raised by save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a HOPI store file, or truncated.
+    Format(String),
+    /// Unsupported version.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::Version(v) => write!(f, "unsupported version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serializes a store to `path`.
+pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError> {
+    let with_dist = store.lin().with_dist() || store.lout().with_dist();
+    let per_row = if with_dist { 12 } else { 8 };
+    let mut buf = BytesMut::with_capacity(28 + per_row * store.entry_count());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(u32::from(with_dist));
+    buf.put_u64_le(store.lin().len() as u64);
+    buf.put_u64_le(store.lout().len() as u64);
+    for table in [store.lin(), store.lout()] {
+        for r in table.rows() {
+            buf.put_u32_le(r.id);
+            buf.put_u32_le(r.other);
+            if with_dist {
+                buf.put_u32_le(r.dist);
+            }
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&buf)?;
+    Ok(())
+}
+
+/// Loads a store from `path`, rebuilding the backward indexes.
+pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 28 {
+        return Err(PersistError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::Version(version));
+    }
+    let with_dist = buf.get_u32_le() & 1 == 1;
+    let lin_len = buf.get_u64_le() as usize;
+    let lout_len = buf.get_u64_le() as usize;
+    let per_row = if with_dist { 12 } else { 8 };
+    if buf.remaining() != (lin_len + lout_len) * per_row {
+        return Err(PersistError::Format(format!(
+            "expected {} row bytes, found {}",
+            (lin_len + lout_len) * per_row,
+            buf.remaining()
+        )));
+    }
+    let read_rows = |n: usize, buf: &mut Bytes| -> Vec<Row> {
+        (0..n)
+            .map(|_| Row {
+                id: buf.get_u32_le(),
+                other: buf.get_u32_le(),
+                dist: if with_dist { buf.get_u32_le() } else { 0 },
+            })
+            .collect()
+    };
+    let lin_rows = read_rows(lin_len, &mut buf);
+    let lout_rows = read_rows(lout_len, &mut buf);
+    Ok(LinLoutStore::from_tables(
+        IndexOrganizedTable::new(lin_rows, with_dist),
+        IndexOrganizedTable::new(lout_rows, with_dist),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_core::{CoverBuilder, DistanceCoverBuilder};
+    use hopi_graph::{DiGraph, DistanceClosure, TransitiveClosure};
+
+    fn sample_graph() -> DiGraph {
+        let mut g = DiGraph::new();
+        for (u, v) in [(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)] {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let g = sample_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let store = LinLoutStore::from_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_plain.idx");
+        save_store(&store, &dir).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(loaded.entry_count(), store.entry_count());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(loaded.connected(u, v), store.connected(u, v));
+            }
+        }
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_distance() {
+        let g = sample_graph();
+        let dc = DistanceClosure::from_graph(&g);
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let store = LinLoutStore::from_distance_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_dist.idx");
+        save_store(&store, &dir).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(loaded.distance(u, v), store.distance(u, v));
+            }
+        }
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("hopi_persist_garbage.idx");
+        std::fs::write(&dir, b"not a hopi file at all........").unwrap();
+        assert!(matches!(
+            load_store(&dir),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = sample_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let store = LinLoutStore::from_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_trunc.idx");
+        save_store(&store, &dir).unwrap();
+        let bytes = std::fs::read(&dir).unwrap();
+        std::fs::write(&dir, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_store(&dir).is_err());
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let dir = std::env::temp_dir().join("hopi_persist_ver.idx");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"HOPI");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 20]);
+        std::fs::write(&dir, &buf).unwrap();
+        assert!(matches!(load_store(&dir), Err(PersistError::Version(99))));
+        std::fs::remove_file(dir).ok();
+    }
+}

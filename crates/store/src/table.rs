@@ -1,0 +1,165 @@
+//! An index-organized table of `(ID, OTHER [, DIST])` rows.
+//!
+//! Mirrors the paper's physical design (§3.4): rows are stored clustered in
+//! forward-index order `(ID, OTHER)` — an index-organized table in Oracle
+//! terms — plus a backward index on `(OTHER, ID)` realized as a sorted
+//! permutation. "The additional backward index doubles the disk space
+//! needed for storing the tables", and the same factor shows up in
+//! [`IndexOrganizedTable::stored_integers`].
+
+/// One table row: a label entry of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Row {
+    /// The labeled node (`LIN.ID` / `LOUT.ID`).
+    pub id: u32,
+    /// The center stored in the label (`INID` / `OUTID`).
+    pub other: u32,
+    /// Distance to/from the center (0 when the table is not
+    /// distance-augmented).
+    pub dist: u32,
+}
+
+/// An immutable index-organized table with forward and backward access
+/// paths.
+#[derive(Clone, Debug, Default)]
+pub struct IndexOrganizedTable {
+    /// Rows sorted by `(id, other)` — the clustered forward index.
+    rows: Vec<Row>,
+    /// Permutation of `rows` sorted by `(other, id)` — the backward index.
+    backward: Vec<u32>,
+    /// Whether DIST is meaningful.
+    with_dist: bool,
+}
+
+impl IndexOrganizedTable {
+    /// Builds the table from rows (any order; sorted internally).
+    pub fn new(mut rows: Vec<Row>, with_dist: bool) -> Self {
+        rows.sort_unstable();
+        let mut backward: Vec<u32> = (0..rows.len() as u32).collect();
+        backward.sort_unstable_by_key(|&i| {
+            let r = rows[i as usize];
+            (r.other, r.id)
+        });
+        IndexOrganizedTable {
+            rows,
+            backward,
+            with_dist,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether DIST is stored.
+    pub fn with_dist(&self) -> bool {
+        self.with_dist
+    }
+
+    /// All rows (forward order).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Forward-index range scan: all rows with the given `id`, sorted by
+    /// `other`. This is the paper's `WHERE ID = :x` access path.
+    pub fn scan_id(&self, id: u32) -> &[Row] {
+        let lo = self.rows.partition_point(|r| r.id < id);
+        let hi = self.rows.partition_point(|r| r.id <= id);
+        &self.rows[lo..hi]
+    }
+
+    /// Backward-index range scan: all rows with the given `other` value,
+    /// yielded in `id` order. This is the `WHERE INID = :c` access path
+    /// used for descendant/ancestor enumeration.
+    pub fn scan_other(&self, other: u32) -> impl Iterator<Item = Row> + '_ {
+        let lo = self
+            .backward
+            .partition_point(|&i| self.rows[i as usize].other < other);
+        let hi = self
+            .backward
+            .partition_point(|&i| self.rows[i as usize].other <= other);
+        self.backward[lo..hi].iter().map(|&i| self.rows[i as usize])
+    }
+
+    /// Point lookup `(id, other)`.
+    pub fn get(&self, id: u32, other: u32) -> Option<Row> {
+        let slice = self.scan_id(id);
+        slice
+            .binary_search_by_key(&other, |r| r.other)
+            .ok()
+            .map(|i| slice[i])
+    }
+
+    /// Stored integers, counting the backward index too (the paper's §7.2
+    /// accounting: "two per entry in the table and another two in the
+    /// backward index"; three per entry with DIST).
+    pub fn stored_integers(&self) -> usize {
+        let per_row = if self.with_dist { 3 } else { 2 };
+        self.rows.len() * per_row * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> IndexOrganizedTable {
+        IndexOrganizedTable::new(
+            vec![
+                Row { id: 2, other: 7, dist: 1 },
+                Row { id: 1, other: 5, dist: 2 },
+                Row { id: 1, other: 3, dist: 1 },
+                Row { id: 3, other: 5, dist: 4 },
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn forward_scan_sorted() {
+        let t = table();
+        let rows = t.scan_id(1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].other, rows[1].other), (3, 5));
+        assert!(t.scan_id(9).is_empty());
+    }
+
+    #[test]
+    fn backward_scan_by_other() {
+        let t = table();
+        let ids: Vec<u32> = t.scan_other(5).map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(t.scan_other(99).count(), 0);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let t = table();
+        assert_eq!(t.get(1, 5).unwrap().dist, 2);
+        assert!(t.get(1, 7).is_none());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = table();
+        // 4 rows × 3 ints × 2 (forward + backward).
+        assert_eq!(t.stored_integers(), 24);
+        let plain = IndexOrganizedTable::new(t.rows().to_vec(), false);
+        assert_eq!(plain.stored_integers(), 16);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = IndexOrganizedTable::new(vec![], false);
+        assert!(t.is_empty());
+        assert!(t.scan_id(0).is_empty());
+        assert_eq!(t.stored_integers(), 0);
+    }
+}

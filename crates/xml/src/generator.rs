@@ -1,0 +1,424 @@
+//! Synthetic collection generators.
+//!
+//! The paper evaluates on (1) a DBLP subset — 6,210 publications converted
+//! to one XML document each, with XLinks for citations — and (2) the INEX
+//! collection — 12,232 large tree-structured documents without
+//! inter-document links (paper §7.1, Table 1). Neither snapshot is
+//! redistributable, so we generate collections with the same *shape*:
+//! document counts, elements-per-document, link density, and citation-graph
+//! structure are all configurable and default to the paper's ratios.
+
+use crate::collection::{Collection, DocId};
+use crate::model::XmlDocument;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for the DBLP-like citation collection.
+///
+/// Defaults reproduce the paper's ratios at `scale = 1.0`:
+/// 6,210 documents, ≈27 elements/document, ≈4 citation links/document
+/// (25,368 links / 6,210 docs).
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Number of publication documents.
+    pub num_docs: usize,
+    /// Mean number of author elements per publication.
+    pub mean_authors: f64,
+    /// Mean number of outgoing citations per publication.
+    pub mean_citations: f64,
+    /// Probability that a citation goes to an *earlier* publication
+    /// (1.0 = pure DAG). The paper's citation graph is nearly acyclic but
+    /// cross-references create occasional cycles.
+    pub forward_fraction: f64,
+    /// Zipf-like skew for citation targets (popular papers attract more
+    /// citations). 0.0 = uniform.
+    pub popularity_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            num_docs: 6210,
+            mean_authors: 2.5,
+            mean_citations: 4.08, // 25,368 / 6,210
+            forward_fraction: 0.95,
+            popularity_skew: 0.8,
+            seed: 0x40b1,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// Scales the document count by `scale`, keeping per-document ratios.
+    pub fn scaled(scale: f64) -> Self {
+        let base = Self::default();
+        DblpConfig {
+            num_docs: ((base.num_docs as f64 * scale).round() as usize).max(2),
+            ..base
+        }
+    }
+}
+
+/// Generates a DBLP-like citation collection.
+///
+/// Each publication document has the structure
+/// `article(title, author*, year, venue, pages, citations(cite*))`; each
+/// `cite` element carries an XLink to the root of the cited publication.
+pub fn dblp(config: &DblpConfig) -> Collection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut collection = Collection::new();
+    let mut cite_elems: Vec<Vec<DocId>> = Vec::with_capacity(config.num_docs);
+
+    // Pass 1: documents. Citation targets are drawn in pass 2 so that
+    // popularity skew can address the whole collection.
+    for i in 0..config.num_docs {
+        let mut d = XmlDocument::new(format!("pub{i}"), "article");
+        d.add_element(0, "title");
+        let n_auth = sample_count(&mut rng, config.mean_authors).max(1);
+        let authors = d.add_element(0, "authors");
+        for _ in 0..n_auth {
+            let a = d.add_element(authors, "author");
+            d.add_element(a, "name");
+            d.add_element(a, "affiliation");
+        }
+        d.add_element(0, "year");
+        let venue = d.add_element(0, "venue");
+        d.add_element(venue, "booktitle");
+        d.add_element(0, "pages");
+        d.add_element(0, "ee");
+        d.add_element(0, "url");
+        let n_cite = sample_count(&mut rng, config.mean_citations);
+        let citations = d.add_element(0, "citations");
+        let mut cites = Vec::with_capacity(n_cite);
+        for _ in 0..n_cite {
+            let c = d.add_element(citations, "cite");
+            d.add_element(c, "label");
+            cites.push(c);
+        }
+        collection.add_document(d);
+        cite_elems.push(cites.into_iter().map(|c| c as DocId).collect());
+    }
+
+    // Pass 2: citation links. Mostly "forward" (to earlier documents) for a
+    // near-DAG citation structure; popularity-skewed target choice.
+    for (i, cites) in cite_elems.iter().enumerate() {
+        for &local in cites {
+            let target = pick_target(&mut rng, i, config);
+            let Some(target) = target else { continue };
+            let from = collection.global_id(i as DocId, local);
+            let to = collection.global_id(target, 0); // cite the article root
+            collection.add_link(from, to);
+        }
+    }
+    collection
+}
+
+fn pick_target(rng: &mut StdRng, doc: usize, config: &DblpConfig) -> Option<DocId> {
+    let n = config.num_docs;
+    if n < 2 {
+        return None;
+    }
+    let forward = rng.gen_bool(config.forward_fraction.clamp(0.0, 1.0));
+    let range_end = if forward && doc > 0 { doc } else { n };
+    if range_end == 0 {
+        return None;
+    }
+    // Popularity skew: raise a uniform draw to a power > 1 so low indices
+    // (old, well-cited papers) are preferred.
+    let u: f64 = rng.gen::<f64>().powf(1.0 + config.popularity_skew);
+    let mut t = (u * range_end as f64) as usize;
+    if t >= range_end {
+        t = range_end - 1;
+    }
+    if t == doc {
+        t = (t + 1) % n;
+        if t == doc {
+            return None;
+        }
+    }
+    Some(t as DocId)
+}
+
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    // Geometric-ish sampling around the mean: cheap, integer-valued,
+    // non-negative, right-skewed like real bibliographies.
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut n = 0usize;
+    while !rng.gen_bool(p) && n < (mean * 10.0) as usize + 10 {
+        n += 1;
+    }
+    n
+}
+
+/// Configuration for the INEX-like tree collection (no inter-document
+/// links). Defaults reproduce the paper's ratios at `scale = 1.0`:
+/// 12,232 documents averaging ≈986 elements each.
+#[derive(Clone, Debug)]
+pub struct InexConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Mean elements per document.
+    pub mean_elements: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InexConfig {
+    fn default() -> Self {
+        InexConfig {
+            num_docs: 12_232,
+            mean_elements: 986, // 12,061,348 / 12,232
+            max_depth: 12,
+            seed: 0x13e8,
+        }
+    }
+}
+
+impl InexConfig {
+    /// Scales document count *and* elements per document by `sqrt(scale)`
+    /// each, so total element count scales linearly.
+    pub fn scaled(scale: f64) -> Self {
+        let base = Self::default();
+        let s = scale.sqrt();
+        InexConfig {
+            num_docs: ((base.num_docs as f64 * s).round() as usize).max(1),
+            mean_elements: ((base.mean_elements as f64 * s).round() as usize).max(4),
+            ..base
+        }
+    }
+}
+
+/// Generates an INEX-like collection: deep random trees (IEEE-CS article
+/// structure: front matter, sections, subsections, paragraphs), no links.
+pub fn inex(config: &InexConfig) -> Collection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut collection = Collection::new();
+    let tags = ["sec", "ss1", "ss2", "p", "ip1", "it", "b", "fig"];
+    for i in 0..config.num_docs {
+        let mut d = XmlDocument::new(format!("article{i}"), "article");
+        let fm = d.add_element(0, "fm");
+        d.add_element(fm, "ti");
+        d.add_element(fm, "au");
+        let bdy = d.add_element(0, "bdy");
+        // Random tree growth: attach to a random recent node, bounded depth.
+        let target = config.mean_elements.max(5) - 5;
+        let n = sample_tree_size(&mut rng, target);
+        let mut frontier = vec![(bdy, 1usize)];
+        for _ in 0..n {
+            let (parent, depth) = frontier[rng.gen_range(0..frontier.len())];
+            let tag = tags[depth.min(tags.len() - 1)];
+            let el = d.add_element(parent, tag);
+            if depth + 1 < config.max_depth {
+                frontier.push((el, depth + 1));
+                // Keep the frontier from growing unboundedly: bias toward
+                // recent nodes to get realistic deep/narrow articles.
+                if frontier.len() > 64 {
+                    frontier.remove(0);
+                }
+            }
+        }
+        collection.add_document(d);
+    }
+    collection
+}
+
+fn sample_tree_size(rng: &mut StdRng, mean: usize) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    // Uniform in [mean/2, 3*mean/2] — INEX article sizes are fairly
+    // concentrated.
+    rng.gen_range(mean / 2..=mean + mean / 2)
+}
+
+/// Configuration for a fully random collection (tests and fuzzing).
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Elements per document range (inclusive).
+    pub elements_range: (usize, usize),
+    /// Number of inter-document links.
+    pub num_links: usize,
+    /// Number of intra-document links (distributed randomly).
+    pub num_intra_links: usize,
+    /// Allow link cycles between documents.
+    pub allow_cycles: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            num_docs: 20,
+            elements_range: (3, 15),
+            num_links: 30,
+            num_intra_links: 10,
+            allow_cycles: true,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random collection: random trees, uniformly random links
+/// between uniformly random elements. With `allow_cycles = false`, links
+/// only run from lower to higher document ids.
+pub fn random_collection(config: &RandomConfig) -> Collection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut collection = Collection::new();
+    for i in 0..config.num_docs {
+        let n = rng.gen_range(config.elements_range.0..=config.elements_range.1.max(config.elements_range.0));
+        let mut d = XmlDocument::new(format!("doc{i}"), "root");
+        for _ in 1..n.max(1) {
+            let parent = rng.gen_range(0..d.len()) as u32;
+            d.add_element(parent, format!("e{}", rng.gen_range(0..8)));
+        }
+        let intra = config.num_intra_links / config.num_docs.max(1);
+        for _ in 0..intra {
+            if d.len() >= 2 {
+                let a = rng.gen_range(0..d.len()) as u32;
+                let b = rng.gen_range(0..d.len()) as u32;
+                if a != b {
+                    d.add_intra_link(a, b);
+                }
+            }
+        }
+        collection.add_document(d);
+    }
+    if config.num_docs >= 2 {
+        for _ in 0..config.num_links {
+            let (mut di, mut dj) = (
+                rng.gen_range(0..config.num_docs) as DocId,
+                rng.gen_range(0..config.num_docs) as DocId,
+            );
+            if di == dj {
+                continue;
+            }
+            if !config.allow_cycles && di > dj {
+                std::mem::swap(&mut di, &mut dj);
+            }
+            let from_local = rng.gen_range(0..collection.document(di).unwrap().len()) as u32;
+            let to_local = rng.gen_range(0..collection.document(dj).unwrap().len()) as u32;
+            collection.add_link(
+                collection.global_id(di, from_local),
+                collection.global_id(dj, to_local),
+            );
+        }
+    }
+    collection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_matches_paper_ratios() {
+        let c = dblp(&DblpConfig::scaled(0.05)); // ~310 docs
+        let docs = c.doc_count();
+        assert!((290..=330).contains(&docs), "docs = {docs}");
+        let els_per_doc = c.element_count() as f64 / docs as f64;
+        assert!(
+            (10.0..45.0).contains(&els_per_doc),
+            "elements/doc = {els_per_doc}"
+        );
+        let links_per_doc = c.links().len() as f64 / docs as f64;
+        assert!(
+            (2.0..7.0).contains(&links_per_doc),
+            "links/doc = {links_per_doc}"
+        );
+    }
+
+    #[test]
+    fn dblp_deterministic() {
+        let a = dblp(&DblpConfig::scaled(0.01));
+        let b = dblp(&DblpConfig::scaled(0.01));
+        assert_eq!(a.element_count(), b.element_count());
+        assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn dblp_links_point_at_roots() {
+        let c = dblp(&DblpConfig::scaled(0.01));
+        assert!(!c.links().is_empty());
+        for l in c.links() {
+            let (_, local) = c.to_local(l.to).unwrap();
+            assert_eq!(local, 0, "citations target article roots");
+            assert_ne!(c.doc_of(l.from), c.doc_of(l.to));
+        }
+    }
+
+    #[test]
+    fn dblp_mostly_forward() {
+        let c = dblp(&DblpConfig::scaled(0.05));
+        let forward = c
+            .links()
+            .iter()
+            .filter(|l| c.doc_of(l.from).unwrap() > c.doc_of(l.to).unwrap())
+            .count();
+        assert!(
+            forward as f64 / c.links().len() as f64 > 0.8,
+            "citation graph should be mostly forward"
+        );
+    }
+
+    #[test]
+    fn inex_has_no_links() {
+        let c = inex(&InexConfig {
+            num_docs: 10,
+            mean_elements: 50,
+            max_depth: 8,
+            seed: 7,
+        });
+        assert_eq!(c.doc_count(), 10);
+        assert!(c.links().is_empty());
+        let els = c.element_count();
+        assert!((250..=900).contains(&els), "elements = {els}");
+    }
+
+    #[test]
+    fn inex_depth_bounded() {
+        let cfg = InexConfig {
+            num_docs: 3,
+            mean_elements: 200,
+            max_depth: 6,
+            seed: 9,
+        };
+        let c = inex(&cfg);
+        for d in c.doc_ids() {
+            let doc = c.document(d).unwrap();
+            for (id, _) in doc.elements() {
+                assert!(doc.tree_ancestor_count(id) as usize <= cfg.max_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn random_collection_acyclic_mode() {
+        let c = random_collection(&RandomConfig {
+            allow_cycles: false,
+            seed: 3,
+            ..Default::default()
+        });
+        for l in c.links() {
+            assert!(c.doc_of(l.from).unwrap() < c.doc_of(l.to).unwrap());
+        }
+    }
+
+    #[test]
+    fn generators_produce_valid_graphs() {
+        let c = random_collection(&RandomConfig::default());
+        let g = c.element_graph();
+        assert_eq!(g.node_count(), c.element_count());
+        let (gd, _) = c.document_graph();
+        assert_eq!(gd.node_count(), c.doc_count());
+    }
+}

@@ -1,0 +1,282 @@
+//! The element-level tree `T_E(d)` of a single XML document, with
+//! intra-document links `L_I(d)` (paper §2).
+
+use rustc_hash::FxHashMap;
+
+/// Document-local element index. Element 0 is always the root.
+pub type LocalElemId = u32;
+
+/// One element of an XML document: a tag, a parent pointer, and children in
+/// document order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name, e.g. `article` or `author`.
+    pub tag: String,
+    /// Parent element (`None` for the root).
+    pub parent: Option<LocalElemId>,
+    /// Children in document order.
+    pub children: Vec<LocalElemId>,
+}
+
+/// An XML document `d`: its element-level tree `T_E(d) = (V_E(d), E'_E(d))`
+/// plus the set `L_I(d)` of intra-document links.
+///
+/// The *element-level graph* `G_E(d)` of the document is the tree edges plus
+/// the intra-links: `E_E(d) = E'_E(d) ∪ L_I(d)`.
+#[derive(Clone, Debug, Default)]
+pub struct XmlDocument {
+    /// Document name, used as link target prefix (`name#anchor`).
+    pub name: String,
+    elements: Vec<Element>,
+    intra_links: Vec<(LocalElemId, LocalElemId)>,
+    /// `id="…"` anchors, for IDREF/XLink resolution.
+    anchors: FxHashMap<String, LocalElemId>,
+}
+
+impl XmlDocument {
+    /// Creates a document with a single root element.
+    pub fn new(name: impl Into<String>, root_tag: impl Into<String>) -> Self {
+        XmlDocument {
+            name: name.into(),
+            elements: vec![Element {
+                tag: root_tag.into(),
+                parent: None,
+                children: Vec::new(),
+            }],
+            intra_links: Vec::new(),
+            anchors: FxHashMap::default(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` when the document has only its root element... never `false`
+    /// for a constructed document (the root always exists), but required for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The root element id (always 0).
+    pub fn root(&self) -> LocalElemId {
+        0
+    }
+
+    /// Appends a child element under `parent` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` does not exist.
+    pub fn add_element(&mut self, parent: LocalElemId, tag: impl Into<String>) -> LocalElemId {
+        assert!(
+            (parent as usize) < self.elements.len(),
+            "parent {parent} out of range"
+        );
+        let id = self.elements.len() as LocalElemId;
+        self.elements.push(Element {
+            tag: tag.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.elements[parent as usize].children.push(id);
+        id
+    }
+
+    /// Element accessor.
+    pub fn element(&self, id: LocalElemId) -> &Element {
+        &self.elements[id as usize]
+    }
+
+    /// Iterates over `(id, element)` pairs in id order (preorder of
+    /// construction).
+    pub fn elements(&self) -> impl Iterator<Item = (LocalElemId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i as LocalElemId, e))
+    }
+
+    /// Registers an `id="…"` anchor on an element.
+    pub fn set_anchor(&mut self, anchor: impl Into<String>, elem: LocalElemId) {
+        self.anchors.insert(anchor.into(), elem);
+    }
+
+    /// Resolves an anchor name to an element.
+    pub fn anchor(&self, name: &str) -> Option<LocalElemId> {
+        self.anchors.get(name).copied()
+    }
+
+    /// Iterates over `(anchor name, element)` pairs.
+    pub fn anchors(&self) -> impl Iterator<Item = (&String, &LocalElemId)> {
+        self.anchors.iter()
+    }
+
+    /// Adds an intra-document link `from → to` (e.g. an IDREF).
+    pub fn add_intra_link(&mut self, from: LocalElemId, to: LocalElemId) {
+        assert!((from as usize) < self.elements.len() && (to as usize) < self.elements.len());
+        self.intra_links.push((from, to));
+    }
+
+    /// The intra-document link set `L_I(d)`.
+    pub fn intra_links(&self) -> &[(LocalElemId, LocalElemId)] {
+        &self.intra_links
+    }
+
+    /// Tree edges `(parent, child)` in id order.
+    pub fn tree_edges(&self) -> impl Iterator<Item = (LocalElemId, LocalElemId)> + '_ {
+        self.elements().filter_map(|(id, e)| e.parent.map(|p| (p, id)))
+    }
+
+    /// Number of ancestors of `id` within the tree (root has 0). Used to
+    /// annotate skeleton-graph nodes (paper §4.3, `anc(x)`).
+    pub fn tree_ancestor_count(&self, id: LocalElemId) -> u32 {
+        let mut n = 0;
+        let mut cur = self.elements[id as usize].parent;
+        while let Some(p) = cur {
+            n += 1;
+            cur = self.elements[p as usize].parent;
+        }
+        n
+    }
+
+    /// Number of descendants of `id` within the tree (excluding `id`). Used
+    /// to annotate skeleton-graph nodes (paper §4.3, `desc(x)`).
+    pub fn tree_descendant_count(&self, id: LocalElemId) -> u32 {
+        let mut n = 0;
+        let mut stack: Vec<LocalElemId> = self.elements[id as usize].children.clone();
+        while let Some(c) = stack.pop() {
+            n += 1;
+            stack.extend_from_slice(&self.elements[c as usize].children);
+        }
+        n
+    }
+
+    /// Serializes the document to XML text (tags and anchors only — the
+    /// model carries no text content, matching the paper's connection-index
+    /// abstraction). Intra-links are emitted as `idref` attributes when the
+    /// target has an anchor.
+    pub fn to_xml_string(&self) -> String {
+        self.to_xml_string_with_links(&[])
+    }
+
+    /// Like [`XmlDocument::to_xml_string`], additionally emitting an
+    /// `href="target"` attribute on each listed source element — how a
+    /// collection serializes its inter-document links back to parseable
+    /// XML text (`target` is a document name or `doc#anchor` reference).
+    pub fn to_xml_string_with_links(&self, hrefs: &[(LocalElemId, String)]) -> String {
+        let mut anchor_of: FxHashMap<LocalElemId, &str> = FxHashMap::default();
+        for (name, &el) in &self.anchors {
+            anchor_of.insert(el, name.as_str());
+        }
+        // Collect idrefs per source element.
+        let mut refs: FxHashMap<LocalElemId, Vec<&str>> = FxHashMap::default();
+        for &(from, to) in &self.intra_links {
+            if let Some(a) = anchor_of.get(&to) {
+                refs.entry(from).or_default().push(a);
+            }
+        }
+        let mut href_of: FxHashMap<LocalElemId, &str> = FxHashMap::default();
+        for (el, target) in hrefs {
+            href_of.insert(*el, target.as_str());
+        }
+        let mut out = String::new();
+        self.write_elem(0, &anchor_of, &refs, &href_of, &mut out);
+        out
+    }
+
+    fn write_elem(
+        &self,
+        id: LocalElemId,
+        anchor_of: &FxHashMap<LocalElemId, &str>,
+        refs: &FxHashMap<LocalElemId, Vec<&str>>,
+        href_of: &FxHashMap<LocalElemId, &str>,
+        out: &mut String,
+    ) {
+        let e = &self.elements[id as usize];
+        out.push('<');
+        out.push_str(&e.tag);
+        if let Some(a) = anchor_of.get(&id) {
+            out.push_str(&format!(" id=\"{a}\""));
+        }
+        if let Some(rs) = refs.get(&id) {
+            out.push_str(&format!(" idref=\"{}\"", rs.join(" ")));
+        }
+        if let Some(h) = href_of.get(&id) {
+            out.push_str(&format!(" xlink:href=\"{h}\""));
+        }
+        if e.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for &c in &e.children {
+            self.write_elem(c, anchor_of, refs, href_of, out);
+        }
+        out.push_str(&format!("</{}>", e.tag));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> XmlDocument {
+        let mut d = XmlDocument::new("d1", "book");
+        let title = d.add_element(0, "title");
+        let authors = d.add_element(0, "authors");
+        let a1 = d.add_element(authors, "author");
+        let a2 = d.add_element(authors, "author");
+        d.set_anchor("t", title);
+        d.add_intra_link(a1, title);
+        let _ = a2;
+        d
+    }
+
+    #[test]
+    fn tree_structure() {
+        let d = small_doc();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.root(), 0);
+        assert_eq!(d.element(0).children, vec![1, 2]);
+        assert_eq!(d.element(3).parent, Some(2));
+        let edges: Vec<_> = d.tree_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (2, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn ancestor_descendant_counts() {
+        let d = small_doc();
+        assert_eq!(d.tree_ancestor_count(0), 0);
+        assert_eq!(d.tree_ancestor_count(3), 2);
+        assert_eq!(d.tree_descendant_count(0), 4);
+        assert_eq!(d.tree_descendant_count(2), 2);
+        assert_eq!(d.tree_descendant_count(1), 0);
+    }
+
+    #[test]
+    fn anchors_and_links() {
+        let d = small_doc();
+        assert_eq!(d.anchor("t"), Some(1));
+        assert_eq!(d.anchor("missing"), None);
+        assert_eq!(d.intra_links(), &[(3, 1)]);
+    }
+
+    #[test]
+    fn serialization_shape() {
+        let d = small_doc();
+        let xml = d.to_xml_string();
+        assert!(xml.starts_with("<book>"));
+        assert!(xml.contains("<title id=\"t\"/>"));
+        assert!(xml.contains("<author idref=\"t\"/>"));
+        assert!(xml.ends_with("</book>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent")]
+    fn bad_parent_panics() {
+        let mut d = XmlDocument::new("d", "r");
+        d.add_element(99, "x");
+    }
+}

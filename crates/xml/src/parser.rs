@@ -1,0 +1,286 @@
+//! Parsing real XML text into the HOPI document model.
+//!
+//! The paper indexes "intra- or inter-document links (XPointer, XLink,
+//! ID/IDREF)". This parser extracts:
+//!
+//! * elements (tags only — text content is irrelevant to a connection index),
+//! * `id="…"` / `xml:id="…"` anchors,
+//! * `idref="…"` attributes → intra-document links (space-separated list),
+//! * `xlink:href="…"` / `href="…"` attributes → intra-document links for
+//!   `#anchor` fragments, inter-document links for `doc#anchor` or `doc`
+//!   references.
+//!
+//! Cross-document references are collected during the per-document pass and
+//! resolved after every document has been parsed, so forward references work.
+
+use crate::collection::Collection;
+use crate::model::{LocalElemId, XmlDocument};
+use quick_xml::events::Event;
+use quick_xml::Reader;
+
+/// Parse error.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed XML (wrapped quick-xml error text).
+    Xml(String),
+    /// Close tag without matching open, or trailing open elements.
+    Structure(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Xml(e) => write!(f, "XML error: {e}"),
+            ParseError::Structure(e) => write!(f, "structure error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An unresolved reference found while parsing one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRef {
+    /// Source element (document-local).
+    pub from: LocalElemId,
+    /// Target document name (`None` = same document).
+    pub doc: Option<String>,
+    /// Target anchor (`None`/empty = document root).
+    pub anchor: Option<String>,
+}
+
+/// Result of parsing a single document: the document plus its unresolved
+/// cross-document references.
+pub struct ParsedDocument {
+    /// The parsed document (intra-document `idref`s already resolved).
+    pub doc: XmlDocument,
+    /// References that point outside this document.
+    pub pending: Vec<PendingRef>,
+}
+
+/// Parses one XML document. `name` becomes the document name used for
+/// cross-document reference resolution.
+pub fn parse_document(name: &str, xml: &str) -> Result<ParsedDocument, ParseError> {
+    let mut reader = Reader::from_str(xml);
+    reader.config_mut().trim_text(true);
+    let mut doc: Option<XmlDocument> = None;
+    let mut stack: Vec<LocalElemId> = Vec::new();
+    let mut pending: Vec<PendingRef> = Vec::new();
+    // (from, anchor) intra refs resolved at the end (forward refs).
+    let mut intra_refs: Vec<(LocalElemId, String)> = Vec::new();
+
+    loop {
+        match reader.read_event() {
+            Err(e) => return Err(ParseError::Xml(e.to_string())),
+            Ok(Event::Eof) => break,
+            Ok(Event::Start(ref e)) => {
+                let id = open_element(name, e, &mut doc, &mut stack, &mut pending, &mut intra_refs)?;
+                stack.push(id);
+            }
+            Ok(Event::Empty(ref e)) => {
+                open_element(name, e, &mut doc, &mut stack, &mut pending, &mut intra_refs)?;
+            }
+            Ok(Event::End(_)) => {
+                stack
+                    .pop()
+                    .ok_or_else(|| ParseError::Structure("unbalanced close tag".into()))?;
+            }
+            Ok(_) => {} // text, comments, PIs, decls: irrelevant
+        }
+    }
+    let mut doc =
+        doc.ok_or_else(|| ParseError::Structure("document has no root element".into()))?;
+    if !stack.is_empty() {
+        return Err(ParseError::Structure("unclosed elements at EOF".into()));
+    }
+    for (from, anchor) in intra_refs {
+        if let Some(to) = doc.anchor(&anchor) {
+            doc.add_intra_link(from, to);
+        }
+        // Unresolvable IDREFs are silently dropped, like a non-validating
+        // XML processor would.
+    }
+    Ok(ParsedDocument { doc, pending })
+}
+
+fn open_element(
+    doc_name: &str,
+    e: &quick_xml::events::BytesStart<'_>,
+    doc: &mut Option<XmlDocument>,
+    stack: &mut [LocalElemId],
+    pending: &mut Vec<PendingRef>,
+    intra_refs: &mut Vec<(LocalElemId, String)>,
+) -> Result<LocalElemId, ParseError> {
+    let tag = String::from_utf8_lossy(e.name().as_ref()).into_owned();
+    let id = match (doc.as_mut(), stack.last()) {
+        (None, _) => {
+            *doc = Some(XmlDocument::new(doc_name, tag));
+            0
+        }
+        (Some(d), Some(&parent)) => d.add_element(parent, tag),
+        (Some(_), None) => {
+            return Err(ParseError::Structure(
+                "multiple root elements".into(),
+            ))
+        }
+    };
+    let d = doc.as_mut().expect("document exists after open");
+    for attr in e.attributes().flatten() {
+        let key = String::from_utf8_lossy(attr.key.as_ref()).into_owned();
+        let val = String::from_utf8_lossy(&attr.value).into_owned();
+        match key.as_str() {
+            "id" | "xml:id" => d.set_anchor(val, id),
+            "idref" | "idrefs" => {
+                for a in val.split_whitespace() {
+                    intra_refs.push((id, a.to_string()));
+                }
+            }
+            "xlink:href" | "href" => match val.split_once('#') {
+                Some(("", anchor)) => intra_refs.push((id, anchor.to_string())),
+                Some((dname, anchor)) => pending.push(PendingRef {
+                    from: id,
+                    doc: Some(dname.to_string()),
+                    anchor: (!anchor.is_empty()).then(|| anchor.to_string()),
+                }),
+                None => pending.push(PendingRef {
+                    from: id,
+                    doc: Some(val.clone()),
+                    anchor: None,
+                }),
+            },
+            _ => {}
+        }
+    }
+    Ok(id)
+}
+
+/// Parses a whole collection from `(name, xml)` pairs, resolving
+/// cross-document references in a second pass. Unresolvable references are
+/// dropped (dangling links are common in web-scale collections).
+pub fn parse_collection<'a>(
+    docs: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<Collection, ParseError> {
+    let mut collection = Collection::new();
+    let mut all_pending: Vec<(u32, Vec<PendingRef>)> = Vec::new();
+    for (name, xml) in docs {
+        let parsed = parse_document(name, xml)?;
+        let d = collection.add_document(parsed.doc);
+        all_pending.push((d, parsed.pending));
+    }
+    for (d, pendings) in all_pending {
+        for p in pendings {
+            let Some(target_doc) = p.doc.as_deref() else {
+                continue;
+            };
+            let anchor = p.anchor.as_deref().unwrap_or("");
+            if let Some(to) = collection.resolve_ref(target_doc, anchor) {
+                let from = collection.global_id(d, p.from);
+                // A href may legitimately point back into its own document.
+                if collection.doc_of(to) == Some(d) {
+                    continue;
+                }
+                collection.add_link(from, to);
+            }
+        }
+    }
+    Ok(collection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tree() {
+        let p = parse_document("d", "<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(p.doc.len(), 4);
+        assert_eq!(p.doc.element(0).tag, "a");
+        assert_eq!(p.doc.element(0).children, vec![1, 2]);
+        assert_eq!(p.doc.element(2).children, vec![3]);
+        assert!(p.pending.is_empty());
+    }
+
+    #[test]
+    fn parses_idref_links() {
+        let p = parse_document(
+            "d",
+            r#"<a><sec id="s1"/><ref idref="s1"/><multi idrefs="s1 s1"/></a>"#,
+        )
+        .unwrap();
+        assert_eq!(p.doc.intra_links(), &[(2, 1), (3, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn forward_idref_resolves() {
+        let p = parse_document("d", r#"<a><ref idref="late"/><sec id="late"/></a>"#).unwrap();
+        assert_eq!(p.doc.intra_links(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn fragment_href_is_intra() {
+        let p = parse_document("d", r##"<a><sec id="s"/><l xlink:href="#s"/></a>"##).unwrap();
+        assert_eq!(p.doc.intra_links(), &[(2, 1)]);
+        assert!(p.pending.is_empty());
+    }
+
+    #[test]
+    fn cross_doc_href_is_pending() {
+        let p = parse_document("d", r#"<a><l href="other#x"/><m href="plain"/></a>"#).unwrap();
+        assert_eq!(p.pending.len(), 2);
+        assert_eq!(p.pending[0].doc.as_deref(), Some("other"));
+        assert_eq!(p.pending[0].anchor.as_deref(), Some("x"));
+        assert_eq!(p.pending[1].doc.as_deref(), Some("plain"));
+        assert_eq!(p.pending[1].anchor, None);
+    }
+
+    #[test]
+    fn collection_resolution() {
+        let c = parse_collection([
+            ("one", r#"<a><cite xlink:href="two#sec"/></a>"#),
+            ("two", r#"<b><s id="sec"/></b>"#),
+        ])
+        .unwrap();
+        assert_eq!(c.links().len(), 1);
+        let l = c.links()[0];
+        assert_eq!(c.doc_of(l.from), Some(0));
+        assert_eq!(c.doc_of(l.to), Some(1));
+        assert_eq!(c.to_local(l.to), Some((1, 1)));
+    }
+
+    #[test]
+    fn dangling_refs_dropped() {
+        let c = parse_collection([("one", r#"<a><cite href="missing#x"/></a>"#)]).unwrap();
+        assert!(c.links().is_empty());
+    }
+
+    #[test]
+    fn root_href_targets_root() {
+        let c = parse_collection([
+            ("one", r#"<a><cite href="two"/></a>"#),
+            ("two", "<b><x/></b>"),
+        ])
+        .unwrap();
+        assert_eq!(c.links().len(), 1);
+        assert_eq!(c.to_local(c.links()[0].to), Some((1, 0)));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_document("d", "<a><b></a>").is_err());
+        assert!(parse_document("d", "").is_err());
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse() {
+        let mut d = XmlDocument::new("d", "book");
+        let t = d.add_element(0, "title");
+        let a = d.add_element(0, "author");
+        d.set_anchor("t1", t);
+        d.add_intra_link(a, t);
+        let xml = d.to_xml_string();
+        let p = parse_document("d", &xml).unwrap();
+        assert_eq!(p.doc.len(), 3);
+        assert_eq!(p.doc.intra_links(), &[(2, 1)]);
+        assert_eq!(p.doc.element(1).tag, "title");
+    }
+}

@@ -1,0 +1,127 @@
+//! Collection statistics — the features reported in the paper's Table 1
+//! (documents, elements, links, serialized size).
+
+use crate::collection::Collection;
+
+/// Summary statistics of a collection, matching the columns of the paper's
+/// Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionStats {
+    /// Number of live documents (`# docs`).
+    pub docs: usize,
+    /// Total element count (`# els`).
+    pub elements: usize,
+    /// Inter-document link count (`# links`; the paper's Table 1 counts the
+    /// XLink citations between documents).
+    pub inter_links: usize,
+    /// Intra-document link count (IDREFs).
+    pub intra_links: usize,
+    /// Serialized XML size in bytes.
+    pub size_bytes: usize,
+}
+
+impl CollectionStats {
+    /// Computes statistics for a collection. `size_bytes` serializes each
+    /// document (tags + link attributes, no text), so it is a lower bound on
+    /// a text-bearing corpus — the paper's MB figures include text content.
+    pub fn of(collection: &Collection) -> Self {
+        let mut intra = 0usize;
+        let mut size = 0usize;
+        for d in collection.doc_ids() {
+            let doc = collection.document(d).expect("live doc");
+            intra += doc.intra_links().len();
+            size += doc.to_xml_string().len();
+        }
+        CollectionStats {
+            docs: collection.doc_count(),
+            elements: collection.element_count(),
+            inter_links: collection.links().len(),
+            intra_links: intra,
+            size_bytes: size,
+        }
+    }
+
+    /// Average elements per document.
+    pub fn elements_per_doc(&self) -> f64 {
+        self.elements as f64 / self.docs.max(1) as f64
+    }
+
+    /// Average inter-document links per document.
+    pub fn links_per_doc(&self) -> f64 {
+        self.inter_links as f64 / self.docs.max(1) as f64
+    }
+
+    /// Human-readable size.
+    pub fn size_human(&self) -> String {
+        let b = self.size_bytes as f64;
+        if b >= 1048576.0 {
+            format!("{:.1}MB", b / 1048576.0)
+        } else if b >= 1024.0 {
+            format!("{:.1}KB", b / 1024.0)
+        } else {
+            format!("{}B", self.size_bytes)
+        }
+    }
+}
+
+impl std::fmt::Display for CollectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} docs, {} els, {} links ({} intra), {}",
+            self.docs,
+            self.elements,
+            self.inter_links,
+            self.intra_links,
+            self.size_human()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{dblp, DblpConfig};
+    use crate::model::XmlDocument;
+
+    #[test]
+    fn stats_of_small_collection() {
+        let mut c = Collection::new();
+        let mut d1 = XmlDocument::new("a", "r");
+        let x = d1.add_element(0, "x");
+        d1.add_intra_link(x, 0);
+        c.add_document(d1);
+        let mut d2 = XmlDocument::new("b", "r");
+        d2.add_element(0, "y");
+        c.add_document(d2);
+        c.add_link(c.global_id(0, 1), c.global_id(1, 0));
+        let s = CollectionStats::of(&c);
+        assert_eq!(s.docs, 2);
+        assert_eq!(s.elements, 4);
+        assert_eq!(s.inter_links, 1);
+        assert_eq!(s.intra_links, 1);
+        assert!(s.size_bytes > 0);
+        assert_eq!(s.elements_per_doc(), 2.0);
+    }
+
+    #[test]
+    fn dblp_stats_shape() {
+        let c = dblp(&DblpConfig::scaled(0.02));
+        let s = CollectionStats::of(&c);
+        assert_eq!(s.docs, c.doc_count());
+        assert!(s.elements_per_doc() > 8.0);
+        assert!(s.links_per_doc() > 1.0);
+    }
+
+    #[test]
+    fn size_formatting() {
+        let s = CollectionStats {
+            docs: 1,
+            elements: 1,
+            inter_links: 0,
+            intra_links: 0,
+            size_bytes: 2 * 1048576,
+        };
+        assert_eq!(s.size_human(), "2.0MB");
+    }
+}

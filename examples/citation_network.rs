@@ -1,0 +1,114 @@
+//! Citation-network scenario: the paper's DBLP workload.
+//!
+//! Generates a DBLP-like collection (publications as XML documents,
+//! citations as XLinks — the paper's §7.1 setup), builds the index with
+//! several configurations from Table 2, and compares sizes, build times and
+//! compression ratios.
+//!
+//! ```sh
+//! cargo run --release --example citation_network [scale]
+//! ```
+//!
+//! `scale` (default `0.05`) scales the 6,210-document collection of the
+//! paper.
+
+use hopi::graph::TransitiveClosure;
+use hopi::prelude::*;
+use hopi::xml::generator::{dblp, DblpConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let collection = dblp(&DblpConfig::scaled(scale));
+    let stats = CollectionStats::of(&collection);
+    println!("DBLP-like collection @ scale {scale}: {stats}");
+
+    // Ground truth: the full transitive closure (the object HOPI
+    // compresses). Feasible here because the example runs at reduced scale.
+    let closure = TransitiveClosure::from_graph(&collection.element_graph());
+    let connections = closure.connection_count() as u64;
+    println!("transitive closure: {connections} connections");
+
+    let configs: Vec<(&str, BuildConfig)> = vec![
+        (
+            "old partitioner + old join",
+            BuildConfig {
+                partitioner: PartitionerChoice::Old(OldPartitionerConfig {
+                    max_nodes_per_partition: 2_000,
+                    ..Default::default()
+                }),
+                join: JoinAlgorithm::Incremental,
+                ..Default::default()
+            },
+        ),
+        (
+            "old partitioner + new join",
+            BuildConfig {
+                partitioner: PartitionerChoice::Old(OldPartitionerConfig {
+                    max_nodes_per_partition: 2_000,
+                    ..Default::default()
+                }),
+                join: JoinAlgorithm::Psg,
+                ..Default::default()
+            },
+        ),
+        (
+            "new partitioner + new join",
+            BuildConfig {
+                partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
+                    max_connections_per_partition: 50_000,
+                    ..Default::default()
+                }),
+                join: JoinAlgorithm::Psg,
+                ..Default::default()
+            },
+        ),
+        (
+            "new partitioner + new join + center preselection",
+            BuildConfig {
+                partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
+                    max_connections_per_partition: 50_000,
+                    ..Default::default()
+                }),
+                join: JoinAlgorithm::Psg,
+                preselect_link_targets: true,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    println!(
+        "\n{:<48} {:>6} {:>10} {:>8} {:>12}",
+        "configuration", "parts", "size", "ms", "compression"
+    );
+    for (name, cfg) in &configs {
+        let (index, report) = build_index(&collection, cfg);
+        println!(
+            "{:<48} {:>6} {:>10} {:>8} {:>11.1}x",
+            name,
+            report.partitions,
+            report.cover_size,
+            report.total_ms,
+            report.compression_vs(connections)
+        );
+        // Spot-check correctness on a few random document pairs.
+        verify_sample(&collection, &index, &closure);
+    }
+}
+
+fn verify_sample(collection: &Collection, index: &HopiIndex, closure: &TransitiveClosure) {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = collection.elem_id_bound() as u32;
+    for _ in 0..2_000 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        assert_eq!(
+            index.connected(u, v),
+            closure.contains(u, v),
+            "index disagrees with closure on ({u}, {v})"
+        );
+    }
+}

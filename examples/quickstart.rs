@@ -1,0 +1,97 @@
+//! Quickstart: parse a handful of linked XML documents, build the HOPI
+//! index, and run connection queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hopi::prelude::*;
+use hopi::xml::parser::parse_collection;
+
+fn main() {
+    // A tiny "digital library": three documents linked by citations
+    // (XLink) and an internal cross-reference (IDREF).
+    let collection = parse_collection([
+        (
+            "survey",
+            r#"<article>
+                 <title/>
+                 <related>
+                   <cite xlink:href="systems-paper"/>
+                   <cite xlink:href="theory-paper#main-theorem"/>
+                 </related>
+               </article>"#,
+        ),
+        (
+            "systems-paper",
+            r#"<article>
+                 <title/>
+                 <body>
+                   <sec id="eval"><p idref="impl"/></sec>
+                   <sec id="impl"/>
+                 </body>
+                 <cite xlink:href="theory-paper"/>
+               </article>"#,
+        ),
+        (
+            "theory-paper",
+            r#"<article>
+                 <title/>
+                 <thm id="main-theorem"/>
+               </article>"#,
+        ),
+    ])
+    .expect("well-formed XML");
+
+    let stats = CollectionStats::of(&collection);
+    println!("collection: {stats}");
+
+    // Build the index with the paper's best configuration: the
+    // closure-size-aware partitioner (§4.3) + the PSG-based join (§4.1).
+    let (index, report) = build_index(&collection, &BuildConfig::default());
+    println!(
+        "index built: {} partitions, {} label entries, {} ms",
+        report.partitions, report.cover_size, report.total_ms
+    );
+
+    // `//survey//thm` with link traversal: does the survey reach the
+    // theorem? (Path: survey → cite → theory-paper root → thm, and also
+    // survey → cite → #main-theorem directly.)
+    let survey_root = collection.global_id(0, 0);
+    let theorem = collection
+        .resolve_ref("theory-paper", "main-theorem")
+        .expect("anchor exists");
+    println!(
+        "survey //→ main-theorem: {}",
+        index.connected(survey_root, theorem)
+    );
+    assert!(index.connected(survey_root, theorem));
+
+    // The systems paper reaches the theorem through its own citation.
+    let systems_root = collection.global_id(1, 0);
+    assert!(index.connected(systems_root, theorem));
+
+    // The theory paper cites nothing: it reaches nobody else.
+    let theory_root = collection.global_id(2, 0);
+    assert!(!index.connected(theory_root, survey_root));
+    assert!(!index.connected(theory_root, systems_root));
+
+    // Enumerate everything the survey reaches (descendants-or-self across
+    // documents) — the building block of `//` wildcard evaluation.
+    let reach = index.descendants(survey_root);
+    println!(
+        "survey reaches {} of {} elements",
+        reach.len(),
+        collection.element_count()
+    );
+
+    // Store the cover in the paper's LIN/LOUT table layout and query it
+    // with the SQL-equivalent engine.
+    let store = LinLoutStore::from_cover(index.cover());
+    assert!(store.connected(survey_root, theorem));
+    println!(
+        "LIN/LOUT store: {} rows, {} stored integers (fwd+bwd indexes)",
+        store.entry_count(),
+        store.stored_integers()
+    );
+}

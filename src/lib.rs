@@ -1,0 +1,82 @@
+//! # HOPI — a 2-hop-cover connection index for complex XML collections
+//!
+//! A from-scratch Rust implementation of
+//! *"Efficient Creation and Incremental Maintenance of the HOPI Index for
+//! Complex XML Document Collections"* (Schenkel, Theobald, Weikum;
+//! ICDE 2005), including the underlying 2-hop cover machinery of its
+//! EDBT 2004 predecessor.
+//!
+//! HOPI answers reachability ("is element `u` an ancestor of element `v`
+//! along parent/child **and** XLink/IDREF link axes?") and shortest-link-
+//! distance queries over collections of XML documents, storing the
+//! transitive closure in a compressed 2-hop cover — typically well over an
+//! order of magnitude smaller than the materialized closure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hopi::prelude::*;
+//!
+//! // Parse a small linked collection.
+//! let collection = hopi::xml::parser::parse_collection([
+//!     ("paper-a", r#"<article><cite xlink:href="paper-b"/></article>"#),
+//!     ("paper-b", r#"<article><sec id="s1"/></article>"#),
+//! ])
+//! .expect("valid XML");
+//!
+//! // Build the index (new partitioner + new PSG join by default).
+//! let (index, report) = build_index(&collection, &BuildConfig::default());
+//! assert!(report.cover_size > 0 || collection.links().is_empty());
+//!
+//! // paper-a's root reaches paper-b's section across the citation link.
+//! let a_root = collection.global_id(0, 0);
+//! let b_sec = collection.resolve_ref("paper-b", "s1").unwrap();
+//! assert!(index.connected(a_root, b_sec));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | digraphs, bit sets, transitive/distance closures, SCC |
+//! | [`xml`] | document model, parser, generators, `G_E(X)` / `G_D(X)` |
+//! | [`core`] | 2-hop covers, densest-subgraph machinery, builders |
+//! | [`partition`] | document-graph partitioners, skeleton graph, PSG |
+//! | [`build`] | build pipeline, old (§3.3) and new (§4.1) cover joins |
+//! | [`maintenance`] | insertions, deletions (Thm 2/3), modifications |
+//! | [`store`] | LIN/LOUT index-organized tables, SQL-semantics queries |
+//! | [`query`] | path expressions with wildcards, distance-ranked retrieval |
+//!
+//! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
+//! for the reproduced evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hopi_build as build;
+pub use hopi_core as core;
+pub use hopi_graph as graph;
+pub use hopi_maintenance as maintenance;
+pub use hopi_partition as partition;
+pub use hopi_query as query;
+pub use hopi_store as store;
+pub use hopi_xml as xml;
+
+/// Convenience re-exports for the common workflow: generate/parse a
+/// collection, build an index, query it, maintain it.
+pub mod prelude {
+    pub use hopi_build::{
+        build_index, BuildConfig, HopiIndex, JoinAlgorithm, PartitionerChoice,
+    };
+    pub use hopi_core::{DistanceCover, DistanceCoverBuilder, TwoHopCover};
+    pub use hopi_maintenance::{
+        delete_document, delete_link, insert_document, insert_link, modify_document,
+        separates, DocumentLinks,
+    };
+    pub use hopi_partition::{
+        EdgeWeightStrategy, OldPartitionerConfig, Partitioning, TcPartitionerConfig,
+    };
+    pub use hopi_query::{evaluate, evaluate_ranked, parse_path, PathExpr, TagIndex};
+    pub use hopi_store::LinLoutStore;
+    pub use hopi_xml::{Collection, CollectionStats, DocId, ElemId, Link, XmlDocument};
+}

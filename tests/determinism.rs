@@ -1,0 +1,68 @@
+//! Determinism and concurrency tests: the build pipeline must produce the
+//! same cover regardless of worker-thread count (partition covers are
+//! computed concurrently but merged in partition order), and repeated
+//! builds must be bit-identical (all randomness is seeded).
+
+use hopi::prelude::*;
+use hopi::xml::generator::{dblp, DblpConfig};
+
+fn covers_equal(a: &HopiIndex, b: &HopiIndex, n: u32) -> bool {
+    if a.size() != b.size() {
+        return false;
+    }
+    (0..n).all(|u| {
+        a.cover().lin(u) == b.cover().lin(u) && a.cover().lout(u) == b.cover().lout(u)
+    })
+}
+
+#[test]
+fn thread_count_does_not_change_the_cover() {
+    let c = dblp(&DblpConfig::scaled(0.01));
+    let n = c.elem_id_bound() as u32;
+    let base = BuildConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let (one, _) = build_index(&c, &base);
+    for threads in [2, 4, 8] {
+        let (multi, _) = build_index(
+            &c,
+            &BuildConfig {
+                threads,
+                ..base.clone()
+            },
+        );
+        assert!(
+            covers_equal(&one, &multi, n),
+            "cover differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_builds_are_identical() {
+    let c = dblp(&DblpConfig::scaled(0.008));
+    let n = c.elem_id_bound() as u32;
+    for cfg in [
+        BuildConfig::default(),
+        BuildConfig {
+            partitioner: PartitionerChoice::Old(OldPartitionerConfig::default()),
+            join: JoinAlgorithm::Incremental,
+            ..Default::default()
+        },
+    ] {
+        let (a, _) = build_index(&c, &cfg);
+        let (b, _) = build_index(&c, &cfg);
+        assert!(covers_equal(&a, &b, n), "non-deterministic build: {cfg:?}");
+    }
+}
+
+#[test]
+fn generators_are_reproducible_across_scales() {
+    for scale in [0.002, 0.01] {
+        let a = dblp(&DblpConfig::scaled(scale));
+        let b = dblp(&DblpConfig::scaled(scale));
+        assert_eq!(a.element_count(), b.element_count());
+        assert_eq!(a.links(), b.links());
+    }
+}

@@ -1,0 +1,158 @@
+//! System-level property tests: arbitrary collections, arbitrary build
+//! configurations, arbitrary update sequences — the index must always agree
+//! with the closure oracle.
+
+use hopi::graph::TransitiveClosure;
+use hopi::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random collection blueprint.
+#[derive(Debug, Clone)]
+struct CollectionPlan {
+    docs: Vec<usize>,              // element count per doc
+    links: Vec<(usize, u32, usize, u32)>, // (doc_a, raw_elem, doc_b, raw_elem)
+}
+
+fn arb_plan() -> impl Strategy<Value = CollectionPlan> {
+    let docs = proptest::collection::vec(1usize..6, 2..8);
+    docs.prop_flat_map(|docs| {
+        let n = docs.len();
+        let links =
+            proptest::collection::vec((0..n, 0u32..8, 0..n, 0u32..8), 0..12);
+        (Just(docs), links).prop_map(|(docs, links)| CollectionPlan { docs, links })
+    })
+}
+
+fn realize(plan: &CollectionPlan) -> Collection {
+    let mut c = Collection::new();
+    for (i, &n) in plan.docs.iter().enumerate() {
+        let mut d = XmlDocument::new(format!("d{i}"), "r");
+        for k in 1..n {
+            // Chain/stars mix: attach to element k/2.
+            d.add_element((k / 2) as u32, "e");
+        }
+        c.add_document(d);
+    }
+    for &(da, ea, db, eb) in &plan.links {
+        if da == db {
+            continue;
+        }
+        let (da, db) = (da as u32, db as u32);
+        let la = ea % c.document(da).unwrap().len() as u32;
+        let lb = eb % c.document(db).unwrap().len() as u32;
+        c.add_link(c.global_id(da, la), c.global_id(db, lb));
+    }
+    c
+}
+
+fn oracle_check(c: &Collection, index: &HopiIndex) -> Result<(), TestCaseError> {
+    let g = c.element_graph();
+    let tc = TransitiveClosure::from_graph(&g);
+    for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
+        for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
+            prop_assert_eq!(index.connected(u, v), tc.contains(u, v), "pair ({},{})", u, v);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_collection_psg_join(plan in arb_plan()) {
+        let c = realize(&plan);
+        let (index, _) = build_index(&c, &BuildConfig {
+            partitioner: PartitionerChoice::PerDocument,
+            join: JoinAlgorithm::Psg,
+            ..Default::default()
+        });
+        oracle_check(&c, &index)?;
+    }
+
+    #[test]
+    fn arbitrary_collection_incremental_join(plan in arb_plan()) {
+        let c = realize(&plan);
+        let (index, _) = build_index(&c, &BuildConfig {
+            partitioner: PartitionerChoice::PerDocument,
+            join: JoinAlgorithm::Incremental,
+            ..Default::default()
+        });
+        oracle_check(&c, &index)?;
+    }
+
+    #[test]
+    fn psg_and_incremental_answer_identically(plan in arb_plan()) {
+        let c = realize(&plan);
+        let base = BuildConfig {
+            partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
+                max_connections_per_partition: 60,
+                ..Default::default()
+            }),
+            join: JoinAlgorithm::Psg,
+            ..Default::default()
+        };
+        let (a, _) = build_index(&c, &base);
+        let (b, _) = build_index(&c, &BuildConfig {
+            join: JoinAlgorithm::Incremental,
+            ..base
+        });
+        let n = c.elem_id_bound() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(a.connected(u, v), b.connected(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_sequence_stays_exact(plan in arb_plan(), order in proptest::collection::vec(0usize..100, 1..5)) {
+        let mut c = realize(&plan);
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let mut live: Vec<DocId> = c.doc_ids().collect();
+        for pick in order {
+            if live.len() <= 1 {
+                break;
+            }
+            let victim = live.remove(pick % live.len());
+            delete_document(&mut c, &mut index, victim);
+            oracle_check(&c, &index)?;
+        }
+    }
+
+    #[test]
+    fn insertion_sequence_stays_exact(plan in arb_plan(), extra in proptest::collection::vec((0usize..100, 0usize..100), 1..5)) {
+        let mut c = realize(&plan);
+        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        for (i, (da, db)) in extra.into_iter().enumerate() {
+            let docs: Vec<DocId> = c.doc_ids().collect();
+            let a = docs[da % docs.len()];
+            let b = docs[db % docs.len()];
+            if a != b {
+                let (from, to) = (c.global_id(a, 0), c.global_id(b, 0));
+                insert_link(&mut c, &mut index, from, to);
+            } else {
+                let mut d = XmlDocument::new(format!("x{i}"), "r");
+                d.add_element(0, "s");
+                let to = c.global_id(a, 0);
+                insert_document(&mut c, &mut index, d, &DocumentLinks {
+                    outgoing: vec![(1, to)],
+                    incoming: vec![],
+                });
+            }
+            oracle_check(&c, &index)?;
+        }
+    }
+
+    #[test]
+    fn store_agrees_with_cover(plan in arb_plan()) {
+        let c = realize(&plan);
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let store = LinLoutStore::from_cover(index.cover());
+        let n = c.elem_id_bound() as u32;
+        for u in 0..n {
+            prop_assert_eq!(store.descendants(u), index.descendants(u));
+            prop_assert_eq!(store.ancestors(u), index.ancestors(u));
+        }
+    }
+}
