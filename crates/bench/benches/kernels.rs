@@ -90,7 +90,13 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("build");
     group.sample_size(10);
     group.bench_function("full_build_dblp_0.02_default", |b| {
-        b.iter(|| std::hint::black_box(build_index(&collection, &BuildConfig::default()).1.cover_size))
+        b.iter(|| {
+            std::hint::black_box(
+                build_index(&collection, &BuildConfig::default())
+                    .1
+                    .cover_size,
+            )
+        })
     });
     group.finish();
 }

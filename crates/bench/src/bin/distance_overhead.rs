@@ -77,6 +77,10 @@ fn run(name: &str, collection: &Collection, t: &TablePrinter) {
     let n = graph.id_bound() as u32;
     for _ in 0..500 {
         let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
-        assert_eq!(dist.distance(u, v), dc.dist(u, v), "distance drift ({u},{v})");
+        assert_eq!(
+            dist.distance(u, v),
+            dc.dist(u, v),
+            "distance drift ({u},{v})"
+        );
     }
 }

@@ -38,9 +38,7 @@ fn main() {
         report.partitions,
         report.total_ms as f64 / 1000.0
     );
-    println!(
-        "paper: 33,701,084 entries over 12,061,348 nodes → 2.79 entries/node, ~4 hours"
-    );
+    println!("paper: 33,701,084 entries over 12,061,348 nodes → 2.79 entries/node, ~4 hours");
     assert!(
         per_node < 3.5,
         "tree collections must stay near the paper's <3 entries/node"

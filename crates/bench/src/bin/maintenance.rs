@@ -69,12 +69,7 @@ fn main() {
     sep_docs.shuffle(&mut rng);
     nonsep_docs.shuffle(&mut rng);
 
-    let t = TablePrinter::new(&[
-        ("operation", 26),
-        ("count", 6),
-        ("mean", 12),
-        ("max", 12),
-    ]);
+    let t = TablePrinter::new(&[("operation", 26), ("count", 6), ("mean", 12), ("max", 12)]);
 
     // Fast deletions (Theorem 2).
     let mut fast_times = Vec::new();

@@ -17,7 +17,9 @@
 //! cargo run -p hopi-bench --release --bin table2 [--scale 0.05] [--flat]
 //! ```
 
-use hopi_bench::{dblp_collection, paper, scale_arg, scaled_nx_budget, scaled_px_cap, TablePrinter};
+use hopi_bench::{
+    dblp_collection, paper, scale_arg, scaled_nx_budget, scaled_px_cap, TablePrinter,
+};
 use hopi_build::{build_index, BuildConfig, JoinAlgorithm, PartitionerChoice};
 use hopi_graph::TransitiveClosure;
 use hopi_partition::{OldPartitionerConfig, TcPartitionerConfig};
@@ -143,7 +145,12 @@ fn main() {
     }
 
     println!("\npaper (full scale, Table 2):");
-    let t = TablePrinter::new(&[("algorithm", 12), ("time", 10), ("size", 12), ("compression", 12)]);
+    let t = TablePrinter::new(&[
+        ("algorithm", 12),
+        ("time", 10),
+        ("size", 12),
+        ("compression", 12),
+    ]);
     for (a, time, size, c) in [
         ("baseline", "11,400s", "15,976,677", "21.6"),
         ("P5", "820.8s", "9,980,892", "34.6"),

@@ -86,7 +86,10 @@ impl TablePrinter {
             .map(|&(name, w)| format!("{name:>w$}"))
             .collect();
         println!("{}", header.join("  "));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         TablePrinter { widths }
     }
 

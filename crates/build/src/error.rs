@@ -1,0 +1,121 @@
+//! The workspace-wide error type of the public HOPI API.
+//!
+//! The expert layer underneath mixes panics, `Option`s and per-crate error
+//! types; everything crossing the [`Hopi`](crate::Hopi) /
+//! [`OnlineHopi`](crate::OnlineHopi) boundary is converted to [`HopiError`]
+//! so callers match on one enum.
+
+use hopi_xml::{DocId, ElemId};
+
+/// Any error the public HOPI engine API can return.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HopiError {
+    /// Malformed XML text.
+    Xml(hopi_xml::parser::ParseError),
+    /// Malformed path expression.
+    Path(hopi_query::ParseError),
+    /// A document id that is not (or no longer) live in the collection.
+    UnknownDocument(DocId),
+    /// An element id that is not (or no longer) live in the collection.
+    UnknownElement(ElemId),
+    /// A document-local element id outside the document's element range.
+    InvalidLocalElement {
+        /// The offending local id.
+        local: u32,
+        /// Number of elements in the document.
+        len: usize,
+    },
+    /// A link whose endpoints lie in the same document (same-document
+    /// references belong to the document's intra-links).
+    SameDocumentLink {
+        /// Link source.
+        from: ElemId,
+        /// Link target.
+        to: ElemId,
+    },
+    /// A link that does not exist in the collection.
+    UnknownLink {
+        /// Link source.
+        from: ElemId,
+        /// Link target.
+        to: ElemId,
+    },
+    /// An `href`/`idref` reference naming a document or anchor the
+    /// collection does not contain.
+    UnresolvedRef {
+        /// Referenced document name.
+        doc: String,
+        /// Referenced anchor (empty = document root).
+        anchor: String,
+    },
+    /// A document name that is already taken by a live document.
+    DuplicateDocumentName(String),
+    /// A distance query against an engine built without
+    /// [`distance_aware`](crate::HopiBuilder::distance_aware).
+    DistanceDisabled,
+    /// Index persistence failed.
+    Persist(hopi_store::PersistError),
+}
+
+impl std::fmt::Display for HopiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HopiError::Xml(e) => write!(f, "XML parse error: {e}"),
+            HopiError::Path(e) => write!(f, "path expression error: {e}"),
+            HopiError::UnknownDocument(d) => write!(f, "unknown document id {d}"),
+            HopiError::UnknownElement(e) => write!(f, "unknown element id {e}"),
+            HopiError::InvalidLocalElement { local, len } => {
+                write!(f, "local element {local} out of range (document has {len})")
+            }
+            HopiError::SameDocumentLink { from, to } => write!(
+                f,
+                "link {from} → {to} stays inside one document; use intra-document links"
+            ),
+            HopiError::UnknownLink { from, to } => write!(f, "no link {from} → {to}"),
+            HopiError::UnresolvedRef { doc, anchor } if anchor.is_empty() => {
+                write!(f, "unresolved reference to document '{doc}'")
+            }
+            HopiError::UnresolvedRef { doc, anchor } => {
+                write!(f, "unresolved reference '{doc}#{anchor}'")
+            }
+            HopiError::DuplicateDocumentName(name) => {
+                write!(f, "a live document named '{name}' already exists")
+            }
+            HopiError::DistanceDisabled => write!(
+                f,
+                "distance queries need an engine built with distance_aware(true)"
+            ),
+            HopiError::Persist(e) => write!(f, "persistence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HopiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HopiError::Xml(e) => Some(e),
+            HopiError::Path(e) => Some(e),
+            HopiError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hopi_xml::parser::ParseError> for HopiError {
+    fn from(e: hopi_xml::parser::ParseError) -> Self {
+        HopiError::Xml(e)
+    }
+}
+
+impl From<hopi_query::ParseError> for HopiError {
+    fn from(e: hopi_query::ParseError) -> Self {
+        HopiError::Path(e)
+    }
+}
+
+impl From<hopi_store::PersistError> for HopiError {
+    fn from(e: hopi_store::PersistError) -> Self {
+        HopiError::Persist(e)
+    }
+}

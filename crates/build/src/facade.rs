@@ -1,0 +1,607 @@
+//! The [`Hopi`] engine: one handle over the whole index lifecycle.
+//!
+//! The expert layer splits HOPI into free functions across eight crates
+//! (build in `hopi_partition::pipeline`, queries in `hopi_query`,
+//! maintenance in `hopi_maintenance`, …), each moving bare tuples of
+//! collection/index/tag-index state. `Hopi` owns that state as one engine:
+//! build it with [`Hopi::builder`], then query and maintain it through
+//! inherent methods, with [`HopiError`] as the single error type.
+
+use crate::error::HopiError;
+use hopi_core::{DistanceCover, DistanceCoverBuilder, HopiIndex};
+use hopi_graph::DistanceClosure;
+use hopi_maintenance::{
+    degradation, delete_document, delete_link, insert_document, insert_link, modify_document,
+    should_rebuild, Degradation, DeletionOutcome, DocumentLinks, RebuildPolicy,
+};
+use hopi_partition::{build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
+use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
+use hopi_store::{load_store, save_store, LinLoutStore};
+use hopi_xml::parser::{parse_collection, parse_document};
+use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
+use std::path::Path;
+
+/// Tunables of the facade's query methods.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Probe-vs-enumerate switch of `//` steps: above this many candidate
+    /// probes (`|context| × |candidates|`), evaluation enumerates descendant
+    /// sets instead of probing pairs (see [`hopi_query::EvalOptions`]).
+    pub probe_budget: usize,
+    /// Keep only the best `k` results of [`Hopi::query_ranked`]
+    /// (`None` = all).
+    pub top_k: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            probe_budget: EvalOptions::default().probe_budget,
+            top_k: None,
+        }
+    }
+}
+
+/// A point-in-time summary of an engine (see [`Hopi::stats`]).
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Live documents.
+    pub documents: usize,
+    /// Live elements.
+    pub elements: usize,
+    /// Inter-document links.
+    pub links: usize,
+    /// Cover size `|L|` (stored label entries).
+    pub cover_entries: usize,
+    /// Cover entries per live element (the paper's INEX yardstick).
+    pub entries_per_element: f64,
+    /// Entries of the distance cover, when distance queries are enabled.
+    pub distance_entries: Option<usize>,
+}
+
+/// Configures and builds a [`Hopi`] engine (see [`Hopi::builder`]).
+#[derive(Clone, Debug, Default)]
+pub struct HopiBuilder {
+    config: BuildConfig,
+    options: QueryOptions,
+    distance_aware: bool,
+}
+
+impl HopiBuilder {
+    /// Chooses the document-graph partitioner (default: the closure-budget
+    /// partitioner of paper §4.3).
+    pub fn partitioner(mut self, partitioner: PartitionerChoice) -> Self {
+        self.config.partitioner = partitioner;
+        self
+    }
+
+    /// Chooses the cover-join algorithm (default: the PSG join of §4.1).
+    pub fn join(mut self, join: JoinAlgorithm) -> Self {
+        self.config.join = join;
+        self
+    }
+
+    /// Preselects cross-partition link targets as centers (paper §4.2).
+    pub fn preselect_link_targets(mut self, on: bool) -> Self {
+        self.config.preselect_link_targets = on;
+        self
+    }
+
+    /// PSG-join recursion threshold (see
+    /// [`BuildConfig::psg_direct_threshold`]).
+    pub fn psg_direct_threshold(mut self, threshold: usize) -> Self {
+        self.config.psg_direct_threshold = threshold;
+        self
+    }
+
+    /// Worker threads for per-partition cover construction (`0` = one per
+    /// CPU). The built cover is identical for any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Additionally maintains the distance-aware cover of paper §5,
+    /// enabling [`Hopi::distance`] and [`Hopi::query_ranked`].
+    pub fn distance_aware(mut self, on: bool) -> Self {
+        self.distance_aware = on;
+        self
+    }
+
+    /// Sets the whole build configuration at once (expert escape hatch).
+    pub fn config(mut self, config: BuildConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the query tunables.
+    pub fn query_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Probe-vs-enumerate budget of `//` steps (see [`QueryOptions`]).
+    pub fn probe_budget(mut self, probe_budget: usize) -> Self {
+        self.options.probe_budget = probe_budget;
+        self
+    }
+
+    /// Builds the engine over a collection.
+    pub fn build(self, collection: Collection) -> Result<Hopi, HopiError> {
+        let (index, report) = build_index(&collection, &self.config);
+        let tags = TagIndex::build(&collection);
+        let distance = self
+            .distance_aware
+            .then(|| build_distance_cover(&collection));
+        Ok(Hopi {
+            collection,
+            index,
+            tags,
+            distance,
+            config: self.config,
+            options: self.options,
+            report,
+        })
+    }
+
+    /// Parses `(name, xml)` documents into a collection and builds the
+    /// engine over it.
+    pub fn parse<'a>(
+        self,
+        docs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<Hopi, HopiError> {
+        self.build(parse_collection(docs)?)
+    }
+
+    /// Reconstructs an engine from an index persisted with [`Hopi::save`],
+    /// skipping the build but keeping this builder's configuration for
+    /// future [`Hopi::rebuild`]s and queries. The distance cover is
+    /// restored from the file's DIST column when present, or built fresh
+    /// when the builder asked for [`distance_aware`](Self::distance_aware).
+    pub fn open(self, collection: Collection, path: &Path) -> Result<Hopi, HopiError> {
+        let store = load_store(path)?;
+        let mut cover = hopi_core::TwoHopCover::new();
+        for r in store.lout().rows() {
+            cover.add_out(r.id, r.other);
+        }
+        for r in store.lin().rows() {
+            cover.add_in(r.id, r.other);
+        }
+        let with_dist = store.lin().with_dist() || store.lout().with_dist();
+        let distance = if with_dist {
+            let mut d = DistanceCover::default();
+            for r in store.lout().rows() {
+                d.add_out(r.id, r.other, r.dist);
+            }
+            for r in store.lin().rows() {
+                d.add_in(r.id, r.other, r.dist);
+            }
+            Some(d)
+        } else {
+            self.distance_aware
+                .then(|| build_distance_cover(&collection))
+        };
+        let index = HopiIndex::from_cover(cover);
+        let tags = TagIndex::build(&collection);
+        let report = BuildReport {
+            cover_size: index.size(),
+            ..Default::default()
+        };
+        Ok(Hopi {
+            collection,
+            index,
+            tags,
+            distance,
+            config: self.config,
+            options: self.options,
+            report,
+        })
+    }
+}
+
+/// The HOPI engine: an XML collection, its 2-hop connection index, and the
+/// query/maintenance machinery behind one handle.
+///
+/// ```
+/// use hopi_build::Hopi;
+///
+/// let mut hopi = Hopi::builder().parse([
+///     ("survey", r#"<article><cite xlink:href="paper"/></article>"#),
+///     ("paper", r#"<article><sec id="s1"><p/></sec></article>"#),
+/// ])?;
+///
+/// // Reachability across the citation link…
+/// let survey = hopi.resolve("survey", "")?;
+/// let sec = hopi.resolve("paper", "s1")?;
+/// assert!(hopi.connected(survey, sec));
+///
+/// // …and path queries with wildcards over the same engine.
+/// assert_eq!(hopi.query("//article//p")?.len(), 1);
+/// assert!(hopi.query("//survey//nothing")?.is_empty());
+/// # Ok::<(), hopi_build::HopiError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hopi {
+    collection: Collection,
+    index: HopiIndex,
+    tags: TagIndex,
+    distance: Option<DistanceCover>,
+    config: BuildConfig,
+    options: QueryOptions,
+    report: BuildReport,
+}
+
+fn build_distance_cover(collection: &Collection) -> DistanceCover {
+    let closure = DistanceClosure::from_graph(&collection.element_graph());
+    DistanceCoverBuilder::new(&closure).build()
+}
+
+impl Hopi {
+    /// Starts configuring an engine.
+    ///
+    /// ```
+    /// use hopi_build::{Hopi, JoinAlgorithm, PartitionerChoice};
+    /// use hopi_xml::{Collection, XmlDocument};
+    ///
+    /// let mut collection = Collection::new();
+    /// collection.add_document(XmlDocument::new("doc", "root"));
+    ///
+    /// let hopi = Hopi::builder()
+    ///     .partitioner(PartitionerChoice::PerDocument)
+    ///     .join(JoinAlgorithm::Psg)
+    ///     .distance_aware(true)
+    ///     .build(collection)?;
+    /// assert_eq!(hopi.stats().documents, 1);
+    /// # Ok::<(), hopi_build::HopiError>(())
+    /// ```
+    pub fn builder() -> HopiBuilder {
+        HopiBuilder::default()
+    }
+
+    /// Builds an engine over a collection with the default configuration.
+    pub fn build(collection: Collection) -> Result<Hopi, HopiError> {
+        Hopi::builder().build(collection)
+    }
+
+    /// Reconstructs an engine from a collection and an index persisted with
+    /// [`Hopi::save`], skipping the build. A distance-aware save restores a
+    /// distance-aware engine. Future [`Hopi::rebuild`]s use the *default*
+    /// build configuration; open through
+    /// [`HopiBuilder::open`](HopiBuilder::open) to choose a different one.
+    pub fn open(collection: Collection, path: &Path) -> Result<Hopi, HopiError> {
+        Hopi::builder().open(collection, path)
+    }
+
+    /// Persists the index in the paper's LIN/LOUT table layout. A
+    /// distance-aware engine persists the DIST column too, so
+    /// [`Hopi::open`] restores distance queries.
+    pub fn save(&self, path: &Path) -> Result<(), HopiError> {
+        let store = match &self.distance {
+            Some(cover) => LinLoutStore::from_distance_cover(cover),
+            None => LinLoutStore::from_cover(self.index.cover()),
+        };
+        save_store(&store, path)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    /// The connection test: is `u` an ancestor of `v` along parent/child
+    /// and link axes (reflexive)?
+    pub fn connected(&self, u: ElemId, v: ElemId) -> bool {
+        self.index.connected(u, v)
+    }
+
+    /// Shortest link distance `u →* v` (`None` = unreachable). Needs
+    /// [`HopiBuilder::distance_aware`].
+    pub fn distance(&self, u: ElemId, v: ElemId) -> Result<Option<u32>, HopiError> {
+        Ok(self.distance_cover()?.distance(u, v))
+    }
+
+    /// Everything `u` reaches (descendants-or-self), sorted.
+    pub fn descendants(&self, u: ElemId) -> Vec<ElemId> {
+        self.index.descendants(u)
+    }
+
+    /// Everything reaching `u` (ancestors-or-self), sorted.
+    pub fn ancestors(&self, u: ElemId) -> Vec<ElemId> {
+        self.index.ancestors(u)
+    }
+
+    /// Evaluates a path expression (`/site/nav//book`, `//article//sec`,
+    /// wildcards with `*`). Returns matching element ids, sorted.
+    pub fn query(&self, expr: &str) -> Result<Vec<ElemId>, HopiError> {
+        let parsed = parse_path(expr)?;
+        Ok(evaluate_with(
+            &self.collection,
+            &self.index,
+            &self.tags,
+            &parsed,
+            &EvalOptions {
+                probe_budget: self.options.probe_budget,
+            },
+        ))
+    }
+
+    /// Evaluates a path expression with distance-ranked results (paper
+    /// §5.1; best-ranked first, truncated to [`QueryOptions::top_k`]).
+    /// Needs [`HopiBuilder::distance_aware`].
+    pub fn query_ranked(&self, expr: &str) -> Result<Vec<RankedMatch>, HopiError> {
+        let cover = self.distance_cover()?;
+        let parsed = parse_path(expr)?;
+        let mut matches = evaluate_ranked(&self.collection, cover, &self.tags, &parsed);
+        if let Some(k) = self.options.top_k {
+            matches.truncate(k);
+        }
+        Ok(matches)
+    }
+
+    /// Resolves a `docname` / `docname#anchor` reference to an element id.
+    pub fn resolve(&self, doc: &str, anchor: &str) -> Result<ElemId, HopiError> {
+        self.collection
+            .resolve_ref(doc, anchor)
+            .ok_or_else(|| HopiError::UnresolvedRef {
+                doc: doc.to_string(),
+                anchor: anchor.to_string(),
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (paper §6).
+    // ------------------------------------------------------------------
+
+    /// Inserts a document plus its links incrementally (paper §6.1).
+    /// Returns the assigned document id.
+    pub fn insert_document(
+        &mut self,
+        doc: XmlDocument,
+        links: &DocumentLinks,
+    ) -> Result<DocId, HopiError> {
+        self.validate_document_links(&doc, links)?;
+        let d = insert_document(&mut self.collection, &mut self.index, doc, links);
+        self.tags = TagIndex::build(&self.collection);
+        if let Some(cover) = self.distance.as_mut() {
+            // Insertions update the distance cover incrementally (§6); only
+            // deletions fall back to a recompute.
+            hopi_maintenance::integrate_document_distance(&self.collection, cover, d, links);
+        }
+        Ok(d)
+    }
+
+    /// Parses one XML document and inserts it, resolving its `href`
+    /// references against the collection. Unlike bulk parsing (where
+    /// dangling web links are dropped), an unresolvable reference is an
+    /// error here — the caller named a specific target.
+    pub fn insert_xml(&mut self, name: &str, xml: &str) -> Result<DocId, HopiError> {
+        if self.collection.doc_ids().any(|d| {
+            self.collection
+                .document(d)
+                .is_some_and(|doc| doc.name == name)
+        }) {
+            return Err(HopiError::DuplicateDocumentName(name.to_string()));
+        }
+        let parsed = parse_document(name, xml)?;
+        let mut links = DocumentLinks::default();
+        for p in &parsed.pending {
+            let doc = p.doc.clone().unwrap_or_default();
+            let anchor = p.anchor.clone().unwrap_or_default();
+            let target = self.resolve(&doc, &anchor)?;
+            links.outgoing.push((p.from, target));
+        }
+        self.insert_document(parsed.doc, &links)
+    }
+
+    /// Inserts an inter-document link incrementally (§6.1). Returns the
+    /// number of label entries added.
+    pub fn insert_link(&mut self, from: ElemId, to: ElemId) -> Result<usize, HopiError> {
+        let fd = self
+            .collection
+            .doc_of(from)
+            .ok_or(HopiError::UnknownElement(from))?;
+        let td = self
+            .collection
+            .doc_of(to)
+            .ok_or(HopiError::UnknownElement(to))?;
+        if fd == td {
+            return Err(HopiError::SameDocumentLink { from, to });
+        }
+        let added = insert_link(&mut self.collection, &mut self.index, from, to);
+        if let Some(cover) = self.distance.as_mut() {
+            // Insertions update the distance cover incrementally (§6); only
+            // deletions fall back to a recompute.
+            hopi_maintenance::insert_edge_distance(cover, from, to);
+        }
+        Ok(added)
+    }
+
+    /// Deletes a document (Theorem 2 fast path when it separates the
+    /// document graph, Theorem 3 otherwise — paper §6.2).
+    pub fn delete_document(&mut self, d: DocId) -> Result<DeletionOutcome, HopiError> {
+        if self.collection.document(d).is_none() {
+            return Err(HopiError::UnknownDocument(d));
+        }
+        let outcome = delete_document(&mut self.collection, &mut self.index, d);
+        self.after_structural_change();
+        Ok(outcome)
+    }
+
+    /// Deletes an inter-document link (§6.2's single-edge deletion).
+    pub fn delete_link(&mut self, from: ElemId, to: ElemId) -> Result<DeletionOutcome, HopiError> {
+        if !self
+            .collection
+            .links()
+            .iter()
+            .any(|l| l.from == from && l.to == to)
+        {
+            return Err(HopiError::UnknownLink { from, to });
+        }
+        let outcome = delete_link(&mut self.collection, &mut self.index, from, to);
+        self.refresh_distance();
+        Ok(outcome)
+    }
+
+    /// Replaces a document with a new version (drop + reinsert, §6.3).
+    /// Returns the new document id.
+    pub fn modify_document(
+        &mut self,
+        d: DocId,
+        new_doc: XmlDocument,
+        links: &DocumentLinks,
+    ) -> Result<DocId, HopiError> {
+        if self.collection.document(d).is_none() {
+            return Err(HopiError::UnknownDocument(d));
+        }
+        self.validate_modify_links(d, &new_doc, links)?;
+        let new_id = modify_document(&mut self.collection, &mut self.index, d, new_doc, links);
+        self.after_structural_change();
+        Ok(new_id)
+    }
+
+    /// Rebuilds the index from scratch with the configured §4 pipeline
+    /// ("over time, the space efficiency … may degrade"). Returns the
+    /// fresh build's report; [`Hopi::report`] is updated too.
+    pub fn rebuild(&mut self) -> &BuildReport {
+        let (index, report) = build_index(&self.collection, &self.config);
+        self.index = index;
+        self.report = report;
+        self.refresh_distance();
+        self.report()
+    }
+
+    /// Current degradation of the maintained cover versus a fresh build.
+    pub fn degradation(&self) -> Degradation {
+        degradation(&self.collection, &self.index)
+    }
+
+    /// Should the index be rebuilt under `policy`?
+    pub fn should_rebuild(&self, policy: &RebuildPolicy) -> bool {
+        should_rebuild(&self.collection, &self.index, policy)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Collection/index summary.
+    pub fn stats(&self) -> Stats {
+        let elements = self.collection.element_count();
+        let entries = self.index.size();
+        Stats {
+            documents: self.collection.doc_count(),
+            elements,
+            links: self.collection.links().len(),
+            cover_entries: entries,
+            entries_per_element: entries as f64 / elements.max(1) as f64,
+            distance_entries: self.distance.as_ref().map(DistanceCover::size),
+        }
+    }
+
+    /// Report of the most recent full build (initial build or
+    /// [`Hopi::rebuild`]).
+    pub fn report(&self) -> &BuildReport {
+        &self.report
+    }
+
+    /// The collection (expert escape hatch; read-only so the engine's
+    /// index always matches it).
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// The underlying index (expert escape hatch).
+    pub fn index(&self) -> &HopiIndex {
+        &self.index
+    }
+
+    /// The build configuration this engine (re)builds with.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// The query tunables.
+    pub fn query_options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Updates the query tunables.
+    pub fn set_query_options(&mut self, options: QueryOptions) {
+        self.options = options;
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn distance_cover(&self) -> Result<&DistanceCover, HopiError> {
+        self.distance.as_ref().ok_or(HopiError::DistanceDisabled)
+    }
+
+    /// Re-derives the structures deletions do not update incrementally
+    /// (tag index; distance cover when enabled — the paper gives
+    /// incremental distance maintenance for insertions only).
+    fn after_structural_change(&mut self) {
+        self.tags = TagIndex::build(&self.collection);
+        self.refresh_distance();
+    }
+
+    fn refresh_distance(&mut self) {
+        if self.distance.is_some() {
+            self.distance = Some(build_distance_cover(&self.collection));
+        }
+    }
+
+    fn validate_document_links(
+        &self,
+        doc: &XmlDocument,
+        links: &DocumentLinks,
+    ) -> Result<(), HopiError> {
+        for &(local, target) in &links.outgoing {
+            if (local as usize) >= doc.len() {
+                return Err(HopiError::InvalidLocalElement {
+                    local,
+                    len: doc.len(),
+                });
+            }
+            if self.collection.doc_of(target).is_none() {
+                return Err(HopiError::UnknownElement(target));
+            }
+        }
+        for &(source, local) in &links.incoming {
+            if self.collection.doc_of(source).is_none() {
+                return Err(HopiError::UnknownElement(source));
+            }
+            if (local as usize) >= doc.len() {
+                return Err(HopiError::InvalidLocalElement {
+                    local,
+                    len: doc.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Hopi::validate_document_links`], but for a modification:
+    /// links touching the document being replaced are legal only insofar as
+    /// they do not survive it, so endpoints inside `d` are rejected.
+    fn validate_modify_links(
+        &self,
+        d: DocId,
+        doc: &XmlDocument,
+        links: &DocumentLinks,
+    ) -> Result<(), HopiError> {
+        self.validate_document_links(doc, links)?;
+        for &(_, target) in &links.outgoing {
+            if self.collection.doc_of(target) == Some(d) {
+                return Err(HopiError::UnknownElement(target));
+            }
+        }
+        for &(source, _) in &links.incoming {
+            if self.collection.doc_of(source) == Some(d) {
+                return Err(HopiError::UnknownElement(source));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,135 @@
+//! # hopi-build — the public face of the HOPI index
+//!
+//! This crate bundles the whole HOPI system (Schenkel, Theobald, Weikum;
+//! ICDE 2005) behind one engine type:
+//!
+//! * [`Hopi`] — an XML collection plus its 2-hop connection index, built
+//!   with [`Hopi::builder`] and driven through inherent methods for the
+//!   entire lifecycle: `connected`/`distance`, `query`/`query_ranked`,
+//!   `insert_document`/`delete_document`/`insert_link`/`delete_link`,
+//!   `rebuild`, `save`/`open`, `stats`.
+//! * [`OnlineHopi`] — the same surface behind a reader/writer lock for 24×7
+//!   serving (paper §1.1): concurrent queries, brief write-locked
+//!   incremental updates, and background rebuilds with atomic swap.
+//! * [`HopiError`] — the single error type crossing this boundary,
+//!   replacing the expert layer's mix of panics, `Option`s and per-crate
+//!   errors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hopi_build::Hopi;
+//!
+//! let hopi = Hopi::builder().parse([
+//!     ("paper-a", r#"<article><cite xlink:href="paper-b"/></article>"#),
+//!     ("paper-b", r#"<article><sec id="s1"/></article>"#),
+//! ])?;
+//!
+//! let a_root = hopi.resolve("paper-a", "")?;
+//! let b_sec = hopi.resolve("paper-b", "s1")?;
+//! assert!(hopi.connected(a_root, b_sec));
+//! assert_eq!(hopi.query("//article//sec")?, vec![b_sec]);
+//! # Ok::<(), hopi_build::HopiError>(())
+//! ```
+//!
+//! ## The expert layer
+//!
+//! The low-level machinery stays available for code that needs to hold the
+//! pieces separately: the build pipeline ([`build_index`], [`BuildConfig`],
+//! [`JoinAlgorithm`], [`PartitionerChoice`]) from `hopi_partition`, the
+//! index handle ([`HopiIndex`]) and the link-integration primitive
+//! ([`old_join`]) from `hopi_core` — re-exported here under their
+//! historical `hopi_build` paths. The facade is a thin, always-consistent
+//! composition of exactly these functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod facade;
+mod online;
+
+pub use error::HopiError;
+pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
+pub use online::OnlineHopi;
+
+// ---------------------------------------------------------------------
+// The expert layer, re-exported under its historical paths.
+// ---------------------------------------------------------------------
+
+pub use hopi_core::old_join;
+pub use hopi_core::HopiIndex;
+pub use hopi_partition::pipeline::{
+    build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice, PsgJoinReport,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopi_maintenance::DocumentLinks;
+    use hopi_xml::XmlDocument;
+
+    fn engine() -> Hopi {
+        Hopi::builder()
+            .parse([
+                ("a", r#"<r><s/><cite xlink:href="b"/></r>"#),
+                ("b", r#"<r><sec id="deep"><p/></sec></r>"#),
+            ])
+            .expect("valid fixture")
+    }
+
+    #[test]
+    fn facade_composes_expert_layer() {
+        let hopi = engine();
+        // The facade's answers match a hand-rolled expert-layer pipeline.
+        let (index, _) = build_index(hopi.collection(), &BuildConfig::default());
+        let n = hopi.collection().elem_id_bound() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(hopi.connected(u, v), index.connected(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_round_trip() {
+        let mut hopi = engine();
+        let a = hopi.resolve("a", "").unwrap();
+        let deep = hopi.resolve("b", "deep").unwrap();
+        assert!(hopi.connected(a, deep));
+
+        let mut doc = XmlDocument::new("c", "r");
+        let child = doc.add_element(0, "x");
+        let c = hopi
+            .insert_document(
+                doc,
+                &DocumentLinks {
+                    outgoing: vec![(child, a)],
+                    incoming: vec![],
+                },
+            )
+            .unwrap();
+        let c_root = hopi.collection().global_id(c, 0);
+        assert!(hopi.connected(c_root, deep), "new doc reaches b via a");
+        hopi.delete_document(c).unwrap();
+        assert!(hopi.query("//r//x").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mut hopi = engine();
+        assert!(matches!(hopi.query("not-a-path"), Err(HopiError::Path(_))));
+        assert!(matches!(
+            hopi.delete_document(99),
+            Err(HopiError::UnknownDocument(99))
+        ));
+        assert!(matches!(
+            hopi.resolve("nope", ""),
+            Err(HopiError::UnresolvedRef { .. })
+        ));
+        assert!(matches!(
+            hopi.distance(0, 1),
+            Err(HopiError::DistanceDisabled)
+        ));
+    }
+}

@@ -1,11 +1,8 @@
-//! CLI subcommand implementations.
+//! CLI subcommand implementations, driving the [`Hopi`] engine facade.
 
 use crate::load::{flag_value, load_dir, positional};
-use hopi_build::{build_index, BuildConfig, JoinAlgorithm, PartitionerChoice};
-use hopi_core::TwoHopCover;
+use hopi_build::{Hopi, HopiBuilder, JoinAlgorithm, PartitionerChoice};
 use hopi_partition::OldPartitionerConfig;
-use hopi_query::{evaluate, parse_path, TagIndex};
-use hopi_store::{load_store, save_store, LinLoutStore};
 use hopi_xml::generator::{dblp, inex, DblpConfig, InexConfig};
 use hopi_xml::CollectionStats;
 use std::path::Path;
@@ -57,18 +54,13 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build_config(mode: &str) -> Result<BuildConfig, String> {
+fn builder_for_mode(mode: &str) -> Result<HopiBuilder, String> {
     match mode {
-        "default" => Ok(BuildConfig::default()),
-        "flat" => Ok(BuildConfig {
-            partitioner: PartitionerChoice::Flat,
-            ..Default::default()
-        }),
-        "old" => Ok(BuildConfig {
-            partitioner: PartitionerChoice::Old(OldPartitionerConfig::default()),
-            join: JoinAlgorithm::Incremental,
-            ..Default::default()
-        }),
+        "default" => Ok(Hopi::builder()),
+        "flat" => Ok(Hopi::builder().partitioner(PartitionerChoice::Flat)),
+        "old" => Ok(Hopi::builder()
+            .partitioner(PartitionerChoice::Old(OldPartitionerConfig::default()))
+            .join(JoinAlgorithm::Incremental)),
         other => Err(format!("unknown --mode '{other}' (default|flat|old)")),
     }
 }
@@ -80,29 +72,19 @@ pub fn build(args: &[String]) -> Result<(), String> {
     let mode = flag_value(args, "--mode").unwrap_or_else(|| "default".into());
     let collection = load_dir(&dir)?;
     let t = Instant::now();
-    let (index, report) = build_index(&collection, &build_config(&mode)?);
+    let hopi = builder_for_mode(&mode)?
+        .build(collection)
+        .map_err(|e| format!("build failed: {e}"))?;
     println!(
         "built: {} partitions, {} cover entries in {:?}",
-        report.partitions,
-        report.cover_size,
+        hopi.report().partitions,
+        hopi.report().cover_size,
         t.elapsed()
     );
-    let store = LinLoutStore::from_cover(index.cover());
-    save_store(&store, Path::new(&out)).map_err(|e| format!("save failed: {e}"))?;
+    hopi.save(Path::new(&out))
+        .map_err(|e| format!("save failed: {e}"))?;
     println!("persisted LIN/LOUT tables to {out}");
     Ok(())
-}
-
-/// Reconstructs an in-memory cover from a persisted store.
-fn cover_from_store(store: &LinLoutStore) -> TwoHopCover {
-    let mut cover = TwoHopCover::new();
-    for r in store.lout().rows() {
-        cover.add_out(r.id, r.other);
-    }
-    for r in store.lin().rows() {
-        cover.add_in(r.id, r.other);
-    }
-    cover
 }
 
 /// `hopi query --dir DIR --index FILE EXPR`
@@ -111,16 +93,14 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let index_path = flag_value(args, "--index").ok_or("missing --index FILE")?;
     let expr_src = positional(args).ok_or("missing path expression")?;
     let collection = load_dir(&dir)?;
-    let store = load_store(Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
-    let index = hopi_build::HopiIndex::from_cover(cover_from_store(&store));
-    let tags = TagIndex::build(&collection);
-    let expr = parse_path(&expr_src).map_err(|e| format!("{e}"))?;
+    let hopi =
+        Hopi::open(collection, Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
     let t = Instant::now();
-    let result = evaluate(&collection, &index, &tags, &expr);
+    let result = hopi.query(&expr_src).map_err(|e| format!("{e}"))?;
     let elapsed = t.elapsed();
     for &e in &result {
-        let (d, local) = collection.to_local(e).expect("live element");
-        let doc = collection.document(d).expect("live doc");
+        let (d, local) = hopi.collection().to_local(e).expect("live element");
+        let doc = hopi.collection().document(d).expect("live doc");
         println!("{}#{} <{}>", doc.name, local, doc.element(local).tag);
     }
     eprintln!("{} matches in {elapsed:?}", result.len());
@@ -137,17 +117,18 @@ pub fn check(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("bad --samples: {e}"))?;
     let collection = load_dir(&dir)?;
-    let store = load_store(Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
-    let graph = collection.element_graph();
+    let hopi =
+        Hopi::open(collection, Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
+    let graph = hopi.collection().element_graph();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xc4ec);
     let n = graph.id_bound() as u32;
     for i in 0..samples {
         let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
         let expect = hopi_graph::traversal::is_reachable(&graph, u, v);
-        if store.connected(u, v) != expect {
+        if hopi.connected(u, v) != expect {
             return Err(format!(
                 "MISMATCH on pair ({u}, {v}) after {i} checks: index says {}, graph says {expect}",
-                store.connected(u, v)
+                hopi.connected(u, v)
             ));
         }
     }

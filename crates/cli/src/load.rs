@@ -54,8 +54,7 @@ pub fn load_dir(dir: &str) -> Result<Collection, String> {
             .and_then(|s| s.to_str())
             .ok_or_else(|| format!("bad file name {f:?}"))?
             .to_string();
-        let content =
-            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f:?}: {e}"))?;
+        let content = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f:?}: {e}"))?;
         docs.push((name, content));
     }
     parse_collection(docs.iter().map(|(n, c)| (n.as_str(), c.as_str())))

@@ -25,12 +25,25 @@ fn full_workflow() {
         .arg(&docs)
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let xml_files = std::fs::read_dir(&docs)
         .unwrap()
-        .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "xml"))
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "xml")
+        })
         .count();
-    assert!(xml_files > 5, "expected generated XML files, got {xml_files}");
+    assert!(
+        xml_files > 5,
+        "expected generated XML files, got {xml_files}"
+    );
 
     // stats
     let out = hopi().args(["stats", "--dir"]).arg(&docs).output().unwrap();
@@ -46,7 +59,11 @@ fn full_workflow() {
         .arg(&index)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(index.exists());
 
     // query
@@ -58,7 +75,11 @@ fn full_workflow() {
         .arg("//article//author")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("matches"), "query stderr: {stderr}");
 
@@ -71,7 +92,11 @@ fn full_workflow() {
         .args(["--samples", "5000"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
     std::fs::remove_dir_all(&docs).ok();
@@ -83,7 +108,10 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = hopi().args(["stats", "--dir", "/no/such/dir"]).output().unwrap();
+    let out = hopi()
+        .args(["stats", "--dir", "/no/such/dir"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let out = hopi().args(["build", "--dir"]).output().unwrap();

@@ -179,8 +179,7 @@ pub fn densest_subgraph(g: &BipartiteCenterGraph) -> Option<DensestResult> {
         .map(|i| g.adj[i].intersection_count(&right_alive))
         .sum();
     debug_assert!(
-        (best_density - best_edges as f64 / (left.len() + right.len()).max(1) as f64).abs()
-            < 1e-9
+        (best_density - best_edges as f64 / (left.len() + right.len()).max(1) as f64).abs() < 1e-9
     );
     Some(DensestResult {
         left,
@@ -234,8 +233,7 @@ mod tests {
         // K_{2,2} (density 4/4 = 1) plus a pendant right vertex attached to
         // left 0 (full graph density 5/5 = 1). Peeling should isolate a
         // subgraph at least as dense as the full graph.
-        let mut edges: Vec<(u32, u32)> =
-            (0..2).flat_map(|i| (0..2).map(move |j| (i, j))).collect();
+        let mut edges: Vec<(u32, u32)> = (0..2).flat_map(|i| (0..2).map(move |j| (i, j))).collect();
         edges.push((0, 2));
         let g = graph(2, 3, &edges);
         let r = densest_subgraph(&g).unwrap();
@@ -274,8 +272,7 @@ mod tests {
     fn two_approximation_guarantee() {
         // Random-ish graph: peeling density must be ≥ half the true optimum.
         // True optimum here is K_{3,3} embedded among noise: density 9/6=1.5.
-        let mut edges: Vec<(u32, u32)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
+        let mut edges: Vec<(u32, u32)> = (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
         edges.push((3, 3));
         edges.push((4, 4));
         let g = graph(6, 6, &edges);

@@ -197,7 +197,11 @@ impl DistanceCover {
             }
         }
         // u itself as implicit center.
-        for &y in self.inv_in.get(u as usize).map_or(&[][..], |v| v.as_slice()) {
+        for &y in self
+            .inv_in
+            .get(u as usize)
+            .map_or(&[][..], |v| v.as_slice())
+        {
             let row = &self.lin[y as usize];
             if let Ok(pos) = row.binary_search_by_key(&u, |e| e.0) {
                 relax(y, row[pos].1);
@@ -226,7 +230,11 @@ impl DistanceCover {
                 }
             }
         }
-        for &x in self.inv_out.get(u as usize).map_or(&[][..], |v| v.as_slice()) {
+        for &x in self
+            .inv_out
+            .get(u as usize)
+            .map_or(&[][..], |v| v.as_slice())
+        {
             let row = &self.lout[x as usize];
             if let Ok(pos) = row.binary_search_by_key(&u, |e| e.0) {
                 relax(x, row[pos].1);
@@ -382,18 +390,8 @@ impl<'a> DistanceCoverBuilder<'a> {
     /// `√E / 2` with `E = ê · a · d` — the density of a balanced complete
     /// bipartite graph with `E` edges.
     fn initial_density_estimate(&mut self, w: u32) -> f64 {
-        let anc: Vec<(u32, u32)> = self
-            .dc
-            .in_row(w)
-            .iter()
-            .map(|(&u, &d)| (u, d))
-            .collect();
-        let desc: Vec<(u32, u32)> = self
-            .dc
-            .out_row(w)
-            .iter()
-            .map(|(&v, &d)| (v, d))
-            .collect();
+        let anc: Vec<(u32, u32)> = self.dc.in_row(w).iter().map(|(&u, &d)| (u, d)).collect();
+        let desc: Vec<(u32, u32)> = self.dc.out_row(w).iter().map(|(&v, &d)| (v, d)).collect();
         let a = anc.len();
         let d = desc.len();
         let candidates = a * d;
@@ -447,12 +445,7 @@ impl<'a> DistanceCoverBuilder<'a> {
         let mut left = Vec::new();
         let mut adj = Vec::new();
         let mut edges = 0usize;
-        let mut anc: Vec<(u32, u32)> = self
-            .dc
-            .in_row(w)
-            .iter()
-            .map(|(&u, &d)| (u, d))
-            .collect();
+        let mut anc: Vec<(u32, u32)> = self.dc.in_row(w).iter().map(|(&u, &d)| (u, d)).collect();
         anc.sort_unstable();
         for (u, duw) in anc {
             let mut side_row = FixedBitSet::new(right.len());

@@ -22,6 +22,10 @@
 //!   center may only cover a connection it lies on a *shortest* path of, and
 //!   initial center-graph densities are estimated from ≤ 13,600 sampled
 //!   candidate edges with a 98% confidence interval.
+//! * [`index::HopiIndex`] — the built-index handle the query, maintenance,
+//!   and storage layers exchange.
+//! * [`old_join`] — the §3.3 single-link cover-integration primitive shared
+//!   by the incremental cover join and §6.1 maintenance.
 //!
 //! Following the paper's storage convention (§3.4), a node is **never stored
 //! in its own label sets** — queries special-case the implicit self entries.
@@ -33,8 +37,11 @@ pub mod builder;
 pub mod cover;
 pub mod densest;
 pub mod distance;
+pub mod index;
+pub mod old_join;
 
 pub use builder::{BuildStats, CoverBuilder};
 pub use cover::TwoHopCover;
 pub use densest::{densest_subgraph, BipartiteCenterGraph, DensestResult};
 pub use distance::{DistanceCover, DistanceCoverBuilder};
+pub use index::HopiIndex;

@@ -135,9 +135,7 @@ impl TransitiveClosure {
 
     /// Tests `(u, v) ∈ T(G)`.
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
-        self.desc
-            .get(u as usize)
-            .is_some_and(|row| row.contains(v))
+        self.desc.get(u as usize).is_some_and(|row| row.contains(v))
     }
 
     /// Descendant row of `u` (includes `u` itself for live nodes).
@@ -358,11 +356,15 @@ impl DistanceClosure {
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
         self.ensure_node(u);
         self.ensure_node(v);
-        let mut anc_u: Vec<(NodeId, u32)> =
-            self.in_rows[u as usize].iter().map(|(&a, &d)| (a, d)).collect();
+        let mut anc_u: Vec<(NodeId, u32)> = self.in_rows[u as usize]
+            .iter()
+            .map(|(&a, &d)| (a, d))
+            .collect();
         anc_u.push((u, 0));
-        let mut desc_v: Vec<(NodeId, u32)> =
-            self.out_rows[v as usize].iter().map(|(&x, &d)| (x, d)).collect();
+        let mut desc_v: Vec<(NodeId, u32)> = self.out_rows[v as usize]
+            .iter()
+            .map(|(&x, &d)| (x, d))
+            .collect();
         desc_v.push((v, 0));
         // Dedup (u,0)/(v,0) may already be present as reflexive entries.
         anc_u.sort_unstable();

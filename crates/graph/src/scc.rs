@@ -49,8 +49,7 @@ pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<NodeId>> {
             } else {
                 call_stack.pop();
                 if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let mut comp = Vec::new();

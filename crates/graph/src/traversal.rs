@@ -16,10 +16,7 @@ pub fn reachable_from(g: &DiGraph, start: NodeId) -> FixedBitSet {
 }
 
 /// Nodes reachable from any seed (seeds included).
-pub fn reachable_from_many(
-    g: &DiGraph,
-    seeds: impl IntoIterator<Item = NodeId>,
-) -> FixedBitSet {
+pub fn reachable_from_many(g: &DiGraph, seeds: impl IntoIterator<Item = NodeId>) -> FixedBitSet {
     let mut seen = FixedBitSet::new(g.id_bound());
     let mut queue: VecDeque<NodeId> = VecDeque::new();
     for s in seeds {
@@ -108,12 +105,7 @@ pub fn bfs_distances(g: &DiGraph, start: NodeId) -> Vec<u32> {
 /// The skeleton-graph ancestor/descendant approximation (paper §4.3) limits
 /// its traversal "to paths of a certain length, hence the resulting numbers
 /// are only approximates".
-pub fn bounded_bfs(
-    g: &DiGraph,
-    start: NodeId,
-    max_depth: u32,
-    mut visit: impl FnMut(NodeId, u32),
-) {
+pub fn bounded_bfs(g: &DiGraph, start: NodeId, max_depth: u32, mut visit: impl FnMut(NodeId, u32)) {
     if !g.is_alive(start) {
         return;
     }

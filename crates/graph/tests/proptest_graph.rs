@@ -4,7 +4,9 @@
 
 use hopi_graph::closure::partial_closure;
 use hopi_graph::traversal::{bfs_distances, is_reachable, reachable_from, reaching_to};
-use hopi_graph::{condensation, tarjan_scc, topo_sort, Csr, DiGraph, DistanceClosure, TransitiveClosure};
+use hopi_graph::{
+    condensation, tarjan_scc, topo_sort, Csr, DiGraph, DistanceClosure, TransitiveClosure,
+};
 use proptest::prelude::*;
 
 /// An arbitrary digraph as (node count, edge list).

@@ -18,7 +18,7 @@
 //! Single-link deletion reuses the Theorem 3 scheme with the link endpoints
 //! in place of the document.
 
-use hopi_build::HopiIndex;
+use hopi_core::HopiIndex;
 use hopi_core::{CoverBuilder, TwoHopCover};
 use hopi_graph::closure::partial_closure;
 use hopi_graph::{traversal, FixedBitSet, TransitiveClosure};
@@ -258,7 +258,7 @@ fn elements_of_docs(collection: &Collection, docs: &FixedBitSet) -> FxHashSet<El
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopi_build::{build_index, BuildConfig};
+    use hopi_partition::{build_index, BuildConfig};
     use hopi_xml::generator::{random_collection, RandomConfig};
     use hopi_xml::XmlDocument;
 

@@ -3,12 +3,12 @@
 //! * Isolated nodes need no cover entries.
 //! * A new edge `(u, v)` is inserted "by the same method that was used to
 //!   add a link between partitions": `v` becomes the center node for all
-//!   newly created connections (see [`hopi_build::old_join::integrate_link`]).
+//!   newly created connections (see [`hopi_core::old_join::integrate_link`]).
 //! * A new document is "considered as a new partition": its private 2-hop
 //!   cover is computed and merged, then its incoming/outgoing links are
 //!   integrated one by one.
 
-use hopi_build::{old_join, HopiIndex};
+use hopi_core::{old_join, HopiIndex};
 use hopi_core::{CoverBuilder, DistanceCover};
 use hopi_graph::{DiGraph, TransitiveClosure};
 use hopi_xml::{Collection, DocId, ElemId, LocalElemId, XmlDocument};
@@ -119,9 +119,31 @@ pub fn insert_document_distance(
     doc: XmlDocument,
     links: &DocumentLinks,
 ) -> DocId {
+    let d = collection.add_document(doc);
+    for &(local_src, target) in &links.outgoing {
+        collection.add_link(collection.global_id(d, local_src), target);
+    }
+    for &(source, local_tgt) in &links.incoming {
+        collection.add_link(source, collection.global_id(d, local_tgt));
+    }
+    integrate_document_distance(collection, cover, d, links);
+    d
+}
+
+/// The cover-side half of [`insert_document_distance`]: updates a distance
+/// cover for a document (and its links) that are **already present** in the
+/// collection — the path taken when the plain index was maintained first
+/// and the distance cover rides along.
+pub fn integrate_document_distance(
+    collection: &Collection,
+    cover: &mut DistanceCover,
+    d: DocId,
+    links: &DocumentLinks,
+) {
     use hopi_core::DistanceCoverBuilder;
     use hopi_graph::DistanceClosure;
 
+    let doc = collection.document(d).expect("live doc");
     let mut local = DiGraph::with_nodes(doc.len());
     for (p, c) in doc.tree_edges() {
         local.add_edge(p, c);
@@ -132,7 +154,6 @@ pub fn insert_document_distance(
     let dc = DistanceClosure::from_graph(&local);
     let doc_cover = DistanceCoverBuilder::new(&dc).build();
 
-    let d = collection.add_document(doc);
     let base = collection.global_id(d, 0);
     if collection.elem_id_bound() > 0 {
         cover.ensure_node(collection.elem_id_bound() as u32 - 1);
@@ -144,23 +165,18 @@ pub fn insert_document_distance(
         cover.add_in(base + node, base + center, dist);
     }
     for &(local_src, target) in &links.outgoing {
-        let from = collection.global_id(d, local_src);
-        collection.add_link(from, target);
-        insert_edge_distance(cover, from, target);
+        insert_edge_distance(cover, collection.global_id(d, local_src), target);
     }
     for &(source, local_tgt) in &links.incoming {
-        let to = collection.global_id(d, local_tgt);
-        collection.add_link(source, to);
-        insert_edge_distance(cover, source, to);
+        insert_edge_distance(cover, source, collection.global_id(d, local_tgt));
     }
-    d
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopi_build::{build_index, BuildConfig};
     use hopi_graph::DistanceClosure;
+    use hopi_partition::{build_index, BuildConfig};
 
     fn two_docs() -> (Collection, HopiIndex) {
         let mut c = Collection::new();
@@ -202,8 +218,8 @@ mod tests {
         let child = doc.add_element(0, "c");
         let grand = doc.add_element(child, "g");
         let links = DocumentLinks {
-            outgoing: vec![(grand, 2)],   // new/g -> b/root
-            incoming: vec![(1, 0)],       // a/s -> new/root
+            outgoing: vec![(grand, 2)], // new/g -> b/root
+            incoming: vec![(1, 0)],     // a/s -> new/root
         };
         let d = insert_document(&mut c, &mut index, doc, &links);
         assert_eq!(d, 2);

@@ -27,7 +27,7 @@
 //!   swap that never interrupt query service.
 //!
 //! All operations keep the [`hopi_xml::Collection`] and the
-//! [`hopi_build::HopiIndex`] in sync and preserve the exactness invariant
+//! [`hopi_core::HopiIndex`] in sync and preserve the exactness invariant
 //! `index.connected(u,v) ⇔ u →* v in G_E(X)`, which the test suite checks
 //! against closure oracles after every operation.
 
@@ -40,13 +40,11 @@ pub mod modify;
 pub mod online;
 pub mod rebuild;
 
-pub use delete::{
-    delete_document, delete_link, separates, DeletionAlgorithm, DeletionOutcome,
-};
+pub use delete::{delete_document, delete_link, separates, DeletionAlgorithm, DeletionOutcome};
 pub use insert::{
     insert_document, insert_document_distance, insert_edge_distance, insert_link,
-    DocumentLinks,
+    integrate_document_distance, DocumentLinks,
 };
 pub use modify::modify_document;
-pub use online::OnlineIndex;
+pub use online::{collection_delta, delta_replays_exactly, CollectionUpdate, OnlineIndex};
 pub use rebuild::{degradation, rebuild, should_rebuild, Degradation, RebuildPolicy};

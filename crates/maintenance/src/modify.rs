@@ -4,7 +4,7 @@
 
 use crate::delete::delete_document;
 use crate::insert::{insert_document, DocumentLinks};
-use hopi_build::HopiIndex;
+use hopi_core::HopiIndex;
 use hopi_xml::{Collection, DocId, XmlDocument};
 
 /// Replaces document `di` with `new_doc` (drop + reinsert). `links`
@@ -24,8 +24,8 @@ pub fn modify_document(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopi_build::{build_index, BuildConfig};
     use hopi_graph::TransitiveClosure;
+    use hopi_partition::{build_index, BuildConfig};
 
     fn assert_exact(c: &Collection, index: &HopiIndex) {
         let g = c.element_graph();

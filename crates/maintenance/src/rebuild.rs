@@ -8,7 +8,8 @@
 //! — so the cover drifts away from what a fresh build would produce. This
 //! module quantifies that drift and performs in-place rebuilds.
 
-use hopi_build::{build_index, BuildConfig, HopiIndex};
+use hopi_core::HopiIndex;
+use hopi_partition::{build_index, BuildConfig};
 use hopi_xml::Collection;
 
 /// Degradation snapshot of a maintained index.
@@ -51,11 +52,7 @@ pub fn degradation(collection: &Collection, index: &HopiIndex) -> Degradation {
 }
 
 /// Should the index be rebuilt under the policy?
-pub fn should_rebuild(
-    collection: &Collection,
-    index: &HopiIndex,
-    policy: &RebuildPolicy,
-) -> bool {
+pub fn should_rebuild(collection: &Collection, index: &HopiIndex, policy: &RebuildPolicy) -> bool {
     degradation(collection, index).entries_per_element > policy.max_entries_per_element
 }
 

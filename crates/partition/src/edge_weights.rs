@@ -42,10 +42,7 @@ impl DocEdgeWeights {
             EdgeWeightStrategy::LinkCount => {
                 let (_, counts) = collection.document_graph();
                 DocEdgeWeights {
-                    weights: counts
-                        .into_iter()
-                        .map(|(k, v)| (k, v as u64))
-                        .collect(),
+                    weights: counts.into_iter().map(|(k, v)| (k, v as u64)).collect(),
                 }
             }
             EdgeWeightStrategy::AncTimesDesc | EdgeWeightStrategy::AncPlusDesc => {

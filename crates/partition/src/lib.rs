@@ -27,6 +27,7 @@
 pub mod edge_weights;
 pub mod old_partitioner;
 pub mod partitioning;
+pub mod pipeline;
 pub mod psg;
 pub mod skeleton;
 pub mod tc_partitioner;
@@ -34,6 +35,9 @@ pub mod tc_partitioner;
 pub use edge_weights::{DocEdgeWeights, EdgeWeightStrategy};
 pub use old_partitioner::OldPartitionerConfig;
 pub use partitioning::{Partition, Partitioning};
+pub use pipeline::{
+    build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice, PsgJoinReport,
+};
 pub use psg::PartitionSkeletonGraph;
 pub use skeleton::SkeletonGraph;
 pub use tc_partitioner::TcPartitionerConfig;

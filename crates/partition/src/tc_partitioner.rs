@@ -90,10 +90,9 @@ impl GrowingPartition {
         // (both directions are in links_by_doc under both endpoints).
         if let Some(ls) = links_by_doc.get(&d) {
             for &(f, t) in ls {
-                if let (Some(&lf), Some(&lt)) = (
-                    self.global_to_local.get(&f),
-                    self.global_to_local.get(&t),
-                ) {
+                if let (Some(&lf), Some(&lt)) =
+                    (self.global_to_local.get(&f), self.global_to_local.get(&t))
+                {
                     self.closure.insert_edge(lf, lt);
                 }
             }

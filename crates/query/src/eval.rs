@@ -14,7 +14,7 @@
 
 use crate::expr::{parse_path, Axis, ParseError, PathExpr};
 use crate::tag_index::TagIndex;
-use hopi_build::HopiIndex;
+use hopi_core::HopiIndex;
 use hopi_xml::{Collection, ElemId};
 use rustc_hash::FxHashSet;
 
@@ -42,9 +42,23 @@ impl From<ParseError> for EvalError {
     }
 }
 
-/// Above this candidate-probe count, a `//` step switches from pairwise
-/// reachability probes to descendant-set enumeration.
-const PROBE_BUDGET: usize = 4_096;
+/// Tunables of set-at-a-time evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Above this candidate-probe count (`|current| × |candidates|`), a `//`
+    /// step switches from pairwise reachability probes to descendant-set
+    /// enumeration. Small budgets favor enumeration, large budgets favor
+    /// per-pair `LIN ⋈ LOUT` probes.
+    pub probe_budget: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            probe_budget: 4_096,
+        }
+    }
+}
 
 /// Parses and evaluates a path expression. Returns matching element ids,
 /// sorted and deduplicated.
@@ -57,20 +71,36 @@ pub fn evaluate_str(
     Ok(evaluate(collection, index, tags, &parse_path(expr)?))
 }
 
-/// Evaluates a parsed path expression.
+/// Evaluates a parsed path expression with default [`EvalOptions`].
 pub fn evaluate(
     collection: &Collection,
     index: &HopiIndex,
     tags: &TagIndex,
     expr: &PathExpr,
 ) -> Vec<ElemId> {
+    evaluate_with(collection, index, tags, expr, &EvalOptions::default())
+}
+
+/// Evaluates a parsed path expression under explicit options.
+pub fn evaluate_with(
+    collection: &Collection,
+    index: &HopiIndex,
+    tags: &TagIndex,
+    expr: &PathExpr,
+    options: &EvalOptions,
+) -> Vec<ElemId> {
     let mut current = seed(collection, tags, expr);
     for step in &expr.steps[1..] {
         current = match step.axis {
             Axis::Child => child_step(collection, &current, step.tag.as_deref()),
-            Axis::Connection => {
-                connection_step(collection, index, tags, &current, step.tag.as_deref())
-            }
+            Axis::Connection => connection_step(
+                collection,
+                index,
+                tags,
+                &current,
+                step.tag.as_deref(),
+                options,
+            ),
         };
         if current.is_empty() {
             break;
@@ -113,12 +143,7 @@ fn candidates(collection: &Collection, tags: &TagIndex, tag: Option<&str>) -> Ve
     }
 }
 
-fn matches_tag(
-    collection: &Collection,
-    tags: &TagIndex,
-    e: ElemId,
-    tag: Option<&str>,
-) -> bool {
+fn matches_tag(collection: &Collection, tags: &TagIndex, e: ElemId, tag: Option<&str>) -> bool {
     match tag {
         None => true,
         Some(t) => {
@@ -156,21 +181,18 @@ fn connection_step(
     tags: &TagIndex,
     current: &[ElemId],
     tag: Option<&str>,
+    options: &EvalOptions,
 ) -> Vec<ElemId> {
     let cands = candidates(collection, tags, tag);
     if cands.is_empty() || current.is_empty() {
         return Vec::new();
     }
-    if current.len() * cands.len() <= PROBE_BUDGET {
+    if current.len().saturating_mul(cands.len()) <= options.probe_budget {
         // Pairwise probes (the paper's per-pair LIN⋈LOUT query).
         let mut out: Vec<ElemId> = cands
             .iter()
             .copied()
-            .filter(|&t| {
-                current
-                    .iter()
-                    .any(|&u| u != t && index.connected(u, t))
-            })
+            .filter(|&t| current.iter().any(|&u| u != t && index.connected(u, t)))
             .collect();
         out.dedup();
         out
@@ -187,10 +209,7 @@ fn connection_step(
         }
         // A node in `current` may still be reachable from *another* current
         // node; the u != v filter above already allows that.
-        let mut out: Vec<ElemId> = cands
-            .into_iter()
-            .filter(|t| reach.contains(t))
-            .collect();
+        let mut out: Vec<ElemId> = cands.into_iter().filter(|t| reach.contains(t)).collect();
         out.sort_unstable();
         out
     }
@@ -199,7 +218,7 @@ fn connection_step(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopi_build::{build_index, BuildConfig};
+    use hopi_partition::{build_index, BuildConfig};
     use hopi_xml::parser::parse_collection;
 
     fn fixture() -> (Collection, HopiIndex, TagIndex) {
@@ -289,6 +308,19 @@ mod tests {
     }
 
     #[test]
+    fn probe_budget_does_not_change_answers() {
+        let (c, i, t) = fixture();
+        for query in ["/library//author", "//book//author", "//box//*"] {
+            let expr = parse_path(query).unwrap();
+            let default = evaluate(&c, &i, &t, &expr);
+            for probe_budget in [0, 1, usize::MAX] {
+                let tuned = evaluate_with(&c, &i, &t, &expr, &EvalOptions { probe_budget });
+                assert_eq!(tuned, default, "budget {probe_budget} on {query}");
+            }
+        }
+    }
+
+    #[test]
     fn parse_errors_propagate() {
         let (c, i, t) = fixture();
         assert!(matches!(
@@ -324,11 +356,7 @@ mod tests {
                     .elements(target_tag)
                     .iter()
                     .copied()
-                    .filter(|&t| {
-                        roots
-                            .iter()
-                            .any(|&r| r != t && is_reachable(&g, r, t))
-                    })
+                    .filter(|&t| roots.iter().any(|&r| r != t && is_reachable(&g, r, t)))
                     .collect();
                 expect.sort_unstable();
                 assert_eq!(got, expect, "seed {seed} tag {target_tag}");

@@ -76,7 +76,10 @@ pub fn parse_path(input: &str) -> Result<PathExpr, ParseError> {
         if bytes[pos] != b'/' {
             return Err(ParseError {
                 position: pos,
-                message: format!("expected '/' or '//', found {:?}", input[pos..].chars().next()),
+                message: format!(
+                    "expected '/' or '//', found {:?}",
+                    input[pos..].chars().next()
+                ),
             });
         }
         let axis = if pos + 1 < bytes.len() && bytes[pos + 1] == b'/' {

@@ -11,7 +11,7 @@
 //!   documents), tag tests and `*` wildcards.
 //! * [`tag_index`] — an inverted element-by-tag index used to seed and
 //!   filter step candidates.
-//! * [`eval`] — set-at-a-time evaluation against a [`hopi_build::HopiIndex`]
+//! * [`eval`] — set-at-a-time evaluation against a [`hopi_core::HopiIndex`]
 //!   (each `//` step is a batch of 2-hop reachability probes, choosing the
 //!   cheaper probing direction).
 //! * [`witness`] — EXPLAIN-style witness-path reconstruction for index
@@ -30,7 +30,7 @@ pub mod ranking;
 pub mod tag_index;
 pub mod witness;
 
-pub use eval::{evaluate, EvalError};
+pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions};
 pub use expr::{parse_path, Axis, ParseError, PathExpr, Step};
 pub use ranking::{evaluate_ranked, RankedMatch};
 pub use tag_index::TagIndex;

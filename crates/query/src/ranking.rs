@@ -110,7 +110,9 @@ pub fn evaluate_ranked(
 }
 
 fn relax(map: &mut FxHashMap<ElemId, u32>, e: ElemId, d: u32) {
-    map.entry(e).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
+    map.entry(e)
+        .and_modify(|cur| *cur = (*cur).min(d))
+        .or_insert(d);
 }
 
 fn candidate_list<'a>(
@@ -217,15 +219,21 @@ mod tests {
 
     #[test]
     fn score_is_monotone_in_distance() {
-        let a = RankedMatch { element: 0, distance: 0 };
-        let b = RankedMatch { element: 0, distance: 5 };
+        let a = RankedMatch {
+            element: 0,
+            distance: 0,
+        };
+        let b = RankedMatch {
+            element: 0,
+            distance: 5,
+        };
         assert!(a.score() > b.score());
         assert_eq!(a.score(), 1.0);
     }
 
     #[test]
     fn ranked_agrees_with_boolean_eval_on_membership() {
-        use hopi_build::{build_index, BuildConfig};
+        use hopi_partition::{build_index, BuildConfig};
         let (c, cover, tags) = fixture();
         let (index, _) = build_index(&c, &BuildConfig::default());
         let expr = parse_path("//book//author").unwrap();

@@ -131,7 +131,7 @@ pub fn witness_path(
 pub fn verify_connection(
     collection: &Collection,
     graph: &DiGraph,
-    index: &hopi_build::HopiIndex,
+    index: &hopi_core::HopiIndex,
     u: ElemId,
     v: ElemId,
 ) -> Option<WitnessPath> {
@@ -147,7 +147,7 @@ pub fn verify_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopi_build::{build_index, BuildConfig};
+    use hopi_partition::{build_index, BuildConfig};
     use hopi_xml::parser::parse_collection;
 
     fn fixture() -> Collection {

@@ -3,9 +3,9 @@
 //! every expression shape, and the ranked evaluator must agree on
 //! membership with correct minimal distances.
 
-use hopi_build::{build_index, BuildConfig};
 use hopi_core::DistanceCoverBuilder;
 use hopi_graph::{traversal, DistanceClosure};
+use hopi_partition::{build_index, BuildConfig};
 use hopi_query::{evaluate, evaluate_ranked, parse_path, Axis, PathExpr, Step, TagIndex};
 use hopi_xml::{Collection, ElemId, XmlDocument};
 use proptest::prelude::*;
@@ -25,11 +25,7 @@ fn arb_collection() -> impl Strategy<Value = CollectionBlueprint> {
     })
 }
 
-fn realize(
-    docs: &[usize],
-    links: &[(usize, usize)],
-    _shapes: &[(usize, usize)],
-) -> Collection {
+fn realize(docs: &[usize], links: &[(usize, usize)], _shapes: &[(usize, usize)]) -> Collection {
     let tags = ["a", "b", "c"];
     let mut c = Collection::new();
     for (i, &n) in docs.iter().enumerate() {
@@ -54,7 +50,9 @@ fn realize(
 /// Naive oracle: evaluate step-by-step with BFS reachability.
 fn oracle(collection: &Collection, expr: &PathExpr) -> Vec<ElemId> {
     let g = collection.element_graph();
-    let all: Vec<ElemId> = (0..g.id_bound() as u32).filter(|&e| g.is_alive(e)).collect();
+    let all: Vec<ElemId> = (0..g.id_bound() as u32)
+        .filter(|&e| g.is_alive(e))
+        .collect();
     let tag_of = |e: ElemId| -> String {
         let (d, l) = collection.to_local(e).unwrap();
         collection.document(d).unwrap().element(l).tag.clone()
@@ -113,8 +111,15 @@ fn oracle(collection: &Collection, expr: &PathExpr) -> Vec<ElemId> {
 
 fn expressions() -> Vec<PathExpr> {
     [
-        "//a", "//b//c", "/root//a", "/root/a", "/root/*//b", "//a//*", "//c//a//b",
-        "/root/a/b", "//*//a",
+        "//a",
+        "//b//c",
+        "/root//a",
+        "/root/a",
+        "/root/*//b",
+        "//a//*",
+        "//c//a//b",
+        "/root/a/b",
+        "//*//a",
     ]
     .iter()
     .map(|s| parse_path(s).unwrap())

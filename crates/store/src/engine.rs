@@ -31,11 +31,19 @@ impl LinLoutStore {
     pub fn from_cover(cover: &TwoHopCover) -> Self {
         let lin: Vec<Row> = cover
             .iter_in_entries()
-            .map(|(id, c)| Row { id, other: c, dist: 0 })
+            .map(|(id, c)| Row {
+                id,
+                other: c,
+                dist: 0,
+            })
             .collect();
         let lout: Vec<Row> = cover
             .iter_out_entries()
-            .map(|(id, c)| Row { id, other: c, dist: 0 })
+            .map(|(id, c)| Row {
+                id,
+                other: c,
+                dist: 0,
+            })
             .collect();
         LinLoutStore {
             lin: IndexOrganizedTable::new(lin, false),
@@ -47,11 +55,19 @@ impl LinLoutStore {
     pub fn from_distance_cover(cover: &DistanceCover) -> Self {
         let lin: Vec<Row> = cover
             .iter_in_entries()
-            .map(|(id, c, d)| Row { id, other: c, dist: d })
+            .map(|(id, c, d)| Row {
+                id,
+                other: c,
+                dist: d,
+            })
             .collect();
         let lout: Vec<Row> = cover
             .iter_out_entries()
-            .map(|(id, c, d)| Row { id, other: c, dist: d })
+            .map(|(id, c, d)| Row {
+                id,
+                other: c,
+                dist: d,
+            })
             .collect();
         LinLoutStore {
             lin: IndexOrganizedTable::new(lin, true),

@@ -1,6 +1,6 @@
 //! Binary persistence of the LIN/LOUT tables.
 //!
-//! Format (little-endian, built with the `bytes` crate):
+//! Format (little-endian):
 //!
 //! ```text
 //! magic   4 bytes  "HOPI"
@@ -17,9 +17,41 @@
 
 use crate::engine::LinLoutStore;
 use crate::table::{IndexOrganizedTable, Row};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// Little-endian read cursor over a byte buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, out: &mut [u8]) {
+        out.copy_from_slice(&self.buf[self.pos..self.pos + out.len()]);
+        self.pos += out.len();
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
 
 const MAGIC: &[u8; 4] = b"HOPI";
 const VERSION: u32 = 1;
@@ -57,18 +89,18 @@ impl From<std::io::Error> for PersistError {
 pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError> {
     let with_dist = store.lin().with_dist() || store.lout().with_dist();
     let per_row = if with_dist { 12 } else { 8 };
-    let mut buf = BytesMut::with_capacity(28 + per_row * store.entry_count());
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(u32::from(with_dist));
-    buf.put_u64_le(store.lin().len() as u64);
-    buf.put_u64_le(store.lout().len() as u64);
+    let mut buf: Vec<u8> = Vec::with_capacity(28 + per_row * store.entry_count());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&u32::from(with_dist).to_le_bytes());
+    buf.extend_from_slice(&(store.lin().len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(store.lout().len() as u64).to_le_bytes());
     for table in [store.lin(), store.lout()] {
         for r in table.rows() {
-            buf.put_u32_le(r.id);
-            buf.put_u32_le(r.other);
+            buf.extend_from_slice(&r.id.to_le_bytes());
+            buf.extend_from_slice(&r.other.to_le_bytes());
             if with_dist {
-                buf.put_u32_le(r.dist);
+                buf.extend_from_slice(&r.dist.to_le_bytes());
             }
         }
     }
@@ -81,7 +113,7 @@ pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError>
 pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = Cursor::new(&raw);
     if buf.remaining() < 28 {
         return Err(PersistError::Format("truncated header".into()));
     }
@@ -98,14 +130,17 @@ pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
     let lin_len = buf.get_u64_le() as usize;
     let lout_len = buf.get_u64_le() as usize;
     let per_row = if with_dist { 12 } else { 8 };
-    if buf.remaining() != (lin_len + lout_len) * per_row {
+    let expected = lin_len
+        .checked_add(lout_len)
+        .and_then(|rows| rows.checked_mul(per_row))
+        .ok_or_else(|| PersistError::Format("row count overflows".into()))?;
+    if buf.remaining() != expected {
         return Err(PersistError::Format(format!(
-            "expected {} row bytes, found {}",
-            (lin_len + lout_len) * per_row,
+            "expected {expected} row bytes, found {}",
             buf.remaining()
         )));
     }
-    let read_rows = |n: usize, buf: &mut Bytes| -> Vec<Row> {
+    let read_rows = |n: usize, buf: &mut Cursor<'_>| -> Vec<Row> {
         (0..n)
             .map(|_| Row {
                 id: buf.get_u32_le(),
@@ -175,10 +210,7 @@ mod tests {
     fn rejects_garbage() {
         let dir = std::env::temp_dir().join("hopi_persist_garbage.idx");
         std::fs::write(&dir, b"not a hopi file at all........").unwrap();
-        assert!(matches!(
-            load_store(&dir),
-            Err(PersistError::Format(_))
-        ));
+        assert!(matches!(load_store(&dir), Err(PersistError::Format(_))));
         std::fs::remove_file(dir).ok();
     }
 
@@ -193,6 +225,22 @@ mod tests {
         let bytes = std::fs::read(&dir).unwrap();
         std::fs::write(&dir, &bytes[..bytes.len() - 3]).unwrap();
         assert!(load_store(&dir).is_err());
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn rejects_overflowing_row_counts() {
+        // Row counts whose byte size wraps usize must fail cleanly, not
+        // panic on an out-of-bounds read.
+        let dir = std::env::temp_dir().join("hopi_persist_overflow.idx");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"HOPI");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no DIST
+        buf.extend_from_slice(&(1u64 << 61).to_le_bytes()); // lin_len
+        buf.extend_from_slice(&(1u64 << 61).to_le_bytes()); // lout_len
+        std::fs::write(&dir, &buf).unwrap();
+        assert!(matches!(load_store(&dir), Err(PersistError::Format(_))));
         std::fs::remove_file(dir).ok();
     }
 

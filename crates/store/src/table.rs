@@ -113,10 +113,26 @@ mod tests {
     fn table() -> IndexOrganizedTable {
         IndexOrganizedTable::new(
             vec![
-                Row { id: 2, other: 7, dist: 1 },
-                Row { id: 1, other: 5, dist: 2 },
-                Row { id: 1, other: 3, dist: 1 },
-                Row { id: 3, other: 5, dist: 4 },
+                Row {
+                    id: 2,
+                    other: 7,
+                    dist: 1,
+                },
+                Row {
+                    id: 1,
+                    other: 5,
+                    dist: 2,
+                },
+                Row {
+                    id: 1,
+                    other: 3,
+                    dist: 1,
+                },
+                Row {
+                    id: 3,
+                    other: 5,
+                    dist: 4,
+                },
             ],
             true,
         )

@@ -27,7 +27,7 @@ pub struct Link {
     pub to: ElemId,
 }
 
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct DocEntry {
     doc: XmlDocument,
     /// First global element id of this document.
@@ -35,7 +35,7 @@ struct DocEntry {
 }
 
 /// A collection `X = (D, L)` of XML documents.
-#[derive(Clone, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Collection {
     docs: Vec<Option<DocEntry>>,
     links: Vec<Link>,
@@ -111,11 +111,7 @@ impl Collection {
 
     /// Total number of elements in live documents.
     pub fn element_count(&self) -> usize {
-        self.docs
-            .iter()
-            .flatten()
-            .map(|e| e.doc.len())
-            .sum()
+        self.docs.iter().flatten().map(|e| e.doc.len()).sum()
     }
 
     /// Upper bound (exclusive) on global element ids ever allocated.
@@ -182,11 +178,7 @@ impl Collection {
     /// Removes one occurrence of the inter-document link `from → to`.
     /// Returns `true` if it existed.
     pub fn remove_link(&mut self, from: ElemId, to: ElemId) -> bool {
-        match self
-            .links
-            .iter()
-            .position(|l| l.from == from && l.to == to)
-        {
+        match self.links.iter().position(|l| l.from == from && l.to == to) {
             Some(pos) => {
                 self.links.swap_remove(pos);
                 self.link_set.remove(&(from, to));
@@ -448,8 +440,7 @@ mod tests {
         let xml_b = c.serialize_document(1).unwrap();
         assert!(xml_a.contains("xlink:href=\"b\""));
         assert!(xml_a.contains("xlink:href=\"b#s\""));
-        let reparsed =
-            parse_collection([("a", xml_a.as_str()), ("b", xml_b.as_str())]).unwrap();
+        let reparsed = parse_collection([("a", xml_a.as_str()), ("b", xml_b.as_str())]).unwrap();
         assert_eq!(reparsed.links().len(), 2);
         assert_eq!(reparsed.element_count(), c.element_count());
         let mut expect: Vec<Link> = c.links().to_vec();

@@ -275,7 +275,9 @@ pub fn random_collection(config: &RandomConfig) -> Collection {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut collection = Collection::new();
     for i in 0..config.num_docs {
-        let n = rng.gen_range(config.elements_range.0..=config.elements_range.1.max(config.elements_range.0));
+        let n = rng.gen_range(
+            config.elements_range.0..=config.elements_range.1.max(config.elements_range.0),
+        );
         let mut d = XmlDocument::new(format!("doc{i}"), "root");
         for _ in 1..n.max(1) {
             let parent = rng.gen_range(0..d.len()) as u32;

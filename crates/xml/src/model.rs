@@ -126,7 +126,8 @@ impl XmlDocument {
 
     /// Tree edges `(parent, child)` in id order.
     pub fn tree_edges(&self) -> impl Iterator<Item = (LocalElemId, LocalElemId)> + '_ {
-        self.elements().filter_map(|(id, e)| e.parent.map(|p| (p, id)))
+        self.elements()
+            .filter_map(|(id, e)| e.parent.map(|p| (p, id)))
     }
 
     /// Number of ancestors of `id` within the tree (root has 0). Used to

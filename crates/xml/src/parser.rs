@@ -74,7 +74,8 @@ pub fn parse_document(name: &str, xml: &str) -> Result<ParsedDocument, ParseErro
             Err(e) => return Err(ParseError::Xml(e.to_string())),
             Ok(Event::Eof) => break,
             Ok(Event::Start(ref e)) => {
-                let id = open_element(name, e, &mut doc, &mut stack, &mut pending, &mut intra_refs)?;
+                let id =
+                    open_element(name, e, &mut doc, &mut stack, &mut pending, &mut intra_refs)?;
                 stack.push(id);
             }
             Ok(Event::Empty(ref e)) => {
@@ -118,11 +119,7 @@ fn open_element(
             0
         }
         (Some(d), Some(&parent)) => d.add_element(parent, tag),
-        (Some(_), None) => {
-            return Err(ParseError::Structure(
-                "multiple root elements".into(),
-            ))
-        }
+        (Some(_), None) => return Err(ParseError::Structure("multiple root elements".into())),
     };
     let d = doc.as_mut().expect("document exists after open");
     for attr in e.attributes().flatten() {

@@ -1,7 +1,7 @@
 //! Citation-network scenario: the paper's DBLP workload.
 //!
 //! Generates a DBLP-like collection (publications as XML documents,
-//! citations as XLinks — the paper's §7.1 setup), builds the index with
+//! citations as XLinks — the paper's §7.1 setup), builds the engine with
 //! several configurations from Table 2, and compares sizes, build times and
 //! compression ratios.
 //!
@@ -16,7 +16,7 @@ use hopi::graph::TransitiveClosure;
 use hopi::prelude::*;
 use hopi::xml::generator::{dblp, DblpConfig};
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -31,51 +31,43 @@ fn main() {
     let connections = closure.connection_count() as u64;
     println!("transitive closure: {connections} connections");
 
-    let configs: Vec<(&str, BuildConfig)> = vec![
+    let configs: Vec<(&str, HopiBuilder)> = vec![
         (
             "old partitioner + old join",
-            BuildConfig {
-                partitioner: PartitionerChoice::Old(OldPartitionerConfig {
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Old(OldPartitionerConfig {
                     max_nodes_per_partition: 2_000,
                     ..Default::default()
-                }),
-                join: JoinAlgorithm::Incremental,
-                ..Default::default()
-            },
+                }))
+                .join(JoinAlgorithm::Incremental),
         ),
         (
             "old partitioner + new join",
-            BuildConfig {
-                partitioner: PartitionerChoice::Old(OldPartitionerConfig {
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Old(OldPartitionerConfig {
                     max_nodes_per_partition: 2_000,
                     ..Default::default()
-                }),
-                join: JoinAlgorithm::Psg,
-                ..Default::default()
-            },
+                }))
+                .join(JoinAlgorithm::Psg),
         ),
         (
             "new partitioner + new join",
-            BuildConfig {
-                partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Tc(TcPartitionerConfig {
                     max_connections_per_partition: 50_000,
                     ..Default::default()
-                }),
-                join: JoinAlgorithm::Psg,
-                ..Default::default()
-            },
+                }))
+                .join(JoinAlgorithm::Psg),
         ),
         (
             "new partitioner + new join + center preselection",
-            BuildConfig {
-                partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Tc(TcPartitionerConfig {
                     max_connections_per_partition: 50_000,
                     ..Default::default()
-                }),
-                join: JoinAlgorithm::Psg,
-                preselect_link_targets: true,
-                ..Default::default()
-            },
+                }))
+                .join(JoinAlgorithm::Psg)
+                .preselect_link_targets(true),
         ),
     ];
 
@@ -83,8 +75,9 @@ fn main() {
         "\n{:<48} {:>6} {:>10} {:>8} {:>12}",
         "configuration", "parts", "size", "ms", "compression"
     );
-    for (name, cfg) in &configs {
-        let (index, report) = build_index(&collection, cfg);
+    for (name, builder) in configs {
+        let hopi = builder.build(collection.clone())?;
+        let report = hopi.report();
         println!(
             "{:<48} {:>6} {:>10} {:>8} {:>11.1}x",
             name,
@@ -93,20 +86,21 @@ fn main() {
             report.total_ms,
             report.compression_vs(connections)
         );
-        // Spot-check correctness on a few random document pairs.
-        verify_sample(&collection, &index, &closure);
+        // Spot-check correctness on a few random element pairs.
+        verify_sample(&hopi, &closure);
     }
+    Ok(())
 }
 
-fn verify_sample(collection: &Collection, index: &HopiIndex, closure: &TransitiveClosure) {
+fn verify_sample(hopi: &Hopi, closure: &TransitiveClosure) {
     use rand::prelude::*;
     let mut rng = StdRng::seed_from_u64(42);
-    let n = collection.elem_id_bound() as u32;
+    let n = hopi.collection().elem_id_bound() as u32;
     for _ in 0..2_000 {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
         assert_eq!(
-            index.connected(u, v),
+            hopi.connected(u, v),
             closure.contains(u, v),
             "index disagrees with closure on ({u}, {v})"
         );

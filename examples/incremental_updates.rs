@@ -3,8 +3,8 @@
 //! Simulates the paper's target environment — "dynamic XML data
 //! collections such as large intranets or federations of Web sources" —
 //! by streaming document insertions, link changes, and document deletions
-//! through the incremental maintenance algorithms, while verifying the
-//! index never has to be rebuilt from scratch.
+//! through the engine's incremental maintenance, while verifying the index
+//! never has to be rebuilt from scratch.
 //!
 //! ```sh
 //! cargo run --release --example incremental_updates
@@ -28,7 +28,7 @@ fn make_doc(i: usize, rng: &mut StdRng) -> XmlDocument {
     d
 }
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     let mut rng = StdRng::seed_from_u64(2026);
     let mut collection = Collection::new();
 
@@ -45,16 +45,16 @@ fn main() {
             collection.add_link(from, to);
         }
     }
-    let (mut index, report) = build_index(&collection, &BuildConfig::default());
+    let mut hopi = Hopi::build(collection)?;
     println!(
         "bootstrap: {} docs, cover {} entries, {} ms",
-        collection.doc_count(),
-        report.cover_size,
-        report.total_ms
+        hopi.stats().documents,
+        hopi.report().cover_size,
+        hopi.report().total_ms
     );
 
     // Stream updates: insert pages with links, rewire links, delete pages.
-    let mut live: Vec<DocId> = collection.doc_ids().collect();
+    let mut live: Vec<DocId> = hopi.collection().doc_ids().collect();
     let mut inserted = 0usize;
     let mut deleted_fast = 0usize;
     let mut deleted_general = 0usize;
@@ -69,12 +69,12 @@ fn main() {
                 let t2 = live[rng.gen_range(0..live.len())];
                 let links = DocumentLinks {
                     outgoing: vec![
-                        (1, collection.global_id(t1, 0)),
-                        (2, collection.global_id(t2, 0)),
+                        (1, hopi.collection().global_id(t1, 0)),
+                        (2, hopi.collection().global_id(t2, 0)),
                     ],
                     incoming: vec![],
                 };
-                let d = insert_document(&mut collection, &mut index, doc, &links);
+                let d = hopi.insert_document(doc, &links)?;
                 live.push(d);
                 inserted += 1;
             }
@@ -83,28 +83,25 @@ fn main() {
                 let a = live[rng.gen_range(0..live.len())];
                 let b = live[rng.gen_range(0..live.len())];
                 if a != b {
-                    let from = collection.global_id(a, 1);
-                    let to = collection.global_id(b, 0);
-                    insert_link(&mut collection, &mut index, from, to);
+                    let from = hopi.collection().global_id(a, 1);
+                    let to = hopi.collection().global_id(b, 0);
+                    hopi.insert_link(from, to)?;
                 }
             }
             _ => {
-                // Delete a page; report which algorithm applied.
+                // Delete a page; the outcome reports which algorithm ran.
                 if live.len() > 4 {
                     let pos = rng.gen_range(0..live.len());
                     let victim = live.remove(pos);
-                    let was_separator = separates(&collection, victim);
-                    let outcome = delete_document(&mut collection, &mut index, victim);
-                    if was_separator {
-                        deleted_fast += 1;
-                    } else {
-                        deleted_general += 1;
+                    let outcome = hopi.delete_document(victim)?;
+                    match outcome.algorithm {
+                        DeletionAlgorithm::FastSeparator => deleted_fast += 1,
+                        DeletionAlgorithm::General => deleted_general += 1,
                     }
-                    let _ = outcome;
                 }
             }
         }
-        verify(&collection, &index);
+        verify(&hopi);
     }
     println!(
         "30 update rounds in {:?}: {} inserts, {} fast deletes (Thm 2), {} general deletes (Thm 3)",
@@ -115,19 +112,20 @@ fn main() {
     );
     println!(
         "final: {} docs, cover {} entries — index stayed exact throughout",
-        collection.doc_count(),
-        index.size()
+        hopi.stats().documents,
+        hopi.stats().cover_entries
     );
+    Ok(())
 }
 
-/// Full oracle check: the index must agree with a freshly computed closure.
-fn verify(collection: &Collection, index: &HopiIndex) {
-    let g = collection.element_graph();
+/// Full oracle check: the engine must agree with a freshly computed closure.
+fn verify(hopi: &Hopi) {
+    let g = hopi.collection().element_graph();
     let tc = TransitiveClosure::from_graph(&g);
     for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
         for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
             assert_eq!(
-                index.connected(u, v),
+                hopi.connected(u, v),
                 tc.contains(u, v),
                 "index drift on ({u}, {v})"
             );

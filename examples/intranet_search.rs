@@ -3,128 +3,106 @@
 //! The paper's motivating application is the XXL search engine: a query
 //! like `//~book//author` should rank an `author` right below a `book`
 //! higher than one that is ten links away. This example builds a
-//! distance-aware HOPI index over a small synthetic "intranet" of linked
+//! distance-aware engine over a small synthetic "intranet" of linked
 //! department pages and runs a ranked structural query.
 //!
 //! ```sh
 //! cargo run --example intranet_search
 //! ```
 
-use hopi::core::DistanceCoverBuilder;
-use hopi::graph::DistanceClosure;
 use hopi::prelude::*;
-use hopi::store::LinLoutStore;
-use hopi::xml::parser::parse_collection;
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     // A mini intranet: a portal page linking to departments, which link to
     // project pages with authors at various depths.
-    let collection = parse_collection([
-        (
-            "portal",
-            r#"<site>
-                 <nav>
-                   <link xlink:href="db-group"/>
-                   <link xlink:href="systems-group"/>
-                 </nav>
-               </site>"#,
-        ),
-        (
-            "db-group",
-            r#"<group>
-                 <book id="hopi-book">
-                   <chapter><author id="schenkel"/></chapter>
-                 </book>
-                 <projects><link xlink:href="xxl-project"/></projects>
-               </group>"#,
-        ),
-        (
-            "systems-group",
-            r#"<group>
-                 <book id="sys-book">
-                   <refs><link xlink:href="xxl-project"/></refs>
-                 </book>
-               </group>"#,
-        ),
-        (
-            "xxl-project",
-            r#"<project>
-                 <team>
-                   <member><author id="theobald"/></member>
-                   <lead><deputy><author id="weikum"/></deputy></lead>
-                 </team>
-               </project>"#,
-        ),
-    ])
-    .expect("well-formed XML");
+    let hopi = Hopi::builder()
+        .distance_aware(true)
+        .query_options(QueryOptions {
+            top_k: Some(10),
+            ..Default::default()
+        })
+        .parse([
+            (
+                "portal",
+                r#"<site>
+                     <nav>
+                       <link xlink:href="db-group"/>
+                       <link xlink:href="systems-group"/>
+                     </nav>
+                   </site>"#,
+            ),
+            (
+                "db-group",
+                r#"<group>
+                     <book id="hopi-book">
+                       <chapter><author id="schenkel"/></chapter>
+                     </book>
+                     <projects><link xlink:href="xxl-project"/></projects>
+                   </group>"#,
+            ),
+            (
+                "systems-group",
+                r#"<group>
+                     <book id="sys-book">
+                       <refs><link xlink:href="xxl-project"/></refs>
+                     </book>
+                   </group>"#,
+            ),
+            (
+                "xxl-project",
+                r#"<project>
+                     <team>
+                       <member><author id="theobald"/></member>
+                       <lead><deputy><author id="weikum"/></deputy></lead>
+                     </team>
+                   </project>"#,
+            ),
+        ])?;
 
-    // Distance-aware index (flat build — the distance variant of §5).
-    let graph = collection.element_graph();
-    let closure = DistanceClosure::from_graph(&graph);
-    let cover = DistanceCoverBuilder::new(&closure).build();
+    let stats = hopi.stats();
     println!(
-        "distance-aware cover: {} entries over {} elements",
-        cover.size(),
-        collection.element_count()
+        "distance-aware engine: {} cover entries (+{} distance entries) over {} elements",
+        stats.cover_entries,
+        stats.distance_entries.unwrap_or(0),
+        stats.elements
     );
 
-    // The structural query //book//author with link traversal:
-    // find all (book, author) pairs and rank by link distance.
-    let mut books = Vec::new();
-    let mut authors = Vec::new();
-    for d in collection.doc_ids() {
-        let doc = collection.document(d).expect("live doc");
-        for (local, e) in doc.elements() {
-            let g = collection.global_id(d, local);
-            match e.tag.as_str() {
-                "book" => books.push(g),
-                "author" => authors.push(g),
-                _ => {}
-            }
-        }
-    }
-
-    let mut results: Vec<(u32, u32, u32)> = Vec::new(); // (dist, book, author)
-    for &b in &books {
-        for &a in &authors {
-            if let Some(dist) = cover.distance(b, a) {
-                results.push((dist, b, a));
-            }
-        }
-    }
-    results.sort_unstable();
-
+    // The structural query //book//author with link traversal, ranked by
+    // link distance (XXL-style decaying score: closer matches rank higher).
+    let results = hopi.query_ranked("//book//author")?;
     println!("\n//book//author matches, ranked by link distance:");
-    for (dist, b, a) in &results {
+    for m in &results {
         println!(
-            "  dist {:>2}: book {} → author {}  (score {:.2})",
-            dist,
-            describe(&collection, *b),
-            describe(&collection, *a),
-            // XXL-style decaying score: closer matches rank higher.
-            1.0 / (1.0 + *dist as f64)
+            "  dist {:>2}: author {}  (score {:.2})",
+            m.distance,
+            describe(&hopi, m.element),
+            m.score()
         );
     }
 
     // The direct (book → chapter → author) match must rank first.
-    let hopi_book = collection.resolve_ref("db-group", "hopi-book").unwrap();
-    let schenkel = collection.resolve_ref("db-group", "schenkel").unwrap();
-    assert_eq!(results.first().map(|r| (r.1, r.2)), Some((hopi_book, schenkel)));
-    assert_eq!(results[0].0, 2);
+    let schenkel = hopi.resolve("db-group", "schenkel")?;
+    assert_eq!(results.first().map(|m| m.element), Some(schenkel));
+    assert_eq!(results[0].distance, 2);
 
     // Authors reached only over project links rank lower but are found.
-    let theobald = collection.resolve_ref("xxl-project", "theobald").unwrap();
-    assert!(results.iter().any(|r| r.2 == theobald && r.0 > 2));
+    let theobald = hopi.resolve("xxl-project", "theobald")?;
+    assert!(results
+        .iter()
+        .any(|m| m.element == theobald && m.distance > 2));
 
-    // Same answers through the DIST-augmented LIN/LOUT store (§5.1's
-    // MIN(LOUT.DIST + LIN.DIST) SQL query).
-    let store = LinLoutStore::from_distance_cover(&cover);
-    assert_eq!(store.distance(hopi_book, schenkel), Some(2));
-    println!("\nLIN/LOUT(DIST) store agrees: {} rows", store.entry_count());
+    // Point distances come from the same engine (§5.1's
+    // MIN(LOUT.DIST + LIN.DIST) query shape).
+    let hopi_book = hopi.resolve("db-group", "hopi-book")?;
+    assert_eq!(hopi.distance(hopi_book, schenkel)?, Some(2));
+    let sys_book = hopi.resolve("systems-group", "sys-book")?;
+    assert_eq!(hopi.distance(schenkel, sys_book)?, None);
+    println!("\npoint distances agree: book → schenkel = 2 links ✓");
+    Ok(())
 }
 
-fn describe(collection: &Collection, e: u32) -> String {
-    let (d, local) = collection.to_local(e).expect("live element");
-    let doc = collection.document(d).expect("live doc");
+fn describe(hopi: &Hopi, e: u32) -> String {
+    let (d, local) = hopi.collection().to_local(e).expect("live element");
+    let doc = hopi.collection().document(d).expect("live doc");
     format!("{}/{}#{}", doc.name, doc.element(local).tag, local)
 }

@@ -1,4 +1,4 @@
-//! 24×7 online serving (paper §1.1): queries keep flowing while the index
+//! 24×7 online serving (paper §1.1): queries keep flowing while the engine
 //! is incrementally updated and even while it is fully rebuilt in the
 //! background.
 //!
@@ -6,87 +6,105 @@
 //! cargo run --release --example online_serving
 //! ```
 
-use hopi::maintenance::OnlineIndex;
 use hopi::prelude::*;
 use hopi::xml::generator::{dblp, DblpConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     let collection = dblp(&DblpConfig::scaled(0.02));
     let n = collection.elem_id_bound() as u32;
-    let (online, report) = OnlineIndex::new(collection, &BuildConfig::default());
+    // A serving tier wants the smallest possible cover per query, so this
+    // engine (re)builds with the no-partitioning configuration — the
+    // paper's §7.2 trade-off: slowest build, smallest index. The build runs
+    // in the background anyway; queries never wait for it.
+    let online = OnlineHopi::new(
+        Hopi::builder()
+            .partitioner(PartitionerChoice::Flat)
+            .build(collection)?,
+    );
     println!(
         "bootstrap: {} cover entries in {} ms",
-        report.cover_size, report.total_ms
+        online.read(|h| h.report().cover_size),
+        online.read(|h| h.report().total_ms)
     );
 
     let queries_served = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
 
-    std::thread::scope(|scope| {
-        // Four reader threads hammer the index.
-        for t in 0..4u32 {
-            let online = online.clone();
-            let queries_served = &queries_served;
-            let stop = &stop;
-            scope.spawn(move || {
-                let mut i = 0u32;
-                while !stop.load(Ordering::Relaxed) {
-                    let u = (i.wrapping_mul(2654435761).wrapping_add(t)) % n;
-                    let v = (i.wrapping_mul(40503).wrapping_add(t * 7)) % n;
-                    let _ = online.connected(u, v);
-                    queries_served.fetch_add(1, Ordering::Relaxed);
-                    i = i.wrapping_add(1);
-                }
-            });
-        }
-
-        // A writer churns links to degrade the cover.
-        let docs: Vec<DocId> = online.read(|c, _| c.doc_ids().collect());
-        for i in 0..60 {
-            let a = docs[(i * 13) % docs.len()];
-            let b = docs[(i * 31 + 5) % docs.len()];
-            if a != b {
-                let (from, to) = online.read(|c, _| (c.global_id(a, 0), c.global_id(b, 0)));
-                online.insert_link(from, to);
+    let (churned, rebuilt, rebuild_cover, during_queries, rebuild_time) =
+        std::thread::scope(|scope| {
+            // Four reader threads hammer the engine.
+            for t in 0..4u32 {
+                let online = online.clone();
+                let queries_served = &queries_served;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut i = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let u = (i.wrapping_mul(2654435761).wrapping_add(t)) % n;
+                        let v = (i.wrapping_mul(40503).wrapping_add(t * 7)) % n;
+                        let _ = online.connected(u, v);
+                        queries_served.fetch_add(1, Ordering::Relaxed);
+                        i = i.wrapping_add(1);
+                    }
+                });
             }
-        }
-        let churned = online.size();
-        println!("after churn: {churned} entries (degraded by incremental inserts)");
 
-        // Background rebuild while readers keep going.
-        let before_queries = queries_served.load(Ordering::Relaxed);
-        let t0 = Instant::now();
-        let handle = online.rebuild_in_background(BuildConfig::default());
-        let rebuild_report = handle.join().expect("rebuild thread");
-        let during_queries = queries_served.load(Ordering::Relaxed) - before_queries;
-        println!(
-            "background rebuild: {} → {} entries in {:?}; {} queries served DURING the rebuild",
-            churned,
-            online.size(),
-            t0.elapsed(),
-            during_queries
-        );
-        assert!(online.size() < churned, "rebuild must shrink the cover");
-        assert!(rebuild_report.cover_size > 0);
+            // A writer churns links to degrade the cover.
+            let docs: Vec<DocId> = online.read(|h| h.collection().doc_ids().collect());
+            for i in 0..60 {
+                let a = docs[(i * 13) % docs.len()];
+                let b = docs[(i * 31 + 5) % docs.len()];
+                if a != b {
+                    let (from, to) = online.read(|h| {
+                        (
+                            h.collection().global_id(a, 0),
+                            h.collection().global_id(b, 0),
+                        )
+                    });
+                    online.insert_link(from, to).expect("live endpoints");
+                }
+            }
+            let churned = online.size();
+            println!("after churn: {churned} entries (degraded by incremental inserts)");
 
-        stop.store(true, Ordering::Relaxed);
-    });
+            // Background rebuild while readers keep going.
+            let before_queries = queries_served.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let handle = online.rebuild_in_background();
+            let rebuild_report = handle.join().expect("rebuild thread");
+            let during_queries = queries_served.load(Ordering::Relaxed) - before_queries;
+            stop.store(true, Ordering::Relaxed);
+            (
+                churned,
+                online.size(),
+                rebuild_report.cover_size,
+                during_queries,
+                t0.elapsed(),
+            )
+        });
+    println!(
+        "background rebuild: {churned} → {rebuilt} entries in {rebuild_time:?}; \
+         {during_queries} queries served DURING the rebuild"
+    );
+    assert!(rebuilt < churned, "rebuild must shrink the cover");
+    assert!(rebuild_cover > 0);
 
     println!(
         "total queries served: {}",
         queries_served.load(Ordering::Relaxed)
     );
     // Final exactness check against a fresh closure.
-    online.read(|c, index| {
-        let g = c.element_graph();
+    online.read(|h| {
+        let g = h.collection().element_graph();
         let tc = hopi::graph::TransitiveClosure::from_graph(&g);
         for u in (0..g.id_bound() as u32).step_by(13) {
             for v in (0..g.id_bound() as u32).step_by(13) {
-                assert_eq!(index.connected(u, v), tc.contains(u, v));
+                assert_eq!(h.connected(u, v), tc.contains(u, v));
             }
         }
     });
-    println!("index exact after rebuild ✓");
+    println!("engine exact after rebuild ✓");
+    Ok(())
 }

@@ -11,7 +11,7 @@ use hopi::prelude::*;
 use hopi::xml::generator::{dblp, DblpConfig};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -25,9 +25,8 @@ fn main() {
     );
 
     let t = Instant::now();
-    let (index, _) = build_index(&collection, &BuildConfig::default());
-    let tags = TagIndex::build(&collection);
-    println!("index + tag index built in {:?}\n", t.elapsed());
+    let hopi = Hopi::build(collection)?;
+    println!("engine (index + tag index) built in {:?}\n", t.elapsed());
 
     // The connection axis // crosses citation links: "all authors of papers
     // reachable from some article's citation list".
@@ -38,9 +37,8 @@ fn main() {
         "//article//article", // articles reaching other articles
         "//cite//*",          // everything reachable from a citation
     ] {
-        let expr = parse_path(query).expect("valid query");
         let t = Instant::now();
-        let result = evaluate(&collection, &index, &tags, &expr);
+        let result = hopi.query(query)?;
         println!(
             "{query:<24} {:>8} matches in {:?}",
             result.len(),
@@ -50,17 +48,16 @@ fn main() {
 
     // Compare against evaluation WITHOUT the index (BFS per probe) on one
     // query to show why a connection index exists.
-    let expr = parse_path("//cite//author").unwrap();
     let t = Instant::now();
-    let with_index = evaluate(&collection, &index, &tags, &expr);
+    let with_index = hopi.query("//cite//author")?;
     let indexed_time = t.elapsed();
 
-    let g = collection.element_graph();
+    let g = hopi.collection().element_graph();
     let t = Instant::now();
-    let cites = tags.elements("cite");
-    let authors = tags.elements("author");
+    let cites = hopi.query("//cite")?;
+    let authors = hopi.query("//author")?;
     let mut naive: Vec<ElemId> = Vec::new();
-    for &a in authors {
+    for &a in &authors {
         if cites
             .iter()
             .any(|&c| c != a && hopi::graph::traversal::is_reachable(&g, c, a))
@@ -76,4 +73,5 @@ fn main() {
         naive_time,
         (naive_time.as_nanos() / indexed_time.as_nanos().max(1))
     );
+    Ok(())
 }

@@ -1,17 +1,17 @@
 //! Quickstart: parse a handful of linked XML documents, build the HOPI
-//! index, and run connection queries.
+//! engine, and run connection queries.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use hopi::prelude::*;
-use hopi::xml::parser::parse_collection;
 
-fn main() {
+fn main() -> Result<(), HopiError> {
     // A tiny "digital library": three documents linked by citations
-    // (XLink) and an internal cross-reference (IDREF).
-    let collection = parse_collection([
+    // (XLink) and an internal cross-reference (IDREF), all behind one
+    // engine handle.
+    let hopi = Hopi::builder().parse([
         (
             "survey",
             r#"<article>
@@ -40,58 +40,62 @@ fn main() {
                  <thm id="main-theorem"/>
                </article>"#,
         ),
-    ])
-    .expect("well-formed XML");
+    ])?;
 
-    let stats = CollectionStats::of(&collection);
-    println!("collection: {stats}");
-
-    // Build the index with the paper's best configuration: the
-    // closure-size-aware partitioner (§4.3) + the PSG-based join (§4.1).
-    let (index, report) = build_index(&collection, &BuildConfig::default());
+    let stats = hopi.stats();
+    println!(
+        "collection: {} docs, {} elements, {} links",
+        stats.documents, stats.elements, stats.links
+    );
     println!(
         "index built: {} partitions, {} label entries, {} ms",
-        report.partitions, report.cover_size, report.total_ms
+        hopi.report().partitions,
+        hopi.report().cover_size,
+        hopi.report().total_ms
     );
 
-    // `//survey//thm` with link traversal: does the survey reach the
-    // theorem? (Path: survey → cite → theory-paper root → thm, and also
-    // survey → cite → #main-theorem directly.)
-    let survey_root = collection.global_id(0, 0);
-    let theorem = collection
-        .resolve_ref("theory-paper", "main-theorem")
-        .expect("anchor exists");
+    // Does the survey reach the theorem? (Path: survey → cite →
+    // theory-paper root → thm, and also survey → cite → #main-theorem.)
+    let survey_root = hopi.resolve("survey", "")?;
+    let theorem = hopi.resolve("theory-paper", "main-theorem")?;
     println!(
         "survey //→ main-theorem: {}",
-        index.connected(survey_root, theorem)
+        hopi.connected(survey_root, theorem)
     );
-    assert!(index.connected(survey_root, theorem));
+    assert!(hopi.connected(survey_root, theorem));
 
     // The systems paper reaches the theorem through its own citation.
-    let systems_root = collection.global_id(1, 0);
-    assert!(index.connected(systems_root, theorem));
+    let systems_root = hopi.resolve("systems-paper", "")?;
+    assert!(hopi.connected(systems_root, theorem));
 
     // The theory paper cites nothing: it reaches nobody else.
-    let theory_root = collection.global_id(2, 0);
-    assert!(!index.connected(theory_root, survey_root));
-    assert!(!index.connected(theory_root, systems_root));
+    let theory_root = hopi.resolve("theory-paper", "")?;
+    assert!(!hopi.connected(theory_root, survey_root));
+    assert!(!hopi.connected(theory_root, systems_root));
+
+    // Path expressions with wildcards ride the connection axis across
+    // documents: every theorem reachable from some citation.
+    let theorems = hopi.query("//cite//thm")?;
+    assert_eq!(theorems, vec![theorem]);
 
     // Enumerate everything the survey reaches (descendants-or-self across
     // documents) — the building block of `//` wildcard evaluation.
-    let reach = index.descendants(survey_root);
+    let reach = hopi.descendants(survey_root);
     println!(
         "survey reaches {} of {} elements",
         reach.len(),
-        collection.element_count()
+        stats.elements
     );
 
-    // Store the cover in the paper's LIN/LOUT table layout and query it
-    // with the SQL-equivalent engine.
-    let store = LinLoutStore::from_cover(index.cover());
-    assert!(store.connected(survey_root, theorem));
+    // Persist the cover in the paper's LIN/LOUT table layout and reload.
+    let path = std::env::temp_dir().join("hopi_quickstart.idx");
+    hopi.save(&path)?;
+    let reloaded = Hopi::open(hopi.collection().clone(), &path)?;
+    assert!(reloaded.connected(survey_root, theorem));
     println!(
-        "LIN/LOUT store: {} rows, {} stored integers (fwd+bwd indexes)",
-        store.entry_count(),
-        store.stored_integers()
+        "LIN/LOUT store round-trip: {} entries",
+        reloaded.stats().cover_entries
     );
+    std::fs::remove_file(path).ok();
+    Ok(())
 }

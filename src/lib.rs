@@ -14,41 +14,48 @@
 //!
 //! ## Quickstart
 //!
+//! The whole lifecycle runs through one engine handle, [`Hopi`]:
+//!
 //! ```
 //! use hopi::prelude::*;
 //!
-//! // Parse a small linked collection.
-//! let collection = hopi::xml::parser::parse_collection([
+//! // Parse a small linked collection and build the index
+//! // (new partitioner + new PSG join by default).
+//! let mut hopi = Hopi::builder().parse([
 //!     ("paper-a", r#"<article><cite xlink:href="paper-b"/></article>"#),
 //!     ("paper-b", r#"<article><sec id="s1"/></article>"#),
-//! ])
-//! .expect("valid XML");
-//!
-//! // Build the index (new partitioner + new PSG join by default).
-//! let (index, report) = build_index(&collection, &BuildConfig::default());
-//! assert!(report.cover_size > 0 || collection.links().is_empty());
+//! ])?;
 //!
 //! // paper-a's root reaches paper-b's section across the citation link.
-//! let a_root = collection.global_id(0, 0);
-//! let b_sec = collection.resolve_ref("paper-b", "s1").unwrap();
-//! assert!(index.connected(a_root, b_sec));
+//! let a_root = hopi.resolve("paper-a", "")?;
+//! let b_sec = hopi.resolve("paper-b", "s1")?;
+//! assert!(hopi.connected(a_root, b_sec));
+//!
+//! // Path expressions with wildcards ride the same index…
+//! assert_eq!(hopi.query("//article//sec")?, vec![b_sec]);
+//!
+//! // …and the index absorbs updates incrementally (paper §6).
+//! let outcome = hopi.delete_document(1)?;
+//! assert!(hopi.query("//article//sec")?.is_empty());
+//! let _ = outcome;
+//! # Ok::<(), hopi::HopiError>(())
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`build`] | the [`Hopi`] / [`OnlineHopi`] engine facade, [`HopiError`] |
 //! | [`graph`] | digraphs, bit sets, transitive/distance closures, SCC |
 //! | [`xml`] | document model, parser, generators, `G_E(X)` / `G_D(X)` |
-//! | [`core`] | 2-hop covers, densest-subgraph machinery, builders |
-//! | [`partition`] | document-graph partitioners, skeleton graph, PSG |
-//! | [`build`] | build pipeline, old (§3.3) and new (§4.1) cover joins |
-//! | [`maintenance`] | insertions, deletions (Thm 2/3), modifications |
+//! | [`core`] | 2-hop covers, densest-subgraph machinery, the index handle |
+//! | [`partition`] | partitioners, skeleton graphs, the §3.3/§4 build pipeline |
+//! | [`maintenance`] | insertions, deletions (Thm 2/3), modifications, 24×7 mode |
 //! | [`store`] | LIN/LOUT index-organized tables, SQL-semantics queries |
 //! | [`query`] | path expressions with wildcards, distance-ranked retrieval |
 //!
-//! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
-//! for the reproduced evaluation.
+//! See `DESIGN.md` for the paper-to-module inventory and the `hopi-bench`
+//! crate for the reproduced evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,21 +69,20 @@ pub use hopi_query as query;
 pub use hopi_store as store;
 pub use hopi_xml as xml;
 
-/// Convenience re-exports for the common workflow: generate/parse a
-/// collection, build an index, query it, maintain it.
+pub use hopi_build::{Hopi, HopiBuilder, HopiError, OnlineHopi, QueryOptions, Stats};
+
+/// Convenience re-exports for the common workflow: parse or generate a
+/// collection, build a [`Hopi`] engine, query it, maintain it.
 pub mod prelude {
+    pub use hopi_build::{BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
     pub use hopi_build::{
-        build_index, BuildConfig, HopiIndex, JoinAlgorithm, PartitionerChoice,
+        Hopi, HopiBuilder, HopiError, HopiIndex, OnlineHopi, QueryOptions, Stats,
     };
-    pub use hopi_core::{DistanceCover, DistanceCoverBuilder, TwoHopCover};
-    pub use hopi_maintenance::{
-        delete_document, delete_link, insert_document, insert_link, modify_document,
-        separates, DocumentLinks,
-    };
+    pub use hopi_maintenance::{DeletionAlgorithm, DeletionOutcome, DocumentLinks, RebuildPolicy};
     pub use hopi_partition::{
         EdgeWeightStrategy, OldPartitionerConfig, Partitioning, TcPartitionerConfig,
     };
-    pub use hopi_query::{evaluate, evaluate_ranked, parse_path, PathExpr, TagIndex};
+    pub use hopi_query::{EvalOptions, RankedMatch};
     pub use hopi_store::LinLoutStore;
     pub use hopi_xml::{Collection, CollectionStats, DocId, ElemId, Link, XmlDocument};
 }

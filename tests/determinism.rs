@@ -1,17 +1,18 @@
-//! Determinism and concurrency tests: the build pipeline must produce the
-//! same cover regardless of worker-thread count (partition covers are
-//! computed concurrently but merged in partition order), and repeated
-//! builds must be bit-identical (all randomness is seeded).
+//! Determinism and concurrency tests: the engine must produce the same
+//! cover regardless of worker-thread count (partition covers are computed
+//! concurrently but merged in partition order), and repeated builds must be
+//! bit-identical (all randomness is seeded).
 
 use hopi::prelude::*;
 use hopi::xml::generator::{dblp, DblpConfig};
 
-fn covers_equal(a: &HopiIndex, b: &HopiIndex, n: u32) -> bool {
-    if a.size() != b.size() {
+fn covers_equal(a: &Hopi, b: &Hopi, n: u32) -> bool {
+    if a.index().size() != b.index().size() {
         return false;
     }
     (0..n).all(|u| {
-        a.cover().lin(u) == b.cover().lin(u) && a.cover().lout(u) == b.cover().lout(u)
+        a.index().cover().lin(u) == b.index().cover().lin(u)
+            && a.index().cover().lout(u) == b.index().cover().lout(u)
     })
 }
 
@@ -19,19 +20,9 @@ fn covers_equal(a: &HopiIndex, b: &HopiIndex, n: u32) -> bool {
 fn thread_count_does_not_change_the_cover() {
     let c = dblp(&DblpConfig::scaled(0.01));
     let n = c.elem_id_bound() as u32;
-    let base = BuildConfig {
-        threads: 1,
-        ..Default::default()
-    };
-    let (one, _) = build_index(&c, &base);
+    let one = Hopi::builder().threads(1).build(c.clone()).unwrap();
     for threads in [2, 4, 8] {
-        let (multi, _) = build_index(
-            &c,
-            &BuildConfig {
-                threads,
-                ..base.clone()
-            },
-        );
+        let multi = Hopi::builder().threads(threads).build(c.clone()).unwrap();
         assert!(
             covers_equal(&one, &multi, n),
             "cover differs between 1 and {threads} threads"
@@ -43,17 +34,19 @@ fn thread_count_does_not_change_the_cover() {
 fn repeated_builds_are_identical() {
     let c = dblp(&DblpConfig::scaled(0.008));
     let n = c.elem_id_bound() as u32;
-    for cfg in [
-        BuildConfig::default(),
-        BuildConfig {
-            partitioner: PartitionerChoice::Old(OldPartitionerConfig::default()),
-            join: JoinAlgorithm::Incremental,
-            ..Default::default()
-        },
-    ] {
-        let (a, _) = build_index(&c, &cfg);
-        let (b, _) = build_index(&c, &cfg);
-        assert!(covers_equal(&a, &b, n), "non-deterministic build: {cfg:?}");
+    let builders = || {
+        [
+            Hopi::builder(),
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Old(OldPartitionerConfig::default()))
+                .join(JoinAlgorithm::Incremental),
+        ]
+    };
+    for (first, second) in builders().into_iter().zip(builders()) {
+        let config = format!("{:?}", first.clone());
+        let a = first.build(c.clone()).unwrap();
+        let b = second.build(c.clone()).unwrap();
+        assert!(covers_equal(&a, &b, n), "non-deterministic build: {config}");
     }
 }
 

@@ -1,6 +1,6 @@
 //! End-to-end integration tests: generate or parse a collection, build the
-//! index under every configuration, query it through the in-memory cover
-//! *and* the LIN/LOUT store, maintain it incrementally — always checked
+//! engine under every configuration, query it through the facade *and* a
+//! persisted-store round trip, maintain it incrementally — always checked
 //! against a freshly computed transitive-closure oracle.
 
 use hopi::graph::TransitiveClosure;
@@ -8,44 +8,41 @@ use hopi::prelude::*;
 use hopi::xml::generator::{dblp, inex, random_collection, DblpConfig, InexConfig, RandomConfig};
 use hopi::xml::parser::parse_collection;
 
-fn oracle_check(collection: &Collection, index: &HopiIndex) {
-    let g = collection.element_graph();
+fn oracle_check(hopi: &Hopi) {
+    let g = hopi.collection().element_graph();
     let tc = TransitiveClosure::from_graph(&g);
     for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
         for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
-            assert_eq!(index.connected(u, v), tc.contains(u, v), "pair ({u},{v})");
+            assert_eq!(hopi.connected(u, v), tc.contains(u, v), "pair ({u},{v})");
         }
     }
 }
 
-fn configurations() -> Vec<BuildConfig> {
-    let mut cfgs = vec![BuildConfig {
-        partitioner: PartitionerChoice::Flat,
-        ..Default::default()
-    }];
+fn configurations() -> Vec<HopiBuilder> {
+    let mut cfgs = vec![Hopi::builder().partitioner(PartitionerChoice::Flat)];
     for join in [JoinAlgorithm::Incremental, JoinAlgorithm::Psg] {
-        cfgs.push(BuildConfig {
-            partitioner: PartitionerChoice::PerDocument,
-            join,
-            ..Default::default()
-        });
-        cfgs.push(BuildConfig {
-            partitioner: PartitionerChoice::Old(OldPartitionerConfig {
-                max_nodes_per_partition: 40,
-                ..Default::default()
-            }),
-            join,
-            preselect_link_targets: true,
-            ..Default::default()
-        });
-        cfgs.push(BuildConfig {
-            partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
-                max_connections_per_partition: 300,
-                ..Default::default()
-            }),
-            join,
-            ..Default::default()
-        });
+        cfgs.push(
+            Hopi::builder()
+                .partitioner(PartitionerChoice::PerDocument)
+                .join(join),
+        );
+        cfgs.push(
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Old(OldPartitionerConfig {
+                    max_nodes_per_partition: 40,
+                    ..Default::default()
+                }))
+                .join(join)
+                .preselect_link_targets(true),
+        );
+        cfgs.push(
+            Hopi::builder()
+                .partitioner(PartitionerChoice::Tc(TcPartitionerConfig {
+                    max_connections_per_partition: 300,
+                    ..Default::default()
+                }))
+                .join(join),
+        );
     }
     cfgs
 }
@@ -53,9 +50,9 @@ fn configurations() -> Vec<BuildConfig> {
 #[test]
 fn dblp_like_collection_all_configs() {
     let c = dblp(&DblpConfig::scaled(0.003)); // ~19 docs
-    for cfg in configurations() {
-        let (index, _) = build_index(&c, &cfg);
-        oracle_check(&c, &index);
+    for builder in configurations() {
+        let hopi = builder.build(c.clone()).unwrap();
+        oracle_check(&hopi);
     }
 }
 
@@ -70,9 +67,9 @@ fn random_cyclic_collections_all_configs() {
             allow_cycles: true,
             seed,
         });
-        for cfg in configurations() {
-            let (index, _) = build_index(&c, &cfg);
-            oracle_check(&c, &index);
+        for builder in configurations() {
+            let hopi = builder.build(c.clone()).unwrap();
+            oracle_check(&hopi);
         }
     }
 }
@@ -86,11 +83,11 @@ fn inex_like_tree_collection() {
         max_depth: 7,
         seed: 5,
     });
-    for cfg in configurations() {
-        let (index, report) = build_index(&c, &cfg);
-        assert_eq!(report.cross_links, 0);
-        assert_eq!(report.join_entries, 0);
-        oracle_check(&c, &index);
+    for builder in configurations() {
+        let hopi = builder.build(c.clone()).unwrap();
+        assert_eq!(hopi.report().cross_links, 0);
+        assert_eq!(hopi.report().join_entries, 0);
+        oracle_check(&hopi);
     }
 }
 
@@ -102,24 +99,21 @@ fn parsed_collection_roundtrip_through_store() {
         ("c", r#"<r><l href="a"/><m idref="nothing"/></r>"#),
     ])
     .unwrap();
-    let (index, _) = build_index(&c, &BuildConfig::default());
-    oracle_check(&c, &index);
+    let hopi = Hopi::build(c).unwrap();
+    oracle_check(&hopi);
 
-    // Through the database-backed store.
-    let store = LinLoutStore::from_cover(index.cover());
-    let g = c.element_graph();
-    for u in 0..g.id_bound() as u32 {
-        for v in 0..g.id_bound() as u32 {
-            assert_eq!(store.connected(u, v), index.connected(u, v));
-        }
-    }
-
-    // Persistence roundtrip.
+    // Persistence round trip: a reopened engine answers identically.
     let path = std::env::temp_dir().join("hopi_e2e_store.idx");
-    hopi::store::save_store(&store, &path).unwrap();
-    let loaded = hopi::store::load_store(&path).unwrap();
-    assert_eq!(loaded.entry_count(), store.entry_count());
-    assert_eq!(loaded.descendants(0), store.descendants(0));
+    hopi.save(&path).unwrap();
+    let reloaded = Hopi::open(hopi.collection().clone(), &path).unwrap();
+    assert_eq!(reloaded.stats().cover_entries, hopi.stats().cover_entries);
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(reloaded.connected(u, v), hopi.connected(u, v));
+        }
+        assert_eq!(reloaded.descendants(u), hopi.descendants(u));
+    }
     std::fs::remove_file(path).ok();
 }
 
@@ -127,7 +121,7 @@ fn parsed_collection_roundtrip_through_store() {
 fn full_lifecycle_build_maintain_query() {
     use rand::prelude::*;
     let mut rng = StdRng::seed_from_u64(1234);
-    let mut c = random_collection(&RandomConfig {
+    let c = random_collection(&RandomConfig {
         num_docs: 8,
         elements_range: (2, 6),
         num_links: 10,
@@ -135,60 +129,63 @@ fn full_lifecycle_build_maintain_query() {
         allow_cycles: true,
         seed: 9,
     });
-    let (mut index, _) = build_index(&c, &BuildConfig::default());
-    oracle_check(&c, &index);
+    let mut hopi = Hopi::build(c).unwrap();
+    oracle_check(&hopi);
 
     // Mixed workload: inserts, link churn, deletions, modification.
-    let mut live: Vec<DocId> = c.doc_ids().collect();
+    let mut live: Vec<DocId> = hopi.collection().doc_ids().collect();
     for round in 0..12 {
         match round % 4 {
             0 => {
                 let mut doc = XmlDocument::new(format!("new{round}"), "r");
                 doc.add_element(0, "s");
                 let target = live[rng.gen_range(0..live.len())];
-                let to = c.global_id(target, 0);
-                let d = insert_document(
-                    &mut c,
-                    &mut index,
-                    doc,
-                    &DocumentLinks {
-                        outgoing: vec![(1, to)],
-                        incoming: vec![],
-                    },
-                );
+                let to = hopi.collection().global_id(target, 0);
+                let d = hopi
+                    .insert_document(
+                        doc,
+                        &DocumentLinks {
+                            outgoing: vec![(1, to)],
+                            incoming: vec![],
+                        },
+                    )
+                    .unwrap();
                 live.push(d);
             }
             1 => {
                 let a = live[rng.gen_range(0..live.len())];
                 let b = live[rng.gen_range(0..live.len())];
                 if a != b {
-                    let (from, to) = (c.global_id(a, 0), c.global_id(b, 0));
-                    insert_link(&mut c, &mut index, from, to);
+                    let from = hopi.collection().global_id(a, 0);
+                    let to = hopi.collection().global_id(b, 0);
+                    hopi.insert_link(from, to).unwrap();
                 }
             }
             2 => {
-                if let Some(&l) = c.links().first() {
-                    delete_link(&mut c, &mut index, l.from, l.to);
+                if let Some(&l) = hopi.collection().links().first() {
+                    hopi.delete_link(l.from, l.to).unwrap();
                 }
             }
             _ => {
                 if live.len() > 3 {
                     let victim = live.remove(rng.gen_range(0..live.len()));
-                    delete_document(&mut c, &mut index, victim);
+                    hopi.delete_document(victim).unwrap();
                 }
             }
         }
-        oracle_check(&c, &index);
-        index.cover().check_invariants();
+        oracle_check(&hopi);
+        hopi.index().cover().check_invariants();
     }
 
     // Finish with a modification.
     let victim = live[0];
     let mut v2 = XmlDocument::new("rebuilt", "r");
     v2.add_element(0, "fresh");
-    let new_id = modify_document(&mut c, &mut index, victim, v2, &DocumentLinks::default());
-    assert!(c.document(new_id).is_some());
-    oracle_check(&c, &index);
+    let new_id = hopi
+        .modify_document(victim, v2, &DocumentLinks::default())
+        .unwrap();
+    assert!(hopi.collection().document(new_id).is_some());
+    oracle_check(&hopi);
 }
 
 #[test]
@@ -197,19 +194,18 @@ fn compression_beats_closure_on_dblp() {
     // transitive closure.
     let c = dblp(&DblpConfig::scaled(0.02));
     let closure = TransitiveClosure::from_graph(&c.element_graph());
-    let (index, report) = build_index(
-        &c,
-        &BuildConfig {
-            partitioner: PartitionerChoice::Flat,
-            ..Default::default()
-        },
-    );
-    let ratio = report.compression_vs(closure.connection_count() as u64);
+    let hopi = Hopi::builder()
+        .partitioner(PartitionerChoice::Flat)
+        .build(c)
+        .unwrap();
+    let ratio = hopi
+        .report()
+        .compression_vs(closure.connection_count() as u64);
     assert!(
         ratio > 5.0,
         "flat cover should compress the closure well, got {ratio:.1}x"
     );
-    assert_eq!(index.size(), report.cover_size);
+    assert_eq!(hopi.index().size(), hopi.report().cover_size);
 }
 
 #[test]
@@ -217,21 +213,20 @@ fn distance_index_end_to_end() {
     let c = dblp(&DblpConfig::scaled(0.002));
     let g = c.element_graph();
     let dc = hopi::graph::DistanceClosure::from_graph(&g);
-    let cover = DistanceCoverBuilder::new(&dc).build();
+    let hopi = Hopi::builder().distance_aware(true).build(c).unwrap();
     for u in (0..g.id_bound() as u32).step_by(3) {
         for v in (0..g.id_bound() as u32).step_by(3) {
-            assert_eq!(cover.distance(u, v), dc.dist(u, v));
+            assert_eq!(hopi.distance(u, v).unwrap(), dc.dist(u, v));
         }
     }
-    // Store with DIST and compare entry counts with the plain cover: the
-    // distance augmentation must not blow up entry counts (paper abstract:
-    // "low space overhead for including distance information").
-    let tc = TransitiveClosure::from_graph(&g);
-    let plain = hopi::core::CoverBuilder::new(&tc).build();
+    // The distance augmentation must not blow up entry counts (paper
+    // abstract: "low space overhead for including distance information").
+    let stats = hopi.stats();
+    let distance_entries = stats.distance_entries.expect("distance enabled");
     assert!(
-        cover.size() <= plain.size() * 3,
+        distance_entries <= stats.cover_entries * 3,
         "distance cover {} vs plain {}",
-        cover.size(),
-        plain.size()
+        distance_entries,
+        stats.cover_entries
     );
 }

@@ -1,0 +1,411 @@
+//! Facade API suite: the whole lifecycle — build → query → insert/delete →
+//! rebuild → re-query — exercised through [`Hopi`] and [`OnlineHopi`] only,
+//! including the typed error paths of [`HopiError`].
+
+use hopi::graph::TransitiveClosure;
+use hopi::prelude::*;
+
+fn library() -> Hopi {
+    Hopi::builder()
+        .parse([
+            (
+                "survey",
+                r#"<article>
+                     <related>
+                       <cite xlink:href="systems"/>
+                       <cite xlink:href="theory#thm1"/>
+                     </related>
+                   </article>"#,
+            ),
+            (
+                "systems",
+                r#"<article><body><sec id="eval"/></body><cite xlink:href="theory"/></article>"#,
+            ),
+            ("theory", r#"<article><thm id="thm1"/></article>"#),
+        ])
+        .expect("fixture parses")
+}
+
+fn oracle_check(hopi: &Hopi) {
+    let g = hopi.collection().element_graph();
+    let tc = TransitiveClosure::from_graph(&g);
+    for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
+        for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
+            assert_eq!(hopi.connected(u, v), tc.contains(u, v), "pair ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn build_query_maintain_rebuild_requery() {
+    let mut hopi = library();
+    oracle_check(&hopi);
+
+    // Query.
+    let survey = hopi.resolve("survey", "").unwrap();
+    let thm = hopi.resolve("theory", "thm1").unwrap();
+    assert!(hopi.connected(survey, thm));
+    assert_eq!(hopi.query("//article//thm").unwrap(), vec![thm]);
+
+    // Insert a document through the XML fast path (href resolved against
+    // the collection), then through the explicit-links path.
+    let review = hopi
+        .insert_xml(
+            "review",
+            r#"<article><cite xlink:href="survey"/></article>"#,
+        )
+        .unwrap();
+    let review_root = hopi.collection().global_id(review, 0);
+    assert!(hopi.connected(review_root, thm), "review → survey → theory");
+    oracle_check(&hopi);
+
+    let mut appendix = XmlDocument::new("appendix", "article");
+    let cite = appendix.add_element(0, "cite");
+    let appendix_id = hopi
+        .insert_document(
+            appendix,
+            &DocumentLinks {
+                outgoing: vec![(cite, survey)],
+                incoming: vec![],
+            },
+        )
+        .unwrap();
+    oracle_check(&hopi);
+
+    // Link churn.
+    let theory_root = hopi.resolve("theory", "").unwrap();
+    let appendix_root = hopi.collection().global_id(appendix_id, 0);
+    hopi.insert_link(theory_root, appendix_root).unwrap();
+    assert!(hopi.connected(survey, appendix_root), "cycle closed");
+    oracle_check(&hopi);
+    hopi.delete_link(theory_root, appendix_root).unwrap();
+    assert!(!hopi.connected(survey, appendix_root));
+    oracle_check(&hopi);
+
+    // Delete, rebuild, re-query.
+    hopi.delete_document(review).unwrap();
+    oracle_check(&hopi);
+    let churned = hopi.stats().cover_entries;
+    let report = hopi.rebuild().clone();
+    assert_eq!(report.cover_size, hopi.stats().cover_entries);
+    assert!(hopi.stats().cover_entries <= churned);
+    oracle_check(&hopi);
+    assert_eq!(hopi.query("//article//thm").unwrap(), vec![thm]);
+    assert!(hopi.query("//review//*").unwrap().is_empty());
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let mut hopi = library();
+
+    // Malformed path expressions.
+    for bad in ["", "article", "//", "//a///b"] {
+        assert!(
+            matches!(hopi.query(bad), Err(HopiError::Path(_))),
+            "query({bad:?}) should be a path error"
+        );
+    }
+
+    // Unknown document ids (never existed / already deleted).
+    assert!(matches!(
+        hopi.delete_document(77),
+        Err(HopiError::UnknownDocument(77))
+    ));
+    let theory = hopi.resolve("theory", "").unwrap();
+    let theory_doc = hopi.collection().doc_of(theory).unwrap();
+    hopi.delete_document(theory_doc).unwrap();
+    assert!(matches!(
+        hopi.delete_document(theory_doc),
+        Err(HopiError::UnknownDocument(_))
+    ));
+    assert!(matches!(
+        hopi.modify_document(
+            theory_doc,
+            XmlDocument::new("x", "r"),
+            &DocumentLinks::default()
+        ),
+        Err(HopiError::UnknownDocument(_))
+    ));
+
+    // Unresolvable refs: by name and in inserted XML.
+    assert!(matches!(
+        hopi.resolve("no-such-doc", ""),
+        Err(HopiError::UnresolvedRef { .. })
+    ));
+    assert!(matches!(
+        hopi.resolve("survey", "no-such-anchor"),
+        Err(HopiError::UnresolvedRef { .. })
+    ));
+    let err = hopi
+        .insert_xml("orphan", r#"<a><cite xlink:href="missing#x"/></a>"#)
+        .unwrap_err();
+    assert!(matches!(err, HopiError::UnresolvedRef { .. }), "{err}");
+    assert!(
+        hopi.resolve("orphan", "").is_err(),
+        "failed insert must not leave a document behind"
+    );
+
+    // Malformed XML.
+    assert!(matches!(
+        hopi.insert_xml("broken", "<a><b></a>"),
+        Err(HopiError::Xml(_))
+    ));
+    // Duplicate names are rejected before parsing.
+    assert!(matches!(
+        hopi.insert_xml("survey", "<a/>"),
+        Err(HopiError::DuplicateDocumentName(_))
+    ));
+
+    // Link endpoint validation.
+    let survey = hopi.resolve("survey", "").unwrap();
+    assert!(matches!(
+        hopi.insert_link(survey, 9_999),
+        Err(HopiError::UnknownElement(9_999))
+    ));
+    assert!(matches!(
+        hopi.insert_link(survey, survey + 1),
+        Err(HopiError::SameDocumentLink { .. })
+    ));
+    assert!(matches!(
+        hopi.delete_link(survey, survey + 1),
+        Err(HopiError::UnknownLink { .. })
+    ));
+    let mut doc = XmlDocument::new("tiny", "r");
+    doc.add_element(0, "s");
+    assert!(matches!(
+        hopi.insert_document(
+            doc,
+            &DocumentLinks {
+                outgoing: vec![(9, survey)],
+                incoming: vec![],
+            }
+        ),
+        Err(HopiError::InvalidLocalElement { local: 9, .. })
+    ));
+
+    // Distance queries without distance_aware(true).
+    assert!(matches!(
+        hopi.distance(0, 1),
+        Err(HopiError::DistanceDisabled)
+    ));
+    assert!(matches!(
+        hopi.query_ranked("//a//b"),
+        Err(HopiError::DistanceDisabled)
+    ));
+
+    // After all those rejections the engine is still consistent.
+    oracle_check(&hopi);
+}
+
+#[test]
+fn query_options_tune_evaluation() {
+    let tuned = Hopi::builder()
+        .probe_budget(1)
+        .query_options(QueryOptions {
+            probe_budget: 1,
+            top_k: Some(1),
+        })
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s><x/></s></r>"#),
+        ])
+        .unwrap();
+    let wide = Hopi::builder()
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s><x/></s></r>"#),
+        ])
+        .unwrap();
+    // Budgets flip the probe/enumerate strategy but never the answer.
+    for q in ["//r//x", "//cite//*", "/r/cite"] {
+        assert_eq!(tuned.query(q).unwrap(), wide.query(q).unwrap(), "{q}");
+    }
+    // top_k truncates ranked retrieval.
+    assert_eq!(tuned.query_ranked("//r//*").unwrap().len(), 1);
+    assert!(wide.query_ranked("//r//*").unwrap().len() > 1);
+}
+
+#[test]
+fn online_engine_full_lifecycle() {
+    let online = OnlineHopi::new(library());
+    let (survey, thm) = online.read(|h| {
+        (
+            h.resolve("survey", "").unwrap(),
+            h.resolve("theory", "thm1").unwrap(),
+        )
+    });
+    assert!(online.connected(survey, thm));
+    assert_eq!(online.query("//article//thm").unwrap(), vec![thm]);
+
+    // Typed errors cross the concurrent boundary too.
+    assert!(matches!(
+        online.query("not a path"),
+        Err(HopiError::Path(_))
+    ));
+    assert!(matches!(
+        online.delete_document(99),
+        Err(HopiError::UnknownDocument(99))
+    ));
+    assert!(matches!(
+        online.distance(0, 1),
+        Err(HopiError::DistanceDisabled)
+    ));
+
+    // Concurrent readers while a writer inserts and deletes.
+    let n = online.read(|h| h.collection().elem_id_bound() as u32);
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let online = online.clone();
+            scope.spawn(move || {
+                for i in 0..400u32 {
+                    let u = (i * 37 + t) % n;
+                    let v = (i * 61 + t * 13) % n;
+                    let _ = online.connected(u, v);
+                }
+            });
+        }
+        let writer = online.clone();
+        scope.spawn(move || {
+            let d = writer
+                .insert_xml("note", r#"<note><cite xlink:href="survey"/></note>"#)
+                .unwrap();
+            writer
+                .insert_link(thm, writer.read(|h| h.collection().global_id(d, 0)))
+                .unwrap();
+            writer.delete_document(d).unwrap();
+        });
+    });
+    online.read(oracle_check);
+
+    // Background rebuild with concurrent updates lands in an exact state.
+    let handle = online.rebuild_in_background();
+    let mid = online
+        .insert_xml("mid-rebuild", r#"<m><cite xlink:href="systems"/></m>"#)
+        .unwrap();
+    let report = handle.join().expect("rebuild thread");
+    assert!(report.cover_size > 0);
+    let mid_root = online.read(|h| h.collection().global_id(mid, 0));
+    let systems = online.read(|h| h.resolve("systems", "").unwrap());
+    assert!(online.connected(mid_root, systems));
+    online.read(oracle_check);
+}
+
+#[test]
+fn rebuild_recovers_churned_cover() {
+    let mut hopi = Hopi::build({
+        let mut c = Collection::new();
+        for i in 0..8 {
+            let mut d = XmlDocument::new(format!("d{i}"), "r");
+            d.add_element(0, "s");
+            c.add_document(d);
+        }
+        c
+    })
+    .unwrap();
+    // Churn through the greedy §6.1 insertion to degrade the cover.
+    for i in 0..8u32 {
+        for j in 0..8u32 {
+            if i != j && (i + j) % 3 == 0 {
+                let from = hopi.collection().global_id(i, 1);
+                let to = hopi.collection().global_id(j, 0);
+                hopi.insert_link(from, to).unwrap();
+            }
+        }
+    }
+    oracle_check(&hopi);
+    let churned = hopi.degradation();
+    assert!(churned.entries > 0);
+    assert!(hopi.should_rebuild(&RebuildPolicy {
+        max_entries_per_element: 0.0
+    }));
+    hopi.rebuild();
+    assert!(
+        hopi.stats().cover_entries <= churned.entries,
+        "rebuild should not grow the cover"
+    );
+    oracle_check(&hopi);
+}
+
+#[test]
+fn distance_cover_tracks_incremental_inserts() {
+    let mut hopi = Hopi::builder()
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><s/><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><sec><p/></sec></r>"#),
+        ])
+        .unwrap();
+
+    // Insert a document with both link directions, then a standalone link.
+    let mut doc = XmlDocument::new("c", "r");
+    let child = doc.add_element(0, "x");
+    doc.add_element(child, "y");
+    let a_root = hopi.resolve("a", "").unwrap();
+    let b_root = hopi.resolve("b", "").unwrap();
+    let c = hopi
+        .insert_document(
+            doc,
+            &DocumentLinks {
+                outgoing: vec![(child, b_root)],
+                incoming: vec![(a_root, 0)],
+            },
+        )
+        .unwrap();
+    let c_root = hopi.collection().global_id(c, 0);
+    hopi.insert_link(b_root + 1, c_root).unwrap(); // b/sec -> c
+
+    // Every pairwise distance must match a freshly computed closure.
+    let dc = hopi::graph::DistanceClosure::from_graph(&hopi.collection().element_graph());
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(hopi.distance(u, v).unwrap(), dc.dist(u, v), "dist({u},{v})");
+        }
+    }
+
+    // Ranked retrieval rides the maintained cover.
+    let ranked = hopi.query_ranked("//r//y").unwrap();
+    assert!(!ranked.is_empty());
+}
+
+#[test]
+fn save_open_round_trips_distance_and_config() {
+    let hopi = Hopi::builder()
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s/></r>"#),
+        ])
+        .unwrap();
+    let path = std::env::temp_dir().join(format!("hopi_facade_dist_{}.idx", std::process::id()));
+    hopi.save(&path).unwrap();
+
+    // Plain open restores distance queries from the DIST column.
+    let reopened = Hopi::open(hopi.collection().clone(), &path).unwrap();
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(reopened.connected(u, v), hopi.connected(u, v));
+            assert_eq!(
+                reopened.distance(u, v).unwrap(),
+                hopi.distance(u, v).unwrap(),
+                "dist({u},{v})"
+            );
+        }
+    }
+
+    // Builder-based open keeps the chosen build configuration.
+    let tuned = Hopi::builder()
+        .partitioner(PartitionerChoice::Flat)
+        .probe_budget(7)
+        .open(hopi.collection().clone(), &path)
+        .unwrap();
+    assert!(matches!(
+        tuned.config().partitioner,
+        PartitionerChoice::Flat
+    ));
+    assert_eq!(tuned.query_options().probe_budget, 7);
+    std::fs::remove_file(&path).ok();
+}

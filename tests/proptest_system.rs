@@ -1,6 +1,6 @@
 //! System-level property tests: arbitrary collections, arbitrary build
-//! configurations, arbitrary update sequences — the index must always agree
-//! with the closure oracle.
+//! configurations, arbitrary update sequences — the engine must always
+//! agree with the closure oracle.
 
 use hopi::graph::TransitiveClosure;
 use hopi::prelude::*;
@@ -9,7 +9,7 @@ use proptest::prelude::*;
 /// Strategy: a random collection blueprint.
 #[derive(Debug, Clone)]
 struct CollectionPlan {
-    docs: Vec<usize>,              // element count per doc
+    docs: Vec<usize>,                     // element count per doc
     links: Vec<(usize, u32, usize, u32)>, // (doc_a, raw_elem, doc_b, raw_elem)
 }
 
@@ -17,8 +17,7 @@ fn arb_plan() -> impl Strategy<Value = CollectionPlan> {
     let docs = proptest::collection::vec(1usize..6, 2..8);
     docs.prop_flat_map(|docs| {
         let n = docs.len();
-        let links =
-            proptest::collection::vec((0..n, 0u32..8, 0..n, 0u32..8), 0..12);
+        let links = proptest::collection::vec((0..n, 0u32..8, 0..n, 0u32..8), 0..12);
         (Just(docs), links).prop_map(|(docs, links)| CollectionPlan { docs, links })
     })
 }
@@ -45,12 +44,18 @@ fn realize(plan: &CollectionPlan) -> Collection {
     c
 }
 
-fn oracle_check(c: &Collection, index: &HopiIndex) -> Result<(), TestCaseError> {
-    let g = c.element_graph();
+fn oracle_check(hopi: &Hopi) -> Result<(), TestCaseError> {
+    let g = hopi.collection().element_graph();
     let tc = TransitiveClosure::from_graph(&g);
     for u in (0..g.id_bound() as u32).filter(|&u| g.is_alive(u)) {
         for v in (0..g.id_bound() as u32).filter(|&v| g.is_alive(v)) {
-            prop_assert_eq!(index.connected(u, v), tc.contains(u, v), "pair ({},{})", u, v);
+            prop_assert_eq!(
+                hopi.connected(u, v),
+                tc.contains(u, v),
+                "pair ({},{})",
+                u,
+                v
+            );
         }
     }
     Ok(())
@@ -61,43 +66,34 @@ proptest! {
 
     #[test]
     fn arbitrary_collection_psg_join(plan in arb_plan()) {
-        let c = realize(&plan);
-        let (index, _) = build_index(&c, &BuildConfig {
-            partitioner: PartitionerChoice::PerDocument,
-            join: JoinAlgorithm::Psg,
-            ..Default::default()
-        });
-        oracle_check(&c, &index)?;
+        let hopi = Hopi::builder()
+            .partitioner(PartitionerChoice::PerDocument)
+            .join(JoinAlgorithm::Psg)
+            .build(realize(&plan))
+            .unwrap();
+        oracle_check(&hopi)?;
     }
 
     #[test]
     fn arbitrary_collection_incremental_join(plan in arb_plan()) {
-        let c = realize(&plan);
-        let (index, _) = build_index(&c, &BuildConfig {
-            partitioner: PartitionerChoice::PerDocument,
-            join: JoinAlgorithm::Incremental,
-            ..Default::default()
-        });
-        oracle_check(&c, &index)?;
+        let hopi = Hopi::builder()
+            .partitioner(PartitionerChoice::PerDocument)
+            .join(JoinAlgorithm::Incremental)
+            .build(realize(&plan))
+            .unwrap();
+        oracle_check(&hopi)?;
     }
 
     #[test]
     fn psg_and_incremental_answer_identically(plan in arb_plan()) {
         let c = realize(&plan);
-        let base = BuildConfig {
-            partitioner: PartitionerChoice::Tc(TcPartitionerConfig {
-                max_connections_per_partition: 60,
-                ..Default::default()
-            }),
-            join: JoinAlgorithm::Psg,
+        let base = || Hopi::builder().partitioner(PartitionerChoice::Tc(TcPartitionerConfig {
+            max_connections_per_partition: 60,
             ..Default::default()
-        };
-        let (a, _) = build_index(&c, &base);
-        let (b, _) = build_index(&c, &BuildConfig {
-            join: JoinAlgorithm::Incremental,
-            ..base
-        });
-        let n = c.elem_id_bound() as u32;
+        }));
+        let a = base().join(JoinAlgorithm::Psg).build(c.clone()).unwrap();
+        let b = base().join(JoinAlgorithm::Incremental).build(c).unwrap();
+        let n = a.collection().elem_id_bound() as u32;
         for u in 0..n {
             for v in 0..n {
                 prop_assert_eq!(a.connected(u, v), b.connected(u, v));
@@ -107,52 +103,57 @@ proptest! {
 
     #[test]
     fn deletion_sequence_stays_exact(plan in arb_plan(), order in proptest::collection::vec(0usize..100, 1..5)) {
-        let mut c = realize(&plan);
-        let (mut index, _) = build_index(&c, &BuildConfig::default());
-        let mut live: Vec<DocId> = c.doc_ids().collect();
+        let mut hopi = Hopi::build(realize(&plan)).unwrap();
+        let mut live: Vec<DocId> = hopi.collection().doc_ids().collect();
         for pick in order {
             if live.len() <= 1 {
                 break;
             }
             let victim = live.remove(pick % live.len());
-            delete_document(&mut c, &mut index, victim);
-            oracle_check(&c, &index)?;
+            hopi.delete_document(victim).unwrap();
+            oracle_check(&hopi)?;
         }
     }
 
     #[test]
     fn insertion_sequence_stays_exact(plan in arb_plan(), extra in proptest::collection::vec((0usize..100, 0usize..100), 1..5)) {
-        let mut c = realize(&plan);
-        let (mut index, _) = build_index(&c, &BuildConfig::default());
+        let mut hopi = Hopi::build(realize(&plan)).unwrap();
         for (i, (da, db)) in extra.into_iter().enumerate() {
-            let docs: Vec<DocId> = c.doc_ids().collect();
+            let docs: Vec<DocId> = hopi.collection().doc_ids().collect();
             let a = docs[da % docs.len()];
             let b = docs[db % docs.len()];
             if a != b {
-                let (from, to) = (c.global_id(a, 0), c.global_id(b, 0));
-                insert_link(&mut c, &mut index, from, to);
+                let from = hopi.collection().global_id(a, 0);
+                let to = hopi.collection().global_id(b, 0);
+                hopi.insert_link(from, to).unwrap();
             } else {
                 let mut d = XmlDocument::new(format!("x{i}"), "r");
                 d.add_element(0, "s");
-                let to = c.global_id(a, 0);
-                insert_document(&mut c, &mut index, d, &DocumentLinks {
+                let to = hopi.collection().global_id(a, 0);
+                hopi.insert_document(d, &DocumentLinks {
                     outgoing: vec![(1, to)],
                     incoming: vec![],
-                });
+                }).unwrap();
             }
-            oracle_check(&c, &index)?;
+            oracle_check(&hopi)?;
         }
     }
 
     #[test]
-    fn store_agrees_with_cover(plan in arb_plan()) {
-        let c = realize(&plan);
-        let (index, _) = build_index(&c, &BuildConfig::default());
-        let store = LinLoutStore::from_cover(index.cover());
-        let n = c.elem_id_bound() as u32;
+    fn store_agrees_with_engine(plan in arb_plan()) {
+        let hopi = Hopi::build(realize(&plan)).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hopi_proptest_store_{}_{}.idx",
+            std::process::id(),
+            hopi.collection().elem_id_bound()
+        ));
+        hopi.save(&path).unwrap();
+        let reloaded = Hopi::open(hopi.collection().clone(), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let n = hopi.collection().elem_id_bound() as u32;
         for u in 0..n {
-            prop_assert_eq!(store.descendants(u), index.descendants(u));
-            prop_assert_eq!(store.ancestors(u), index.ancestors(u));
+            prop_assert_eq!(reloaded.descendants(u), hopi.descendants(u));
+            prop_assert_eq!(reloaded.ancestors(u), hopi.ancestors(u));
         }
     }
 }

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `quick-xml` crate: a minimal pull parser over
+//! `&str` input, covering elements, attributes, self-closing tags, comments,
+//! processing instructions and DOCTYPE declarations.
+//!
+//! End-tag names are validated against the open-element stack (the upstream
+//! default), so `<a><b></a>` is a parse error.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A qualified tag or attribute name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QName<'a>(pub &'a [u8]);
+
+impl<'a> QName<'a> {
+    /// The raw name bytes.
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &'a [u8] {
+        self.0
+    }
+}
+
+/// One parsed attribute: raw key and raw (not unescaped) value.
+#[derive(Debug, Clone)]
+pub struct Attribute<'a> {
+    /// Attribute name.
+    pub key: QName<'a>,
+    /// Attribute value as written (quotes stripped).
+    pub value: Cow<'a, [u8]>,
+}
+
+/// Iterator over a start tag's attributes.
+pub struct Attributes<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Attributes<'a> {
+    type Item = Result<Attribute<'a>, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let s = self.rest.trim_start();
+        if s.is_empty() {
+            self.rest = s;
+            return None;
+        }
+        let eq = match s.find('=') {
+            Some(i) => i,
+            None => {
+                // Value-less attribute: skip the bare token.
+                let end = s.find(char::is_whitespace).unwrap_or(s.len());
+                self.rest = &s[end..];
+                return Some(Ok(Attribute {
+                    key: QName(&s.as_bytes()[..end]),
+                    value: Cow::Borrowed(b""),
+                }));
+            }
+        };
+        let key = s[..eq].trim_end();
+        let after = s[eq + 1..].trim_start();
+        let Some(quote) = after.chars().next().filter(|&q| q == '"' || q == '\'') else {
+            self.rest = "";
+            return Some(Err(Error(format!("unquoted attribute value for '{key}'"))));
+        };
+        let body = &after[1..];
+        let Some(close) = body.find(quote) else {
+            self.rest = "";
+            return Some(Err(Error(format!(
+                "unterminated attribute value for '{key}'"
+            ))));
+        };
+        self.rest = &body[close + 1..];
+        Some(Ok(Attribute {
+            key: QName(key.as_bytes()),
+            value: Cow::Borrowed(&body.as_bytes()[..close]),
+        }))
+    }
+}
+
+/// Parser events.
+pub mod events {
+    use super::{Attributes, QName};
+
+    /// The content of an opening (or self-closing) tag.
+    #[derive(Debug, Clone)]
+    pub struct BytesStart<'a> {
+        pub(crate) name: &'a str,
+        pub(crate) attrs: &'a str,
+    }
+
+    impl<'a> BytesStart<'a> {
+        /// The tag name.
+        pub fn name(&self) -> QName<'a> {
+            QName(self.name.as_bytes())
+        }
+
+        /// Iterates over the tag's attributes.
+        pub fn attributes(&self) -> Attributes<'a> {
+            Attributes { rest: self.attrs }
+        }
+    }
+
+    /// The content of a closing tag.
+    #[derive(Debug, Clone)]
+    pub struct BytesEnd<'a> {
+        pub(crate) name: &'a str,
+    }
+
+    impl<'a> BytesEnd<'a> {
+        /// The tag name.
+        pub fn name(&self) -> QName<'a> {
+            QName(self.name.as_bytes())
+        }
+    }
+
+    /// Raw text content between tags.
+    #[derive(Debug, Clone)]
+    pub struct BytesText<'a> {
+        pub(crate) text: &'a str,
+    }
+
+    impl<'a> BytesText<'a> {
+        /// The raw text bytes.
+        #[allow(clippy::should_implement_trait)]
+        pub fn as_ref(&self) -> &'a [u8] {
+            self.text.as_bytes()
+        }
+    }
+
+    /// One pull-parser event.
+    #[derive(Debug, Clone)]
+    pub enum Event<'a> {
+        /// `<tag ...>`
+        Start(BytesStart<'a>),
+        /// `</tag>`
+        End(BytesEnd<'a>),
+        /// `<tag .../>`
+        Empty(BytesStart<'a>),
+        /// Text content.
+        Text(BytesText<'a>),
+        /// Comment, processing instruction, or declaration (skipped content).
+        Ignored,
+        /// End of input.
+        Eof,
+    }
+}
+
+use events::{BytesEnd, BytesStart, BytesText, Event};
+
+/// Reader configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    trim_text: bool,
+}
+
+impl Config {
+    /// When set, whitespace-only text nodes are suppressed and text is
+    /// trimmed.
+    pub fn trim_text(&mut self, trim: bool) {
+        self.trim_text = trim;
+    }
+}
+
+/// A pull parser over a `&str` input.
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+    config: Config,
+    /// Open-element stack for end-tag validation.
+    open: Vec<&'a str>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a string (upstream-compatible name).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(input: &'a str) -> Self {
+        Reader {
+            input,
+            pos: 0,
+            config: Config::default(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Returns the next event.
+    pub fn read_event(&mut self) -> Result<Event<'a>, Error> {
+        loop {
+            let rest = &self.input[self.pos..];
+            if rest.is_empty() {
+                return Ok(Event::Eof);
+            }
+            if let Some(stripped) = rest.strip_prefix('<') {
+                if let Some(body) = stripped.strip_prefix("!--") {
+                    let end = body
+                        .find("-->")
+                        .ok_or_else(|| Error("unterminated comment".into()))?;
+                    self.pos += 1 + 3 + end + 3;
+                    continue;
+                }
+                if stripped.starts_with('!') || stripped.starts_with('?') {
+                    // DOCTYPE / declaration / processing instruction.
+                    let end = stripped
+                        .find('>')
+                        .ok_or_else(|| Error("unterminated markup declaration".into()))?;
+                    self.pos += 1 + end + 1;
+                    continue;
+                }
+                return self.read_tag(stripped);
+            }
+            // Text up to the next tag.
+            let end = rest.find('<').unwrap_or(rest.len());
+            let text = &rest[..end];
+            self.pos += end;
+            let emit = if self.config.trim_text {
+                text.trim()
+            } else {
+                text
+            };
+            if !emit.is_empty() {
+                return Ok(Event::Text(BytesText { text: emit }));
+            }
+        }
+    }
+
+    fn read_tag(&mut self, after_lt: &'a str) -> Result<Event<'a>, Error> {
+        let close = after_lt
+            .find('>')
+            .ok_or_else(|| Error("unterminated tag".into()))?;
+        let inner = &after_lt[..close];
+        self.pos += 1 + close + 1;
+        if let Some(name) = inner.strip_prefix('/') {
+            let name = name.trim();
+            validate_name(name)?;
+            match self.open.pop() {
+                Some(expected) if expected == name => Ok(Event::End(BytesEnd { name })),
+                Some(expected) => Err(Error(format!(
+                    "end tag mismatch: expected </{expected}>, found </{name}>"
+                ))),
+                None => Err(Error(format!("close tag </{name}> without open tag"))),
+            }
+        } else {
+            let (inner, empty) = match inner.strip_suffix('/') {
+                Some(i) => (i, true),
+                None => (inner, false),
+            };
+            let name_end = inner.find(char::is_whitespace).unwrap_or(inner.len());
+            let name = &inner[..name_end];
+            validate_name(name)?;
+            let attrs = &inner[name_end..];
+            let start = BytesStart { name, attrs };
+            if empty {
+                Ok(Event::Empty(start))
+            } else {
+                self.open.push(name);
+                Ok(Event::Start(start))
+            }
+        }
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), Error> {
+    if name.is_empty() {
+        return Err(Error("empty tag name".into()));
+    }
+    if name
+        .chars()
+        .any(|c| c.is_whitespace() || c == '<' || c == '&' || c == '"' || c == '\'')
+    {
+        return Err(Error(format!("invalid tag name '{name}'")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::events::Event;
+    use super::*;
+
+    fn collect(xml: &str) -> Result<Vec<String>, Error> {
+        let mut r = Reader::from_str(xml);
+        r.config_mut().trim_text(true);
+        let mut out = Vec::new();
+        loop {
+            match r.read_event()? {
+                Event::Eof => return Ok(out),
+                Event::Start(s) => out.push(format!(
+                    "start:{}",
+                    String::from_utf8_lossy(s.name().as_ref())
+                )),
+                Event::Empty(s) => out.push(format!(
+                    "empty:{}",
+                    String::from_utf8_lossy(s.name().as_ref())
+                )),
+                Event::End(e) => out.push(format!(
+                    "end:{}",
+                    String::from_utf8_lossy(e.name().as_ref())
+                )),
+                Event::Text(t) => out.push(format!("text:{}", String::from_utf8_lossy(t.as_ref()))),
+                Event::Ignored => {}
+            }
+        }
+    }
+
+    #[test]
+    fn basic_events() {
+        assert_eq!(
+            collect("<a><b/>hi<!-- c --></a>").unwrap(),
+            vec!["start:a", "empty:b", "text:hi", "end:a"]
+        );
+    }
+
+    #[test]
+    fn attributes_parsed() {
+        let mut r = Reader::from_str(r#"<a id="x" href='y#z'/>"#);
+        let Ok(Event::Empty(s)) = r.read_event() else {
+            panic!("expected empty tag");
+        };
+        let attrs: Vec<(String, String)> = s
+            .attributes()
+            .flatten()
+            .map(|a| {
+                (
+                    String::from_utf8_lossy(a.key.as_ref()).into_owned(),
+                    String::from_utf8_lossy(&a.value).into_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            attrs,
+            vec![("id".into(), "x".into()), ("href".into(), "y#z".into())]
+        );
+    }
+
+    #[test]
+    fn mismatched_end_tag_errors() {
+        let mut r = Reader::from_str("<a><b></a>");
+        assert!(matches!(r.read_event(), Ok(Event::Start(_))));
+        assert!(matches!(r.read_event(), Ok(Event::Start(_))));
+        assert!(r.read_event().is_err());
+    }
+
+    #[test]
+    fn declarations_skipped() {
+        assert_eq!(
+            collect("<?xml version=\"1.0\"?><!DOCTYPE a><a/>").unwrap(),
+            vec!["empty:a"]
+        );
+    }
+
+    #[test]
+    fn unterminated_errors() {
+        assert!(collect("<a").is_err());
+        assert!(collect("<a><!-- x</a>").is_err());
+    }
+}
