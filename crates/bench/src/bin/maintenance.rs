@@ -139,7 +139,7 @@ fn main() {
         let from = collection.global_id(a, 0);
         let to = collection.global_id(b, 0);
         let t0 = Instant::now();
-        insert_link(&mut collection, &mut index, from, to);
+        insert_link(&mut collection, &mut index, from, to).expect("live endpoints");
         link_insert_times.push(t0.elapsed().as_secs_f64() * 1000.0);
     }
     report_times(&t, "insert link", &link_insert_times);

@@ -1,0 +1,372 @@
+//! Serving-layer throughput: the mutable engine behind a reader/writer
+//! lock (the pre-snapshot `OnlineHopi` read path) versus an immutable
+//! frozen-cover snapshot, on an INEX-shaped collection.
+//!
+//! Three workloads on 1 and N reader threads:
+//!
+//! * `probe` — point reachability tests (the paper's §3.4 `LIN ⋈ LOUT`
+//!   join probe); the frozen side uses the batched `connected_many`
+//!   kernel.
+//! * `descendants` — descendant-set enumeration (backward-index scans).
+//! * `path` — full `//`-axis path-expression evaluation.
+//!
+//! Emits `BENCH_query.json` so later PRs have a perf trajectory to compare
+//! against.
+//!
+//! ```sh
+//! cargo run -p hopi-bench --release --bin query_throughput \
+//!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_query.json]
+//! ```
+
+use hopi_bench::{inex_collection, scale_arg};
+use hopi_build::{Hopi, HopiSnapshot};
+use hopi_xml::Collection;
+use parking_lot::RwLock;
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured cell of the matrix.
+struct Sample {
+    workload: &'static str,
+    mode: &'static str,
+    threads: usize,
+    ops: usize,
+    elapsed_ms: f64,
+}
+
+impl Sample {
+    fn qps(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ms / 1000.0).max(1e-9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = scale_arg(if smoke { 0.0006 } else { 0.004 });
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_query.json".into());
+    let reader_threads: usize = flag(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(4)
+        });
+
+    // INEX-shaped collection plus a sprinkling of cross-document links so
+    // connection probes cross documents (the generator's pure INEX has
+    // none; the 24×7 scenario is about *linked* collections).
+    let mut collection = inex_collection(scale);
+    add_cross_links(&mut collection);
+    let hopi = Hopi::build(collection).expect("valid generated collection");
+    let stats = hopi.stats();
+    eprintln!(
+        "query_throughput — INEX-like @ scale {scale}: {} docs, {} elements, {} links, \
+         {} cover entries; {reader_threads} reader threads",
+        stats.documents, stats.elements, stats.links, stats.cover_entries
+    );
+
+    let n = hopi.collection().elem_id_bound() as u32;
+    let mut rng = StdRng::seed_from_u64(0xbe7c);
+    let probe_pairs: Vec<(u32, u32)> = (0..8192)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let enum_nodes: Vec<u32> = (0..1024).map(|_| rng.gen_range(0..n)).collect();
+    let path_exprs = ["//article//fig", "//sec//p", "/article/bdy//ss1"];
+
+    let (probe_rounds, enum_rounds, path_rounds) = if smoke { (20, 4, 2) } else { (200, 40, 10) };
+
+    // The mutable baseline: the engine behind a reader/writer lock, one
+    // read-lock acquisition per query — exactly the pre-snapshot serving
+    // path. The frozen side shares one Arc<HopiSnapshot>.
+    let snapshot = hopi.snapshot();
+    let engine = Arc::new(RwLock::new(hopi));
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &threads in &dedup_threads(reader_threads) {
+        // --- probe ---
+        samples.push(run(
+            "probe",
+            "mutable",
+            threads,
+            probe_rounds * probe_pairs.len(),
+            || {
+                let engine = engine.clone();
+                let pairs = probe_pairs.clone();
+                move || {
+                    let mut hits = 0usize;
+                    for _ in 0..probe_rounds {
+                        for &(u, v) in &pairs {
+                            // One read-lock round trip per probe — the
+                            // pre-snapshot OnlineHopi::connected path.
+                            hits += usize::from(engine.read().connected(u, v));
+                        }
+                    }
+                    hits
+                }
+            },
+        ));
+        samples.push(run(
+            "probe",
+            "frozen",
+            threads,
+            probe_rounds * probe_pairs.len(),
+            || {
+                let snap = snapshot.clone();
+                let pairs = probe_pairs.clone();
+                move || {
+                    let mut hits = 0usize;
+                    let mut out = Vec::new();
+                    for _ in 0..probe_rounds {
+                        snap.connected_many(&pairs, &mut out);
+                        hits += out.iter().filter(|&&b| b).count();
+                    }
+                    hits
+                }
+            },
+        ));
+
+        // --- descendants ---
+        samples.push(run(
+            "descendants",
+            "mutable",
+            threads,
+            enum_rounds * enum_nodes.len(),
+            || {
+                let engine = engine.clone();
+                let nodes = enum_nodes.clone();
+                move || {
+                    let mut total = 0usize;
+                    for _ in 0..enum_rounds {
+                        for &u in &nodes {
+                            total += engine.read().descendants(u).len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
+        samples.push(run(
+            "descendants",
+            "frozen",
+            threads,
+            enum_rounds * enum_nodes.len(),
+            || {
+                let snap = snapshot.clone();
+                let nodes = enum_nodes.clone();
+                move || {
+                    let mut total = 0usize;
+                    let mut buf = Vec::new();
+                    for _ in 0..enum_rounds {
+                        for &u in &nodes {
+                            snap.frozen().descendants_into(u, &mut buf);
+                            total += buf.len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
+
+        // --- path ---
+        samples.push(run(
+            "path",
+            "mutable",
+            threads,
+            path_rounds * path_exprs.len(),
+            || {
+                let engine = engine.clone();
+                move || {
+                    let mut total = 0usize;
+                    for _ in 0..path_rounds {
+                        for expr in path_exprs {
+                            total += engine.read().query(expr).expect("valid expr").len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
+        samples.push(run(
+            "path",
+            "frozen",
+            threads,
+            path_rounds * path_exprs.len(),
+            || {
+                let snap = snapshot.clone();
+                move || {
+                    let mut total = 0usize;
+                    for _ in 0..path_rounds {
+                        for expr in path_exprs {
+                            total += snap.query(expr).expect("valid expr").len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
+    }
+
+    let json = render_json(scale, smoke, &stats_tuple(&snapshot), &samples);
+    std::fs::write(&out_path, &json).expect("write BENCH_query.json");
+    eprintln!("wrote {out_path}");
+    print_table(&samples);
+}
+
+/// Collection facts for the JSON header.
+fn stats_tuple(snapshot: &HopiSnapshot) -> (usize, usize, usize, usize) {
+    let c = snapshot.collection();
+    (
+        c.doc_count(),
+        c.element_count(),
+        c.links().len(),
+        snapshot.cover_entries(),
+    )
+}
+
+/// Runs `make_worker()` on `threads` threads; each worker performs
+/// `ops / threads`-ish operations (every thread runs the full op script, so
+/// total ops = script_ops × threads — throughput is aggregate).
+fn run<W, F>(
+    workload: &'static str,
+    mode: &'static str,
+    threads: usize,
+    script_ops: usize,
+    make_worker: F,
+) -> Sample
+where
+    W: FnOnce() -> usize + Send + 'static,
+    F: Fn() -> W,
+{
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(make_worker())).collect();
+        for h in handles {
+            sink += h.join().expect("reader thread");
+        }
+    });
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    std::hint::black_box(sink);
+    Sample {
+        workload,
+        mode,
+        threads,
+        ops: script_ops * threads,
+        elapsed_ms,
+    }
+}
+
+fn dedup_threads(n: usize) -> Vec<usize> {
+    if n <= 1 {
+        vec![1]
+    } else {
+        vec![1, n]
+    }
+}
+
+fn add_cross_links(collection: &mut Collection) {
+    let docs: Vec<u32> = collection.doc_ids().collect();
+    if docs.len() < 2 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(0x11e8);
+    let want = docs.len() * 2;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < want && attempts < want * 8 {
+        attempts += 1;
+        let a = docs[rng.gen_range(0..docs.len())];
+        let b = docs[rng.gen_range(0..docs.len())];
+        if a == b {
+            continue;
+        }
+        let la = rng.gen_range(0..collection.document(a).expect("live").len() as u32);
+        let from = collection.global_id(a, la);
+        let to = collection.global_id(b, 0);
+        if collection.add_link(from, to) {
+            added += 1;
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn render_json(
+    scale: f64,
+    smoke: bool,
+    &(docs, elements, links, cover_entries): &(usize, usize, usize, usize),
+    samples: &[Sample],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"collection\": {{\"kind\": \"inex-linked\", \"scale\": {scale}, \
+         \"documents\": {docs}, \"elements\": {elements}, \"links\": {links}, \
+         \"cover_entries\": {cover_entries}}},\n"
+    ));
+    s.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
+    for (i, r) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"ops\": {}, \"elapsed_ms\": {:.3}, \"qps\": {:.1}}}{}\n",
+            r.workload,
+            r.mode,
+            r.threads,
+            r.ops,
+            r.elapsed_ms,
+            r.qps(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"frozen_speedup\": {\n");
+    let mut cells: Vec<String> = Vec::new();
+    for workload in ["probe", "descendants", "path"] {
+        for threads in samples
+            .iter()
+            .map(|s| s.threads)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            let find = |mode: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.workload == workload && s.mode == mode && s.threads == threads)
+                    .map(Sample::qps)
+            };
+            if let (Some(frozen), Some(mutable)) = (find("frozen"), find("mutable")) {
+                cells.push(format!(
+                    "    \"{workload}_{threads}t\": {:.2}",
+                    frozen / mutable.max(1e-9)
+                ));
+            }
+        }
+    }
+    s.push_str(&cells.join(",\n"));
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+fn print_table(samples: &[Sample]) {
+    let t = hopi_bench::TablePrinter::new(&[
+        ("workload", 12),
+        ("mode", 8),
+        ("threads", 7),
+        ("ops", 10),
+        ("ms", 10),
+        ("qps", 12),
+    ]);
+    for r in samples {
+        t.row(&[
+            r.workload.into(),
+            r.mode.into(),
+            r.threads.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            format!("{:.0}", r.qps()),
+        ]);
+    }
+}

@@ -119,3 +119,14 @@ impl From<hopi_store::PersistError> for HopiError {
         HopiError::Persist(e)
     }
 }
+
+impl From<hopi_maintenance::LinkError> for HopiError {
+    fn from(e: hopi_maintenance::LinkError) -> Self {
+        match e {
+            hopi_maintenance::LinkError::UnknownEndpoint(el) => HopiError::UnknownElement(el),
+            hopi_maintenance::LinkError::SameDocument { from, to } => {
+                HopiError::SameDocumentLink { from, to }
+            }
+        }
+    }
+}

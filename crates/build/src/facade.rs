@@ -16,7 +16,7 @@ use hopi_maintenance::{
 };
 use hopi_partition::{build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
 use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
-use hopi_store::{load_store, save_store, LinLoutStore};
+use hopi_store::{load_index, save_frozen, save_store, LinLoutStore, StoredIndex};
 use hopi_xml::parser::{parse_collection, parse_document};
 use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
 use std::path::Path;
@@ -153,33 +153,52 @@ impl HopiBuilder {
         self.build(parse_collection(docs)?)
     }
 
-    /// Reconstructs an engine from an index persisted with [`Hopi::save`],
-    /// skipping the build but keeping this builder's configuration for
-    /// future [`Hopi::rebuild`]s and queries. The distance cover is
-    /// restored from the file's DIST column when present, or built fresh
-    /// when the builder asked for [`distance_aware`](Self::distance_aware).
+    /// Reconstructs an engine from an index persisted with [`Hopi::save`]
+    /// or [`Hopi::save_frozen`] (the layout is auto-detected), skipping the
+    /// build but keeping this builder's configuration for future
+    /// [`Hopi::rebuild`]s and queries. The distance cover is restored from
+    /// the file's DIST data when present, or built fresh when the builder
+    /// asked for [`distance_aware`](Self::distance_aware). A frozen CSR
+    /// file thaws with no re-sorting — rows are stored sorted — so opening
+    /// for serving is cheap.
     pub fn open(self, collection: Collection, path: &Path) -> Result<Hopi, HopiError> {
-        let store = load_store(path)?;
-        let mut cover = hopi_core::TwoHopCover::new();
-        for r in store.lout().rows() {
-            cover.add_out(r.id, r.other);
-        }
-        for r in store.lin().rows() {
-            cover.add_in(r.id, r.other);
-        }
-        let with_dist = store.lin().with_dist() || store.lout().with_dist();
-        let distance = if with_dist {
-            let mut d = DistanceCover::default();
-            for r in store.lout().rows() {
-                d.add_out(r.id, r.other, r.dist);
+        let (cover, distance) = match load_index(path)? {
+            StoredIndex::Frozen(frozen) => {
+                let distance = match frozen.thaw_distance() {
+                    Some(d) => Some(d),
+                    None => self
+                        .distance_aware
+                        .then(|| build_distance_cover(&collection)),
+                };
+                // A distance-annotated file carries the *distance* cover's
+                // labels; they are exact for reachability too, so the plain
+                // index thaws from the same rows.
+                (frozen.thaw(), distance)
             }
-            for r in store.lin().rows() {
-                d.add_in(r.id, r.other, r.dist);
+            StoredIndex::Rows(store) => {
+                let mut cover = hopi_core::TwoHopCover::new();
+                for r in store.lout().rows() {
+                    cover.add_out(r.id, r.other);
+                }
+                for r in store.lin().rows() {
+                    cover.add_in(r.id, r.other);
+                }
+                let with_dist = store.lin().with_dist() || store.lout().with_dist();
+                let distance = if with_dist {
+                    let mut d = DistanceCover::default();
+                    for r in store.lout().rows() {
+                        d.add_out(r.id, r.other, r.dist);
+                    }
+                    for r in store.lin().rows() {
+                        d.add_in(r.id, r.other, r.dist);
+                    }
+                    Some(d)
+                } else {
+                    self.distance_aware
+                        .then(|| build_distance_cover(&collection))
+                };
+                (cover, distance)
             }
-            Some(d)
-        } else {
-            self.distance_aware
-                .then(|| build_distance_cover(&collection))
         };
         let index = HopiIndex::from_cover(cover);
         let tags = TagIndex::build(&collection);
@@ -281,6 +300,21 @@ impl Hopi {
             None => LinLoutStore::from_cover(self.index.cover()),
         };
         save_store(&store, path)?;
+        Ok(())
+    }
+
+    /// Persists the index as a frozen CSR blob — the serving layout.
+    /// [`Hopi::open`] (and the builder's `open`) auto-detect it and thaw
+    /// without re-sorting; [`hopi_store::load_frozen`] loads it straight
+    /// into a [`hopi_core::FrozenCover`] for pure read-only serving. A
+    /// distance-aware engine freezes the distance cover (annotations
+    /// included), so distance queries survive the round trip.
+    pub fn save_frozen(&self, path: &Path) -> Result<(), HopiError> {
+        let frozen = match &self.distance {
+            Some(cover) => hopi_core::FrozenCover::from_distance_cover(cover),
+            None => hopi_core::FrozenCover::from_cover(self.index.cover()),
+        };
+        save_frozen(&frozen, path)?;
         Ok(())
     }
 
@@ -394,20 +428,16 @@ impl Hopi {
     }
 
     /// Inserts an inter-document link incrementally (§6.1). Returns the
-    /// number of label entries added.
+    /// number of label entries added. Re-inserting an existing link is a
+    /// no-op (`L` is a set, paper §2): it returns `Ok(0)` without touching
+    /// the cover or re-relaxing the distance cover.
     pub fn insert_link(&mut self, from: ElemId, to: ElemId) -> Result<usize, HopiError> {
-        let fd = self
-            .collection
-            .doc_of(from)
-            .ok_or(HopiError::UnknownElement(from))?;
-        let td = self
-            .collection
-            .doc_of(to)
-            .ok_or(HopiError::UnknownElement(to))?;
-        if fd == td {
-            return Err(HopiError::SameDocumentLink { from, to });
+        // The expert layer validates endpoints; duplicates short-circuit
+        // here so the distance cover is not re-relaxed either.
+        if self.collection.has_link(from, to) {
+            return Ok(0);
         }
-        let added = insert_link(&mut self.collection, &mut self.index, from, to);
+        let added = insert_link(&mut self.collection, &mut self.index, from, to)?;
         if let Some(cover) = self.distance.as_mut() {
             // Insertions update the distance cover incrementally (§6); only
             // deletions fall back to a recompute.
@@ -478,6 +508,26 @@ impl Hopi {
     /// Should the index be rebuilt under `policy`?
     pub fn should_rebuild(&self, policy: &RebuildPolicy) -> bool {
         should_rebuild(&self.collection, &self.index, policy)
+    }
+
+    // ------------------------------------------------------------------
+    // Serving snapshots.
+    // ------------------------------------------------------------------
+
+    /// Captures an immutable serving snapshot: the cover frozen into flat
+    /// CSR arrays plus the tag index and collection, behind an `Arc` any
+    /// number of reader threads can share without locking (see
+    /// [`HopiSnapshot`](crate::HopiSnapshot)). The snapshot answers
+    /// queries identically to this engine at capture time and is unaffected
+    /// by later mutations.
+    pub fn snapshot(&self) -> std::sync::Arc<crate::HopiSnapshot> {
+        std::sync::Arc::new(crate::HopiSnapshot::capture(
+            &self.collection,
+            self.index.cover(),
+            self.distance.as_ref(),
+            &self.tags,
+            self.options,
+        ))
     }
 
     // ------------------------------------------------------------------

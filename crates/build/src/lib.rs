@@ -8,9 +8,13 @@
 //!   entire lifecycle: `connected`/`distance`, `query`/`query_ranked`,
 //!   `insert_document`/`delete_document`/`insert_link`/`delete_link`,
 //!   `rebuild`, `save`/`open`, `stats`.
-//! * [`OnlineHopi`] — the same surface behind a reader/writer lock for 24×7
-//!   serving (paper §1.1): concurrent queries, brief write-locked
-//!   incremental updates, and background rebuilds with atomic swap.
+//! * [`HopiSnapshot`] — an immutable serving view ([`Hopi::snapshot`]):
+//!   the cover frozen into flat CSR arrays plus tag index and collection,
+//!   shared via `Arc` with no lock held during query evaluation.
+//! * [`OnlineHopi`] — the same surface lifted into 24×7 serving (paper
+//!   §1.1): queries run lock-free against the current snapshot, brief
+//!   write-locked incremental updates refresh it, and background rebuilds
+//!   swap in atomically.
 //! * [`HopiError`] — the single error type crossing this boundary,
 //!   replacing the expert layer's mix of panics, `Option`s and per-crate
 //!   errors.
@@ -48,10 +52,12 @@
 mod error;
 mod facade;
 mod online;
+mod snapshot;
 
 pub use error::HopiError;
 pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
+pub use snapshot::HopiSnapshot;
 
 // ---------------------------------------------------------------------
 // The expert layer, re-exported under its historical paths.

@@ -1,16 +1,29 @@
 //! [`OnlineHopi`]: the [`Hopi`] surface lifted into the 24×7 serving mode
-//! of `hopi_maintenance::online`.
+//! of paper §1.1 — with **lock-free query serving**.
 //!
-//! Paper §1.1: "indexes need to be built without interrupting the service
-//! of queries". `OnlineHopi` is a cheaply clonable handle sharing one
-//! engine behind a reader/writer lock: queries run concurrently under read
-//! locks, incremental updates take the write lock briefly, and
-//! [`OnlineHopi::rebuild_in_background`] rebuilds on a snapshot outside any
-//! lock, replays the updates that arrived mid-build, and swaps the fresh
-//! engine in atomically.
+//! The engine itself lives behind a reader/writer lock, but queries never
+//! touch it: they run against an immutable [`HopiSnapshot`] (the cover
+//! frozen into flat CSR arrays) published through an `Arc` that readers
+//! clone in O(1). Mutations take the write lock briefly, apply the
+//! incremental §6 algorithms, and publish a fresh snapshot before
+//! releasing it (epoch style: in-flight queries finish on the epoch they
+//! started with; new queries see the new one). Background rebuilds
+//! ([`OnlineHopi::rebuild_in_background`]) build on a collection snapshot
+//! outside any lock, replay the updates that arrived mid-build, swap the
+//! fresh engine in atomically, and publish its snapshot.
+//!
+//! Consequences:
+//!
+//! * readers never block on writers or rebuilds — "indexes need to be
+//!   built without interrupting the service of queries";
+//! * every query runs on the cache-friendly frozen layout, not the
+//!   pointer-chasing mutable cover;
+//! * a reader holding an `Arc<HopiSnapshot>` (via [`OnlineHopi::snapshot`])
+//!   gets repeatable reads across many calls for free.
 
 use crate::error::HopiError;
 use crate::facade::Hopi;
+use crate::snapshot::HopiSnapshot;
 use hopi_maintenance::{
     collection_delta, delta_replays_exactly, CollectionUpdate, DeletionOutcome, DocumentLinks,
 };
@@ -21,7 +34,8 @@ use parking_lot::RwLock;
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
 
-/// A concurrently queryable HOPI engine with non-blocking rebuilds.
+/// A concurrently queryable HOPI engine: lock-free snapshot reads,
+/// non-blocking rebuilds.
 ///
 /// ```
 /// use hopi_build::{Hopi, OnlineHopi};
@@ -31,105 +45,135 @@ use std::sync::Arc;
 ///     ("b", "<r><sec/></r>"),
 /// ])?);
 ///
-/// let (a, b_sec) = online.read(|h| {
-///     (h.resolve("a", "").unwrap(), h.query("//r//sec").unwrap()[0])
-/// });
+/// let snap = online.snapshot(); // Arc — no lock held while querying
+/// let (a, b_sec) = (snap.resolve("a", "")?, snap.query("//r//sec")?[0]);
 /// assert!(online.connected(a, b_sec));
 /// # Ok::<(), hopi_build::HopiError>(())
 /// ```
 #[derive(Clone)]
 pub struct OnlineHopi {
-    state: Arc<RwLock<Hopi>>,
+    /// The mutable engine; only maintenance takes this lock.
+    engine: Arc<RwLock<Hopi>>,
+    /// The published serving epoch. Readers hold this lock only long
+    /// enough to clone the `Arc`; query evaluation runs lock-free.
+    serving: Arc<RwLock<Arc<HopiSnapshot>>>,
 }
 
 impl OnlineHopi {
-    /// Wraps a built engine for concurrent use.
+    /// Wraps a built engine for concurrent use, publishing its first
+    /// snapshot.
     pub fn new(hopi: Hopi) -> Self {
+        let snapshot = hopi.snapshot();
         OnlineHopi {
-            state: Arc::new(RwLock::new(hopi)),
+            engine: Arc::new(RwLock::new(hopi)),
+            serving: Arc::new(RwLock::new(snapshot)),
         }
     }
 
-    /// Concurrent reachability query.
+    /// The current serving snapshot (O(1): one `Arc` clone under a
+    /// momentary lock). Hold it for repeatable reads across calls; drop it
+    /// to pick up newer epochs via the convenience methods below.
+    pub fn snapshot(&self) -> Arc<HopiSnapshot> {
+        self.serving.read().clone()
+    }
+
+    /// Lock-free reachability query (current snapshot).
     pub fn connected(&self, u: ElemId, v: ElemId) -> bool {
-        self.state.read().connected(u, v)
+        self.snapshot().connected(u, v)
     }
 
-    /// Concurrent shortest-link-distance query.
+    /// Lock-free shortest-link-distance query (current snapshot).
     pub fn distance(&self, u: ElemId, v: ElemId) -> Result<Option<u32>, HopiError> {
-        self.state.read().distance(u, v)
+        self.snapshot().distance(u, v)
     }
 
-    /// Concurrent descendant enumeration.
+    /// Lock-free descendant enumeration (current snapshot).
     pub fn descendants(&self, u: ElemId) -> Vec<ElemId> {
-        self.state.read().descendants(u)
+        self.snapshot().descendants(u)
     }
 
-    /// Concurrent path-expression evaluation.
+    /// Lock-free path-expression evaluation (current snapshot).
     pub fn query(&self, expr: &str) -> Result<Vec<ElemId>, HopiError> {
-        self.state.read().query(expr)
+        self.snapshot().query(expr)
     }
 
-    /// Concurrent distance-ranked evaluation.
+    /// Lock-free distance-ranked evaluation (current snapshot).
     pub fn query_ranked(&self, expr: &str) -> Result<Vec<RankedMatch>, HopiError> {
-        self.state.read().query_ranked(expr)
+        self.snapshot().query_ranked(expr)
     }
 
-    /// Current cover size.
+    /// Current cover size (of the serving snapshot).
     pub fn size(&self) -> usize {
-        self.state.read().index().size()
+        self.snapshot().cover_entries()
     }
 
-    /// Runs a closure under the read lock for multi-call consistency.
+    /// Runs a closure against the live engine under the read lock — the
+    /// escape hatch for reads that need the *mutable-layer* state (build
+    /// reports, degradation, expert accessors). Plain queries should
+    /// prefer [`OnlineHopi::snapshot`], which never blocks on writers.
     pub fn read<R>(&self, f: impl FnOnce(&Hopi) -> R) -> R {
-        f(&self.state.read())
+        f(&self.engine.read())
     }
 
-    /// Incremental document insertion (brief write lock).
+    /// Applies a batch of mutations under one write lock and publishes
+    /// **one** fresh snapshot afterwards — cheaper than a snapshot refresh
+    /// per call when loading many documents or links.
+    pub fn update_batch<R>(&self, f: impl FnOnce(&mut Hopi) -> R) -> R {
+        let mut guard = self.engine.write();
+        let out = f(&mut guard);
+        self.publish(&guard);
+        out
+    }
+
+    /// Incremental document insertion (brief write lock + snapshot
+    /// refresh).
     pub fn insert_document(
         &self,
         doc: XmlDocument,
         links: &DocumentLinks,
     ) -> Result<DocId, HopiError> {
-        self.state.write().insert_document(doc, links)
+        self.mutate(|h| h.insert_document(doc, links))
     }
 
-    /// Parses and inserts one XML document (brief write lock).
+    /// Parses and inserts one XML document (brief write lock + snapshot
+    /// refresh).
     pub fn insert_xml(&self, name: &str, xml: &str) -> Result<DocId, HopiError> {
-        self.state.write().insert_xml(name, xml)
+        self.mutate(|h| h.insert_xml(name, xml))
     }
 
-    /// Incremental link insertion (brief write lock).
+    /// Incremental link insertion (brief write lock + snapshot refresh).
+    /// Duplicates are a no-op returning `Ok(0)`.
     pub fn insert_link(&self, from: ElemId, to: ElemId) -> Result<usize, HopiError> {
-        self.state.write().insert_link(from, to)
+        self.mutate(|h| h.insert_link(from, to))
     }
 
-    /// Incremental document deletion (brief write lock).
+    /// Incremental document deletion (brief write lock + snapshot
+    /// refresh).
     pub fn delete_document(&self, d: DocId) -> Result<DeletionOutcome, HopiError> {
-        self.state.write().delete_document(d)
+        self.mutate(|h| h.delete_document(d))
     }
 
-    /// Incremental link deletion (brief write lock).
+    /// Incremental link deletion (brief write lock + snapshot refresh).
     pub fn delete_link(&self, from: ElemId, to: ElemId) -> Result<DeletionOutcome, HopiError> {
-        self.state.write().delete_link(from, to)
+        self.mutate(|h| h.delete_link(from, to))
     }
 
     /// Rebuilds in a background thread from a snapshot, then swaps the
-    /// fresh engine in atomically. Queries are served from the old engine
-    /// for the entire build; updates arriving mid-build are replayed onto
-    /// the fresh engine before the swap. Returns a handle yielding the
-    /// fresh build's report.
+    /// fresh engine in atomically. Queries are served from the old
+    /// snapshot for the entire build; updates arriving mid-build are
+    /// replayed onto the fresh engine before the swap. Returns a handle
+    /// yielding the fresh build's report.
     pub fn rebuild_in_background(&self) -> std::thread::JoinHandle<BuildReport> {
         let this = self.clone();
         std::thread::spawn(move || this.rebuild_blocking())
     }
 
     /// The rebuild body (also callable synchronously): snapshot → build
-    /// outside the lock → catch up on concurrent updates → swap.
+    /// outside the lock → catch up on concurrent updates → swap + publish.
     pub fn rebuild_blocking(&self) -> BuildReport {
         // 1. Snapshot under the read lock.
         let (snapshot, builder) = {
-            let guard = self.state.read();
+            let guard = self.engine.read();
             let builder = Hopi::builder()
                 .config(guard.config().clone())
                 .query_options(*guard.query_options())
@@ -148,7 +192,7 @@ impl OnlineHopi {
 
         // 3. Swap under the write lock, replaying the delta between the
         // snapshot and the live collection onto the fresh engine.
-        let mut guard = self.state.write();
+        let mut guard = self.engine.write();
         let delta = collection_delta(&snapshot_docs, &snapshot_links, guard.collection());
         if !delta_replays_exactly(&snapshot, guard.collection(), &delta) {
             // Rare: the window contained updates whose replay would not
@@ -161,6 +205,7 @@ impl OnlineHopi {
                 .expect("rebuilding a valid collection cannot fail");
             let report = fallback.report().clone();
             *guard = fallback;
+            self.publish(&guard);
             return report;
         }
         let report = fresh.report().clone();
@@ -175,6 +220,25 @@ impl OnlineHopi {
             replayed.expect("an exactly-replayable delta applies cleanly");
         }
         *guard = fresh;
+        self.publish(&guard);
         report
+    }
+
+    /// Runs one mutation under the write lock; on success publishes a
+    /// fresh snapshot before releasing it (so no query epoch can observe
+    /// the mutation without its index updates).
+    fn mutate<R>(&self, f: impl FnOnce(&mut Hopi) -> Result<R, HopiError>) -> Result<R, HopiError> {
+        let mut guard = self.engine.write();
+        let out = f(&mut guard)?;
+        self.publish(&guard);
+        Ok(out)
+    }
+
+    /// Publishes the engine's current state as the serving epoch. Caller
+    /// holds the engine write lock, so the capture is consistent; lock
+    /// order is always engine → serving.
+    fn publish(&self, engine: &Hopi) {
+        let snapshot = engine.snapshot();
+        *self.serving.write() = snapshot;
     }
 }

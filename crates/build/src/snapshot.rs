@@ -1,0 +1,168 @@
+//! [`HopiSnapshot`]: an immutable, self-contained serving view of a
+//! [`Hopi`](crate::Hopi) engine.
+//!
+//! The paper's 24×7 scenario (§1.1) is read-dominated: millions of probes
+//! against an index that changes comparatively rarely. A snapshot packages
+//! everything query evaluation needs — the cover frozen into CSR form
+//! ([`hopi_core::FrozenCover`]), the tag index, and the collection metadata
+//! — behind an `Arc`, so any number of reader threads share one immutable
+//! structure with **no lock held during query evaluation**.
+//! [`crate::OnlineHopi`] swaps a fresh snapshot in after each mutation
+//! batch or background rebuild (epoch style): in-flight readers keep the
+//! epoch they started with, new readers pick up the new one.
+
+use crate::error::HopiError;
+use crate::facade::QueryOptions;
+use hopi_core::{DistanceCover, FrozenCover};
+use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
+use hopi_xml::{Collection, ElemId};
+
+/// A point-in-time, immutable serving view of an engine: frozen cover +
+/// tag index + collection. Obtained from [`crate::Hopi::snapshot`] (or
+/// continuously refreshed by [`crate::OnlineHopi`]).
+///
+/// ```
+/// use hopi_build::Hopi;
+///
+/// let hopi = Hopi::builder().parse([
+///     ("a", r#"<r><cite xlink:href="b"/></r>"#),
+///     ("b", "<r><sec/></r>"),
+/// ])?;
+/// let snap = hopi.snapshot();
+///
+/// // Same answers as the live engine, from flat CSR arrays.
+/// let a = snap.resolve("a", "")?;
+/// assert_eq!(snap.query("//r//sec")?, hopi.query("//r//sec")?);
+/// assert!(snap.connected(a, snap.query("//sec")?[0]));
+/// # Ok::<(), hopi_build::HopiError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct HopiSnapshot {
+    collection: Collection,
+    frozen: FrozenCover,
+    /// Distance-annotated frozen cover, when the engine is distance-aware.
+    frozen_distance: Option<FrozenCover>,
+    /// The mutable-form distance cover, kept for ranked evaluation.
+    ranked: Option<DistanceCover>,
+    tags: TagIndex,
+    options: QueryOptions,
+}
+
+impl HopiSnapshot {
+    pub(crate) fn capture(
+        collection: &Collection,
+        cover: &hopi_core::TwoHopCover,
+        distance: Option<&DistanceCover>,
+        tags: &TagIndex,
+        options: QueryOptions,
+    ) -> Self {
+        HopiSnapshot {
+            collection: collection.clone(),
+            frozen: FrozenCover::from_cover(cover),
+            frozen_distance: distance.map(FrozenCover::from_distance_cover),
+            ranked: distance.cloned(),
+            tags: tags.clone(),
+            options,
+        }
+    }
+
+    /// The connection test `u →* v` (reflexive), allocation-free.
+    pub fn connected(&self, u: ElemId, v: ElemId) -> bool {
+        self.frozen.connected(u, v)
+    }
+
+    /// Batched connection probes (§3.4-style join kernel): `out[i]` answers
+    /// `pairs[i]`, reusing the caller's buffer across batches.
+    pub fn connected_many(&self, pairs: &[(ElemId, ElemId)], out: &mut Vec<bool>) {
+        self.frozen.connected_many(pairs, out);
+    }
+
+    /// Shortest link distance `u →* v` (`None` = unreachable). Needs a
+    /// snapshot of a distance-aware engine.
+    pub fn distance(&self, u: ElemId, v: ElemId) -> Result<Option<u32>, HopiError> {
+        let frozen = self
+            .frozen_distance
+            .as_ref()
+            .ok_or(HopiError::DistanceDisabled)?;
+        Ok(frozen.distance(u, v))
+    }
+
+    /// Everything `u` reaches (descendants-or-self), sorted.
+    pub fn descendants(&self, u: ElemId) -> Vec<ElemId> {
+        self.frozen.descendants(u)
+    }
+
+    /// Everything reaching `u` (ancestors-or-self), sorted.
+    pub fn ancestors(&self, u: ElemId) -> Vec<ElemId> {
+        self.frozen.ancestors(u)
+    }
+
+    /// Evaluates a path expression against the frozen cover. Same answers
+    /// as [`crate::Hopi::query`] on the engine the snapshot was taken from.
+    pub fn query(&self, expr: &str) -> Result<Vec<ElemId>, HopiError> {
+        let parsed = parse_path(expr)?;
+        Ok(evaluate_with(
+            &self.collection,
+            &self.frozen,
+            &self.tags,
+            &parsed,
+            &EvalOptions {
+                probe_budget: self.options.probe_budget,
+            },
+        ))
+    }
+
+    /// Distance-ranked path evaluation (paper §5.1). Needs a snapshot of a
+    /// distance-aware engine.
+    pub fn query_ranked(&self, expr: &str) -> Result<Vec<RankedMatch>, HopiError> {
+        let cover = self.ranked.as_ref().ok_or(HopiError::DistanceDisabled)?;
+        let parsed = parse_path(expr)?;
+        let mut matches = evaluate_ranked(&self.collection, cover, &self.tags, &parsed);
+        if let Some(k) = self.options.top_k {
+            matches.truncate(k);
+        }
+        Ok(matches)
+    }
+
+    /// Resolves a `docname` / `docname#anchor` reference to an element id.
+    pub fn resolve(&self, doc: &str, anchor: &str) -> Result<ElemId, HopiError> {
+        self.collection
+            .resolve_ref(doc, anchor)
+            .ok_or_else(|| HopiError::UnresolvedRef {
+                doc: doc.to_string(),
+                anchor: anchor.to_string(),
+            })
+    }
+
+    /// The snapshotted collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// The frozen cover (expert escape hatch — e.g. for
+    /// [`hopi_store::save_frozen`] or custom probe loops).
+    pub fn frozen(&self) -> &FrozenCover {
+        &self.frozen
+    }
+
+    /// The distance-annotated frozen cover, when distance-aware.
+    pub fn frozen_distance(&self) -> Option<&FrozenCover> {
+        self.frozen_distance.as_ref()
+    }
+
+    /// The snapshotted tag index.
+    pub fn tags(&self) -> &TagIndex {
+        &self.tags
+    }
+
+    /// Cover size `|L|` of the frozen cover (matches the engine's
+    /// [`crate::Stats::cover_entries`] at capture time).
+    pub fn cover_entries(&self) -> usize {
+        self.frozen.size()
+    }
+
+    /// The query tunables captured with the snapshot.
+    pub fn query_options(&self) -> &QueryOptions {
+        &self.options
+    }
+}

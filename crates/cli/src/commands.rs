@@ -65,11 +65,12 @@ fn builder_for_mode(mode: &str) -> Result<HopiBuilder, String> {
     }
 }
 
-/// `hopi build --dir DIR --out FILE [--mode default|flat|old]`
+/// `hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]`
 pub fn build(args: &[String]) -> Result<(), String> {
     let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
     let out = flag_value(args, "--out").ok_or("missing --out FILE")?;
     let mode = flag_value(args, "--mode").unwrap_or_else(|| "default".into());
+    let frozen = args.iter().any(|a| a == "--frozen");
     let collection = load_dir(&dir)?;
     let t = Instant::now();
     let hopi = builder_for_mode(&mode)?
@@ -81,9 +82,15 @@ pub fn build(args: &[String]) -> Result<(), String> {
         hopi.report().cover_size,
         t.elapsed()
     );
-    hopi.save(Path::new(&out))
-        .map_err(|e| format!("save failed: {e}"))?;
-    println!("persisted LIN/LOUT tables to {out}");
+    if frozen {
+        hopi.save_frozen(Path::new(&out))
+            .map_err(|e| format!("save failed: {e}"))?;
+        println!("persisted frozen CSR cover to {out}");
+    } else {
+        hopi.save(Path::new(&out))
+            .map_err(|e| format!("save failed: {e}"))?;
+        println!("persisted LIN/LOUT tables to {out}");
+    }
     Ok(())
 }
 

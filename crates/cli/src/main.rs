@@ -3,7 +3,7 @@
 //! ```text
 //! hopi gen   --kind dblp|inex --scale 0.01 --out DIR     generate a sample collection
 //! hopi stats --dir DIR                                    Table-1 style statistics
-//! hopi build --dir DIR --out FILE [--mode default|flat|old]
+//! hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
 //! hopi query --dir DIR --index FILE EXPR                  evaluate a path expression
 //! hopi check --dir DIR --index FILE [--samples N]         verify index vs BFS oracle
 //! ```
@@ -49,8 +49,9 @@ hopi — 2-hop connection index for XML document collections (ICDE 2005)
 USAGE:
   hopi gen   --kind dblp|inex --scale F --out DIR   generate a sample collection
   hopi stats --dir DIR                              collection statistics (Table 1)
-  hopi build --dir DIR --out FILE [--mode default|flat|old]
+  hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
                                                     build and persist the index
+                                                    (--frozen: CSR serving blob)
   hopi query --dir DIR --index FILE EXPR            evaluate a path expression,
                                                     e.g. \"//article//author\"
   hopi check --dir DIR --index FILE [--samples N]   verify the index against a

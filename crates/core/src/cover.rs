@@ -61,6 +61,41 @@ impl TwoHopCover {
         }
     }
 
+    /// Reconstructs a cover from per-node label rows that are **already
+    /// sorted ascending and free of duplicates/self entries** (e.g. thawed
+    /// from a [`crate::FrozenCover`] or a persisted CSR blob). The inverted
+    /// index and entry count are derived in one pass — no per-entry binary
+    /// searches.
+    pub fn from_sorted_label_rows(lin: Vec<Vec<NodeId>>, lout: Vec<Vec<NodeId>>) -> Self {
+        let n = lin.len().max(lout.len());
+        let mut cover = TwoHopCover {
+            lin,
+            lout,
+            inv_out: vec![Vec::new(); n],
+            inv_in: vec![Vec::new(); n],
+            entries: 0,
+        };
+        cover.lin.resize_with(n, Vec::new);
+        cover.lout.resize_with(n, Vec::new);
+        for (node, row) in cover.lout.iter().enumerate() {
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "Lout row sorted");
+            for &c in row {
+                debug_assert_ne!(c as usize, node, "self entry in Lout");
+                cover.inv_out[c as usize].push(node as NodeId);
+                cover.entries += 1;
+            }
+        }
+        for (node, row) in cover.lin.iter().enumerate() {
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "Lin row sorted");
+            for &c in row {
+                debug_assert_ne!(c as usize, node, "self entry in Lin");
+                cover.inv_in[c as usize].push(node as NodeId);
+                cover.entries += 1;
+            }
+        }
+        cover
+    }
+
     /// Number of node slots.
     pub fn num_nodes(&self) -> usize {
         self.lin.len()
@@ -390,8 +425,9 @@ impl TwoHopCover {
     }
 }
 
-/// Sorted-slice intersection test (merge scan).
-fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+/// Sorted-slice intersection test (merge scan); shared with the frozen
+/// representation.
+pub(crate) fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {

@@ -55,6 +55,37 @@ impl DistanceCover {
         }
     }
 
+    /// Reconstructs a cover from per-node `(center, dist)` rows that are
+    /// **already sorted by center** (e.g. thawed from a persisted frozen
+    /// blob). Inverted index and entry count are derived in one pass.
+    pub fn from_sorted_label_rows(lin: Vec<Vec<(u32, u32)>>, lout: Vec<Vec<(u32, u32)>>) -> Self {
+        let n = lin.len().max(lout.len());
+        let mut cover = DistanceCover {
+            lin,
+            lout,
+            inv_out: vec![Vec::new(); n],
+            inv_in: vec![Vec::new(); n],
+            entries: 0,
+        };
+        cover.lin.resize_with(n, Vec::new);
+        cover.lout.resize_with(n, Vec::new);
+        for (node, row) in cover.lout.iter().enumerate() {
+            debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "Lout row sorted");
+            for &(c, _) in row {
+                cover.inv_out[c as usize].push(node as u32);
+                cover.entries += 1;
+            }
+        }
+        for (node, row) in cover.lin.iter().enumerate() {
+            debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "Lin row sorted");
+            for &(c, _) in row {
+                cover.inv_in[c as usize].push(node as u32);
+                cover.entries += 1;
+            }
+        }
+        cover
+    }
+
     /// Number of node slots.
     pub fn num_nodes(&self) -> usize {
         self.lin.len()

@@ -24,6 +24,11 @@
 //!   candidate edges with a 98% confidence interval.
 //! * [`index::HopiIndex`] — the built-index handle the query, maintenance,
 //!   and storage layers exchange.
+//! * [`frozen::FrozenCover`] — an immutable CSR snapshot of a cover for the
+//!   read-dominated serving path: contiguous label/holder rows,
+//!   allocation-free probes, batched `connected_many`.
+//! * [`source::LabelSource`] — the query interface shared by the mutable
+//!   and frozen representations (path evaluation is written against it).
 //! * [`old_join`] — the §3.3 single-link cover-integration primitive shared
 //!   by the incremental cover join and §6.1 maintenance.
 //!
@@ -37,11 +42,15 @@ pub mod builder;
 pub mod cover;
 pub mod densest;
 pub mod distance;
+pub mod frozen;
 pub mod index;
 pub mod old_join;
+pub mod source;
 
 pub use builder::{BuildStats, CoverBuilder};
 pub use cover::TwoHopCover;
 pub use densest::{densest_subgraph, BipartiteCenterGraph, DensestResult};
 pub use distance::{DistanceCover, DistanceCoverBuilder};
+pub use frozen::FrozenCover;
 pub use index::HopiIndex;
+pub use source::LabelSource;

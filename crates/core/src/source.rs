@@ -1,0 +1,108 @@
+//! The label-source abstraction: one query interface over the mutable and
+//! frozen cover representations.
+//!
+//! Path evaluation (`hopi_query::eval`) only needs three primitives from
+//! the index — the reachability probe and the two closure enumerations —
+//! so it is written against this trait and runs unchanged against a live
+//! [`TwoHopCover`](crate::TwoHopCover) /
+//! [`HopiIndex`](crate::HopiIndex) or a read-optimized
+//! [`FrozenCover`](crate::FrozenCover) snapshot.
+
+use crate::cover::NodeId;
+
+/// Anything that answers 2-hop cover queries: the connection probe plus
+/// descendant/ancestor enumeration.
+pub trait LabelSource {
+    /// The reachability test `u →* v` (reflexive).
+    fn connected(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// All descendants of `u` (including `u`), sorted.
+    fn descendants(&self, u: NodeId) -> Vec<NodeId>;
+
+    /// All ancestors of `u` (including `u`), sorted.
+    fn ancestors(&self, u: NodeId) -> Vec<NodeId>;
+
+    /// Is any source connected to `target`, excluding the reflexive
+    /// `source == target` probe? The probing side of a `//` step;
+    /// implementations may batch the row lookups.
+    fn connected_from_any(&self, sources: &[NodeId], target: NodeId) -> bool {
+        sources
+            .iter()
+            .any(|&u| u != target && self.connected(u, target))
+    }
+}
+
+impl LabelSource for crate::TwoHopCover {
+    fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        crate::TwoHopCover::connected(self, u, v)
+    }
+
+    fn descendants(&self, u: NodeId) -> Vec<NodeId> {
+        crate::TwoHopCover::descendants(self, u)
+    }
+
+    fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        crate::TwoHopCover::ancestors(self, u)
+    }
+}
+
+impl LabelSource for crate::HopiIndex {
+    fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        crate::HopiIndex::connected(self, u, v)
+    }
+
+    fn descendants(&self, u: NodeId) -> Vec<NodeId> {
+        crate::HopiIndex::descendants(self, u)
+    }
+
+    fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        crate::HopiIndex::ancestors(self, u)
+    }
+}
+
+impl<S: LabelSource + ?Sized> LabelSource for &S {
+    fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        (**self).connected(u, v)
+    }
+
+    fn descendants(&self, u: NodeId) -> Vec<NodeId> {
+        (**self).descendants(u)
+    }
+
+    fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        (**self).ancestors(u)
+    }
+
+    fn connected_from_any(&self, sources: &[NodeId], target: NodeId) -> bool {
+        (**self).connected_from_any(sources, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrozenCover, HopiIndex, TwoHopCover};
+
+    fn probe<S: LabelSource>(s: &S) -> (bool, Vec<NodeId>, Vec<NodeId>, bool) {
+        (
+            s.connected(0, 2),
+            s.descendants(0),
+            s.ancestors(2),
+            s.connected_from_any(&[0, 2], 2),
+        )
+    }
+
+    #[test]
+    fn all_representations_agree() {
+        let mut cover = TwoHopCover::with_nodes(3);
+        cover.add_out(0, 1);
+        cover.add_in(2, 1);
+        let frozen = FrozenCover::from_cover(&cover);
+        let index = HopiIndex::from_cover(cover.clone());
+        let expect = (true, vec![0, 1, 2], vec![0, 1, 2], true);
+        assert_eq!(probe(&cover), expect);
+        assert_eq!(probe(&index), expect);
+        assert_eq!(probe(&frozen), expect);
+        assert_eq!(probe(&&frozen), expect);
+    }
+}

@@ -25,17 +25,63 @@ pub struct DocumentLinks {
     pub incoming: Vec<(ElemId, LocalElemId)>,
 }
 
+/// An invalid link insertion, reported instead of the panics
+/// [`Collection::add_link`] raises on bad endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// An endpoint that is not (or no longer) a live element.
+    UnknownEndpoint(ElemId),
+    /// Both endpoints lie in the same document (same-document references
+    /// belong to the document's intra-links).
+    SameDocument {
+        /// Link source.
+        from: ElemId,
+        /// Link target.
+        to: ElemId,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::UnknownEndpoint(e) => write!(f, "link endpoint {e} is not a live element"),
+            LinkError::SameDocument { from, to } => write!(
+                f,
+                "link {from} → {to} stays inside one document; use intra-document links"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// Inserts an inter-document link and updates the index incrementally.
-/// Both endpoints must exist in the collection.
+///
+/// Endpoints are validated up front — dead/unknown elements and
+/// same-document pairs come back as [`LinkError`] instead of the panics of
+/// [`Collection::add_link`]. Re-inserting an existing link is a no-op
+/// (`L` is a set, paper §2) and returns `Ok(0)` without touching the
+/// cover. Otherwise returns the number of label entries added.
 pub fn insert_link(
     collection: &mut Collection,
     index: &mut HopiIndex,
     from: ElemId,
     to: ElemId,
-) -> usize {
-    collection.add_link(from, to);
+) -> Result<usize, LinkError> {
+    let fd = collection
+        .doc_of(from)
+        .ok_or(LinkError::UnknownEndpoint(from))?;
+    let td = collection
+        .doc_of(to)
+        .ok_or(LinkError::UnknownEndpoint(to))?;
+    if fd == td {
+        return Err(LinkError::SameDocument { from, to });
+    }
+    if !collection.add_link(from, to) {
+        return Ok(0);
+    }
     index.cover_mut().ensure_node(from.max(to));
-    old_join::integrate_link(index.cover_mut(), from, to)
+    Ok(old_join::integrate_link(index.cover_mut(), from, to))
 }
 
 /// Inserts a whole document plus its links (paper §6.1: "considering the
@@ -206,9 +252,58 @@ mod tests {
     fn insert_link_updates_index() {
         let (mut c, mut index) = two_docs();
         assert!(!index.connected(0, 3));
-        insert_link(&mut c, &mut index, 1, 2); // a/s -> b/root
+        insert_link(&mut c, &mut index, 1, 2).unwrap(); // a/s -> b/root
         assert!(index.connected(0, 3));
         assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn insert_link_rejects_dead_and_unknown_endpoints() {
+        // Regression: this used to panic inside Collection::add_link.
+        let (mut c, mut index) = two_docs();
+        assert_eq!(
+            insert_link(&mut c, &mut index, 0, 9_999),
+            Err(LinkError::UnknownEndpoint(9_999))
+        );
+        assert_eq!(
+            insert_link(&mut c, &mut index, 9_999, 0),
+            Err(LinkError::UnknownEndpoint(9_999))
+        );
+        // Endpoints of a removed document are dead, not just unknown.
+        c.remove_document(1);
+        assert_eq!(
+            insert_link(&mut c, &mut index, 0, 2),
+            Err(LinkError::UnknownEndpoint(2))
+        );
+        // The failed attempts left collection and index untouched.
+        assert!(c.links().is_empty());
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn insert_link_rejects_same_document_pairs() {
+        // Regression: this used to panic on the §2 "L is inter-document"
+        // assertion.
+        let (mut c, mut index) = two_docs();
+        assert_eq!(
+            insert_link(&mut c, &mut index, 0, 1),
+            Err(LinkError::SameDocument { from: 0, to: 1 })
+        );
+        assert!(c.links().is_empty());
+        assert_exact(&c, &index);
+    }
+
+    #[test]
+    fn duplicate_insert_link_is_noop() {
+        let (mut c, mut index) = two_docs();
+        let added = insert_link(&mut c, &mut index, 1, 2).unwrap();
+        assert!(added > 0);
+        let size = index.size();
+        assert_eq!(insert_link(&mut c, &mut index, 1, 2), Ok(0));
+        assert_eq!(index.size(), size, "duplicate must not grow the cover");
+        assert_eq!(c.links().len(), 1);
+        assert_exact(&c, &index);
+        index.cover().check_invariants();
     }
 
     #[test]
@@ -244,8 +339,8 @@ mod tests {
     #[test]
     fn insert_link_cycle() {
         let (mut c, mut index) = two_docs();
-        insert_link(&mut c, &mut index, 1, 2);
-        insert_link(&mut c, &mut index, 3, 0);
+        insert_link(&mut c, &mut index, 1, 2).unwrap();
+        insert_link(&mut c, &mut index, 3, 0).unwrap();
         assert!(index.connected(2, 1), "cycle closes");
         assert_exact(&c, &index);
     }
@@ -270,7 +365,7 @@ mod tests {
             }
             let from = c.global_id(di, rng.gen_range(0..3));
             let to = c.global_id(dj, rng.gen_range(0..3));
-            insert_link(&mut c, &mut index, from, to);
+            insert_link(&mut c, &mut index, from, to).unwrap();
             assert_exact(&c, &index);
         }
         index.cover().check_invariants();

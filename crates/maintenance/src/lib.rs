@@ -43,7 +43,7 @@ pub mod rebuild;
 pub use delete::{delete_document, delete_link, separates, DeletionAlgorithm, DeletionOutcome};
 pub use insert::{
     insert_document, insert_document_distance, insert_edge_distance, insert_link,
-    integrate_document_distance, DocumentLinks,
+    integrate_document_distance, DocumentLinks, LinkError,
 };
 pub use modify::modify_document;
 pub use online::{collection_delta, delta_replays_exactly, CollectionUpdate, OnlineIndex};

@@ -81,11 +81,13 @@ impl OnlineIndex {
         f(&guard.collection, &guard.index)
     }
 
-    /// Incremental link insertion (brief write lock).
-    pub fn insert_link(&self, from: ElemId, to: ElemId) {
+    /// Incremental link insertion (brief write lock). Duplicate links are
+    /// a no-op (`Ok(0)`); invalid endpoints come back as
+    /// [`crate::insert::LinkError`].
+    pub fn insert_link(&self, from: ElemId, to: ElemId) -> Result<usize, crate::LinkError> {
         let mut guard = self.state.write();
         let State { collection, index } = &mut *guard;
-        insert_link(collection, index, from, to);
+        insert_link(collection, index, from, to)
     }
 
     /// Incremental document insertion (brief write lock). Returns the new
@@ -149,7 +151,8 @@ impl OnlineIndex {
         for update in delta {
             match update {
                 CollectionUpdate::InsertLink(f, t) => {
-                    insert_link(&mut fresh_collection, &mut fresh, f, t);
+                    insert_link(&mut fresh_collection, &mut fresh, f, t)
+                        .expect("replayed link endpoints are live");
                 }
                 CollectionUpdate::InsertDocument(doc, links) => {
                     insert_document(&mut fresh_collection, &mut fresh, doc, &links);
@@ -398,7 +401,7 @@ mod tests {
             let b = docs[(i * 7 + 1) % docs.len()];
             if a != b {
                 let (from, to) = online.read(|c, _| (c.global_id(a, 0), c.global_id(b, 0)));
-                online.insert_link(from, to);
+                online.insert_link(from, to).unwrap();
             }
         }
         // Kick off the background rebuild, then keep updating while it runs.
@@ -434,7 +437,7 @@ mod tests {
             let b = docs[(i * 11 + 2) % docs.len()];
             if a != b {
                 let (from, to) = online.read(|c, _| (c.global_id(a, 0), c.global_id(b, 0)));
-                online.insert_link(from, to);
+                online.insert_link(from, to).unwrap();
             }
         }
         let churned = online.size();
@@ -471,7 +474,7 @@ mod tests {
                     let b = docs[(i + 1) % docs.len()];
                     if a != b {
                         let (from, to) = writer.read(|c, _| (c.global_id(a, 0), c.global_id(b, 0)));
-                        writer.insert_link(from, to);
+                        writer.insert_link(from, to).unwrap();
                     }
                 }
             });

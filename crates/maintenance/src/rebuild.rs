@@ -92,7 +92,7 @@ mod tests {
             let b = docs[rng.gen_range(0..docs.len())];
             if a != b {
                 let (from, to) = (c.global_id(a, 0), c.global_id(b, 0));
-                insert_link(&mut c, &mut index, from, to);
+                insert_link(&mut c, &mut index, from, to).unwrap();
             }
         }
         let degraded = degradation(&c, &index);

@@ -14,7 +14,7 @@
 
 use crate::expr::{parse_path, Axis, ParseError, PathExpr};
 use crate::tag_index::TagIndex;
-use hopi_core::HopiIndex;
+use hopi_core::{HopiIndex, LabelSource};
 use hopi_xml::{Collection, ElemId};
 use rustc_hash::FxHashSet;
 
@@ -72,19 +72,23 @@ pub fn evaluate_str(
 }
 
 /// Evaluates a parsed path expression with default [`EvalOptions`].
-pub fn evaluate(
+///
+/// The index is any [`LabelSource`] — the live [`HopiIndex`] or a frozen
+/// [`hopi_core::FrozenCover`] snapshot; answers are identical.
+pub fn evaluate<S: LabelSource>(
     collection: &Collection,
-    index: &HopiIndex,
+    index: &S,
     tags: &TagIndex,
     expr: &PathExpr,
 ) -> Vec<ElemId> {
     evaluate_with(collection, index, tags, expr, &EvalOptions::default())
 }
 
-/// Evaluates a parsed path expression under explicit options.
-pub fn evaluate_with(
+/// Evaluates a parsed path expression under explicit options (see
+/// [`evaluate`] for the index abstraction).
+pub fn evaluate_with<S: LabelSource>(
     collection: &Collection,
-    index: &HopiIndex,
+    index: &S,
     tags: &TagIndex,
     expr: &PathExpr,
     options: &EvalOptions,
@@ -174,10 +178,12 @@ fn child_step(collection: &Collection, current: &[ElemId], tag: Option<&str>) ->
     v
 }
 
-/// `//tag`: connection-axis step via the index.
-fn connection_step(
+/// `//tag`: connection-axis step via the index. Both strategies return the
+/// same sorted, deduplicated set — the `probe_budget` picks an execution
+/// plan, never an answer.
+fn connection_step<S: LabelSource>(
     collection: &Collection,
-    index: &HopiIndex,
+    index: &S,
     tags: &TagIndex,
     current: &[ElemId],
     tag: Option<&str>,
@@ -192,8 +198,9 @@ fn connection_step(
         let mut out: Vec<ElemId> = cands
             .iter()
             .copied()
-            .filter(|&t| current.iter().any(|&u| u != t && index.connected(u, t)))
+            .filter(|&t| index.connected_from_any(current, t))
             .collect();
+        out.sort_unstable();
         out.dedup();
         out
     } else {
@@ -211,6 +218,7 @@ fn connection_step(
         // node; the u != v filter above already allows that.
         let mut out: Vec<ElemId> = cands.into_iter().filter(|t| reach.contains(t)).collect();
         out.sort_unstable();
+        out.dedup();
         out
     }
 }
@@ -316,6 +324,73 @@ mod tests {
             for probe_budget in [0, 1, usize::MAX] {
                 let tuned = evaluate_with(&c, &i, &t, &expr, &EvalOptions { probe_budget });
                 assert_eq!(tuned, default, "budget {probe_budget} on {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_branches_return_sorted_deduped_results() {
+        // Budget 0 forces descendant-set enumeration on every `//` step;
+        // usize::MAX forces pairwise probes. The answers must be the same
+        // sorted, deduplicated set — including on multi-step queries whose
+        // intermediate context sets feed the next step.
+        use hopi_xml::generator::{random_collection, RandomConfig};
+        for seed in [2u64, 13, 21] {
+            let c = random_collection(&RandomConfig {
+                num_docs: 10,
+                elements_range: (4, 9),
+                num_links: 15,
+                num_intra_links: 5,
+                allow_cycles: true,
+                seed,
+            });
+            let (index, _) = build_index(&c, &BuildConfig::default());
+            let tags = TagIndex::build(&c);
+            for query in ["//root//e2", "//e1//e4//e0", "//root//*", "//e3//e3"] {
+                let expr = parse_path(query).unwrap();
+                let enumerated =
+                    evaluate_with(&c, &index, &tags, &expr, &EvalOptions { probe_budget: 0 });
+                let probed = evaluate_with(
+                    &c,
+                    &index,
+                    &tags,
+                    &expr,
+                    &EvalOptions {
+                        probe_budget: usize::MAX,
+                    },
+                );
+                assert_eq!(probed, enumerated, "seed {seed} query {query}");
+                let mut sorted = probed.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(
+                    probed, sorted,
+                    "seed {seed} query {query}: not sorted+deduped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_cover_answers_match_live_index() {
+        use hopi_core::FrozenCover;
+        let (c, i, t) = fixture();
+        let frozen = FrozenCover::from_cover(i.cover());
+        for query in [
+            "/library//author",
+            "//book//author",
+            "//box//*",
+            "//book//book",
+            "/library/shelf/book",
+        ] {
+            let expr = parse_path(query).unwrap();
+            for probe_budget in [0, usize::MAX] {
+                let options = EvalOptions { probe_budget };
+                assert_eq!(
+                    evaluate_with(&c, &frozen, &t, &expr, &options),
+                    evaluate_with(&c, &i, &t, &expr, &options),
+                    "budget {probe_budget} on {query}"
+                );
             }
         }
     }

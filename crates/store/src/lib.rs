@@ -23,7 +23,10 @@
 //! index (doubling storage exactly as the paper notes), and
 //! [`engine::LinLoutStore`] executes the paper's queries — including the
 //! "simple additional queries" that compensate for the unstored self
-//! labels. [`persist`] serializes the tables to a compact binary file.
+//! labels. [`persist`] serializes the tables to a compact binary file —
+//! either as rows ([`save_store`]) or as a single length-prefixed CSR blob
+//! of a frozen cover ([`save_frozen`]), the serving layout that loads with
+//! no re-sorting; [`load_index`] auto-detects the layout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +36,7 @@ pub mod persist;
 pub mod table;
 
 pub use engine::LinLoutStore;
-pub use persist::{load_store, save_store, PersistError};
+pub use persist::{
+    load_frozen, load_index, load_store, save_frozen, save_store, PersistError, StoredIndex,
+};
 pub use table::IndexOrganizedTable;

@@ -1,22 +1,39 @@
-//! Binary persistence of the LIN/LOUT tables.
+//! Binary persistence of the LIN/LOUT tables and of frozen CSR covers.
 //!
-//! Format (little-endian):
+//! Row format (little-endian; written by [`save_store`]):
 //!
 //! ```text
 //! magic   4 bytes  "HOPI"
-//! version u32      1
-//! flags   u32      bit 0: DIST column present
+//! version u32      2 (1 accepted on load)
+//! flags   u32      bit 0: DIST column present; bit 1 clear (row layout)
 //! lin_len u64      row count of LIN
 //! lout_len u64     row count of LOUT
 //! rows             (id: u32, other: u32 [, dist: u32]) × (lin_len + lout_len)
 //! ```
 //!
-//! Backward indexes are rebuilt on load — they are derived data, and
-//! rebuilding keeps the file at half the in-memory footprint (mirroring the
-//! paper's observation that the backward index doubles the stored size).
+//! Frozen format (version 2; written by [`save_frozen`], flags bit 1 set):
+//! the same 12-byte `magic`/`version`/`flags` prefix followed by one
+//! length-prefixed CSR blob —
+//!
+//! ```text
+//! n        u64     node slots
+//! data_len u64     label entries (|Lin| + |Lout|)
+//! lin_off  u32 × (n + 1)   absolute offsets into data (lin_off[0] = 0)
+//! lout_off u32 × (n + 1)   absolute offsets (lout_off[n] = data_len)
+//! data     u32 × data_len  label centers, rows sorted
+//! dist     u32 × data_len  only when flags bit 0 (DIST) is set
+//! ```
+//!
+//! Backward/inverted indexes are rebuilt on load in both formats — they
+//! are derived data, and rebuilding keeps the file at half the in-memory
+//! footprint (mirroring the paper's observation that the backward index
+//! doubles the stored size). Loading a frozen blob never sorts: rows are
+//! stored sorted and the inverted sections are reconstructed by counting,
+//! so [`load_frozen`] is ready to serve straight away.
 
 use crate::engine::LinLoutStore;
 use crate::table::{IndexOrganizedTable, Row};
+use hopi_core::FrozenCover;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -54,7 +71,13 @@ impl<'a> Cursor<'a> {
 }
 
 const MAGIC: &[u8; 4] = b"HOPI";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// The last version writing the row layout only (still loadable).
+const VERSION_ROWS_ONLY: u32 = 1;
+/// Flags bit 0: DIST column present.
+const FLAG_DIST: u32 = 1;
+/// Flags bit 1: the payload is a frozen CSR blob, not rows.
+const FLAG_FROZEN: u32 = 2;
 
 /// Errors raised by save/load.
 #[derive(Debug)]
@@ -109,11 +132,38 @@ pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError>
     Ok(())
 }
 
+/// A loaded index file: either the LIN/LOUT row tables or a frozen CSR
+/// cover (see [`load_index`]).
+pub enum StoredIndex {
+    /// Row layout ([`save_store`]).
+    Rows(LinLoutStore),
+    /// Frozen CSR layout ([`save_frozen`]).
+    Frozen(FrozenCover),
+}
+
+/// Loads either index layout, detecting the format from the header. Use
+/// this when the caller accepts both (e.g. `Hopi::open`).
+pub fn load_index(path: &Path) -> Result<StoredIndex, PersistError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() >= 12 && &raw[..4] == MAGIC {
+        let flags = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]);
+        if flags & FLAG_FROZEN != 0 {
+            return decode_frozen(&raw).map(StoredIndex::Frozen);
+        }
+    }
+    decode_store(&raw).map(StoredIndex::Rows)
+}
+
 /// Loads a store from `path`, rebuilding the backward indexes.
 pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    let mut buf = Cursor::new(&raw);
+    decode_store(&raw)
+}
+
+fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
+    let mut buf = Cursor::new(raw);
     if buf.remaining() < 28 {
         return Err(PersistError::Format("truncated header".into()));
     }
@@ -123,10 +173,16 @@ pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
         return Err(PersistError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_ROWS_ONLY {
         return Err(PersistError::Version(version));
     }
-    let with_dist = buf.get_u32_le() & 1 == 1;
+    let flags = buf.get_u32_le();
+    if flags & FLAG_FROZEN != 0 {
+        return Err(PersistError::Format(
+            "file holds a frozen CSR cover; load it with load_frozen / load_index".into(),
+        ));
+    }
+    let with_dist = flags & FLAG_DIST != 0;
     let lin_len = buf.get_u64_le() as usize;
     let lout_len = buf.get_u64_le() as usize;
     let per_row = if with_dist { 12 } else { 8 };
@@ -155,6 +211,92 @@ pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
         IndexOrganizedTable::new(lin_rows, with_dist),
         IndexOrganizedTable::new(lout_rows, with_dist),
     ))
+}
+
+/// Serializes a frozen cover to `path` as a single length-prefixed CSR
+/// blob (header flags bit 1 set; bit 0 when distance annotations are
+/// stored). Loading it back with [`load_frozen`] involves no sorting.
+pub fn save_frozen(frozen: &FrozenCover, path: &Path) -> Result<(), PersistError> {
+    let n = frozen.num_nodes();
+    let data = frozen.label_data();
+    let dists = frozen.label_dists();
+    let flags = FLAG_FROZEN | if dists.is_some() { FLAG_DIST } else { 0 };
+    let words = 2 * (n + 1) + data.len() * if dists.is_some() { 2 } else { 1 };
+    let mut buf: Vec<u8> = Vec::with_capacity(28 + 4 * words);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&flags.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for section in [frozen.lin_offsets(), frozen.lout_offsets()] {
+        for &off in section {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+    }
+    for &c in data {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    for &d in dists.unwrap_or(&[]) {
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&buf)?;
+    Ok(())
+}
+
+/// Loads a frozen cover persisted with [`save_frozen`], rebuilding the
+/// inverted sections by counting (no sorting anywhere on the load path).
+pub fn load_frozen(path: &Path) -> Result<FrozenCover, PersistError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    decode_frozen(&raw)
+}
+
+fn decode_frozen(raw: &[u8]) -> Result<FrozenCover, PersistError> {
+    let mut buf = Cursor::new(raw);
+    if buf.remaining() < 28 {
+        return Err(PersistError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::Version(version));
+    }
+    let flags = buf.get_u32_le();
+    if flags & FLAG_FROZEN == 0 {
+        return Err(PersistError::Format(
+            "file holds LIN/LOUT rows; load it with load_store / load_index".into(),
+        ));
+    }
+    let with_dist = flags & FLAG_DIST != 0;
+    let n = buf.get_u64_le() as usize;
+    let data_len = buf.get_u64_le() as usize;
+    let dist_words = if with_dist { data_len } else { 0 };
+    let expected = n
+        .checked_add(1)
+        .and_then(|o| o.checked_mul(2))
+        .and_then(|o| o.checked_add(data_len))
+        .and_then(|w| w.checked_add(dist_words))
+        .and_then(|w| w.checked_mul(4))
+        .ok_or_else(|| PersistError::Format("section sizes overflow".into()))?;
+    if buf.remaining() != expected {
+        return Err(PersistError::Format(format!(
+            "expected {expected} payload bytes, found {}",
+            buf.remaining()
+        )));
+    }
+    let read_words =
+        |k: usize, buf: &mut Cursor<'_>| -> Vec<u32> { (0..k).map(|_| buf.get_u32_le()).collect() };
+    let lin_off = read_words(n + 1, &mut buf);
+    let lout_off = read_words(n + 1, &mut buf);
+    let data = read_words(data_len, &mut buf);
+    let dist = with_dist.then(|| read_words(data_len, &mut buf));
+    FrozenCover::from_label_csr(lin_off, lout_off, data, dist)
+        .map_err(|e| PersistError::Format(format!("invalid CSR blob: {e}")))
 }
 
 #[cfg(test)]
@@ -203,6 +345,81 @@ mod tests {
                 assert_eq!(loaded.distance(u, v), store.distance(u, v));
             }
         }
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_frozen() {
+        let g = sample_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let frozen = FrozenCover::from_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_frozen.idx");
+        save_frozen(&frozen, &dir).unwrap();
+        let loaded = load_frozen(&dir).unwrap();
+        assert_eq!(loaded.size(), frozen.size());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(loaded.connected(u, v), cover.connected(u, v), "({u},{v})");
+            }
+            assert_eq!(loaded.descendants(u), cover.descendants(u));
+        }
+        // Auto-detection picks the frozen branch.
+        assert!(matches!(load_index(&dir), Ok(StoredIndex::Frozen(_))));
+        // The row loader refuses it with a pointer to the right entry.
+        assert!(matches!(load_store(&dir), Err(PersistError::Format(_))));
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn roundtrip_frozen_distance() {
+        let g = sample_graph();
+        let dc = DistanceClosure::from_graph(&g);
+        let cover = DistanceCoverBuilder::new(&dc).build();
+        let frozen = FrozenCover::from_distance_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_frozen_dist.idx");
+        save_frozen(&frozen, &dir).unwrap();
+        let loaded = load_frozen(&dir).unwrap();
+        assert!(loaded.with_dist());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(loaded.distance(u, v), cover.distance(u, v), "({u},{v})");
+            }
+        }
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn frozen_loader_rejects_row_files_and_truncation() {
+        let g = sample_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let dir = std::env::temp_dir().join("hopi_persist_frozen_neg.idx");
+        save_store(&LinLoutStore::from_cover(&cover), &dir).unwrap();
+        assert!(matches!(load_frozen(&dir), Err(PersistError::Format(_))));
+        assert!(matches!(load_index(&dir), Ok(StoredIndex::Rows(_))));
+        save_frozen(&FrozenCover::from_cover(&cover), &dir).unwrap();
+        let bytes = std::fs::read(&dir).unwrap();
+        std::fs::write(&dir, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_frozen(&dir).is_err());
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn loads_version1_row_files() {
+        // Files written before the frozen format (version 1) keep loading.
+        let g = sample_graph();
+        let tc = TransitiveClosure::from_graph(&g);
+        let cover = CoverBuilder::new(&tc).build();
+        let store = LinLoutStore::from_cover(&cover);
+        let dir = std::env::temp_dir().join("hopi_persist_v1.idx");
+        save_store(&store, &dir).unwrap();
+        let mut bytes = std::fs::read(&dir).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes()); // rewrite version
+        std::fs::write(&dir, &bytes).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(loaded.entry_count(), store.entry_count());
+        assert!(matches!(load_index(&dir), Ok(StoredIndex::Rows(_))));
         std::fs::remove_file(dir).ok();
     }
 

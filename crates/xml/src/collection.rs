@@ -175,6 +175,12 @@ impl Collection {
         &self.links
     }
 
+    /// Does the inter-document link `from → to` exist? (Set membership in
+    /// `L`, constant time.)
+    pub fn has_link(&self, from: ElemId, to: ElemId) -> bool {
+        self.link_set.contains(&(from, to))
+    }
+
     /// Removes one occurrence of the inter-document link `from → to`.
     /// Returns `true` if it existed.
     pub fn remove_link(&mut self, from: ElemId, to: ElemId) -> bool {

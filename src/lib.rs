@@ -69,15 +69,16 @@ pub use hopi_query as query;
 pub use hopi_store as store;
 pub use hopi_xml as xml;
 
-pub use hopi_build::{Hopi, HopiBuilder, HopiError, OnlineHopi, QueryOptions, Stats};
+pub use hopi_build::{Hopi, HopiBuilder, HopiError, HopiSnapshot, OnlineHopi, QueryOptions, Stats};
 
 /// Convenience re-exports for the common workflow: parse or generate a
 /// collection, build a [`Hopi`] engine, query it, maintain it.
 pub mod prelude {
     pub use hopi_build::{BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
     pub use hopi_build::{
-        Hopi, HopiBuilder, HopiError, HopiIndex, OnlineHopi, QueryOptions, Stats,
+        Hopi, HopiBuilder, HopiError, HopiIndex, HopiSnapshot, OnlineHopi, QueryOptions, Stats,
     };
+    pub use hopi_core::{FrozenCover, LabelSource};
     pub use hopi_maintenance::{DeletionAlgorithm, DeletionOutcome, DocumentLinks, RebuildPolicy};
     pub use hopi_partition::{
         EdgeWeightStrategy, OldPartitionerConfig, Partitioning, TcPartitionerConfig,

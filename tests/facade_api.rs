@@ -371,6 +371,186 @@ fn distance_cover_tracks_incremental_inserts() {
 }
 
 #[test]
+fn snapshot_is_immutable_and_matches_engine() {
+    let mut hopi = library();
+    let snap = hopi.snapshot();
+    let thm = snap.resolve("theory", "thm1").unwrap();
+    assert_eq!(snap.query("//article//thm").unwrap(), vec![thm]);
+    assert_eq!(snap.cover_entries(), hopi.stats().cover_entries);
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(snap.connected(u, v), hopi.connected(u, v), "({u},{v})");
+        }
+        assert_eq!(snap.descendants(u), hopi.descendants(u));
+        assert_eq!(snap.ancestors(u), hopi.ancestors(u));
+    }
+    assert!(matches!(
+        snap.distance(0, 1),
+        Err(HopiError::DistanceDisabled)
+    ));
+
+    // Mutating the engine does not disturb a captured snapshot…
+    let note = hopi
+        .insert_xml("note", r#"<note><cite xlink:href="theory"/></note>"#)
+        .unwrap();
+    let note_root = hopi.collection().global_id(note, 0);
+    assert!(hopi.connected(note_root, thm));
+    assert!(
+        !snap.connected(note_root, thm),
+        "snapshot is frozen in time"
+    );
+    // …while a fresh snapshot sees the new state.
+    assert!(hopi.snapshot().connected(note_root, thm));
+}
+
+#[test]
+fn snapshot_serves_distance_and_ranked_queries() {
+    let hopi = Hopi::builder()
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s/></r>"#),
+        ])
+        .unwrap();
+    let snap = hopi.snapshot();
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(
+                snap.distance(u, v).unwrap(),
+                hopi.distance(u, v).unwrap(),
+                "dist({u},{v})"
+            );
+        }
+    }
+    let ranked_live = hopi.query_ranked("//r//s").unwrap();
+    let ranked_snap = snap.query_ranked("//r//s").unwrap();
+    assert_eq!(ranked_live.len(), ranked_snap.len());
+    for (a, b) in ranked_live.iter().zip(&ranked_snap) {
+        assert_eq!((a.element, a.distance), (b.element, b.distance));
+    }
+}
+
+#[test]
+fn online_reads_are_served_from_refreshed_snapshots() {
+    let online = OnlineHopi::new(library());
+    let (survey, thm) = {
+        let snap = online.snapshot();
+        (
+            snap.resolve("survey", "").unwrap(),
+            snap.resolve("theory", "thm1").unwrap(),
+        )
+    };
+    assert!(online.connected(survey, thm));
+
+    // A held snapshot is a stable epoch; the convenience reads pick up
+    // each mutation immediately after it returns.
+    let epoch = online.snapshot();
+    let note = online
+        .insert_xml("note", r#"<note><cite xlink:href="theory"/></note>"#)
+        .unwrap();
+    let note_root = online.snapshot().collection().global_id(note, 0);
+    assert!(online.connected(note_root, thm), "refreshed after insert");
+    assert!(!epoch.connected(note_root, thm), "old epoch unchanged");
+    online.delete_document(note).unwrap();
+    assert!(!online.connected(note_root, thm), "refreshed after delete");
+
+    // Batched updates publish once at the end.
+    let (x, y) = online.update_batch(|h| {
+        let x = h
+            .insert_xml("x", r#"<x><cite xlink:href="theory"/></x>"#)
+            .unwrap();
+        let y = h
+            .insert_xml("y", r#"<y><cite xlink:href="x"/></y>"#)
+            .unwrap();
+        (x, y)
+    });
+    let snap = online.snapshot();
+    let (xr, yr) = (
+        snap.collection().global_id(x, 0),
+        snap.collection().global_id(y, 0),
+    );
+    assert!(snap.connected(yr, xr) && snap.connected(yr, thm));
+    online.read(oracle_check);
+}
+
+#[test]
+fn save_frozen_open_round_trips() {
+    let hopi = library();
+    let path = std::env::temp_dir().join(format!("hopi_facade_frozen_{}.idx", std::process::id()));
+    hopi.save_frozen(&path).unwrap();
+
+    // Facade open auto-detects the frozen layout and thaws it.
+    let reopened = Hopi::open(hopi.collection().clone(), &path).unwrap();
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(reopened.connected(u, v), hopi.connected(u, v), "({u},{v})");
+        }
+        assert_eq!(reopened.descendants(u), hopi.descendants(u));
+    }
+    assert_eq!(reopened.stats().cover_entries, hopi.stats().cover_entries);
+
+    // The pure read-only path loads a FrozenCover directly, no thaw.
+    let frozen = hopi::store::load_frozen(&path).unwrap();
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(frozen.connected(u, v), hopi.connected(u, v));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_frozen_distance_round_trips() {
+    let hopi = Hopi::builder()
+        .distance_aware(true)
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s/></r>"#),
+        ])
+        .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "hopi_facade_frozen_dist_{}.idx",
+        std::process::id()
+    ));
+    hopi.save_frozen(&path).unwrap();
+    let reopened = Hopi::open(hopi.collection().clone(), &path).unwrap();
+    let n = hopi.collection().elem_id_bound() as u32;
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(
+                reopened.distance(u, v).unwrap(),
+                hopi.distance(u, v).unwrap(),
+                "dist({u},{v})"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn duplicate_insert_link_is_noop_for_all_reported_state() {
+    let mut hopi = Hopi::builder()
+        .distance_aware(true)
+        .parse([("a", r#"<r><s/></r>"#), ("b", r#"<r><s/></r>"#)])
+        .unwrap();
+    let (a_s, b_root) = (1, 2);
+    let added = hopi.insert_link(a_s, b_root).unwrap();
+    assert!(added > 0);
+    let before = hopi.stats();
+    // Second insert: no new entries, no distance-cover re-relaxation, no
+    // extra link.
+    assert_eq!(hopi.insert_link(a_s, b_root).unwrap(), 0);
+    let after = hopi.stats();
+    assert_eq!(after.cover_entries, before.cover_entries);
+    assert_eq!(after.distance_entries, before.distance_entries);
+    assert_eq!(after.links, before.links);
+    oracle_check(&hopi);
+}
+
+#[test]
 fn save_open_round_trips_distance_and_config() {
     let hopi = Hopi::builder()
         .distance_aware(true)

@@ -140,6 +140,87 @@ proptest! {
     }
 
     #[test]
+    fn frozen_cover_agrees_with_live_cover(plan in arb_plan()) {
+        // The frozen CSR snapshot must answer connected / descendants /
+        // ancestors exactly like the mutable cover it was frozen from.
+        use hopi::core::FrozenCover;
+        let hopi = Hopi::build(realize(&plan)).unwrap();
+        let live = hopi.index().cover();
+        let frozen = FrozenCover::from_cover(live);
+        prop_assert_eq!(frozen.size(), live.size());
+        let n = hopi.collection().elem_id_bound() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(frozen.connected(u, v), live.connected(u, v), "pair ({},{})", u, v);
+            }
+            prop_assert_eq!(frozen.descendants(u), live.descendants(u), "descendants {}", u);
+            prop_assert_eq!(frozen.ancestors(u), live.ancestors(u), "ancestors {}", u);
+        }
+    }
+
+    #[test]
+    fn frozen_distance_agrees_with_live_cover(plan in arb_plan()) {
+        // Same property for the distance annotations of a distance-aware
+        // engine, plus the frozen persistence round trip.
+        use hopi::core::FrozenCover;
+        use hopi::store::load_frozen;
+        let hopi = Hopi::builder().distance_aware(true).build(realize(&plan)).unwrap();
+        let n = hopi.collection().elem_id_bound() as u32;
+        let path = std::env::temp_dir().join(format!(
+            "hopi_proptest_frozen_{}_{}.idx",
+            std::process::id(),
+            n
+        ));
+        hopi.save_frozen(&path).unwrap();
+        let frozen = load_frozen(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(frozen.with_dist());
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    frozen.distance(u, v),
+                    hopi.distance(u, v).unwrap(),
+                    "distance ({},{})", u, v
+                );
+            }
+        }
+        let _ = FrozenCover::from_cover(hopi.index().cover()); // plain form still freezes
+    }
+
+    #[test]
+    fn snapshot_agrees_with_engine_queries(plan in arb_plan()) {
+        let hopi = Hopi::build(realize(&plan)).unwrap();
+        let snap = hopi.snapshot();
+        let n = hopi.collection().elem_id_bound() as u32;
+        for u in 0..n {
+            prop_assert_eq!(snap.descendants(u), hopi.descendants(u));
+        }
+        for expr in ["//r//e", "//e//e", "/r/e"] {
+            prop_assert_eq!(snap.query(expr).unwrap(), hopi.query(expr).unwrap(), "{}", expr);
+        }
+    }
+
+    #[test]
+    fn duplicate_link_insert_is_noop(plan in arb_plan(), da in 0usize..100, db in 0usize..100) {
+        let mut hopi = Hopi::builder().distance_aware(true).build(realize(&plan)).unwrap();
+        let docs: Vec<DocId> = hopi.collection().doc_ids().collect();
+        let a = docs[da % docs.len()];
+        let b = docs[db % docs.len()];
+        if a != b {
+            let from = hopi.collection().global_id(a, 0);
+            let to = hopi.collection().global_id(b, 0);
+            hopi.insert_link(from, to).unwrap();
+            let stats = hopi.stats();
+            prop_assert_eq!(hopi.insert_link(from, to).unwrap(), 0);
+            let after = hopi.stats();
+            prop_assert_eq!(after.cover_entries, stats.cover_entries);
+            prop_assert_eq!(after.distance_entries, stats.distance_entries);
+            prop_assert_eq!(after.links, stats.links);
+            oracle_check(&hopi)?;
+        }
+    }
+
+    #[test]
     fn store_agrees_with_engine(plan in arb_plan()) {
         let hopi = Hopi::build(realize(&plan)).unwrap();
         let path = std::env::temp_dir().join(format!(
