@@ -18,9 +18,8 @@
 //!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_query.json]
 //! ```
 
-use hopi_bench::{inex_collection, scale_arg};
+use hopi_bench::{add_cross_links, flag_arg, inex_collection, scale_arg, thread_ladder};
 use hopi_build::{Hopi, HopiSnapshot};
-use hopi_xml::Collection;
 use parking_lot::RwLock;
 use rand::prelude::*;
 use std::sync::Arc;
@@ -45,8 +44,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = scale_arg(if smoke { 0.0006 } else { 0.004 });
-    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_query.json".into());
-    let reader_threads: usize = flag(&args, "--threads")
+    let out_path = flag_arg(&args, "--out").unwrap_or_else(|| "BENCH_query.json".into());
+    let reader_threads: usize = flag_arg(&args, "--threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -84,7 +83,7 @@ fn main() {
     let engine = Arc::new(RwLock::new(hopi));
 
     let mut samples: Vec<Sample> = Vec::new();
-    for &threads in &dedup_threads(reader_threads) {
+    for &threads in &thread_ladder(reader_threads) {
         // --- probe ---
         samples.push(run(
             "probe",
@@ -256,45 +255,6 @@ where
         ops: script_ops * threads,
         elapsed_ms,
     }
-}
-
-fn dedup_threads(n: usize) -> Vec<usize> {
-    if n <= 1 {
-        vec![1]
-    } else {
-        vec![1, n]
-    }
-}
-
-fn add_cross_links(collection: &mut Collection) {
-    let docs: Vec<u32> = collection.doc_ids().collect();
-    if docs.len() < 2 {
-        return;
-    }
-    let mut rng = StdRng::seed_from_u64(0x11e8);
-    let want = docs.len() * 2;
-    let mut added = 0usize;
-    let mut attempts = 0usize;
-    while added < want && attempts < want * 8 {
-        attempts += 1;
-        let a = docs[rng.gen_range(0..docs.len())];
-        let b = docs[rng.gen_range(0..docs.len())];
-        if a == b {
-            continue;
-        }
-        let la = rng.gen_range(0..collection.document(a).expect("live").len() as u32);
-        let from = collection.global_id(a, la);
-        let to = collection.global_id(b, 0);
-        if collection.add_link(from, to) {
-            added += 1;
-        }
-    }
-}
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(

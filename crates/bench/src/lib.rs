@@ -50,6 +50,24 @@ pub fn scale_arg(default: f64) -> f64 {
     default
 }
 
+/// Extracts `--name value` from argv (the bench binaries' flag
+/// convention).
+pub fn flag_arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The thread counts a throughput bench measures: single-threaded plus
+/// the requested count (deduplicated when they coincide).
+pub fn thread_ladder(n: usize) -> Vec<usize> {
+    if n <= 1 {
+        vec![1]
+    } else {
+        vec![1, n]
+    }
+}
+
 /// The DBLP-like evaluation collection at a given scale.
 pub fn dblp_collection(scale: f64) -> Collection {
     dblp(&DblpConfig::scaled(scale))
@@ -58,6 +76,37 @@ pub fn dblp_collection(scale: f64) -> Collection {
 /// The INEX-like evaluation collection at a given scale.
 pub fn inex_collection(scale: f64) -> Collection {
     inex(&InexConfig::scaled(scale))
+}
+
+/// Sprinkles deterministic cross-document links over a collection (about
+/// two per document) so connection probes cross documents — the
+/// generator's pure INEX has none, and the 24×7 serving scenario is about
+/// *linked* collections. Used by the `query_throughput` and
+/// `server_throughput` serving benches.
+pub fn add_cross_links(collection: &mut Collection) {
+    use rand::prelude::*;
+    let docs: Vec<u32> = collection.doc_ids().collect();
+    if docs.len() < 2 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(0x11e8);
+    let want = docs.len() * 2;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < want && attempts < want * 8 {
+        attempts += 1;
+        let a = docs[rng.gen_range(0..docs.len())];
+        let b = docs[rng.gen_range(0..docs.len())];
+        if a == b {
+            continue;
+        }
+        let la = rng.gen_range(0..collection.document(a).expect("live").len() as u32);
+        let from = collection.global_id(a, la);
+        let to = collection.global_id(b, 0);
+        if collection.add_link(from, to) {
+            added += 1;
+        }
+    }
 }
 
 /// Scales a paper `Px` node cap (`x·10⁴` of 168,991 elements) to a

@@ -328,6 +328,17 @@ impl Hopi {
         self.index.connected(u, v)
     }
 
+    /// Batched connection probes: `out[i]` answers `pairs[i]`, reusing the
+    /// caller's buffer across batches. Same contract as
+    /// [`HopiSnapshot::connected_many`](crate::HopiSnapshot::connected_many)
+    /// (which runs the frozen §3.4-style join kernel); this form probes the
+    /// live mutable cover.
+    pub fn connected_many(&self, pairs: &[(ElemId, ElemId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(pairs.len());
+        out.extend(pairs.iter().map(|&(u, v)| self.index.connected(u, v)));
+    }
+
     /// Shortest link distance `u →* v` (`None` = unreachable). Needs
     /// [`HopiBuilder::distance_aware`].
     pub fn distance(&self, u: ElemId, v: ElemId) -> Result<Option<u32>, HopiError> {
@@ -521,12 +532,19 @@ impl Hopi {
     /// queries identically to this engine at capture time and is unaffected
     /// by later mutations.
     pub fn snapshot(&self) -> std::sync::Arc<crate::HopiSnapshot> {
+        self.snapshot_at_epoch(0)
+    }
+
+    /// Captures a snapshot stamped with a serving epoch (what
+    /// [`crate::OnlineHopi`] publishes; plain [`Hopi::snapshot`] stamps 0).
+    pub(crate) fn snapshot_at_epoch(&self, epoch: u64) -> std::sync::Arc<crate::HopiSnapshot> {
         std::sync::Arc::new(crate::HopiSnapshot::capture(
             &self.collection,
             self.index.cover(),
             self.distance.as_ref(),
             &self.tags,
             self.options,
+            epoch,
         ))
     }
 

@@ -57,7 +57,7 @@ mod snapshot;
 pub use error::HopiError;
 pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
-pub use snapshot::HopiSnapshot;
+pub use snapshot::{HopiSnapshot, SnapshotStats};
 
 // ---------------------------------------------------------------------
 // The expert layer, re-exported under its historical paths.

@@ -23,7 +23,7 @@
 
 use crate::error::HopiError;
 use crate::facade::Hopi;
-use crate::snapshot::HopiSnapshot;
+use crate::snapshot::{HopiSnapshot, SnapshotStats};
 use hopi_maintenance::{
     collection_delta, delta_replays_exactly, CollectionUpdate, DeletionOutcome, DocumentLinks,
 };
@@ -32,6 +32,7 @@ use hopi_query::RankedMatch;
 use hopi_xml::{DocId, ElemId, XmlDocument};
 use parking_lot::RwLock;
 use rustc_hash::FxHashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A concurrently queryable HOPI engine: lock-free snapshot reads,
@@ -57,6 +58,10 @@ pub struct OnlineHopi {
     /// The published serving epoch. Readers hold this lock only long
     /// enough to clone the `Arc`; query evaluation runs lock-free.
     serving: Arc<RwLock<Arc<HopiSnapshot>>>,
+    /// Monotonic epoch counter; bumped on every publish, so each published
+    /// snapshot carries a strictly larger [`HopiSnapshot::epoch`] than the
+    /// one it replaces (publishes are serialized by the engine write lock).
+    epoch: Arc<AtomicU64>,
 }
 
 impl OnlineHopi {
@@ -67,6 +72,7 @@ impl OnlineHopi {
         OnlineHopi {
             engine: Arc::new(RwLock::new(hopi)),
             serving: Arc::new(RwLock::new(snapshot)),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -80,6 +86,13 @@ impl OnlineHopi {
     /// Lock-free reachability query (current snapshot).
     pub fn connected(&self, u: ElemId, v: ElemId) -> bool {
         self.snapshot().connected(u, v)
+    }
+
+    /// Lock-free batched reachability probes (current snapshot): `out[i]`
+    /// answers `pairs[i]` via the frozen §3.4-style join kernel, all on one
+    /// epoch, reusing the caller's buffer across batches.
+    pub fn connected_many(&self, pairs: &[(ElemId, ElemId)], out: &mut Vec<bool>) {
+        self.snapshot().connected_many(pairs, out)
     }
 
     /// Lock-free shortest-link-distance query (current snapshot).
@@ -105,6 +118,18 @@ impl OnlineHopi {
     /// Current cover size (of the serving snapshot).
     pub fn size(&self) -> usize {
         self.snapshot().cover_entries()
+    }
+
+    /// The epoch of the current serving snapshot. Strictly increases with
+    /// every published snapshot (mutation, `update_batch`, rebuild).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Summary of the current serving snapshot (epoch, cover size, node
+    /// count, distance-awareness) for observability endpoints.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshot().stats()
     }
 
     /// Runs a closure against the live engine under the read lock — the
@@ -235,10 +260,12 @@ impl OnlineHopi {
     }
 
     /// Publishes the engine's current state as the serving epoch. Caller
-    /// holds the engine write lock, so the capture is consistent; lock
-    /// order is always engine → serving.
+    /// holds the engine write lock, so the capture is consistent and epoch
+    /// numbers are published in order; lock order is always engine →
+    /// serving.
     fn publish(&self, engine: &Hopi) {
-        let snapshot = engine.snapshot();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = engine.snapshot_at_epoch(epoch);
         *self.serving.write() = snapshot;
     }
 }

@@ -17,6 +17,31 @@ use hopi_core::{DistanceCover, FrozenCover};
 use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
 use hopi_xml::{Collection, ElemId};
 
+/// A point-in-time summary of a serving snapshot (see
+/// [`HopiSnapshot::stats`] / [`crate::OnlineHopi::snapshot_stats`]): the
+/// epoch it was published at plus the sizes a monitoring endpoint wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// The serving epoch this snapshot was published at. Epochs are
+    /// assigned by [`crate::OnlineHopi`] and strictly increase with every
+    /// published snapshot; direct [`crate::Hopi::snapshot`] captures are
+    /// epoch 0.
+    pub epoch: u64,
+    /// Live documents at capture time.
+    pub documents: usize,
+    /// Live elements at capture time.
+    pub elements: usize,
+    /// Inter-document links at capture time.
+    pub links: usize,
+    /// Nodes covered by the frozen cover (element-id bound).
+    pub nodes: usize,
+    /// Cover size `|L|` of the frozen cover.
+    pub cover_entries: usize,
+    /// Whether the snapshot answers [`HopiSnapshot::distance`] /
+    /// [`HopiSnapshot::query_ranked`].
+    pub distance_aware: bool,
+}
+
 /// A point-in-time, immutable serving view of an engine: frozen cover +
 /// tag index + collection. Obtained from [`crate::Hopi::snapshot`] (or
 /// continuously refreshed by [`crate::OnlineHopi`]).
@@ -46,6 +71,9 @@ pub struct HopiSnapshot {
     ranked: Option<DistanceCover>,
     tags: TagIndex,
     options: QueryOptions,
+    /// The serving epoch this snapshot was published at (see
+    /// [`SnapshotStats::epoch`]).
+    epoch: u64,
 }
 
 impl HopiSnapshot {
@@ -55,6 +83,7 @@ impl HopiSnapshot {
         distance: Option<&DistanceCover>,
         tags: &TagIndex,
         options: QueryOptions,
+        epoch: u64,
     ) -> Self {
         HopiSnapshot {
             collection: collection.clone(),
@@ -63,6 +92,7 @@ impl HopiSnapshot {
             ranked: distance.cloned(),
             tags: tags.clone(),
             options,
+            epoch,
         }
     }
 
@@ -159,6 +189,27 @@ impl HopiSnapshot {
     /// [`crate::Stats::cover_entries`] at capture time).
     pub fn cover_entries(&self) -> usize {
         self.frozen.size()
+    }
+
+    /// The serving epoch this snapshot was published at.
+    /// [`crate::OnlineHopi`] assigns strictly increasing epochs with every
+    /// published snapshot; direct [`crate::Hopi::snapshot`] captures are
+    /// epoch 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Summary of this snapshot for observability endpoints.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epoch: self.epoch,
+            documents: self.collection.doc_count(),
+            elements: self.collection.element_count(),
+            links: self.collection.links().len(),
+            nodes: self.frozen.num_nodes(),
+            cover_entries: self.frozen.size(),
+            distance_aware: self.frozen_distance.is_some(),
+        }
     }
 
     /// The query tunables captured with the snapshot.

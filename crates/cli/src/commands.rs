@@ -8,6 +8,25 @@ use hopi_xml::CollectionStats;
 use std::path::Path;
 use std::time::Instant;
 
+/// Formats an element id as `docname#local <tag>` for terminal output.
+fn describe_element(
+    collection: &hopi_xml::Collection,
+    e: hopi_xml::ElemId,
+) -> Result<String, String> {
+    let (d, local) = collection
+        .to_local(e)
+        .ok_or_else(|| format!("element {e} is not live in the collection"))?;
+    let doc = collection
+        .document(d)
+        .ok_or_else(|| format!("document {d} is not live in the collection"))?;
+    Ok(format!(
+        "{}#{} <{}>",
+        doc.name,
+        local,
+        doc.element(local).tag
+    ))
+}
+
 /// `hopi gen --kind dblp|inex --scale F --out DIR`
 pub fn generate(args: &[String]) -> Result<(), String> {
     let kind = flag_value(args, "--kind").unwrap_or_else(|| "dblp".into());
@@ -24,10 +43,12 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create '{out}': {e}"))?;
     let mut written = 0usize;
     for d in collection.doc_ids() {
-        let doc = collection.document(d).expect("live doc");
+        let doc = collection
+            .document(d)
+            .ok_or_else(|| format!("generated document {d} is not live"))?;
         let xml = collection
             .serialize_document(d)
-            .expect("live document serializes");
+            .ok_or_else(|| format!("generated document {d} does not serialize"))?;
         std::fs::write(Path::new(&out).join(format!("{}.xml", doc.name)), xml)
             .map_err(|e| format!("write failed: {e}"))?;
         written += 1;
@@ -40,7 +61,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `hopi stats --dir DIR`
+/// `hopi stats --dir DIR [--index FILE]`
 pub fn stats(args: &[String]) -> Result<(), String> {
     let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
     let collection = load_dir(&dir)?;
@@ -51,6 +72,28 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         s.elements_per_doc(),
         s.links_per_doc()
     );
+    // With an index on the side, add engine + serving-snapshot statistics
+    // (the offline view of the server's GET /stats endpoint).
+    if let Some(index_path) = flag_value(args, "--index") {
+        let hopi = Hopi::open(collection, Path::new(&index_path))
+            .map_err(|e| format!("load failed: {e}"))?;
+        let es = hopi.stats();
+        println!(
+            "index: {} cover entries ({:.2} per element){}",
+            es.cover_entries,
+            es.entries_per_element,
+            match es.distance_entries {
+                Some(d) => format!(", {d} distance entries"),
+                None => String::new(),
+            }
+        );
+        let snap = hopi.snapshot();
+        let ss = snap.stats();
+        println!(
+            "snapshot: epoch {}, {} nodes, {} cover entries, distance-aware: {}",
+            ss.epoch, ss.nodes, ss.cover_entries, ss.distance_aware
+        );
+    }
     Ok(())
 }
 
@@ -106,11 +149,94 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let result = hopi.query(&expr_src).map_err(|e| format!("{e}"))?;
     let elapsed = t.elapsed();
     for &e in &result {
-        let (d, local) = hopi.collection().to_local(e).expect("live element");
-        let doc = hopi.collection().document(d).expect("live doc");
-        println!("{}#{} <{}>", doc.name, local, doc.element(local).tag);
+        println!("{}", describe_element(hopi.collection(), e)?);
     }
     eprintln!("{} matches in {elapsed:?}", result.len());
+    Ok(())
+}
+
+/// `hopi serve --dir DIR [--index FILE] [--port N] [--threads N]
+/// [--frozen] [--distance]`
+///
+/// Serves the collection over HTTP (see `hopi-server` for the endpoint
+/// surface). Blocks until stdin reaches EOF or a `quit` line arrives —
+/// the CLI's shutdown signal — then drains in-flight requests and exits.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    use hopi_build::OnlineHopi;
+    use hopi_server::ServerConfig;
+    use std::io::BufRead;
+    use std::io::Write as _;
+
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    let port: u16 = flag_value(args, "--port")
+        .unwrap_or_else(|| "7070".into())
+        .parse()
+        .map_err(|e| format!("bad --port: {e}"))?;
+    let threads: usize = flag_value(args, "--threads")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    let frozen = args.iter().any(|a| a == "--frozen");
+    let distance = args.iter().any(|a| a == "--distance");
+
+    let collection = load_dir(&dir)?;
+    let builder = Hopi::builder().distance_aware(distance);
+    let hopi = match flag_value(args, "--index") {
+        Some(index_path) => builder
+            .open(collection, Path::new(&index_path))
+            .map_err(|e| format!("load failed: {e}"))?,
+        None => {
+            let t = Instant::now();
+            let built = builder
+                .build(collection)
+                .map_err(|e| format!("build failed: {e}"))?;
+            eprintln!(
+                "built {} cover entries in {:?} (pass --index FILE to skip this)",
+                built.report().cover_size,
+                t.elapsed()
+            );
+            built
+        }
+    };
+
+    let handle = hopi_server::serve(
+        OnlineHopi::new(hopi),
+        ServerConfig {
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+            threads,
+            read_only: frozen,
+        },
+    )
+    .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    println!("hopi-server listening on http://{}", handle.addr());
+    println!(
+        "  {} worker threads, {}; endpoints: /healthz /stats /metrics /connected \
+         /connected_many /distance /descendants /ancestors /query /documents /links \
+         /admin/rebuild /admin/save",
+        handle.state().workers,
+        if frozen {
+            "frozen (read-only)"
+        } else {
+            "read-write"
+        },
+    );
+    println!("  close stdin or type 'quit' for graceful shutdown");
+    std::io::stdout().flush().ok();
+
+    // Block on the shutdown signal: stdin EOF (the supervisor closed the
+    // pipe) or an explicit `quit` line.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+        }
+    }
+    handle.shutdown();
+    println!("shut down cleanly");
     Ok(())
 }
 

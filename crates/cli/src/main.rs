@@ -6,6 +6,7 @@
 //! hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
 //! hopi query --dir DIR --index FILE EXPR                  evaluate a path expression
 //! hopi check --dir DIR --index FILE [--samples N]         verify index vs BFS oracle
+//! hopi serve --dir DIR [--index FILE] [--port N] [--threads N] [--frozen]
 //! ```
 //!
 //! A "collection directory" is a directory of `*.xml` files; the file stem
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "build" => commands::build(rest),
         "query" => commands::query(rest),
         "check" => commands::check(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -48,11 +50,16 @@ hopi — 2-hop connection index for XML document collections (ICDE 2005)
 
 USAGE:
   hopi gen   --kind dblp|inex --scale F --out DIR   generate a sample collection
-  hopi stats --dir DIR                              collection statistics (Table 1)
+  hopi stats --dir DIR [--index FILE]               collection statistics (Table 1)
+                                                    (--index: engine + snapshot stats)
   hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
                                                     build and persist the index
                                                     (--frozen: CSR serving blob)
   hopi query --dir DIR --index FILE EXPR            evaluate a path expression,
                                                     e.g. \"//article//author\"
   hopi check --dir DIR --index FILE [--samples N]   verify the index against a
-                                                    BFS reachability oracle";
+                                                    BFS reachability oracle
+  hopi serve --dir DIR [--index FILE] [--port N] [--threads N] [--frozen] [--distance]
+                                                    serve the collection over HTTP
+                                                    (--frozen: read-only; shutdown on
+                                                    stdin EOF or a 'quit' line)";

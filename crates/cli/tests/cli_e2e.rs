@@ -66,6 +66,23 @@ fn full_workflow() {
     );
     assert!(index.exists());
 
+    // stats --index: engine + serving-snapshot statistics
+    let out = hopi()
+        .args(["stats", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cover entries"), "stats --index: {text}");
+    assert!(text.contains("snapshot: epoch 0"), "stats --index: {text}");
+
     // query
     let out = hopi()
         .args(["query", "--dir"])
@@ -99,6 +116,57 @@ fn full_workflow() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
+    std::fs::remove_dir_all(&docs).ok();
+}
+
+/// `hopi serve`: boots on a random port, answers over HTTP, and shuts
+/// down gracefully when stdin closes (exit code 0).
+#[test]
+fn serve_boots_answers_and_shuts_down_on_stdin_eof() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let docs = tempdir("serve");
+    std::fs::write(docs.join("a.xml"), r#"<r><x href="b"/></r>"#).unwrap();
+    std::fs::write(docs.join("b.xml"), "<r><sec/></r>").unwrap();
+
+    let mut child = hopi()
+        .args(["serve", "--dir"])
+        .arg(&docs)
+        .args(["--port", "0", "--threads", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn hopi serve");
+
+    // The bound address is announced on stdout once serving starts.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            stdout.read_line(&mut line).unwrap() > 0,
+            "serve exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("hopi-server listening on http://") {
+            break rest.to_string();
+        }
+    };
+
+    // One raw HTTP exchange: /healthz answers 200 with a JSON body.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to serve");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "healthz: {resp}");
+    assert!(resp.contains("\"ok\":true"), "healthz: {resp}");
+
+    // Closing stdin is the graceful-shutdown signal.
+    drop(child.stdin.take());
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status:?}");
     std::fs::remove_dir_all(&docs).ok();
 }
 

@@ -1,0 +1,110 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: integration tests,
+//! the throughput bench, and `curl`-less smoke checks.
+//!
+//! One [`Client`] owns one keep-alive connection; requests are issued
+//! sequentially and responses parsed by `Content-Length` (the only framing
+//! the server emits).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive HTTP/1.1 connection to a [`crate::serve`]d endpoint.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+/// A parsed response: status code and body text.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl Client {
+    /// Connects (1 s connect timeout, 10 s read timeout).
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, "")
+    }
+
+    /// An arbitrary request with a body.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: hopi\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        // Head: accumulate to the blank line.
+        let head_end = loop {
+            if let Some(i) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.carry[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+
+        // Body: take buffered bytes, read the rest.
+        self.carry.drain(..head_end);
+        let mut body = std::mem::take(&mut self.carry);
+        if body.len() > content_length {
+            self.carry = body.split_off(content_length);
+        }
+        while body.len() < content_length {
+            let mut chunk = [0u8; 16 * 1024];
+            let want = (content_length - body.len()).min(chunk.len());
+            let n = self.stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        Ok(ClientResponse {
+            status,
+            body: String::from_utf8_lossy(&body).to_string(),
+        })
+    }
+}

@@ -1,0 +1,453 @@
+//! A minimal HTTP/1.1 layer: blocking request parser and chunk-free
+//! response writer.
+//!
+//! Scope is exactly what the HOPI endpoints need: request line + headers +
+//! optional `Content-Length` body (no chunked uploads, no multipart),
+//! responses with a fixed `Content-Length` (no chunked encoding), and
+//! `keep-alive` by default as HTTP/1.1 specifies. Hard caps on header and
+//! body size keep a hostile peer from ballooning memory.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (documents POSTed as XML).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// How many read-timeout ticks a body read tolerates before the request
+/// is abandoned with `408` (with the server's 250 ms tick: ~10 s of
+/// cumulative client silence mid-body).
+pub const BODY_TIMEOUT_TICKS: u32 = 40;
+
+/// The request methods the router understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `DELETE`
+    Delete,
+    /// Anything else (answered with 405).
+    Other,
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// Decoded path (`/query`), percent-decoding applied.
+    pub path: String,
+    /// Decoded `key=value` query parameters, last occurrence wins.
+    pub params: HashMap<String, String>,
+    /// The body (empty when none was sent).
+    pub body: Vec<u8>,
+    /// Did the client ask to close the connection after this exchange?
+    pub close: bool,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// A required `u32` query parameter (element/document ids).
+    pub fn param_u32(&self, name: &str) -> Result<u32, String> {
+        let raw = self
+            .param(name)
+            .ok_or_else(|| format!("missing query parameter '{name}'"))?;
+        raw.parse()
+            .map_err(|_| format!("query parameter '{name}' is not a valid id: '{raw}'"))
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_string())
+    }
+}
+
+/// Why reading a request failed. `BadRequest`-class errors get a 4xx
+/// response before the connection closes; I/O errors just close.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// Transport error or timeout.
+    Io(io::Error),
+    /// Malformed request — respond with this status and message.
+    Bad {
+        /// HTTP status to answer with (400, 405, 413, …).
+        status: u16,
+        /// Human-readable reason for the error body.
+        msg: String,
+    },
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+fn bad(status: u16, msg: impl Into<String>) -> RecvError {
+    RecvError::Bad {
+        status,
+        msg: msg.into(),
+    }
+}
+
+/// Reads one request from `stream`. Blocking; respects the stream's read
+/// timeout (timeouts surface as `RecvError::Io`).
+pub fn read_request(stream: &mut impl Read, carry: &mut Vec<u8>) -> Result<Request, RecvError> {
+    // 1. Accumulate bytes until the blank line ends the head. `carry`
+    // holds bytes read past the previous request on a keep-alive
+    // connection.
+    let head_end = loop {
+        if let Some(end) = find_head_end(carry) {
+            break end;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(bad(431, "request head too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if carry.is_empty() {
+                return Err(RecvError::Eof);
+            }
+            return Err(bad(400, "connection closed mid-request"));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&carry[..head_end])
+        .map_err(|_| bad(400, "request head is not valid UTF-8"))?
+        .to_string();
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+
+    // 2. Request line.
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method_raw, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(bad(
+                400,
+                format!("malformed request line: '{request_line}'"),
+            ))
+        }
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(bad(505, format!("unsupported version '{version}'")));
+    }
+    let method = match method_raw {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "DELETE" => Method::Delete,
+        _ => Method::Other,
+    };
+
+    // 3. Headers (we only interpret Content-Length and Connection).
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, format!("malformed header line: '{line}'")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| bad(400, format!("bad Content-Length: '{value}'")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad(501, "chunked request bodies are not supported"));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(413, "request body too large"));
+    }
+
+    // 4. Body: take what is already buffered, read the rest. Read
+    // timeouts are retried here (up to [`BODY_TIMEOUT_TICKS`]) rather than
+    // propagated: the head is already consumed from `carry`, so bailing
+    // out mid-body would desync the connection's framing.
+    carry.drain(..head_end);
+    let mut body = std::mem::take(carry);
+    if body.len() > content_length {
+        *carry = body.split_off(content_length);
+    }
+    let mut timeouts = 0u32;
+    while body.len() < content_length {
+        let mut chunk = [0u8; 16 * 1024];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = match stream.read(&mut chunk[..want]) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                timeouts += 1;
+                if timeouts > BODY_TIMEOUT_TICKS {
+                    return Err(bad(408, "timed out reading request body"));
+                }
+                continue;
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        };
+        if n == 0 {
+            return Err(bad(400, "connection closed mid-body"));
+        }
+        timeouts = 0;
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    // 5. Split the target into path + query and percent-decode both.
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or_else(|| bad(400, "bad percent-encoding in path"))?;
+    let mut params = HashMap::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k).ok_or_else(|| bad(400, "bad percent-encoding in query"))?;
+            let v = percent_decode(v).ok_or_else(|| bad(400, "bad percent-encoding in query"))?;
+            params.insert(k, v);
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        params,
+        body,
+        close,
+    })
+}
+
+/// Index just past the `\r\n\r\n` (or lenient `\n\n`) ending the head.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Decodes `%XX` escapes and `+`-for-space. `None` on truncated or
+/// non-hex escapes or invalid UTF-8.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// One response: status + JSON (or plain-text) body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` to advertise.
+    pub content_type: &'static str,
+    /// The complete body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A JSON error response with the given status.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: crate::json::error_body(msg),
+        }
+    }
+
+    /// A `200 OK` plain-text response (the `/metrics` exposition).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
+
+/// The reason phrase of the statuses this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` (fixed `Content-Length`, never chunked). `close` echoes
+/// the connection disposition so clients see what the server will do.
+pub fn write_response(stream: &mut impl Write, resp: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_one(raw: &str) -> Result<Request, RecvError> {
+        let mut carry = Vec::new();
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut carry)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse_one("GET /query?expr=%2F%2Fa%2F%2Fb&k=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("valid request");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.param("expr"), Some("//a//b"));
+        assert_eq!(req.param_u32("k"), Ok(5));
+        assert!(!req.close);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelined_next_request() {
+        let raw = "POST /links HTTP/1.1\r\nContent-Length: 17\r\n\r\n{\"from\":1,\"to\":2}GET /healthz HTTP/1.1\r\n\r\n";
+        let mut carry = Vec::new();
+        let mut cursor = Cursor::new(raw.as_bytes().to_vec());
+        let req = read_request(&mut cursor, &mut carry).expect("first request");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body_str().unwrap(), r#"{"from":1,"to":2}"#);
+        // The second request was buffered into `carry` and parses next.
+        let req2 = read_request(&mut cursor, &mut carry).expect("second request");
+        assert_eq!(req2.path, "/healthz");
+    }
+
+    #[test]
+    fn malformed_requests_are_4xx() {
+        for (raw, want) in [
+            ("NONSENSE\r\n\r\n", 400),
+            ("GET /x HTTP/2\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nContent-Length: zork\r\n\r\n", 400),
+            ("GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            ("GET /%zz HTTP/1.1\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+                413,
+            ),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ] {
+            match parse_one(raw) {
+                Err(RecvError::Bad { status, .. }) => assert_eq!(status, want, "{raw:?}"),
+                other => panic!("{raw:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_and_truncation() {
+        assert!(matches!(parse_one(""), Err(RecvError::Eof)));
+        assert!(matches!(
+            parse_one("GET /x HTTP/1.1\r\nContent-"),
+            Err(RecvError::Bad { status: 400, .. })
+        ));
+        assert!(matches!(
+            parse_one("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(RecvError::Bad { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let req = parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse_one("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b%20c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("%2F%2Fsec").as_deref(), Some("//sec"));
+        assert_eq!(percent_decode("%"), None);
+        assert_eq!(percent_decode("%g0"), None);
+        assert_eq!(percent_decode("%ff"), None); // invalid UTF-8
+    }
+
+    #[test]
+    fn response_writing() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json("{\"ok\":true}".into()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

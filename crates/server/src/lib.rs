@@ -1,0 +1,70 @@
+//! # hopi-server — a std-only HTTP serving subsystem over snapshot epochs
+//!
+//! The HOPI paper (§1.1) positions the index as the reachability backbone
+//! of an intranet/XML search service under heavy concurrent load. This
+//! crate is that network surface: a dependency-free HTTP/1.1 server that
+//! wraps [`hopi_build::OnlineHopi`] behind a fixed-size worker thread
+//! pool. Every read request is answered from an immutable
+//! [`hopi_build::HopiSnapshot`] — workers never take the engine lock, so
+//! point probes, batched probes, and path queries scale with reader
+//! threads exactly as the in-process snapshot layer does. Mutations go
+//! through the engine's write path and publish a fresh snapshot epoch
+//! before the response is written, so a client that sees a mutation
+//! acknowledged will observe its effects on every later read.
+//!
+//! Everything is hand-rolled on `std` only (the workspace vendors no
+//! tokio/hyper/serde): the request parser and chunk-free response writer
+//! live in [`http`], the JSON encoder/decoder in [`json`], routing in
+//! [`router`], per-endpoint latency/QPS counters in [`metrics`], and the
+//! accept/worker/shutdown machinery in [`server`].
+//!
+//! ## Endpoints
+//!
+//! | endpoint | answers |
+//! |---|---|
+//! | `GET /connected?u=&v=` | reachability probe |
+//! | `POST /connected_many` | batched probes, one epoch |
+//! | `GET /distance?u=&v=` | shortest link distance |
+//! | `GET /descendants?u=` / `GET /ancestors?u=` | reachable sets |
+//! | `GET /query?expr=&ranked=&k=` | path expressions (incl. ranked top-k) |
+//! | `POST /documents?name=` | insert an XML document |
+//! | `DELETE /documents/{id}` | delete a document |
+//! | `POST /links` / `DELETE /links` | link maintenance |
+//! | `GET /healthz` / `GET /stats` / `GET /metrics` | observability |
+//! | `POST /admin/rebuild` / `POST /admin/save` | admin |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hopi_build::{Hopi, OnlineHopi};
+//! use hopi_server::{serve, Client, ServerConfig};
+//!
+//! let online = OnlineHopi::new(Hopi::builder().parse([
+//!     ("a", r#"<r><cite xlink:href="b"/></r>"#),
+//!     ("b", "<r><sec/></r>"),
+//! ])?);
+//! let handle = serve(online, ServerConfig {
+//!     addr: "127.0.0.1:0".parse().unwrap(),
+//!     ..ServerConfig::default()
+//! })?;
+//!
+//! let mut client = Client::connect(handle.addr())?;
+//! let resp = client.get("/connected?u=0&v=3")?;
+//! assert_eq!(resp.status, 200);
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use router::AppState;
+pub use server::{serve, ServerConfig, ServerHandle, ShutdownTrigger};

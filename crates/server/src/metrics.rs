@@ -1,0 +1,242 @@
+//! Per-endpoint serving counters, exposed at `GET /metrics`.
+//!
+//! Every handled request bumps one [`EndpointMetrics`] cell: request count,
+//! error count (any non-2xx status), and summed latency in microseconds —
+//! enough to derive QPS and mean latency from two scrapes. Counters are
+//! plain relaxed atomics: scrapes may be a hair stale but never torn, and
+//! the hot path pays two `fetch_add`s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The fixed endpoint universe (one counter cell each; unknown paths land
+/// in `Other`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /stats`
+    Stats,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /connected`
+    Connected,
+    /// `POST /connected_many`
+    ConnectedMany,
+    /// `GET /distance`
+    Distance,
+    /// `GET /descendants`
+    Descendants,
+    /// `GET /ancestors`
+    Ancestors,
+    /// `GET /query`
+    Query,
+    /// `POST /documents`
+    InsertDocument,
+    /// `DELETE /documents/{id}`
+    DeleteDocument,
+    /// `POST /links`
+    InsertLink,
+    /// `DELETE /links`
+    DeleteLink,
+    /// `POST /admin/rebuild`
+    AdminRebuild,
+    /// `POST /admin/save`
+    AdminSave,
+    /// Anything else (404s, bad methods, parse failures).
+    Other,
+}
+
+/// All endpoints, in `/metrics` exposition order.
+pub const ALL_ENDPOINTS: [Endpoint; 16] = [
+    Endpoint::Healthz,
+    Endpoint::Stats,
+    Endpoint::Metrics,
+    Endpoint::Connected,
+    Endpoint::ConnectedMany,
+    Endpoint::Distance,
+    Endpoint::Descendants,
+    Endpoint::Ancestors,
+    Endpoint::Query,
+    Endpoint::InsertDocument,
+    Endpoint::DeleteDocument,
+    Endpoint::InsertLink,
+    Endpoint::DeleteLink,
+    Endpoint::AdminRebuild,
+    Endpoint::AdminSave,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// The label used in the `/metrics` exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Connected => "connected",
+            Endpoint::ConnectedMany => "connected_many",
+            Endpoint::Distance => "distance",
+            Endpoint::Descendants => "descendants",
+            Endpoint::Ancestors => "ancestors",
+            Endpoint::Query => "query",
+            Endpoint::InsertDocument => "insert_document",
+            Endpoint::DeleteDocument => "delete_document",
+            Endpoint::InsertLink => "insert_link",
+            Endpoint::DeleteLink => "delete_link",
+            Endpoint::AdminRebuild => "admin_rebuild",
+            Endpoint::AdminSave => "admin_save",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ALL_ENDPOINTS
+            .iter()
+            .position(|&e| e == self)
+            .expect("endpoint is in ALL_ENDPOINTS")
+    }
+}
+
+/// One endpoint's counters.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests handled.
+    pub requests: AtomicU64,
+    /// Requests answered with a non-2xx status.
+    pub errors: AtomicU64,
+    /// Summed handling latency, microseconds.
+    pub micros: AtomicU64,
+}
+
+/// The server-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    cells: [EndpointMetrics; ALL_ENDPOINTS.len()],
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let cell = &self.cells[endpoint.index()];
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+        if !(200..300).contains(&status) {
+            cell.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.micros.fetch_add(
+            elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// One endpoint's counters.
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointMetrics {
+        &self.cells[endpoint.index()]
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the Prometheus-style text exposition served at `/metrics`.
+    /// `epoch` and `uptime` come from the server (gauges alongside the
+    /// counters).
+    pub fn render(&self, epoch: u64, uptime: Duration, workers: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# TYPE hopi_requests_total counter\n");
+        for e in ALL_ENDPOINTS {
+            let c = self.endpoint(e);
+            out.push_str(&format!(
+                "hopi_requests_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                c.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE hopi_request_errors_total counter\n");
+        for e in ALL_ENDPOINTS {
+            let c = self.endpoint(e);
+            out.push_str(&format!(
+                "hopi_request_errors_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                c.errors.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE hopi_request_micros_total counter\n");
+        for e in ALL_ENDPOINTS {
+            let c = self.endpoint(e);
+            out.push_str(&format!(
+                "hopi_request_micros_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                c.micros.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE hopi_connections_total counter\n");
+        out.push_str(&format!(
+            "hopi_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE hopi_snapshot_epoch gauge\n");
+        out.push_str(&format!("hopi_snapshot_epoch {epoch}\n"));
+        out.push_str("# TYPE hopi_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "hopi_uptime_seconds {:.3}\n",
+            uptime.as_secs_f64()
+        ));
+        out.push_str("# TYPE hopi_worker_threads gauge\n");
+        out.push_str(&format!("hopi_worker_threads {workers}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let m = Metrics::new();
+        m.record(Endpoint::Connected, 200, Duration::from_micros(120));
+        m.record(Endpoint::Connected, 200, Duration::from_micros(80));
+        m.record(Endpoint::Query, 400, Duration::from_micros(10));
+        assert_eq!(
+            m.endpoint(Endpoint::Connected)
+                .requests
+                .load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(
+            m.endpoint(Endpoint::Connected)
+                .errors
+                .load(Ordering::Relaxed),
+            0
+        );
+        assert_eq!(
+            m.endpoint(Endpoint::Connected)
+                .micros
+                .load(Ordering::Relaxed),
+            200
+        );
+        assert_eq!(
+            m.endpoint(Endpoint::Query).errors.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(m.total_requests(), 3);
+
+        let text = m.render(7, Duration::from_secs(2), 4);
+        assert!(text.contains("hopi_requests_total{endpoint=\"connected\"} 2"));
+        assert!(text.contains("hopi_request_errors_total{endpoint=\"query\"} 1"));
+        assert!(text.contains("hopi_snapshot_epoch 7"));
+        assert!(text.contains("hopi_worker_threads 4"));
+    }
+}

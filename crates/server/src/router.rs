@@ -1,0 +1,460 @@
+//! Request routing: maps parsed HTTP requests onto the [`OnlineHopi`]
+//! engine and renders JSON responses.
+//!
+//! Every read endpoint captures **one** snapshot up front and answers
+//! entirely from it, reporting that snapshot's epoch alongside the result —
+//! a response can never mix two epochs, and clients can correlate answers
+//! with `/stats`. Mutation endpoints go through the engine's write path and
+//! report the epoch of the snapshot published by the mutation.
+
+use crate::http::{Method, Request, Response};
+use crate::json::{self, Json, JsonWriter};
+use crate::metrics::Endpoint;
+use hopi_build::{HopiError, OnlineHopi};
+use std::time::Instant;
+
+/// Cap on `POST /connected_many` batch size (per request).
+pub const MAX_PROBE_BATCH: usize = 65_536;
+
+/// Everything a handler can reach: the engine plus serving-mode and
+/// observability state.
+pub struct AppState {
+    /// The served engine.
+    pub engine: OnlineHopi,
+    /// Frozen serving: mutation and rebuild endpoints answer 403.
+    pub read_only: bool,
+    /// Per-endpoint counters (rendered at `/metrics`).
+    pub metrics: crate::metrics::Metrics,
+    /// Server start time (uptime gauge).
+    pub started: Instant,
+    /// Worker-pool size (gauge).
+    pub workers: usize,
+}
+
+/// Routes one request. Returns the endpoint cell to account it under and
+/// the response to write.
+pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
+    let path = req.path.as_str();
+    match (req.method, path) {
+        (Method::Get, "/healthz") => (Endpoint::Healthz, healthz(state)),
+        (Method::Get, "/stats") => (Endpoint::Stats, stats(state)),
+        (Method::Get, "/metrics") => (Endpoint::Metrics, metrics(state)),
+        (Method::Get, "/connected") => (Endpoint::Connected, connected(state, req)),
+        (Method::Post, "/connected_many") => (Endpoint::ConnectedMany, connected_many(state, req)),
+        (Method::Get, "/distance") => (Endpoint::Distance, distance(state, req)),
+        (Method::Get, "/descendants") => (Endpoint::Descendants, neighborhood(state, req, false)),
+        (Method::Get, "/ancestors") => (Endpoint::Ancestors, neighborhood(state, req, true)),
+        (Method::Get, "/query") => (Endpoint::Query, query(state, req)),
+        (Method::Post, "/documents") => (Endpoint::InsertDocument, insert_document(state, req)),
+        (Method::Delete, p) if p.strip_prefix("/documents/").is_some() => {
+            (Endpoint::DeleteDocument, delete_document(state, req))
+        }
+        (Method::Post, "/links") => (Endpoint::InsertLink, insert_link(state, req)),
+        (Method::Delete, "/links") => (Endpoint::DeleteLink, delete_link(state, req)),
+        (Method::Post, "/admin/rebuild") => (Endpoint::AdminRebuild, admin_rebuild(state)),
+        (Method::Post, "/admin/save") => (Endpoint::AdminSave, admin_save(state, req)),
+        // Known paths with the wrong method get a 405, unknown paths 404.
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/connected" | "/connected_many" | "/distance"
+            | "/descendants" | "/ancestors" | "/query" | "/documents" | "/links" | "/admin/rebuild"
+            | "/admin/save",
+        ) => (
+            Endpoint::Other,
+            Response::error(405, &format!("method not allowed on {path}")),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::error(404, &format!("no such endpoint: {path}")),
+        ),
+    }
+}
+
+/// Maps engine errors onto HTTP statuses.
+fn status_of(e: &HopiError) -> u16 {
+    match e {
+        HopiError::Xml(_)
+        | HopiError::Path(_)
+        | HopiError::InvalidLocalElement { .. }
+        | HopiError::SameDocumentLink { .. } => 400,
+        HopiError::UnknownDocument(_)
+        | HopiError::UnknownElement(_)
+        | HopiError::UnknownLink { .. }
+        | HopiError::UnresolvedRef { .. } => 404,
+        HopiError::DuplicateDocumentName(_) | HopiError::DistanceDisabled => 409,
+        _ => 500,
+    }
+}
+
+fn engine_error(e: &HopiError) -> Response {
+    Response::error(status_of(e), &e.to_string())
+}
+
+/// Rejects mutations in `--frozen` serving mode.
+fn frozen_guard(state: &AppState) -> Option<Response> {
+    state.read_only.then(|| {
+        Response::error(
+            403,
+            "server is running in frozen (read-only) mode; mutations are disabled",
+        )
+    })
+}
+
+fn healthz(state: &AppState) -> Response {
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_bool("ok", true);
+    w.field_u64("epoch", state.engine.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn stats(state: &AppState) -> Response {
+    let s = state.engine.snapshot_stats();
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_u64("epoch", s.epoch);
+    w.field_u64("documents", s.documents as u64);
+    w.field_u64("elements", s.elements as u64);
+    w.field_u64("links", s.links as u64);
+    w.field_u64("nodes", s.nodes as u64);
+    w.field_u64("cover_entries", s.cover_entries as u64);
+    w.field_f64(
+        "entries_per_element",
+        s.cover_entries as f64 / s.elements.max(1) as f64,
+    );
+    w.field_bool("distance_aware", s.distance_aware);
+    w.field_bool("read_only", state.read_only);
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn metrics(state: &AppState) -> Response {
+    Response::text(state.metrics.render(
+        state.engine.epoch(),
+        state.started.elapsed(),
+        state.workers,
+    ))
+}
+
+fn connected(state: &AppState, req: &Request) -> Response {
+    let (u, v) = match (req.param_u32("u"), req.param_u32("v")) {
+        (Ok(u), Ok(v)) => (u, v),
+        (Err(e), _) | (_, Err(e)) => return Response::error(400, &e),
+    };
+    let snap = state.engine.snapshot();
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_bool("connected", snap.connected(u, v));
+    w.field_u64("epoch", snap.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn connected_many(state: &AppState, req: &Request) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(raw_pairs) = parsed.get("pairs").and_then(Json::as_arr) else {
+        return Response::error(400, "body must be {\"pairs\": [[u, v], ...]}");
+    };
+    if raw_pairs.len() > MAX_PROBE_BATCH {
+        return Response::error(
+            400,
+            &format!(
+                "batch of {} exceeds the cap of {MAX_PROBE_BATCH}",
+                raw_pairs.len()
+            ),
+        );
+    }
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for (i, p) in raw_pairs.iter().enumerate() {
+        let pair = p
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .and_then(|a| Some((a[0].as_u32()?, a[1].as_u32()?)));
+        match pair {
+            Some(uv) => pairs.push(uv),
+            None => return Response::error(400, &format!("pairs[{i}] is not a [u, v] id pair")),
+        }
+    }
+    // One snapshot, one batched kernel run — all answers on one epoch.
+    let snap = state.engine.snapshot();
+    let mut out = Vec::new();
+    snap.connected_many(&pairs, &mut out);
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_arr("results");
+    for b in &out {
+        w.item_bool(*b);
+    }
+    w.close_arr();
+    w.field_u64("count", out.len() as u64);
+    w.field_u64("epoch", snap.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn distance(state: &AppState, req: &Request) -> Response {
+    let (u, v) = match (req.param_u32("u"), req.param_u32("v")) {
+        (Ok(u), Ok(v)) => (u, v),
+        (Err(e), _) | (_, Err(e)) => return Response::error(400, &e),
+    };
+    let snap = state.engine.snapshot();
+    match snap.distance(u, v) {
+        Ok(d) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_opt_u64("distance", d.map(u64::from));
+            w.field_u64("epoch", snap.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn neighborhood(state: &AppState, req: &Request, ancestors: bool) -> Response {
+    let u = match req.param_u32("u") {
+        Ok(u) => u,
+        Err(e) => return Response::error(400, &e),
+    };
+    let snap = state.engine.snapshot();
+    let elements = if ancestors {
+        snap.ancestors(u)
+    } else {
+        snap.descendants(u)
+    };
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_arr("elements");
+    for &e in &elements {
+        w.item_u64(u64::from(e));
+    }
+    w.close_arr();
+    w.field_u64("count", elements.len() as u64);
+    w.field_u64("epoch", snap.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn query(state: &AppState, req: &Request) -> Response {
+    let Some(expr) = req.param("expr") else {
+        return Response::error(400, "missing query parameter 'expr'");
+    };
+    let ranked = req.param("ranked") == Some("true");
+    let k = match req.param("k") {
+        None => None,
+        Some(_) => match req.param_u32("k") {
+            Ok(k) => Some(k as usize),
+            Err(e) => return Response::error(400, &e),
+        },
+    };
+    let snap = state.engine.snapshot();
+    let mut w = JsonWriter::new();
+    if ranked {
+        let mut matches = match snap.query_ranked(expr) {
+            Ok(m) => m,
+            Err(e) => return engine_error(&e),
+        };
+        if let Some(k) = k {
+            matches.truncate(k);
+        }
+        w.obj();
+        w.field_arr("matches");
+        for m in &matches {
+            w.obj();
+            w.field_u64("element", u64::from(m.element));
+            w.field_u64("distance", u64::from(m.distance));
+            w.field_f64("score", m.score());
+            w.close_obj();
+        }
+        w.close_arr();
+        w.field_u64("count", matches.len() as u64);
+    } else {
+        let mut matches = match snap.query(expr) {
+            Ok(m) => m,
+            Err(e) => return engine_error(&e),
+        };
+        if let Some(k) = k {
+            matches.truncate(k);
+        }
+        w.obj();
+        w.field_arr("matches");
+        for &e in &matches {
+            w.item_u64(u64::from(e));
+        }
+        w.close_arr();
+        w.field_u64("count", matches.len() as u64);
+    }
+    w.field_u64("epoch", snap.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn insert_document(state: &AppState, req: &Request) -> Response {
+    if let Some(resp) = frozen_guard(state) {
+        return resp;
+    }
+    let Some(name) = req.param("name") else {
+        return Response::error(400, "missing query parameter 'name' (the document name)");
+    };
+    let xml = match req.body_str() {
+        Ok(b) if !b.trim().is_empty() => b,
+        Ok(_) => return Response::error(400, "empty body; POST the document XML"),
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.engine.insert_xml(name, xml) {
+        Ok(doc) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_u64("doc", u64::from(doc));
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn delete_document(state: &AppState, req: &Request) -> Response {
+    if let Some(resp) = frozen_guard(state) {
+        return resp;
+    }
+    let raw = req.path.strip_prefix("/documents/").unwrap_or_default();
+    let Ok(doc) = raw.parse::<u32>() else {
+        return Response::error(400, &format!("'{raw}' is not a document id"));
+    };
+    match state.engine.delete_document(doc) {
+        Ok(outcome) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_u64("deleted", u64::from(doc));
+            w.field_str("algorithm", &format!("{:?}", outcome.algorithm));
+            w.field_u64("entries_removed", outcome.entries_removed as u64);
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// Extracts `{"from": u, "to": v}` from a link-mutation body, falling back
+/// to `?from=&to=` query parameters.
+fn link_endpoints(req: &Request) -> Result<(u32, u32), String> {
+    if !req.body.is_empty() {
+        let parsed = json::parse(req.body_str()?).map_err(|e| e.to_string())?;
+        let from = parsed
+            .get("from")
+            .and_then(Json::as_u32)
+            .ok_or("body needs a numeric 'from' element id")?;
+        let to = parsed
+            .get("to")
+            .and_then(Json::as_u32)
+            .ok_or("body needs a numeric 'to' element id")?;
+        Ok((from, to))
+    } else {
+        Ok((req.param_u32("from")?, req.param_u32("to")?))
+    }
+}
+
+fn insert_link(state: &AppState, req: &Request) -> Response {
+    if let Some(resp) = frozen_guard(state) {
+        return resp;
+    }
+    let (from, to) = match link_endpoints(req) {
+        Ok(ft) => ft,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.engine.insert_link(from, to) {
+        Ok(added) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_u64("added_entries", added as u64);
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn delete_link(state: &AppState, req: &Request) -> Response {
+    if let Some(resp) = frozen_guard(state) {
+        return resp;
+    }
+    let (from, to) = match link_endpoints(req) {
+        Ok(ft) => ft,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.engine.delete_link(from, to) {
+        Ok(outcome) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_str("algorithm", &format!("{:?}", outcome.algorithm));
+            w.field_u64("entries_removed", outcome.entries_removed as u64);
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn admin_rebuild(state: &AppState) -> Response {
+    if let Some(resp) = frozen_guard(state) {
+        return resp;
+    }
+    // Synchronous: the caller wants the fresh build's report. Queries keep
+    // being served from the old epoch for the whole build (the engine
+    // builds outside its lock), so only this one worker is occupied.
+    let report = state.engine.rebuild_blocking();
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_u64("partitions", report.partitions as u64);
+    w.field_u64("cover_entries", report.cover_size as u64);
+    w.field_u64("total_ms", report.total_ms);
+    w.field_u64("epoch", state.engine.epoch());
+    w.close_obj();
+    Response::json(w.finish())
+}
+
+fn admin_save(state: &AppState, req: &Request) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(path) = parsed.get("path").and_then(Json::as_str) else {
+        return Response::error(400, "body must be {\"path\": \"...\", \"frozen\": bool?}");
+    };
+    let frozen = parsed.get("frozen").and_then(Json::as_bool).unwrap_or(true);
+    let saved = state.engine.read(|h| {
+        if frozen {
+            h.save_frozen(std::path::Path::new(path))
+        } else {
+            h.save(std::path::Path::new(path))
+        }
+    });
+    match saved {
+        Ok(()) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_str("saved", path);
+            w.field_bool("frozen", frozen);
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
+}

@@ -1,0 +1,316 @@
+//! The serving loop: a [`std::net::TcpListener`] acceptor feeding a
+//! fixed-size worker thread pool, with graceful shutdown.
+//!
+//! Concurrency model — one worker per in-flight connection:
+//!
+//! * the **acceptor** thread accepts sockets and hands them to the pool
+//!   over an `mpsc` channel;
+//! * each **worker** owns one connection at a time and serves its
+//!   keep-alive request loop to completion (reads run lock-free on
+//!   snapshot epochs, so workers never contend with each other);
+//! * **shutdown** flips an atomic flag and wakes the acceptor with a
+//!   loopback connection (the std-only stand-in for a signal pipe);
+//!   workers finish the request in flight, then close. Idle keep-alive
+//!   connections notice within one read-timeout tick.
+
+use crate::http::{read_request, write_response, RecvError, Response};
+use crate::metrics::Endpoint;
+use crate::router::{route, AppState};
+use hopi_build::OnlineHopi;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on an idle keep-alive connection before
+/// re-checking the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// Idle keep-alive connections are closed after this long without a
+/// request, so parked clients cannot pin workers forever (each worker
+/// owns one connection at a time).
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+
+/// A request whose *head* dribbles in slower than this is abandoned with
+/// `408` (slow-loris guard; the body phase has its own deadline, see
+/// [`crate::http::BODY_TIMEOUT_TICKS`]).
+const HEAD_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Server configuration (see [`serve`]).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (port 0 picks a free port — the bound address is on
+    /// the returned handle).
+    pub addr: SocketAddr,
+    /// Worker threads (= max concurrently served connections). `0` means
+    /// one per available CPU, capped at 16.
+    pub threads: usize,
+    /// Frozen serving: mutation endpoints answer 403; reads and admin
+    /// save/metrics stay available.
+    pub read_only: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7070)),
+            threads: 0,
+            read_only: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Resolved worker count.
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get().min(16))
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// A cloneable trigger that initiates graceful shutdown from anywhere (a
+/// signal watcher, another thread, a test).
+#[derive(Clone, Debug)]
+pub struct ShutdownTrigger {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownTrigger {
+    /// Flips the stop flag and wakes the blocked acceptor with a loopback
+    /// connection. Idempotent.
+    pub fn trigger(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake `accept()`. A bind to an unspecified address (0.0.0.0/::)
+        // is not connectable, so the wake-up targets loopback on the same
+        // port. If the connect fails the acceptor is already gone, which
+        // is exactly the state we want.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+}
+
+/// A running server: the bound address, its shared state, and the join
+/// handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    trigger: ShutdownTrigger,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (metrics inspection, engine access).
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// A cloneable shutdown trigger for signal watchers.
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        self.trigger.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, finish requests in flight, join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.trigger.trigger();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds, spawns the worker pool and the acceptor, and returns immediately
+/// with a handle. The engine keeps serving its current snapshot epoch; no
+/// build or copy happens here.
+pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.worker_count();
+    let state = Arc::new(AppState {
+        engine,
+        read_only: config.read_only,
+        metrics: crate::metrics::Metrics::new(),
+        started: Instant::now(),
+        workers,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let trigger = ShutdownTrigger {
+        stop: stop.clone(),
+        addr,
+    };
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let rx = rx.clone();
+            let state = state.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name(format!("hopi-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &state, &stop))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = stop.clone();
+        let state = state.clone();
+        std::thread::Builder::new()
+            .name("hopi-acceptor".into())
+            .spawn(move || accept_loop(&listener, &tx, &state, &stop))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        trigger,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+/// Accepts until the stop flag flips; `tx` drops on exit, which drains the
+/// worker pool.
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &mpsc::Sender<TcpStream>,
+    state: &Arc<AppState>,
+    stop: &AtomicBool,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client); drop it.
+                    return;
+                }
+                state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(IDLE_TICK));
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Pulls connections off the queue until the channel closes (sender
+/// dropped by the acceptor on shutdown).
+fn worker_loop(
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    state: &Arc<AppState>,
+    stop: &AtomicBool,
+) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let next = { rx.lock().expect("queue lock").recv() };
+        match next {
+            Ok(stream) => serve_connection(stream, state, stop),
+            Err(_) => return,
+        }
+    }
+}
+
+/// One connection's keep-alive request loop.
+fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>, stop: &AtomicBool) {
+    let mut carry: Vec<u8> = Vec::new();
+    // Time since the last completed request (or connect): bounds both
+    // keep-alive idling and dribbled request heads.
+    let mut waiting_since = Instant::now();
+    loop {
+        match read_request(&mut stream, &mut carry) {
+            Ok(req) => {
+                let t0 = Instant::now();
+                let (endpoint, resp) = route(state, &req);
+                // Finish the exchange even mid-shutdown; then close.
+                let close = req.close || stop.load(Ordering::SeqCst);
+                state.metrics.record(endpoint, resp.status, t0.elapsed());
+                if write_response(&mut stream, &resp, close).is_err() || close {
+                    return;
+                }
+                waiting_since = Instant::now();
+            }
+            Err(RecvError::Eof) => return,
+            Err(RecvError::Bad { status, msg }) => {
+                // Protocol violation: answer once, then drop the
+                // connection (its framing can no longer be trusted).
+                let resp = Response::error(status, &msg);
+                state
+                    .metrics
+                    .record(Endpoint::Other, status, Duration::ZERO);
+                let _ = write_response(&mut stream, &resp, true);
+                return;
+            }
+            Err(RecvError::Io(e)) => {
+                let timed_out = matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                );
+                if !timed_out || stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Read-timeout tick. Partial head bytes stay in `carry`,
+                // so waiting more is safe — but both waits are bounded: a
+                // dribbling head gets 408, and a parked idle connection
+                // is closed so it stops pinning this worker.
+                if carry.is_empty() {
+                    if waiting_since.elapsed() >= KEEP_ALIVE_IDLE {
+                        return;
+                    }
+                } else if waiting_since.elapsed() >= HEAD_DEADLINE {
+                    let resp = Response::error(408, "timed out reading request head");
+                    state.metrics.record(Endpoint::Other, 408, Duration::ZERO);
+                    let _ = write_response(&mut stream, &resp, true);
+                    return;
+                }
+            }
+        }
+    }
+}

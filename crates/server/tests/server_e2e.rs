@@ -1,0 +1,397 @@
+//! Loopback integration tests: the full endpoint surface, mutation →
+//! fresh-epoch visibility, malformed-request 4xx paths, frozen mode,
+//! graceful shutdown, and concurrent readers during writes/rebuilds.
+
+use hopi_build::{Hopi, OnlineHopi};
+use hopi_server::json::{parse, Json};
+use hopi_server::{serve, Client, ServerConfig};
+use std::net::SocketAddr;
+
+fn loopback() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// Two linked documents; `a`'s root (id 0) reaches `b`'s `<sec>` (id 3).
+fn small_engine(distance_aware: bool) -> OnlineHopi {
+    OnlineHopi::new(
+        Hopi::builder()
+            .distance_aware(distance_aware)
+            .parse([
+                ("a", r#"<r><cite xlink:href="b"/></r>"#),
+                ("b", "<r><sec/></r>"),
+            ])
+            .expect("valid fixture"),
+    )
+}
+
+fn serve_small(distance_aware: bool, read_only: bool) -> hopi_server::ServerHandle {
+    serve(
+        small_engine(distance_aware),
+        ServerConfig {
+            addr: loopback(),
+            threads: 4,
+            read_only,
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn get_json(client: &mut Client, path: &str) -> Json {
+    let resp = client.get(path).expect("request");
+    assert_eq!(resp.status, 200, "GET {path} -> {}", resp.body);
+    parse(&resp.body).expect("valid JSON body")
+}
+
+fn epoch_of(v: &Json) -> u64 {
+    v.get("epoch").and_then(Json::as_u64).expect("epoch field")
+}
+
+#[test]
+fn read_endpoints_answer_from_one_snapshot() {
+    let handle = serve_small(true, false);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let health = get_json(&mut c, "/healthz");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+
+    let stats = get_json(&mut c, "/stats");
+    assert_eq!(stats.get("documents").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.get("elements").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("links").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats.get("distance_aware").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(stats.get("cover_entries").and_then(Json::as_u64).unwrap() > 0);
+
+    // a's root (0) reaches b's sec (3) across the citation link.
+    let conn = get_json(&mut c, "/connected?u=0&v=3");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(true));
+    let conn = get_json(&mut c, "/connected?u=3&v=0");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(false));
+
+    let dist = get_json(&mut c, "/distance?u=0&v=3");
+    assert!(dist.get("distance").and_then(Json::as_u64).is_some());
+
+    let desc = get_json(&mut c, "/descendants?u=0");
+    let elements = desc.get("elements").and_then(Json::as_arr).unwrap();
+    assert_eq!(elements.len(), 4, "a's root reaches everything");
+    let anc = get_json(&mut c, "/ancestors?u=3");
+    assert_eq!(anc.get("count").and_then(Json::as_u64), Some(4));
+
+    // Path query, percent-encoded, plain and ranked.
+    let q = get_json(&mut c, "/query?expr=%2F%2Fr%2F%2Fsec");
+    assert_eq!(q.get("matches").and_then(Json::as_arr).unwrap().len(), 1);
+    let ranked = get_json(&mut c, "/query?expr=%2F%2Fr%2F%2Fsec&ranked=true&k=1");
+    let m = &ranked.get("matches").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(m.get("element").and_then(Json::as_u64), Some(3));
+    assert!(m.get("score").is_some());
+
+    // Batched probes answer on one epoch in order.
+    let resp = c
+        .request(
+            "POST",
+            "/connected_many",
+            r#"{"pairs":[[0,3],[3,0],[2,3]]}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let batch = parse(&resp.body).unwrap();
+    let results: Vec<bool> = batch
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| b.as_bool().unwrap())
+        .collect();
+    assert_eq!(results, vec![true, false, true]);
+    assert_eq!(epoch_of(&batch), epoch_of(&stats));
+
+    handle.shutdown();
+}
+
+#[test]
+fn mutations_publish_fresh_epochs_visible_to_reads() {
+    let handle = serve_small(false, false);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let before = get_json(&mut c, "/stats");
+    let epoch0 = epoch_of(&before);
+
+    // Insert a document citing `a`; the ack carries a newer epoch.
+    let resp = c
+        .request(
+            "POST",
+            "/documents?name=c",
+            r#"<note><cite xlink:href="a"/></note>"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let inserted = parse(&resp.body).unwrap();
+    let epoch1 = epoch_of(&inserted);
+    assert!(epoch1 > epoch0, "insert must publish a fresh epoch");
+
+    // The mutation is visible to every subsequent read: c's root (id 4)
+    // now reaches b's sec (id 3) via c → a → b.
+    let conn = get_json(&mut c, "/connected?u=4&v=3");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(true));
+    assert!(epoch_of(&conn) >= epoch1);
+    let q = get_json(&mut c, "/query?expr=%2F%2Fnote%2F%2Fsec");
+    assert_eq!(q.get("count").and_then(Json::as_u64), Some(1));
+
+    // Link maintenance round trip: add then delete a link b/sec → a/cite.
+    let resp = c.request("POST", "/links", r#"{"from":3,"to":1}"#).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let epoch2 = epoch_of(&parse(&resp.body).unwrap());
+    assert!(epoch2 > epoch1);
+    let conn = get_json(&mut c, "/connected?u=3&v=1");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(true));
+    let resp = c
+        .request("DELETE", "/links", r#"{"from":3,"to":1}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let conn = get_json(&mut c, "/connected?u=3&v=1");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(false));
+
+    // Delete the inserted document; its matches disappear.
+    let doc = inserted.get("doc").and_then(Json::as_u64).unwrap();
+    let resp = c
+        .request("DELETE", &format!("/documents/{doc}"), "")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let q = get_json(&mut c, "/query?expr=%2F%2Fnote%2F%2Fsec");
+    assert_eq!(q.get("count").and_then(Json::as_u64), Some(0));
+
+    // Admin: rebuild publishes a fresh epoch; save writes a loadable index.
+    let resp = c.request("POST", "/admin/rebuild", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let rebuilt = parse(&resp.body).unwrap();
+    assert!(epoch_of(&rebuilt) > epoch2);
+    assert!(rebuilt.get("cover_entries").and_then(Json::as_u64).unwrap() > 0);
+
+    let save_path =
+        std::env::temp_dir().join(format!("hopi_server_save_{}.idx", std::process::id()));
+    let body = format!(r#"{{"path":"{}","frozen":true}}"#, save_path.display());
+    let resp = c.request("POST", "/admin/save", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let collection = handle.state().engine.read(|h| h.collection().clone());
+    let reopened = Hopi::open(collection, &save_path).expect("saved index loads");
+    assert!(reopened.connected(0, 3));
+    std::fs::remove_file(&save_path).ok();
+
+    // Metrics accounted every endpoint we hit.
+    let resp = c.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .body
+        .contains("hopi_requests_total{endpoint=\"connected\"}"));
+    assert!(resp
+        .body
+        .contains("hopi_requests_total{endpoint=\"insert_document\"} 1"));
+    assert!(resp.body.contains("hopi_snapshot_epoch"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_hangs() {
+    let handle = serve_small(false, false);
+    let addr = handle.addr();
+
+    // Protocol-level garbage: one 4xx answer, then the connection closes.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        raw.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        assert!(buf.contains("Connection: close"));
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    for (method, path, body, want) in [
+        ("GET", "/nope", "", 404),
+        ("PATCH", "/connected", "", 405),
+        ("POST", "/healthz", "", 405),
+        ("GET", "/connected?u=0", "", 400),        // missing v
+        ("GET", "/connected?u=zork&v=1", "", 400), // non-numeric id
+        ("GET", "/query", "", 400),                // missing expr
+        ("GET", "/query?expr=%5Bbad", "", 400),    // unparsable expr
+        ("GET", "/distance?u=0&v=3", "", 409),     // not distance-aware
+        ("POST", "/connected_many", "not json", 400),
+        ("POST", "/connected_many", r#"{"pairs":[[1]]}"#, 400),
+        ("POST", "/documents?name=a", "<r/>", 409), // duplicate name
+        ("POST", "/documents", "<r/>", 400),        // missing name
+        ("POST", "/documents?name=x", "", 400),     // empty body
+        ("POST", "/links", r#"{"from":0}"#, 400),
+        ("POST", "/links", r#"{"from":0,"to":99}"#, 404), // unknown element
+        ("DELETE", "/links", r#"{"from":0,"to":3}"#, 404), // no such link
+        ("DELETE", "/documents/99", "", 404),
+        ("DELETE", "/documents/zork", "", 400),
+        ("POST", "/admin/save", r#"{"frozen":true}"#, 400), // missing path
+    ] {
+        let resp = c.request(method, path, body).expect("server stays up");
+        assert_eq!(resp.status, want, "{method} {path}: {}", resp.body);
+        let parsed = parse(&resp.body).expect("error bodies are JSON");
+        assert!(parsed.get("error").and_then(Json::as_str).is_some());
+    }
+
+    // The connection survived the whole 4xx barrage.
+    let health = get_json(&mut c, "/healthz");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+}
+
+/// A client that pauses mid-head and mid-body (longer than the server's
+/// 250 ms read-timeout tick) must not desync the connection: the request
+/// completes once the bytes arrive.
+#[test]
+fn slow_requests_survive_read_timeout_ticks() {
+    use std::io::{Read, Write};
+
+    let handle = serve_small(false, false);
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let body = r#"{"pairs":[[0,3],[3,0]]}"#;
+    let head = format!(
+        "POST /connected_many HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    // Dribble: head in two chunks, then the body in two chunks, with
+    // pauses longer than the idle tick between every piece.
+    let (head_a, head_b) = head.as_bytes().split_at(10);
+    let (body_a, body_b) = body.as_bytes().split_at(7);
+    for piece in [head_a, head_b, body_a, body_b] {
+        raw.write_all(piece).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(400));
+    }
+    raw.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut all = String::new();
+    raw.read_to_string(&mut all).unwrap();
+    assert!(all.starts_with("HTTP/1.1 200"), "{all}");
+    assert!(all.contains(r#""results":[true,false]"#), "{all}");
+    // The follow-up request on the same connection parsed cleanly too —
+    // the slow body did not desync the framing.
+    assert!(all.contains(r#""ok":true"#), "{all}");
+    handle.shutdown();
+}
+
+#[test]
+fn frozen_mode_rejects_mutations_allows_reads() {
+    let handle = serve_small(false, true);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let stats = get_json(&mut c, "/stats");
+    assert_eq!(stats.get("read_only").and_then(Json::as_bool), Some(true));
+    let conn = get_json(&mut c, "/connected?u=0&v=3");
+    assert_eq!(conn.get("connected").and_then(Json::as_bool), Some(true));
+
+    for (method, path, body) in [
+        ("POST", "/documents?name=c", "<r/>"),
+        ("POST", "/links", r#"{"from":3,"to":1}"#),
+        ("DELETE", "/links", r#"{"from":1,"to":2}"#),
+        ("DELETE", "/documents/0", ""),
+        ("POST", "/admin/rebuild", ""),
+    ] {
+        let resp = c.request(method, path, body).unwrap();
+        assert_eq!(resp.status, 403, "{method} {path}: {}", resp.body);
+    }
+    // Epoch never moved.
+    assert_eq!(epoch_of(&get_json(&mut c, "/stats")), epoch_of(&stats));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_work() {
+    let handle = serve_small(false, false);
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+
+    let trigger = handle.shutdown_trigger();
+    trigger.trigger();
+    handle.shutdown(); // joins acceptor + workers
+
+    // New connections are refused (or reset before a response).
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.get("/healthz").is_err(),
+    };
+    assert!(refused, "server kept serving after shutdown");
+}
+
+/// The concurrent-serving satellite: reader threads hammer probes and
+/// stats over HTTP while the engine absorbs `update_batch` writes and a
+/// background rebuild. Epochs must be monotonic per reader and every
+/// response must parse — no torn snapshots.
+#[test]
+fn concurrent_readers_during_update_batch_and_rebuild() {
+    let handle = serve_small(false, false);
+    let addr = handle.addr();
+    let engine = handle.state().engine.clone();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connects");
+                let mut last_epoch = 0u64;
+                let mut reads = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let stats = c.get("/stats").expect("stats under writes");
+                    assert_eq!(stats.status, 200);
+                    let parsed = parse(&stats.body).expect("stats JSON never torn");
+                    let epoch = parsed.get("epoch").and_then(Json::as_u64).unwrap();
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went backwards: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+
+                    // Probe an invariant pair: a root (0) reaches b sec (3)
+                    // in every epoch (writes only ever add documents).
+                    let conn = c.get("/connected?u=0&v=3").expect("probe under writes");
+                    let parsed = parse(&conn.body).expect("probe JSON never torn");
+                    assert_eq!(parsed.get("connected").and_then(Json::as_bool), Some(true));
+                    let probe_epoch = parsed.get("epoch").and_then(Json::as_u64).unwrap();
+                    assert!(probe_epoch >= last_epoch);
+                    last_epoch = probe_epoch;
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Writer: batched inserts (one epoch per batch) plus a rebuild.
+    for round in 0..5 {
+        engine.update_batch(|h| {
+            for i in 0..4 {
+                h.insert_xml(
+                    &format!("w{round}_{i}"),
+                    r#"<note><cite xlink:href="a"/></note>"#,
+                )
+                .expect("insert under readers");
+            }
+        });
+    }
+    let report = engine.rebuild_blocking();
+    assert!(report.cover_size > 0);
+
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: usize = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader ok"))
+        .sum();
+    assert!(total > 0, "readers made progress");
+
+    // 5 update_batch epochs + 1 rebuild epoch on top of epoch 0.
+    assert_eq!(engine.epoch(), 6);
+    let stats = engine.snapshot_stats();
+    assert_eq!(stats.documents, 2 + 20);
+    handle.shutdown();
+}

@@ -53,6 +53,7 @@
 //! | [`maintenance`] | insertions, deletions (Thm 2/3), modifications, 24×7 mode |
 //! | [`store`] | LIN/LOUT index-organized tables, SQL-semantics queries |
 //! | [`query`] | path expressions with wildcards, distance-ranked retrieval |
+//! | [`server`] | std-only HTTP/1.1 serving over snapshot epochs (`hopi serve`) |
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and the `hopi-bench`
 //! crate for the reproduced evaluation.
@@ -66,17 +67,21 @@ pub use hopi_graph as graph;
 pub use hopi_maintenance as maintenance;
 pub use hopi_partition as partition;
 pub use hopi_query as query;
+pub use hopi_server as server;
 pub use hopi_store as store;
 pub use hopi_xml as xml;
 
-pub use hopi_build::{Hopi, HopiBuilder, HopiError, HopiSnapshot, OnlineHopi, QueryOptions, Stats};
+pub use hopi_build::{
+    Hopi, HopiBuilder, HopiError, HopiSnapshot, OnlineHopi, QueryOptions, SnapshotStats, Stats,
+};
 
 /// Convenience re-exports for the common workflow: parse or generate a
 /// collection, build a [`Hopi`] engine, query it, maintain it.
 pub mod prelude {
     pub use hopi_build::{BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
     pub use hopi_build::{
-        Hopi, HopiBuilder, HopiError, HopiIndex, HopiSnapshot, OnlineHopi, QueryOptions, Stats,
+        Hopi, HopiBuilder, HopiError, HopiIndex, HopiSnapshot, OnlineHopi, QueryOptions,
+        SnapshotStats, Stats,
     };
     pub use hopi_core::{FrozenCover, LabelSource};
     pub use hopi_maintenance::{DeletionAlgorithm, DeletionOutcome, DocumentLinks, RebuildPolicy};
