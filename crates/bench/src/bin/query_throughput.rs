@@ -2,16 +2,22 @@
 //! lock (the pre-snapshot `OnlineHopi` read path) versus an immutable
 //! frozen-cover snapshot, on an INEX-shaped collection.
 //!
-//! Three workloads on 1 and N reader threads:
+//! Four workloads on 1 and N reader threads:
 //!
 //! * `probe` — point reachability tests (the paper's §3.4 `LIN ⋈ LOUT`
 //!   join probe); the frozen side uses the batched `connected_many`
 //!   kernel.
 //! * `descendants` — descendant-set enumeration (backward-index scans).
-//! * `path` — full `//`-axis path-expression evaluation.
+//! * `path` — full `//`-axis path-expression evaluation (the cost-based
+//!   step planner picks a strategy per step).
+//! * `hopjoin` — the same expressions with the forward hop join forced on
+//!   every `//` step, isolating the set-at-a-time kernel from the
+//!   planner.
 //!
 //! Emits `BENCH_query.json` so later PRs have a perf trajectory to compare
-//! against.
+//! against, and enforces a single-thread frozen `path` QPS floor (the
+//! workload ran at ~4 QPS before the hop-join planner; a return to probe
+//! or enumeration quadratics fails the bench).
 //!
 //! ```sh
 //! cargo run -p hopi-bench --release --bin query_throughput \
@@ -20,6 +26,7 @@
 
 use hopi_bench::{add_cross_links, flag_arg, inex_collection, scale_arg, thread_ladder};
 use hopi_build::{Hopi, HopiSnapshot};
+use hopi_query::{evaluate_with, parse_path, EvalOptions, PathExpr, Strategy};
 use parking_lot::RwLock;
 use rand::prelude::*;
 use std::sync::Arc;
@@ -205,12 +212,91 @@ fn main() {
                 }
             },
         ));
+
+        // --- hopjoin (forced forward hop join, bypassing the planner) ---
+        let parsed: Vec<PathExpr> = path_exprs
+            .iter()
+            .map(|e| parse_path(e).expect("valid expr"))
+            .collect();
+        let hop_options = EvalOptions {
+            force_strategy: Some(Strategy::ForwardHopJoin),
+            ..EvalOptions::default()
+        };
+        samples.push(run(
+            "hopjoin",
+            "mutable",
+            threads,
+            path_rounds * path_exprs.len(),
+            || {
+                let engine = engine.clone();
+                let exprs = parsed.clone();
+                move || {
+                    let mut total = 0usize;
+                    for _ in 0..path_rounds {
+                        for expr in &exprs {
+                            let guard = engine.read();
+                            total += evaluate_with(
+                                guard.collection(),
+                                guard.index(),
+                                guard.tags(),
+                                expr,
+                                &hop_options,
+                            )
+                            .len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
+        samples.push(run(
+            "hopjoin",
+            "frozen",
+            threads,
+            path_rounds * path_exprs.len(),
+            || {
+                let snap = snapshot.clone();
+                let exprs = parsed.clone();
+                move || {
+                    let mut total = 0usize;
+                    for _ in 0..path_rounds {
+                        for expr in &exprs {
+                            total += evaluate_with(
+                                snap.collection(),
+                                snap.frozen(),
+                                snap.tags(),
+                                expr,
+                                &hop_options,
+                            )
+                            .len();
+                        }
+                    }
+                    total
+                }
+            },
+        ));
     }
 
+    // Persist and print the measurements *before* the regression gate, so
+    // a failing floor still leaves the trajectory data to diagnose it.
     let json = render_json(scale, smoke, &stats_tuple(&snapshot), &samples);
     std::fs::write(&out_path, &json).expect("write BENCH_query.json");
     eprintln!("wrote {out_path}");
     print_table(&samples);
+
+    // Regression floor: frozen single-thread path evaluation ran at ~4 QPS
+    // before the hop-join planner. Fail the bench loudly if a plan
+    // regression drags serving anywhere back toward that.
+    let floor = if smoke { 50.0 } else { 200.0 };
+    let path_frozen = samples
+        .iter()
+        .find(|s| s.workload == "path" && s.mode == "frozen" && s.threads == 1)
+        .map(Sample::qps)
+        .expect("path/frozen/1t sample");
+    assert!(
+        path_frozen >= floor,
+        "path workload regressed: {path_frozen:.1} QPS < floor {floor}"
+    );
 }
 
 /// Collection facts for the JSON header.
@@ -285,7 +371,7 @@ fn render_json(
     }
     s.push_str("  ],\n  \"frozen_speedup\": {\n");
     let mut cells: Vec<String> = Vec::new();
-    for workload in ["probe", "descendants", "path"] {
+    for workload in ["probe", "descendants", "path", "hopjoin"] {
         for threads in samples
             .iter()
             .map(|s| s.threads)

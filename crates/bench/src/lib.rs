@@ -32,7 +32,8 @@ pub mod paper {
     pub const DBLP_OLD_JOIN_COVER: f64 = 15_976_677.0;
 }
 
-/// Parses `--scale <f>` (or a bare positional float) from argv.
+/// Parses `--scale <f>` (or a bare positional float) from argv. A number
+/// that is the *value of another flag* (`--threads 4`) is not a scale.
 pub fn scale_arg(default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
     for (i, a) in args.iter().enumerate() {
@@ -41,8 +42,11 @@ pub fn scale_arg(default: f64) -> f64 {
                 return v;
             }
         }
+        let follows_flag = args
+            .get(i.wrapping_sub(1))
+            .is_some_and(|prev| prev.starts_with("--"));
         if let Ok(v) = a.parse::<f64>() {
-            if i > 0 {
+            if i > 0 && !follows_flag {
                 return v;
             }
         }

@@ -15,18 +15,23 @@ use hopi_maintenance::{
     should_rebuild, Degradation, DeletionOutcome, DocumentLinks, RebuildPolicy,
 };
 use hopi_partition::{build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
-use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
+use hopi_query::{
+    evaluate_ranked, parse_path, with_thread_evaluator, EvalOptions, PlanCounters, QueryPlanReport,
+    RankedMatch, TagIndex,
+};
 use hopi_store::{load_index, save_frozen, save_store, LinLoutStore, StoredIndex};
 use hopi_xml::parser::{parse_collection, parse_document};
 use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Tunables of the facade's query methods.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryOptions {
-    /// Probe-vs-enumerate switch of `//` steps: above this many candidate
-    /// probes (`|context| × |candidates|`), evaluation enumerates descendant
-    /// sets instead of probing pairs (see [`hopi_query::EvalOptions`]).
+    /// Planner shortcut for `//` steps: at or under this many candidate
+    /// probes (`|context| × |candidates|`) a step stays on pairwise
+    /// reachability probes; above it the step is planned cost-based
+    /// across all four strategies (see [`hopi_query::EvalOptions`]).
     pub probe_budget: usize,
     /// Keep only the best `k` results of [`Hopi::query_ranked`]
     /// (`None` = all).
@@ -40,6 +45,54 @@ impl Default for QueryOptions {
             top_k: None,
         }
     }
+}
+
+impl QueryOptions {
+    pub(crate) fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            probe_budget: self.probe_budget,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// The query-execution path shared by [`Hopi`] and
+/// [`crate::HopiSnapshot`]: parse, evaluate on the calling thread's
+/// reusable evaluator against any label source, and fold the run's
+/// strategy tally into the engine-shared counters.
+pub(crate) fn run_query<S: hopi_core::LabelSource>(
+    collection: &Collection,
+    source: &S,
+    tags: &TagIndex,
+    options: &QueryOptions,
+    counters: &PlanCounters,
+    expr: &str,
+) -> Result<Vec<ElemId>, HopiError> {
+    let parsed = parse_path(expr)?;
+    let options = options.eval_options();
+    Ok(with_thread_evaluator(|ev| {
+        let result = ev.evaluate(collection, source, tags, &parsed, &options);
+        counters.add(ev.strategy_counts());
+        result
+    }))
+}
+
+/// [`run_query`] with the EXPLAIN-style per-step plan report alongside.
+pub(crate) fn run_query_explained<S: hopi_core::LabelSource>(
+    collection: &Collection,
+    source: &S,
+    tags: &TagIndex,
+    options: &QueryOptions,
+    counters: &PlanCounters,
+    expr: &str,
+) -> Result<(Vec<ElemId>, QueryPlanReport), HopiError> {
+    let parsed = parse_path(expr)?;
+    let options = options.eval_options();
+    Ok(with_thread_evaluator(|ev| {
+        let out = ev.evaluate_explained(collection, source, tags, &parsed, &options);
+        counters.add(ev.strategy_counts());
+        out
+    }))
 }
 
 /// A point-in-time summary of an engine (see [`Hopi::stats`]).
@@ -141,6 +194,7 @@ impl HopiBuilder {
             config: self.config,
             options: self.options,
             report,
+            plan_counters: Arc::new(PlanCounters::new()),
         })
     }
 
@@ -214,6 +268,7 @@ impl HopiBuilder {
             config: self.config,
             options: self.options,
             report,
+            plan_counters: Arc::new(PlanCounters::new()),
         })
     }
 }
@@ -248,6 +303,10 @@ pub struct Hopi {
     config: BuildConfig,
     options: QueryOptions,
     report: BuildReport,
+    /// Per-strategy `//`-step execution counters, shared with every
+    /// snapshot captured from this engine (and with clones of it), so the
+    /// serving layer can expose which physical plans actually ran.
+    pub(crate) plan_counters: Arc<PlanCounters>,
 }
 
 fn build_distance_cover(collection: &Collection) -> DistanceCover {
@@ -356,18 +415,32 @@ impl Hopi {
     }
 
     /// Evaluates a path expression (`/site/nav//book`, `//article//sec`,
-    /// wildcards with `*`). Returns matching element ids, sorted.
+    /// wildcards with `*`). Returns matching element ids, sorted. Each
+    /// `//` step runs the strategy the cost-based planner picks; the
+    /// choices are tallied into the engine's shared plan counters.
     pub fn query(&self, expr: &str) -> Result<Vec<ElemId>, HopiError> {
-        let parsed = parse_path(expr)?;
-        Ok(evaluate_with(
+        run_query(
             &self.collection,
             &self.index,
             &self.tags,
-            &parsed,
-            &EvalOptions {
-                probe_budget: self.options.probe_budget,
-            },
-        ))
+            &self.options,
+            &self.plan_counters,
+            expr,
+        )
+    }
+
+    /// Like [`Hopi::query`], but also returns the EXPLAIN-style per-step
+    /// plan report (strategy chosen, set sizes, cost estimates — the
+    /// `hopi query --explain` output).
+    pub fn query_explained(&self, expr: &str) -> Result<(Vec<ElemId>, QueryPlanReport), HopiError> {
+        run_query_explained(
+            &self.collection,
+            &self.index,
+            &self.tags,
+            &self.options,
+            &self.plan_counters,
+            expr,
+        )
     }
 
     /// Evaluates a path expression with distance-ranked results (paper
@@ -545,6 +618,7 @@ impl Hopi {
             &self.tags,
             self.options,
             epoch,
+            self.plan_counters.clone(),
         ))
     }
 
@@ -581,6 +655,19 @@ impl Hopi {
     /// The underlying index (expert escape hatch).
     pub fn index(&self) -> &HopiIndex {
         &self.index
+    }
+
+    /// The tag index (expert escape hatch — e.g. for driving
+    /// `hopi_query::evaluate_with` with custom [`EvalOptions`]).
+    pub fn tags(&self) -> &TagIndex {
+        &self.tags
+    }
+
+    /// Per-strategy `//`-step execution totals since this engine (or the
+    /// engine it was cloned from) was built, across direct queries and
+    /// every snapshot's queries.
+    pub fn plan_counts(&self) -> hopi_query::PlanCounts {
+        self.plan_counters.counts()
     }
 
     /// The build configuration this engine (re)builds with.

@@ -59,6 +59,11 @@ pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
 pub use snapshot::{HopiSnapshot, SnapshotStats};
 
+// Query-plan observability: the per-`//`-step strategy, counters, and
+// EXPLAIN report types surfaced through [`Hopi::query_explained`],
+// [`SnapshotStats::plan`], and the server's `/stats` + `/metrics`.
+pub use hopi_query::{PlanCounters, PlanCounts, QueryPlanReport, Strategy};
+
 // ---------------------------------------------------------------------
 // The expert layer, re-exported under its historical paths.
 // ---------------------------------------------------------------------

@@ -216,7 +216,9 @@ impl OnlineHopi {
             .expect("rebuilding a valid collection cannot fail");
 
         // 3. Swap under the write lock, replaying the delta between the
-        // snapshot and the live collection onto the fresh engine.
+        // snapshot and the live collection onto the fresh engine. The
+        // plan-strategy counters survive the swap: a rebuild changes the
+        // cover, not the observability history.
         let mut guard = self.engine.write();
         let delta = collection_delta(&snapshot_docs, &snapshot_links, guard.collection());
         if !delta_replays_exactly(&snapshot, guard.collection(), &delta) {
@@ -225,14 +227,16 @@ impl OnlineHopi {
             // deleted mid-build, or a link between two mid-build
             // documents). Rebuild from the live collection — still a
             // consistent swap, just under the lock.
-            let fallback = builder
+            let mut fallback = builder
                 .build(guard.collection().clone())
                 .expect("rebuilding a valid collection cannot fail");
+            fallback.plan_counters = guard.plan_counters.clone();
             let report = fallback.report().clone();
             *guard = fallback;
             self.publish(&guard);
             return report;
         }
+        fresh.plan_counters = guard.plan_counters.clone();
         let report = fresh.report().clone();
         for update in delta {
             let replayed = match update {

@@ -14,8 +14,11 @@
 use crate::error::HopiError;
 use crate::facade::QueryOptions;
 use hopi_core::{DistanceCover, FrozenCover};
-use hopi_query::{evaluate_ranked, evaluate_with, parse_path, EvalOptions, RankedMatch, TagIndex};
+use hopi_query::{
+    evaluate_ranked, parse_path, PlanCounters, PlanCounts, QueryPlanReport, RankedMatch, TagIndex,
+};
 use hopi_xml::{Collection, ElemId};
+use std::sync::Arc;
 
 /// A point-in-time summary of a serving snapshot (see
 /// [`HopiSnapshot::stats`] / [`crate::OnlineHopi::snapshot_stats`]): the
@@ -40,6 +43,11 @@ pub struct SnapshotStats {
     /// Whether the snapshot answers [`HopiSnapshot::distance`] /
     /// [`HopiSnapshot::query_ranked`].
     pub distance_aware: bool,
+    /// Per-strategy `//`-step execution totals of the engine this snapshot
+    /// was captured from (shared counters: queries against *any* snapshot
+    /// of the engine tally here, so `/stats` scrapes see plan choices
+    /// move).
+    pub plan: PlanCounts,
 }
 
 /// A point-in-time, immutable serving view of an engine: frozen cover +
@@ -74,6 +82,9 @@ pub struct HopiSnapshot {
     /// The serving epoch this snapshot was published at (see
     /// [`SnapshotStats::epoch`]).
     epoch: u64,
+    /// Engine-shared per-strategy execution counters (every query against
+    /// this snapshot tallies its `//`-step plans here).
+    plan_counters: Arc<PlanCounters>,
 }
 
 impl HopiSnapshot {
@@ -84,6 +95,7 @@ impl HopiSnapshot {
         tags: &TagIndex,
         options: QueryOptions,
         epoch: u64,
+        plan_counters: Arc<PlanCounters>,
     ) -> Self {
         HopiSnapshot {
             collection: collection.clone(),
@@ -93,6 +105,7 @@ impl HopiSnapshot {
             tags: tags.clone(),
             options,
             epoch,
+            plan_counters,
         }
     }
 
@@ -128,18 +141,33 @@ impl HopiSnapshot {
     }
 
     /// Evaluates a path expression against the frozen cover. Same answers
-    /// as [`crate::Hopi::query`] on the engine the snapshot was taken from.
+    /// as [`crate::Hopi::query`] on the engine the snapshot was taken
+    /// from. Runs on the calling thread's reusable evaluator, so
+    /// steady-state serving evaluates `//` steps without allocating; the
+    /// planner's strategy choices are tallied into the engine-shared plan
+    /// counters.
     pub fn query(&self, expr: &str) -> Result<Vec<ElemId>, HopiError> {
-        let parsed = parse_path(expr)?;
-        Ok(evaluate_with(
+        crate::facade::run_query(
             &self.collection,
             &self.frozen,
             &self.tags,
-            &parsed,
-            &EvalOptions {
-                probe_budget: self.options.probe_budget,
-            },
-        ))
+            &self.options,
+            &self.plan_counters,
+            expr,
+        )
+    }
+
+    /// Like [`HopiSnapshot::query`], but also returns the EXPLAIN-style
+    /// per-step plan report.
+    pub fn query_explained(&self, expr: &str) -> Result<(Vec<ElemId>, QueryPlanReport), HopiError> {
+        crate::facade::run_query_explained(
+            &self.collection,
+            &self.frozen,
+            &self.tags,
+            &self.options,
+            &self.plan_counters,
+            expr,
+        )
     }
 
     /// Distance-ranked path evaluation (paper §5.1). Needs a snapshot of a
@@ -209,6 +237,7 @@ impl HopiSnapshot {
             nodes: self.frozen.num_nodes(),
             cover_entries: self.frozen.size(),
             distance_aware: self.frozen_distance.is_some(),
+            plan: self.plan_counters.counts(),
         }
     }
 

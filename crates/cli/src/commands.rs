@@ -137,19 +137,34 @@ pub fn build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `hopi query --dir DIR --index FILE EXPR`
+/// `hopi query --dir DIR --index FILE [--explain] EXPR`
 pub fn query(args: &[String]) -> Result<(), String> {
-    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
-    let index_path = flag_value(args, "--index").ok_or("missing --index FILE")?;
-    let expr_src = positional(args).ok_or("missing path expression")?;
+    let explain = args.iter().any(|a| a == "--explain");
+    // `--explain` is a bare switch; drop it before positional parsing
+    // (which assumes every `--flag` carries a value).
+    let args: Vec<String> = args.iter().filter(|a| *a != "--explain").cloned().collect();
+    let dir = flag_value(&args, "--dir").ok_or("missing --dir DIR")?;
+    let index_path = flag_value(&args, "--index").ok_or("missing --index FILE")?;
+    let expr_src = positional(&args).ok_or("missing path expression")?;
     let collection = load_dir(&dir)?;
     let hopi =
         Hopi::open(collection, Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
     let t = Instant::now();
-    let result = hopi.query(&expr_src).map_err(|e| format!("{e}"))?;
+    let (result, report) = if explain {
+        let (result, report) = hopi
+            .query_explained(&expr_src)
+            .map_err(|e| format!("{e}"))?;
+        (result, Some(report))
+    } else {
+        (hopi.query(&expr_src).map_err(|e| format!("{e}"))?, None)
+    };
     let elapsed = t.elapsed();
     for &e in &result {
         println!("{}", describe_element(hopi.collection(), e)?);
+    }
+    if let Some(report) = report {
+        let parsed = hopi_query::parse_path(&expr_src).map_err(|e| format!("{e}"))?;
+        eprint!("{}", report.render(&parsed));
     }
     eprintln!("{} matches in {elapsed:?}", result.len());
     Ok(())

@@ -100,6 +100,25 @@ fn full_workflow() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("matches"), "query stderr: {stderr}");
 
+    // query --explain: same matches, plus a per-step plan on stderr.
+    let out = hopi()
+        .args(["query", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .arg("--explain")
+        .arg("//article//author")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("strategy="), "explain stderr: {stderr}");
+    assert!(stderr.contains("step 0"), "explain stderr: {stderr}");
+
     // check (index vs BFS oracle)
     let out = hopi()
         .args(["check", "--dir"])

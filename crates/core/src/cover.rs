@@ -41,7 +41,11 @@ pub struct TwoHopCover {
     inv_out: Vec<Vec<NodeId>>,
     /// `inv_in[c]` = nodes `y` with `c ∈ Lin(y)` (`c` reaches them).
     inv_in: Vec<Vec<NodeId>>,
-    entries: usize,
+    /// Stored `Lin` entries (the query planner reads the split, so both
+    /// sides are counted eagerly instead of one `entries` total).
+    lin_entries: usize,
+    /// Stored `Lout` entries.
+    lout_entries: usize,
 }
 
 impl TwoHopCover {
@@ -57,7 +61,8 @@ impl TwoHopCover {
             lout: vec![Vec::new(); n],
             inv_out: vec![Vec::new(); n],
             inv_in: vec![Vec::new(); n],
-            entries: 0,
+            lin_entries: 0,
+            lout_entries: 0,
         }
     }
 
@@ -73,7 +78,8 @@ impl TwoHopCover {
             lout,
             inv_out: vec![Vec::new(); n],
             inv_in: vec![Vec::new(); n],
-            entries: 0,
+            lin_entries: 0,
+            lout_entries: 0,
         };
         cover.lin.resize_with(n, Vec::new);
         cover.lout.resize_with(n, Vec::new);
@@ -82,7 +88,7 @@ impl TwoHopCover {
             for &c in row {
                 debug_assert_ne!(c as usize, node, "self entry in Lout");
                 cover.inv_out[c as usize].push(node as NodeId);
-                cover.entries += 1;
+                cover.lout_entries += 1;
             }
         }
         for (node, row) in cover.lin.iter().enumerate() {
@@ -90,7 +96,7 @@ impl TwoHopCover {
             for &c in row {
                 debug_assert_ne!(c as usize, node, "self entry in Lin");
                 cover.inv_in[c as usize].push(node as NodeId);
-                cover.entries += 1;
+                cover.lin_entries += 1;
             }
         }
         cover
@@ -115,7 +121,19 @@ impl TwoHopCover {
     /// Cover size `|L| = Σ_v |Lin(v)| + |Lout(v)|` — the paper's size metric
     /// (number of stored label entries).
     pub fn size(&self) -> usize {
-        self.entries
+        self.lin_entries + self.lout_entries
+    }
+
+    /// Stored `Lin` entries `Σ_v |Lin(v)|` (also `Σ_c |inv_in(c)|` — the
+    /// total inverted holder-list mass the query planner estimates hop
+    /// joins from).
+    pub fn lin_entry_count(&self) -> usize {
+        self.lin_entries
+    }
+
+    /// Stored `Lout` entries `Σ_v |Lout(v)|` (also `Σ_c |inv_out(c)|`).
+    pub fn lout_entry_count(&self) -> usize {
+        self.lout_entries
     }
 
     /// The stored `Lin(v)` (sorted, without the implicit `v` itself).
@@ -153,7 +171,7 @@ impl TwoHopCover {
             Err(pos) => {
                 row.insert(pos, center);
                 self.inv_out[center as usize].push(node);
-                self.entries += 1;
+                self.lout_entries += 1;
                 true
             }
         }
@@ -172,7 +190,7 @@ impl TwoHopCover {
             Err(pos) => {
                 row.insert(pos, center);
                 self.inv_in[center as usize].push(node);
-                self.entries += 1;
+                self.lin_entries += 1;
                 true
             }
         }
@@ -279,7 +297,7 @@ impl TwoHopCover {
         let inv = &mut self.inv_out[center as usize];
         let p = inv.iter().position(|&x| x == node).expect("inv_out sync");
         inv.swap_remove(p);
-        self.entries -= 1;
+        self.lout_entries -= 1;
         true
     }
 
@@ -295,7 +313,7 @@ impl TwoHopCover {
         let inv = &mut self.inv_in[center as usize];
         let p = inv.iter().position(|&x| x == node).expect("inv_in sync");
         inv.swap_remove(p);
-        self.entries -= 1;
+        self.lin_entries -= 1;
         true
     }
 
@@ -357,14 +375,14 @@ impl TwoHopCover {
             let row = &mut self.lout[holder as usize];
             if let Ok(pos) = row.binary_search(&u) {
                 row.remove(pos);
-                self.entries -= 1;
+                self.lout_entries -= 1;
             }
         }
         for holder in std::mem::take(&mut self.inv_in[u as usize]) {
             let row = &mut self.lin[holder as usize];
             if let Ok(pos) = row.binary_search(&u) {
                 row.remove(pos);
-                self.entries -= 1;
+                self.lin_entries -= 1;
             }
         }
     }
@@ -388,7 +406,8 @@ impl TwoHopCover {
     /// Debug invariant check: inverted index matches labels, labels sorted,
     /// no self entries, entry count correct.
     pub fn check_invariants(&self) {
-        let mut count = 0;
+        let mut out_count = 0;
+        let mut in_count = 0;
         for (n, row) in self.lout.iter().enumerate() {
             assert!(row.windows(2).all(|w| w[0] < w[1]), "Lout sorted+dedup");
             for &c in row {
@@ -397,7 +416,7 @@ impl TwoHopCover {
                     self.inv_out[c as usize].contains(&(n as NodeId)),
                     "inv_out missing"
                 );
-                count += 1;
+                out_count += 1;
             }
         }
         for (n, row) in self.lin.iter().enumerate() {
@@ -408,7 +427,7 @@ impl TwoHopCover {
                     self.inv_in[c as usize].contains(&(n as NodeId)),
                     "inv_in missing"
                 );
-                count += 1;
+                in_count += 1;
             }
         }
         for (c, holders) in self.inv_out.iter().enumerate() {
@@ -421,7 +440,8 @@ impl TwoHopCover {
                 assert!(self.lin[h as usize].binary_search(&(c as u32)).is_ok());
             }
         }
-        assert_eq!(count, self.entries, "entry count drift");
+        assert_eq!(out_count, self.lout_entries, "Lout entry count drift");
+        assert_eq!(in_count, self.lin_entries, "Lin entry count drift");
     }
 }
 
@@ -478,6 +498,20 @@ mod tests {
         assert_eq!(c.lout(0), &[1]);
         assert_eq!(c.lin(2), &[1]);
         assert!(c.lin(0).is_empty());
+    }
+
+    #[test]
+    fn entry_counts_track_the_split() {
+        let mut c = path_cover();
+        assert_eq!((c.lin_entry_count(), c.lout_entry_count()), (1, 1));
+        c.add_in(0, 2);
+        assert_eq!((c.lin_entry_count(), c.lout_entry_count()), (2, 1));
+        c.remove_out(0, 1);
+        assert_eq!((c.lin_entry_count(), c.lout_entry_count()), (2, 0));
+        c.purge_node(2);
+        assert_eq!((c.lin_entry_count(), c.lout_entry_count()), (0, 0));
+        assert_eq!(c.size(), 0);
+        c.check_invariants();
     }
 
     #[test]

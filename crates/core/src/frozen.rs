@@ -23,7 +23,7 @@
 
 use crate::cover::{sorted_intersects, NodeId, TwoHopCover};
 use crate::distance::DistanceCover;
-use crate::source::LabelSource;
+use crate::source::{CoverStats, LabelSource};
 
 /// Section boundaries of one node's rows inside the shared data buffer.
 #[derive(Clone, Debug, Default)]
@@ -513,12 +513,48 @@ impl LabelSource for FrozenCover {
         FrozenCover::connected(self, u, v)
     }
 
+    fn num_nodes(&self) -> usize {
+        FrozenCover::num_nodes(self)
+    }
+
+    fn lin_row(&self, v: NodeId) -> &[NodeId] {
+        self.lin(v)
+    }
+
+    fn lout_row(&self, v: NodeId) -> &[NodeId] {
+        self.lout(v)
+    }
+
+    fn holders_in_row(&self, c: NodeId) -> &[NodeId] {
+        self.holders_in(c)
+    }
+
+    fn holders_out_row(&self, c: NodeId) -> &[NodeId] {
+        self.holders_out(c)
+    }
+
+    fn cover_stats(&self) -> CoverStats {
+        CoverStats {
+            nodes: self.n,
+            lin_entries: self.lin.off[self.n] as usize,
+            lout_entries: (self.lout.off[self.n] - self.lin.off[self.n]) as usize,
+        }
+    }
+
     fn descendants(&self, u: NodeId) -> Vec<NodeId> {
         FrozenCover::descendants(self, u)
     }
 
     fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
         FrozenCover::ancestors(self, u)
+    }
+
+    fn descendants_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        FrozenCover::descendants_into(self, u, out)
+    }
+
+    fn ancestors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        FrozenCover::ancestors_into(self, u, out)
     }
 }
 

@@ -53,4 +53,4 @@ pub use densest::{densest_subgraph, BipartiteCenterGraph, DensestResult};
 pub use distance::{DistanceCover, DistanceCoverBuilder};
 pub use frozen::FrozenCover;
 pub use index::HopiIndex;
-pub use source::LabelSource;
+pub use source::{CoverStats, LabelSource};

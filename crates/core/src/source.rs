@@ -1,26 +1,134 @@
 //! The label-source abstraction: one query interface over the mutable and
 //! frozen cover representations.
 //!
-//! Path evaluation (`hopi_query::eval`) only needs three primitives from
-//! the index — the reachability probe and the two closure enumerations —
-//! so it is written against this trait and runs unchanged against a live
-//! [`TwoHopCover`](crate::TwoHopCover) /
+//! Path evaluation (`hopi_query::eval`) is written against this trait and
+//! runs unchanged against a live [`TwoHopCover`](crate::TwoHopCover) /
 //! [`HopiIndex`](crate::HopiIndex) or a read-optimized
-//! [`FrozenCover`](crate::FrozenCover) snapshot.
+//! [`FrozenCover`](crate::FrozenCover) snapshot. Beyond the three closure
+//! primitives (reachability probe, descendant/ancestor enumeration) it
+//! exposes the **raw label and inverted rows** plus aggregate
+//! [`CoverStats`], which is what the hop-join strategies and the
+//! cost-based step planner in `hopi_query::plan` consume: a `//` step can
+//! union inverted holder lists center-at-a-time instead of probing pairs,
+//! and the planner can price each strategy from row lengths in O(1) per
+//! node.
 
 use crate::cover::NodeId;
 
-/// Anything that answers 2-hop cover queries: the connection probe plus
-/// descendant/ancestor enumeration.
+/// Aggregate row statistics of a cover, read in O(1), used by the query
+/// planner to price `//`-step strategies.
+///
+/// The identities the estimates lean on: the inverted holder lists mirror
+/// the labels, so `Σ_c |inv_in(c)| = Σ_v |Lin(v)| = lin_entries` (and
+/// symmetrically for `inv_out`/`Lout`) — the *average* inverted row is as
+/// long as the average label row of the same direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverStats {
+    /// Node slots covered by stored labels.
+    pub nodes: usize,
+    /// Stored `Lin` entries `Σ_v |Lin(v)|`.
+    pub lin_entries: usize,
+    /// Stored `Lout` entries `Σ_v |Lout(v)|`.
+    pub lout_entries: usize,
+}
+
+impl CoverStats {
+    /// Average `Lin` row length.
+    pub fn avg_lin(&self) -> f64 {
+        self.lin_entries as f64 / self.nodes.max(1) as f64
+    }
+
+    /// Average `Lout` row length.
+    pub fn avg_lout(&self) -> f64 {
+        self.lout_entries as f64 / self.nodes.max(1) as f64
+    }
+
+    /// Average `inv_in` holder-list length (`= avg_lin`, see type docs).
+    pub fn avg_inv_in(&self) -> f64 {
+        self.avg_lin()
+    }
+
+    /// Average `inv_out` holder-list length (`= avg_lout`).
+    pub fn avg_inv_out(&self) -> f64 {
+        self.avg_lout()
+    }
+}
+
+/// Anything that answers 2-hop cover queries: the connection probe,
+/// descendant/ancestor enumeration, and raw row access for set-at-a-time
+/// hop joins.
 pub trait LabelSource {
     /// The reachability test `u →* v` (reflexive).
     fn connected(&self, u: NodeId, v: NodeId) -> bool;
 
+    /// Number of node slots covered by stored labels. Ids at or above this
+    /// bound have empty rows (isolated nodes).
+    fn num_nodes(&self) -> usize;
+
+    /// The stored `Lin(v)` row, sorted ascending, without the implicit
+    /// self entry. Empty for out-of-range ids.
+    fn lin_row(&self, v: NodeId) -> &[NodeId];
+
+    /// The stored `Lout(v)` row, sorted ascending, without the implicit
+    /// self entry.
+    fn lout_row(&self, v: NodeId) -> &[NodeId];
+
+    /// Nodes holding `c` in `Lin` — the nodes `c` reaches through the
+    /// cover, without `c` itself. **Not necessarily sorted** (the mutable
+    /// cover maintains holder lists with `swap_remove`).
+    fn holders_in_row(&self, c: NodeId) -> &[NodeId];
+
+    /// Nodes holding `c` in `Lout` — the nodes that reach `c` through the
+    /// cover, without `c` itself. Not necessarily sorted.
+    fn holders_out_row(&self, c: NodeId) -> &[NodeId];
+
+    /// Aggregate row statistics, answered in O(1) (both representations
+    /// track entry counts eagerly).
+    fn cover_stats(&self) -> CoverStats;
+
     /// All descendants of `u` (including `u`), sorted.
-    fn descendants(&self, u: NodeId) -> Vec<NodeId>;
+    fn descendants(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.descendants_into(u, &mut out);
+        out
+    }
 
     /// All ancestors of `u` (including `u`), sorted.
-    fn ancestors(&self, u: NodeId) -> Vec<NodeId>;
+    fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.ancestors_into(u, &mut out);
+        out
+    }
+
+    /// All descendants of `u` (including `u`), sorted + deduped into the
+    /// caller's buffer — reuse the buffer across calls to keep enumeration
+    /// allocation-free. The default expands `{u} ∪ Lout(u)` through the
+    /// inverted `inv_in` lists.
+    fn descendants_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(u);
+        out.extend_from_slice(self.holders_in_row(u));
+        for &c in self.lout_row(u) {
+            out.push(c);
+            out.extend_from_slice(self.holders_in_row(c));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// All ancestors of `u` (including `u`), sorted + deduped into the
+    /// caller's buffer; mirror of [`LabelSource::descendants_into`].
+    fn ancestors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(u);
+        out.extend_from_slice(self.holders_out_row(u));
+        for &c in self.lin_row(u) {
+            out.push(c);
+            out.extend_from_slice(self.holders_out_row(c));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
 
     /// Is any source connected to `target`, excluding the reflexive
     /// `source == target` probe? The probing side of a `//` step;
@@ -37,6 +145,34 @@ impl LabelSource for crate::TwoHopCover {
         crate::TwoHopCover::connected(self, u, v)
     }
 
+    fn num_nodes(&self) -> usize {
+        crate::TwoHopCover::num_nodes(self)
+    }
+
+    fn lin_row(&self, v: NodeId) -> &[NodeId] {
+        self.lin(v)
+    }
+
+    fn lout_row(&self, v: NodeId) -> &[NodeId] {
+        self.lout(v)
+    }
+
+    fn holders_in_row(&self, c: NodeId) -> &[NodeId] {
+        self.holders_in(c)
+    }
+
+    fn holders_out_row(&self, c: NodeId) -> &[NodeId] {
+        self.holders_out(c)
+    }
+
+    fn cover_stats(&self) -> CoverStats {
+        CoverStats {
+            nodes: crate::TwoHopCover::num_nodes(self),
+            lin_entries: self.lin_entry_count(),
+            lout_entries: self.lout_entry_count(),
+        }
+    }
+
     fn descendants(&self, u: NodeId) -> Vec<NodeId> {
         crate::TwoHopCover::descendants(self, u)
     }
@@ -49,6 +185,30 @@ impl LabelSource for crate::TwoHopCover {
 impl LabelSource for crate::HopiIndex {
     fn connected(&self, u: NodeId, v: NodeId) -> bool {
         crate::HopiIndex::connected(self, u, v)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cover().num_nodes()
+    }
+
+    fn lin_row(&self, v: NodeId) -> &[NodeId] {
+        self.cover().lin(v)
+    }
+
+    fn lout_row(&self, v: NodeId) -> &[NodeId] {
+        self.cover().lout(v)
+    }
+
+    fn holders_in_row(&self, c: NodeId) -> &[NodeId] {
+        self.cover().holders_in(c)
+    }
+
+    fn holders_out_row(&self, c: NodeId) -> &[NodeId] {
+        self.cover().holders_out(c)
+    }
+
+    fn cover_stats(&self) -> CoverStats {
+        self.cover().cover_stats()
     }
 
     fn descendants(&self, u: NodeId) -> Vec<NodeId> {
@@ -65,12 +225,44 @@ impl<S: LabelSource + ?Sized> LabelSource for &S {
         (**self).connected(u, v)
     }
 
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn lin_row(&self, v: NodeId) -> &[NodeId] {
+        (**self).lin_row(v)
+    }
+
+    fn lout_row(&self, v: NodeId) -> &[NodeId] {
+        (**self).lout_row(v)
+    }
+
+    fn holders_in_row(&self, c: NodeId) -> &[NodeId] {
+        (**self).holders_in_row(c)
+    }
+
+    fn holders_out_row(&self, c: NodeId) -> &[NodeId] {
+        (**self).holders_out_row(c)
+    }
+
+    fn cover_stats(&self) -> CoverStats {
+        (**self).cover_stats()
+    }
+
     fn descendants(&self, u: NodeId) -> Vec<NodeId> {
         (**self).descendants(u)
     }
 
     fn ancestors(&self, u: NodeId) -> Vec<NodeId> {
         (**self).ancestors(u)
+    }
+
+    fn descendants_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        (**self).descendants_into(u, out)
+    }
+
+    fn ancestors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        (**self).ancestors_into(u, out)
     }
 
     fn connected_from_any(&self, sources: &[NodeId], target: NodeId) -> bool {
@@ -104,5 +296,37 @@ mod tests {
         assert_eq!(probe(&index), expect);
         assert_eq!(probe(&frozen), expect);
         assert_eq!(probe(&&frozen), expect);
+    }
+
+    #[test]
+    fn rows_and_stats_agree_across_representations() {
+        let mut cover = TwoHopCover::with_nodes(4);
+        cover.add_out(0, 1);
+        cover.add_out(3, 1);
+        cover.add_in(2, 1);
+        let frozen = FrozenCover::from_cover(&cover);
+        let index = HopiIndex::from_cover(cover.clone());
+        let expect = CoverStats {
+            nodes: 4,
+            lin_entries: 1,
+            lout_entries: 2,
+        };
+        assert_eq!(cover.cover_stats(), expect);
+        assert_eq!(index.cover_stats(), expect);
+        assert_eq!(frozen.cover_stats(), expect);
+        for v in 0..5u32 {
+            assert_eq!(LabelSource::lin_row(&cover, v), frozen.lin_row(v), "{v}");
+            assert_eq!(LabelSource::lout_row(&cover, v), frozen.lout_row(v));
+            let mut mutable_holders = cover.holders_in_row(v).to_vec();
+            mutable_holders.sort_unstable();
+            assert_eq!(mutable_holders, frozen.holders_in_row(v));
+            let mut buf = Vec::new();
+            LabelSource::descendants_into(&cover, v, &mut buf);
+            assert_eq!(buf, frozen.descendants(v), "descendants_into {v}");
+            LabelSource::ancestors_into(&index, v, &mut buf);
+            assert_eq!(buf, frozen.ancestors(v), "ancestors_into {v}");
+        }
+        assert_eq!(expect.avg_lin(), 0.25);
+        assert_eq!(expect.avg_inv_out(), 0.5);
     }
 }

@@ -3,9 +3,16 @@
 //! * `/tag` steps walk the element-level **tree** (XPath child axis).
 //! * `//tag` steps use the **connection axis**: all elements reachable over
 //!   one or more tree or link edges — the query class HOPI exists for. Each
-//!   `//` step is answered from the 2-hop cover, either by probing
-//!   candidate pairs (`Lout ∩ Lin` intersections) or by enumerating
-//!   descendant sets, whichever side is cheaper.
+//!   `//` step is answered from the 2-hop cover by one of four physical
+//!   strategies (pairwise probes, per-node enumeration, or a forward /
+//!   backward set-at-a-time **hop join** over the inverted center rows),
+//!   chosen per step by the cost-based planner in [`crate::plan`]. All
+//!   strategies return the same sorted, deduplicated answer.
+//!
+//! Evaluation threads reusable scratch (generation-stamped mark tables,
+//! center sets, enumeration buffers) through an [`Evaluator`], so
+//! steady-state `//` steps allocate nothing; [`evaluate_with`] runs on a
+//! per-thread evaluator, which is what the frozen serving path uses.
 //!
 //! Following XPath, `a//b` never returns the context node itself for
 //! `a == b` (the 2-hop cover cannot distinguish a reflexive hit from a
@@ -13,10 +20,11 @@
 //! document data).
 
 use crate::expr::{parse_path, Axis, ParseError, PathExpr};
+use crate::plan::{plan_connection_step, QueryPlanReport, StepReport, Strategy};
 use crate::tag_index::TagIndex;
 use hopi_core::{HopiIndex, LabelSource};
 use hopi_xml::{Collection, ElemId};
-use rustc_hash::FxHashSet;
+use std::cell::RefCell;
 
 /// Evaluation error (currently only malformed expressions via
 /// [`evaluate_str`]).
@@ -42,20 +50,26 @@ impl From<ParseError> for EvalError {
     }
 }
 
-/// Tunables of set-at-a-time evaluation.
+/// Tunables of set-at-a-time evaluation. Neither knob changes answers —
+/// they pick execution plans.
 #[derive(Clone, Copy, Debug)]
 pub struct EvalOptions {
-    /// Above this candidate-probe count (`|current| × |candidates|`), a `//`
-    /// step switches from pairwise reachability probes to descendant-set
-    /// enumeration. Small budgets favor enumeration, large budgets favor
-    /// per-pair `LIN ⋈ LOUT` probes.
+    /// Planner shortcut: at or under this many candidate probes
+    /// (`|context| × |candidates|`) a `//` step stays on pairwise
+    /// reachability probes without pricing the alternatives. Above it the
+    /// step is planned cost-based across all four strategies
+    /// (`usize::MAX` therefore pins pairwise probes everywhere).
     pub probe_budget: usize,
+    /// Pins one strategy on every `//` step (`None` = cost-based
+    /// planning). Test and diagnostics hook.
+    pub force_strategy: Option<Strategy>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             probe_budget: 4_096,
+            force_strategy: None,
         }
     }
 }
@@ -84,8 +98,9 @@ pub fn evaluate<S: LabelSource>(
     evaluate_with(collection, index, tags, expr, &EvalOptions::default())
 }
 
-/// Evaluates a parsed path expression under explicit options (see
-/// [`evaluate`] for the index abstraction).
+/// Evaluates a parsed path expression under explicit options, on this
+/// thread's reusable [`Evaluator`] (see [`evaluate`] for the index
+/// abstraction).
 pub fn evaluate_with<S: LabelSource>(
     collection: &Collection,
     index: &S,
@@ -93,24 +108,276 @@ pub fn evaluate_with<S: LabelSource>(
     expr: &PathExpr,
     options: &EvalOptions,
 ) -> Vec<ElemId> {
-    let mut current = seed(collection, tags, expr);
-    for step in &expr.steps[1..] {
-        current = match step.axis {
-            Axis::Child => child_step(collection, &current, step.tag.as_deref()),
-            Axis::Connection => connection_step(
-                collection,
-                index,
-                tags,
-                &current,
-                step.tag.as_deref(),
-                options,
-            ),
-        };
-        if current.is_empty() {
-            break;
+    with_thread_evaluator(|ev| ev.evaluate(collection, index, tags, expr, options))
+}
+
+/// Evaluates with an EXPLAIN-style per-step plan report alongside the
+/// answer (same answer as [`evaluate_with`]).
+pub fn evaluate_explained<S: LabelSource>(
+    collection: &Collection,
+    index: &S,
+    tags: &TagIndex,
+    expr: &PathExpr,
+    options: &EvalOptions,
+) -> (Vec<ElemId>, QueryPlanReport) {
+    with_thread_evaluator(|ev| ev.evaluate_explained(collection, index, tags, expr, options))
+}
+
+thread_local! {
+    static THREAD_EVALUATOR: RefCell<Evaluator> = RefCell::new(Evaluator::new());
+}
+
+/// Runs `f` with this thread's reusable [`Evaluator`]. Scratch buffers
+/// persist across calls, so steady-state serving (one evaluator per
+/// worker thread) evaluates `//` steps without allocating. Re-entrant
+/// calls (evaluating from inside the closure) fall back to a fresh
+/// evaluator instead of panicking on the thread-local borrow.
+pub fn with_thread_evaluator<R>(f: impl FnOnce(&mut Evaluator) -> R) -> R {
+    THREAD_EVALUATOR.with(|ev| match ev.try_borrow_mut() {
+        Ok(mut ev) => f(&mut ev),
+        Err(_) => f(&mut Evaluator::new()),
+    })
+}
+
+/// Sentinel owner meaning "two or more distinct context nodes contributed
+/// this center" (a real contributor id never reaches `u32::MAX`: covers
+/// are capped far below it).
+const MANY: ElemId = ElemId::MAX;
+
+/// A generation-stamped node set: `O(1)` clear (bump the generation),
+/// `O(1)` insert/lookup, no per-step allocation once grown.
+#[derive(Default)]
+struct StampSet {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl StampSet {
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, v: ElemId) {
+        if let Some(slot) = self.stamp.get_mut(v as usize) {
+            *slot = self.gen;
         }
     }
-    current
+
+    #[inline]
+    fn is_marked(&self, v: ElemId) -> bool {
+        self.stamp.get(v as usize).is_some_and(|&s| s == self.gen)
+    }
+}
+
+/// Reusable per-step scratch: mark tables, the center set with
+/// contribution ownership, and the enumeration buffer.
+#[derive(Default)]
+struct Scratch {
+    /// Result-side marks (reached nodes / context membership).
+    mark: StampSet,
+    /// Center-set membership for the forward hop join.
+    center: StampSet,
+    /// Parallel to `center`: the single contributing context node, or
+    /// [`MANY`]. Lets a context node inside the candidate set exclude the
+    /// centers only it contributed (the `u != t` XPath rule) without
+    /// falling back to pairwise probes.
+    center_owner: Vec<ElemId>,
+    /// The distinct centers of the current step, in discovery order.
+    centers: Vec<ElemId>,
+    /// `descendants_into` buffer for the enumeration strategy.
+    desc_buf: Vec<ElemId>,
+}
+
+impl Scratch {
+    fn begin_centers(&mut self, n: usize) {
+        self.center.begin(n);
+        if self.center_owner.len() < n {
+            self.center_owner.resize(n, 0);
+        }
+        self.centers.clear();
+    }
+
+    #[inline]
+    fn add_center(&mut self, c: ElemId, source: ElemId) {
+        let Some(slot) = self.center.stamp.get_mut(c as usize) else {
+            return;
+        };
+        if *slot == self.center.gen {
+            if self.center_owner[c as usize] != source {
+                self.center_owner[c as usize] = MANY;
+            }
+        } else {
+            *slot = self.center.gen;
+            self.center_owner[c as usize] = source;
+            self.centers.push(c);
+        }
+    }
+
+    /// Is `c` a center contributed by some context node other than `t`?
+    #[inline]
+    fn center_witness(&self, c: ElemId, t: ElemId) -> bool {
+        self.center.is_marked(c) && self.center_owner[c as usize] != t
+    }
+}
+
+/// Reusable evaluation state: scratch buffers plus the per-run strategy
+/// tally. One evaluator per thread keeps steady-state `//` steps
+/// allocation-free; [`with_thread_evaluator`] manages that for you.
+#[derive(Default)]
+pub struct Evaluator {
+    scratch: Scratch,
+    /// Wildcard candidate buffer (kept apart from `scratch` so a borrowed
+    /// candidate slice can coexist with mutable scratch access).
+    cand_buf: Vec<ElemId>,
+    /// Double-buffer for the step pipeline.
+    next_buf: Vec<ElemId>,
+    /// Strategy executions of the most recent run, [`Strategy`]-indexed.
+    counts: [u64; 4],
+}
+
+impl Evaluator {
+    /// A fresh evaluator with empty scratch.
+    pub fn new() -> Self {
+        Evaluator::default()
+    }
+
+    /// Evaluates a parsed expression. Same contract as the free
+    /// [`evaluate_with`], but scratch lives in `self`.
+    pub fn evaluate<S: LabelSource>(
+        &mut self,
+        collection: &Collection,
+        index: &S,
+        tags: &TagIndex,
+        expr: &PathExpr,
+        options: &EvalOptions,
+    ) -> Vec<ElemId> {
+        self.run(collection, index, tags, expr, options, None)
+    }
+
+    /// Evaluates with an EXPLAIN-style per-step plan report.
+    pub fn evaluate_explained<S: LabelSource>(
+        &mut self,
+        collection: &Collection,
+        index: &S,
+        tags: &TagIndex,
+        expr: &PathExpr,
+        options: &EvalOptions,
+    ) -> (Vec<ElemId>, QueryPlanReport) {
+        let mut report = QueryPlanReport::default();
+        let out = self.run(collection, index, tags, expr, options, Some(&mut report));
+        (out, report)
+    }
+
+    /// Per-strategy `//`-step executions of the most recent run — what the
+    /// serving layer folds into its shared
+    /// [`PlanCounters`](crate::plan::PlanCounters).
+    pub fn strategy_counts(&self) -> crate::plan::PlanCounts {
+        crate::plan::PlanCounts::from_cells(self.counts)
+    }
+
+    fn run<S: LabelSource>(
+        &mut self,
+        collection: &Collection,
+        index: &S,
+        tags: &TagIndex,
+        expr: &PathExpr,
+        options: &EvalOptions,
+        mut report: Option<&mut QueryPlanReport>,
+    ) -> Vec<ElemId> {
+        self.counts = [0; 4];
+        // Stamp tables must span every id either side can produce.
+        let bound = collection.elem_id_bound().max(index.num_nodes());
+        let stats = index.cover_stats();
+        let mut current = seed(collection, tags, expr);
+        if let Some(rep) = report.as_deref_mut() {
+            rep.steps.push(StepReport {
+                step: 0,
+                axis: expr.steps[0].axis,
+                input: 0,
+                candidates: 0,
+                output: current.len(),
+                plan: None,
+            });
+        }
+        for (step_idx, step) in expr.steps.iter().enumerate().skip(1) {
+            if current.is_empty() {
+                break;
+            }
+            let input = current.len();
+            let mut next = std::mem::take(&mut self.next_buf);
+            next.clear();
+            let mut cand_len = 0;
+            let plan = match step.axis {
+                Axis::Child => {
+                    child_step(collection, &current, step.tag.as_deref(), &mut next);
+                    None
+                }
+                Axis::Connection => {
+                    let cands: &[ElemId] = match step.tag.as_deref() {
+                        Some(t) => tags.elements(t),
+                        None => {
+                            wildcard_candidates(collection, &mut self.cand_buf);
+                            &self.cand_buf
+                        }
+                    };
+                    cand_len = cands.len();
+                    if cands.is_empty() {
+                        None
+                    } else {
+                        let lout_total: usize =
+                            current.iter().map(|&u| index.lout_row(u).len()).sum();
+                        let plan = plan_connection_step(
+                            &stats,
+                            current.len(),
+                            lout_total,
+                            cands.len(),
+                            options.probe_budget,
+                            options.force_strategy,
+                        );
+                        self.counts[plan.strategy.index()] += 1;
+                        let sc = &mut self.scratch;
+                        match plan.strategy {
+                            Strategy::PairwiseProbe => {
+                                step_pairwise(index, &current, cands, &mut next)
+                            }
+                            Strategy::Enumerate => {
+                                step_enumerate(index, sc, bound, &current, cands, &mut next)
+                            }
+                            Strategy::ForwardHopJoin => {
+                                step_forward_hop_join(index, sc, bound, &current, cands, &mut next)
+                            }
+                            Strategy::BackwardHopJoin => {
+                                step_backward_hop_join(index, sc, bound, &current, cands, &mut next)
+                            }
+                        }
+                        Some(plan)
+                    }
+                }
+            };
+            debug_assert!(next.windows(2).all(|w| w[0] < w[1]), "sorted+deduped");
+            if let Some(rep) = report.as_deref_mut() {
+                rep.steps.push(StepReport {
+                    step: step_idx,
+                    axis: step.axis,
+                    input,
+                    candidates: cand_len,
+                    output: next.len(),
+                    plan,
+                });
+            }
+            // Keep the outgoing buffer for the next step / next query.
+            self.next_buf = std::mem::replace(&mut current, next);
+        }
+        current
+    }
 }
 
 /// Seeds the first step: document roots for `/`, anywhere for `//`.
@@ -118,33 +385,40 @@ fn seed(collection: &Collection, tags: &TagIndex, expr: &PathExpr) -> Vec<ElemId
     let first = &expr.steps[0];
     match first.axis {
         Axis::Child => {
-            let mut out: Vec<ElemId> = collection
+            // Document ids are never reused and id ranges grow
+            // monotonically, so visiting live docs in order emits sorted
+            // root ids.
+            let out: Vec<ElemId> = collection
                 .doc_ids()
                 .map(|d| collection.global_id(d, 0))
                 .filter(|&root| matches_tag(collection, tags, root, first.tag.as_deref()))
                 .collect();
-            out.sort_unstable();
+            debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
             out
         }
-        Axis::Connection => candidates(collection, tags, first.tag.as_deref()),
+        Axis::Connection => match first.tag.as_deref() {
+            Some(t) => tags.elements(t).to_vec(),
+            None => {
+                let mut out = Vec::new();
+                wildcard_candidates(collection, &mut out);
+                out
+            }
+        },
     }
 }
 
-/// All elements matching a node test, sorted.
-fn candidates(collection: &Collection, tags: &TagIndex, tag: Option<&str>) -> Vec<ElemId> {
-    match tag {
-        Some(t) => tags.elements(t).to_vec(),
-        None => {
-            let mut out = Vec::with_capacity(collection.element_count());
-            for d in collection.doc_ids() {
-                let base = collection.global_id(d, 0);
-                let len = collection.document(d).expect("live doc").len() as u32;
-                out.extend(base..base + len);
-            }
-            out.sort_unstable();
-            out
-        }
+/// All live element ids, sorted, into a reused buffer. Document id ranges
+/// are allocated in ascending order and never reused, so per-doc ranges
+/// concatenate already sorted — no sort pass.
+fn wildcard_candidates(collection: &Collection, out: &mut Vec<ElemId>) {
+    out.clear();
+    out.reserve(collection.element_count());
+    for d in collection.doc_ids() {
+        let base = collection.global_id(d, 0);
+        let len = collection.document(d).expect("live doc").len() as u32;
+        out.extend(base..base + len);
     }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
 }
 
 fn matches_tag(collection: &Collection, tags: &TagIndex, e: ElemId, tag: Option<&str>) -> bool {
@@ -158,9 +432,16 @@ fn matches_tag(collection: &Collection, tags: &TagIndex, e: ElemId, tag: Option<
     }
 }
 
-/// `/tag`: tree children of the current set.
-fn child_step(collection: &Collection, current: &[ElemId], tag: Option<&str>) -> Vec<ElemId> {
-    let mut out: FxHashSet<ElemId> = FxHashSet::default();
+/// `/tag`: tree children of the current set, sorted + deduped into the
+/// reused output buffer (children of distinct parents are distinct, but a
+/// sort is still needed: parents are visited in global-id order while
+/// children land at per-document offsets).
+fn child_step(
+    collection: &Collection,
+    current: &[ElemId],
+    tag: Option<&str>,
+    out: &mut Vec<ElemId>,
+) {
     for &u in current {
         let Some((d, local)) = collection.to_local(u) else {
             continue;
@@ -169,64 +450,146 @@ fn child_step(collection: &Collection, current: &[ElemId], tag: Option<&str>) ->
         let base = collection.global_id(d, 0);
         for &c in &doc.element(local).children {
             if tag.is_none_or(|t| doc.element(c).tag == t) {
-                out.insert(base + c);
+                out.push(base + c);
             }
         }
     }
-    let mut v: Vec<ElemId> = out.into_iter().collect();
-    v.sort_unstable();
-    v
+    out.sort_unstable();
+    out.dedup();
 }
 
-/// `//tag`: connection-axis step via the index. Both strategies return the
-/// same sorted, deduplicated set — the `probe_budget` picks an execution
-/// plan, never an answer.
-fn connection_step<S: LabelSource>(
-    collection: &Collection,
+/// Pairwise probes (the paper's per-pair `LIN ⋈ LOUT` query): each
+/// candidate is tested against the context set; `connected_from_any`
+/// already excludes the reflexive `u == t` probe.
+fn step_pairwise<S: LabelSource>(
     index: &S,
-    tags: &TagIndex,
     current: &[ElemId],
-    tag: Option<&str>,
-    options: &EvalOptions,
-) -> Vec<ElemId> {
-    let cands = candidates(collection, tags, tag);
-    if cands.is_empty() || current.is_empty() {
-        return Vec::new();
-    }
-    if current.len().saturating_mul(cands.len()) <= options.probe_budget {
-        // Pairwise probes (the paper's per-pair LIN⋈LOUT query).
-        let mut out: Vec<ElemId> = cands
+    cands: &[ElemId],
+    out: &mut Vec<ElemId>,
+) {
+    out.extend(
+        cands
             .iter()
             .copied()
-            .filter(|&t| index.connected_from_any(current, t))
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    } else {
-        // Descendant-set enumeration: union of descendants of the (smaller)
-        // current set, intersected with the candidates.
-        let mut reach: FxHashSet<ElemId> = FxHashSet::default();
-        for &u in current {
-            for v in index.descendants(u) {
-                if v != u {
-                    reach.insert(v);
-                }
+            .filter(|&t| index.connected_from_any(current, t)),
+    );
+}
+
+/// Descendant-set enumeration: mark the closure of every context node
+/// (buffer-reusing `descendants_into`, no hashing), then filter the
+/// candidates through the marks.
+fn step_enumerate<S: LabelSource>(
+    index: &S,
+    sc: &mut Scratch,
+    bound: usize,
+    current: &[ElemId],
+    cands: &[ElemId],
+    out: &mut Vec<ElemId>,
+) {
+    sc.mark.begin(bound);
+    for &u in current {
+        index.descendants_into(u, &mut sc.desc_buf);
+        for &v in &sc.desc_buf {
+            if v != u {
+                sc.mark.mark(v);
             }
         }
-        // A node in `current` may still be reachable from *another* current
-        // node; the u != v filter above already allows that.
-        let mut out: Vec<ElemId> = cands.into_iter().filter(|t| reach.contains(t)).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    }
+    out.extend(cands.iter().copied().filter(|&t| sc.mark.is_marked(t)));
+}
+
+/// Forward (descendant-side) hop join, center-at-a-time: build the
+/// deduplicated center set `C = ⋃_u ({u} ∪ Lout(u))` over the context
+/// set, mark `⋃_{c ∈ C} ({c} ∪ inv_in(c))` — every node some context node
+/// reaches — then filter the candidates through the marks. Linear in
+/// total label size instead of quadratic in set sizes.
+///
+/// Context nodes that are themselves candidates need the XPath `u != t`
+/// exclusion: for those, the centers are checked with contribution
+/// ownership (a center contributed *only* by `t` cannot witness `t`).
+fn step_forward_hop_join<S: LabelSource>(
+    index: &S,
+    sc: &mut Scratch,
+    bound: usize,
+    current: &[ElemId],
+    cands: &[ElemId],
+    out: &mut Vec<ElemId>,
+) {
+    sc.begin_centers(bound);
+    for &u in current {
+        sc.add_center(u, u);
+        for &c in index.lout_row(u) {
+            sc.add_center(c, u);
+        }
+    }
+    sc.mark.begin(bound);
+    for &c in &sc.centers {
+        sc.mark.mark(c);
+        for &v in index.holders_in_row(c) {
+            sc.mark.mark(v);
+        }
+    }
+    // Both sets are sorted: a merge walk finds the candidates that are
+    // also context nodes.
+    let mut ci = 0usize;
+    for &t in cands {
+        while ci < current.len() && current[ci] < t {
+            ci += 1;
+        }
+        let hit = if ci < current.len() && current[ci] == t {
+            sc.center_witness(t, t) || index.lin_row(t).iter().any(|&c| sc.center_witness(c, t))
+        } else {
+            sc.mark.is_marked(t)
+        };
+        if hit {
+            out.push(t);
+        }
+    }
+}
+
+/// Backward (ancestor-side) hop join: stamp the context set, then scan
+/// each candidate's ancestor rows — `inv_out(t)`, and `{d} ∪ inv_out(d)`
+/// for `d ∈ Lin(t)` — for a stamped node, with early exit. Wins when the
+/// candidate side is much smaller than the forward expansion.
+fn step_backward_hop_join<S: LabelSource>(
+    index: &S,
+    sc: &mut Scratch,
+    bound: usize,
+    current: &[ElemId],
+    cands: &[ElemId],
+    out: &mut Vec<ElemId>,
+) {
+    sc.mark.begin(bound);
+    for &u in current {
+        sc.mark.mark(u);
+    }
+    for &t in cands {
+        // Label rows never contain self entries, so holders of `t` and
+        // centers in `Lin(t)` are `!= t` by construction; only the inner
+        // holder lists can surface `t` itself.
+        let hit = index
+            .holders_out_row(t)
+            .iter()
+            .any(|&u| sc.mark.is_marked(u))
+            || index.lin_row(t).iter().any(|&d| {
+                sc.mark.is_marked(d)
+                    || index
+                        .holders_out_row(d)
+                        .iter()
+                        .any(|&u| u != t && sc.mark.is_marked(u))
+            });
+        if hit {
+            out.push(t);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hopi_core::FrozenCover;
     use hopi_partition::{build_index, BuildConfig};
+    use hopi_xml::generator::{random_collection, RandomConfig};
     use hopi_xml::parser::parse_collection;
 
     fn fixture() -> (Collection, HopiIndex, TagIndex) {
@@ -261,6 +624,14 @@ mod tests {
                 format!("{}:{}", c.document(d).unwrap().name, l)
             })
             .collect()
+    }
+
+    /// Options pinning one strategy on every `//` step.
+    fn forced(strategy: Strategy) -> EvalOptions {
+        EvalOptions {
+            force_strategy: Some(strategy),
+            ..EvalOptions::default()
+        }
     }
 
     #[test]
@@ -310,9 +681,12 @@ mod tests {
         let (c, i, t) = fixture();
         // //book//book: no book reaches another book here except via…
         // lib books don't reach annex book (link hangs off library, not
-        // book), so the result is empty.
-        let r = evaluate_str(&c, &i, &t, "//book//book").unwrap();
-        assert!(r.is_empty(), "{:?}", names(&c, &r));
+        // book), so the result is empty — under every strategy.
+        for strategy in Strategy::ALL {
+            let expr = parse_path("//book//book").unwrap();
+            let r = evaluate_with(&c, &i, &t, &expr, &forced(strategy));
+            assert!(r.is_empty(), "{strategy}: {:?}", names(&c, &r));
+        }
     }
 
     #[test]
@@ -322,20 +696,27 @@ mod tests {
             let expr = parse_path(query).unwrap();
             let default = evaluate(&c, &i, &t, &expr);
             for probe_budget in [0, 1, usize::MAX] {
-                let tuned = evaluate_with(&c, &i, &t, &expr, &EvalOptions { probe_budget });
+                let tuned = evaluate_with(
+                    &c,
+                    &i,
+                    &t,
+                    &expr,
+                    &EvalOptions {
+                        probe_budget,
+                        ..EvalOptions::default()
+                    },
+                );
                 assert_eq!(tuned, default, "budget {probe_budget} on {query}");
             }
         }
     }
 
+    /// All four forced strategies, the planner default, and the BFS
+    /// oracle agree on random cyclic collections — mutable and frozen.
     #[test]
-    fn both_branches_return_sorted_deduped_results() {
-        // Budget 0 forces descendant-set enumeration on every `//` step;
-        // usize::MAX forces pairwise probes. The answers must be the same
-        // sorted, deduplicated set — including on multi-step queries whose
-        // intermediate context sets feed the next step.
-        use hopi_xml::generator::{random_collection, RandomConfig};
-        for seed in [2u64, 13, 21] {
+    fn all_strategies_agree_with_oracle_on_cyclic_collections() {
+        use hopi_graph::traversal::is_reachable;
+        for seed in [1u64, 2, 5, 9, 13, 21] {
             let c = random_collection(&RandomConfig {
                 num_docs: 10,
                 elements_range: (4, 9),
@@ -345,35 +726,74 @@ mod tests {
                 seed,
             });
             let (index, _) = build_index(&c, &BuildConfig::default());
+            let frozen = FrozenCover::from_cover(index.cover());
             let tags = TagIndex::build(&c);
-            for query in ["//root//e2", "//e1//e4//e0", "//root//*", "//e3//e3"] {
+            let g = c.element_graph();
+            for query in [
+                "//root//e2",
+                "//e1//e4//e0",
+                "//root//*",
+                "//e3//e3",
+                "//*//e1",
+            ] {
                 let expr = parse_path(query).unwrap();
-                let enumerated =
-                    evaluate_with(&c, &index, &tags, &expr, &EvalOptions { probe_budget: 0 });
-                let probed = evaluate_with(
-                    &c,
-                    &index,
-                    &tags,
-                    &expr,
-                    &EvalOptions {
-                        probe_budget: usize::MAX,
-                    },
-                );
-                assert_eq!(probed, enumerated, "seed {seed} query {query}");
-                let mut sorted = probed.clone();
-                sorted.sort_unstable();
-                sorted.dedup();
-                assert_eq!(
-                    probed, sorted,
-                    "seed {seed} query {query}: not sorted+deduped"
-                );
+                let baseline = evaluate(&c, &index, &tags, &expr);
+                // Oracle for the last step of two-step expressions; deeper
+                // expressions are cross-checked between strategies only.
+                for strategy in Strategy::ALL {
+                    let options = forced(strategy);
+                    let mutable = evaluate_with(&c, &index, &tags, &expr, &options);
+                    let frozen_r = evaluate_with(&c, &frozen, &tags, &expr, &options);
+                    assert_eq!(mutable, baseline, "seed {seed} {query} {strategy} mutable");
+                    assert_eq!(frozen_r, baseline, "seed {seed} {query} {strategy} frozen");
+                    let mut sorted = mutable.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(mutable, sorted, "seed {seed} {query} {strategy} not sorted");
+                }
+            }
+            // Direct oracle check on //root//TAG shapes.
+            for target_tag in ["e0", "e3", "e7"] {
+                let expr = parse_path(&format!("//root//{target_tag}")).unwrap();
+                let roots = tags.elements("root");
+                let mut expect: Vec<ElemId> = tags
+                    .elements(target_tag)
+                    .iter()
+                    .copied()
+                    .filter(|&t| roots.iter().any(|&r| r != t && is_reachable(&g, r, t)))
+                    .collect();
+                expect.sort_unstable();
+                for strategy in Strategy::ALL {
+                    let got = evaluate_with(&c, &index, &tags, &expr, &forced(strategy));
+                    assert_eq!(got, expect, "seed {seed} tag {target_tag} {strategy}");
+                }
             }
         }
     }
 
     #[test]
+    fn self_reaching_context_nodes_need_a_foreign_witness() {
+        // Two docs with the same root tag, one linking into the other:
+        // //r//r must return the linked-to root (reached by the *other*
+        // root) but not the linking root (reached by nobody) — the owner
+        // tracking of the forward join, under every strategy.
+        let c = parse_collection([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", r#"<r><s/></r>"#),
+        ])
+        .unwrap();
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let tags = TagIndex::build(&c);
+        let b_root = c.resolve_ref("b", "").unwrap();
+        let expr = parse_path("//r//r").unwrap();
+        for strategy in Strategy::ALL {
+            let r = evaluate_with(&c, &index, &tags, &expr, &forced(strategy));
+            assert_eq!(r, vec![b_root], "{strategy}");
+        }
+    }
+
+    #[test]
     fn frozen_cover_answers_match_live_index() {
-        use hopi_core::FrozenCover;
         let (c, i, t) = fixture();
         let frozen = FrozenCover::from_cover(i.cover());
         for query in [
@@ -384,12 +804,12 @@ mod tests {
             "/library/shelf/book",
         ] {
             let expr = parse_path(query).unwrap();
-            for probe_budget in [0, usize::MAX] {
-                let options = EvalOptions { probe_budget };
+            for strategy in Strategy::ALL {
+                let options = forced(strategy);
                 assert_eq!(
                     evaluate_with(&c, &frozen, &t, &expr, &options),
                     evaluate_with(&c, &i, &t, &expr, &options),
-                    "budget {probe_budget} on {query}"
+                    "{strategy} on {query}"
                 );
             }
         }
@@ -405,37 +825,55 @@ mod tests {
     }
 
     #[test]
-    fn probe_and_enumerate_strategies_agree() {
-        // Force both strategies on the same data by varying the budget via
-        // candidate sizes: compare against a naive oracle.
-        use hopi_graph::traversal::is_reachable;
-        use hopi_xml::generator::{random_collection, RandomConfig};
-        for seed in [1u64, 5, 9] {
-            let c = random_collection(&RandomConfig {
-                num_docs: 8,
-                elements_range: (3, 8),
-                num_links: 12,
-                num_intra_links: 4,
-                allow_cycles: true,
-                seed,
-            });
-            let (index, _) = build_index(&c, &BuildConfig::default());
-            let tags = TagIndex::build(&c);
-            let g = c.element_graph();
-            // //root//e3 — oracle via BFS.
-            for target_tag in ["e0", "e3", "e7"] {
-                let got =
-                    evaluate_str(&c, &index, &tags, &format!("//root//{target_tag}")).unwrap();
-                let roots = tags.elements("root");
-                let mut expect: Vec<ElemId> = tags
-                    .elements(target_tag)
-                    .iter()
-                    .copied()
-                    .filter(|&t| roots.iter().any(|&r| r != t && is_reachable(&g, r, t)))
-                    .collect();
-                expect.sort_unstable();
-                assert_eq!(got, expect, "seed {seed} tag {target_tag}");
+    fn evaluator_reuse_matches_fresh_evaluation() {
+        // One evaluator across many queries (the serving pattern) gives
+        // the same answers as fresh state per query.
+        let (c, i, t) = fixture();
+        let mut ev = Evaluator::new();
+        for _ in 0..3 {
+            for query in ["/library//author", "//book//author", "//box//*", "//book"] {
+                let expr = parse_path(query).unwrap();
+                let reused = ev.evaluate(&c, &i, &t, &expr, &EvalOptions::default());
+                let fresh = Evaluator::new().evaluate(&c, &i, &t, &expr, &EvalOptions::default());
+                assert_eq!(reused, fresh, "{query}");
             }
         }
+    }
+
+    #[test]
+    fn explain_reports_steps_and_counts() {
+        let (c, i, t) = fixture();
+        let expr = parse_path("//book//author").unwrap();
+        let options = EvalOptions {
+            probe_budget: 0,
+            ..EvalOptions::default()
+        };
+        let (result, report) = evaluate_explained(&c, &i, &t, &expr, &options);
+        assert_eq!(result, evaluate_with(&c, &i, &t, &expr, &options));
+        assert_eq!(report.steps.len(), 2);
+        assert!(report.steps[0].plan.is_none(), "seed has no plan");
+        let step = &report.steps[1];
+        assert_eq!(step.input, 3);
+        assert_eq!(step.output, result.len());
+        assert!(step.plan.is_some());
+        assert_eq!(report.strategy_counts().total(), 1);
+        let text = report.render(&expr);
+        assert!(text.contains("strategy="), "{text}");
+        assert!(text.contains("//author"), "{text}");
+    }
+
+    #[test]
+    fn strategy_counts_tally_connection_steps() {
+        let (c, i, t) = fixture();
+        let expr = parse_path("//library//book//author").unwrap();
+        let mut ev = Evaluator::new();
+        ev.evaluate(&c, &i, &t, &expr, &forced(Strategy::ForwardHopJoin));
+        let counts = ev.strategy_counts();
+        assert_eq!(counts.forward_hop_join, 2);
+        assert_eq!(counts.total(), 2);
+        // The tally resets per run.
+        ev.evaluate(&c, &i, &t, &expr, &forced(Strategy::BackwardHopJoin));
+        assert_eq!(ev.strategy_counts().forward_hop_join, 0);
+        assert_eq!(ev.strategy_counts().backward_hop_join, 2);
     }
 }

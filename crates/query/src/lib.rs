@@ -11,9 +11,14 @@
 //!   documents), tag tests and `*` wildcards.
 //! * [`tag_index`] — an inverted element-by-tag index used to seed and
 //!   filter step candidates.
-//! * [`eval`] — set-at-a-time evaluation against a [`hopi_core::HopiIndex`]
-//!   (each `//` step is a batch of 2-hop reachability probes, choosing the
-//!   cheaper probing direction).
+//! * [`eval`] — set-at-a-time evaluation against any
+//!   [`hopi_core::LabelSource`]: each `//` step runs one of four physical
+//!   strategies (pairwise probes, per-node enumeration, forward/backward
+//!   hop joins over the inverted center rows), with reusable scratch so
+//!   steady-state steps allocate nothing.
+//! * [`plan`] — the cost-based per-step planner behind those strategies,
+//!   plus EXPLAIN reports and the shared per-strategy execution counters
+//!   the serving layer exposes.
 //! * [`witness`] — EXPLAIN-style witness-path reconstruction for index
 //!   answers (and an index-vs-BFS cross-check).
 //! * [`ranking`] — distance-ranked evaluation against a
@@ -26,12 +31,17 @@
 
 pub mod eval;
 pub mod expr;
+pub mod plan;
 pub mod ranking;
 pub mod tag_index;
 pub mod witness;
 
-pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions};
+pub use eval::{
+    evaluate, evaluate_explained, evaluate_with, with_thread_evaluator, EvalError, EvalOptions,
+    Evaluator,
+};
 pub use expr::{parse_path, Axis, ParseError, PathExpr, Step};
+pub use plan::{PlanCounters, PlanCounts, QueryPlanReport, StepPlan, StepReport, Strategy};
 pub use ranking::{evaluate_ranked, RankedMatch};
 pub use tag_index::TagIndex;
 pub use witness::{verify_connection, witness_path, WitnessPath};

@@ -1,0 +1,494 @@
+//! Cost-based planning of `//` connection steps.
+//!
+//! A `//` step maps a sorted context set onto the candidate elements
+//! reachable from it. Four physical strategies produce the same answer
+//! (see `eval`):
+//!
+//! * **pairwise probe** — the paper's per-pair `LIN ⋈ LOUT` probe
+//!   (§3.4), O(|context| × |candidates|) probes; unbeatable when both
+//!   sides are tiny.
+//! * **enumerate** — per-context-node descendant enumeration through the
+//!   inverted lists, marking reached nodes; revisits shared centers once
+//!   per holder.
+//! * **forward hop join** — Cohen-style center-at-a-time evaluation: the
+//!   deduplicated center set `C = ⋃_u ({u} ∪ Lout(u))` is expanded once
+//!   through the `inv_in` holder lists, so the step is linear in total
+//!   label size instead of quadratic in set sizes.
+//! * **backward hop join** — the symmetric ancestor-side join: the
+//!   context set is stamped, then each candidate's `{v} ∪ Lin(v)` is
+//!   checked against `inv_out` holder lists with early exit; wins when
+//!   the candidate side is much smaller than the forward expansion.
+//!
+//! [`plan_connection_step`] prices all four from [`CoverStats`] averages
+//! plus the exact `Σ |Lout(u)|` of the context set (O(1) per node via the
+//! CSR row lengths) and picks the cheapest. Costs are abstract
+//! row-entry-touch counts — only their *order* matters.
+//!
+//! Execution is observable end to end: every evaluation tallies the
+//! chosen strategies ([`PlanCounts`], aggregated into shared
+//! [`PlanCounters`] by the serving layer, surfaced via `GET /stats` and
+//! `/metrics`), and explain mode ([`QueryPlanReport`]) records sizes,
+//! estimates, and the winner per step.
+
+use crate::expr::{Axis, PathExpr};
+use hopi_core::CoverStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How one `//` connection step is executed. All strategies return the
+/// same sorted, deduplicated answer — the planner picks a physical plan,
+/// never an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Per-candidate `Lout(u) ∩ Lin(v)` probes against the context set.
+    PairwiseProbe,
+    /// Per-context-node descendant-set enumeration.
+    Enumerate,
+    /// Set-at-a-time descendant-side hop join over `inv_in`.
+    ForwardHopJoin,
+    /// Set-at-a-time ancestor-side hop join over `inv_out`.
+    BackwardHopJoin,
+}
+
+impl Strategy {
+    /// All strategies, in counter/exposition order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::PairwiseProbe,
+        Strategy::Enumerate,
+        Strategy::ForwardHopJoin,
+        Strategy::BackwardHopJoin,
+    ];
+
+    /// Stable label used in metrics expositions and explain output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::PairwiseProbe => "pairwise_probe",
+            Strategy::Enumerate => "enumerate",
+            Strategy::ForwardHopJoin => "forward_hop_join",
+            Strategy::BackwardHopJoin => "backward_hop_join",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Strategy::PairwiseProbe => 0,
+            Strategy::Enumerate => 1,
+            Strategy::ForwardHopJoin => 2,
+            Strategy::BackwardHopJoin => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Estimated cost of every strategy for one step (abstract row-entry
+/// touches; comparable within a step only).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepCosts {
+    /// Pairwise-probe estimate.
+    pub pairwise: f64,
+    /// Enumeration estimate.
+    pub enumerate: f64,
+    /// Forward-hop-join estimate.
+    pub forward: f64,
+    /// Backward-hop-join estimate.
+    pub backward: f64,
+}
+
+impl StepCosts {
+    /// The estimate for one strategy.
+    pub fn get(&self, strategy: Strategy) -> f64 {
+        match strategy {
+            Strategy::PairwiseProbe => self.pairwise,
+            Strategy::Enumerate => self.enumerate,
+            Strategy::ForwardHopJoin => self.forward,
+            Strategy::BackwardHopJoin => self.backward,
+        }
+    }
+
+    fn cheapest(&self) -> Strategy {
+        let mut best = Strategy::PairwiseProbe;
+        for s in Strategy::ALL {
+            if self.get(s) < self.get(best) {
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// The plan chosen for one `//` step, with the inputs that led to it.
+#[derive(Clone, Copy, Debug)]
+pub struct StepPlan {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Per-strategy estimates (meaningless when `forced`).
+    pub costs: StepCosts,
+    /// `EvalOptions::force_strategy` override was in effect.
+    pub forced: bool,
+    /// The `probe_budget` shortcut fired (`|context| × |candidates|` under
+    /// budget picks pairwise probes without pricing the alternatives).
+    pub budget_shortcut: bool,
+}
+
+/// Prices the four strategies for one `//` step and picks the cheapest.
+///
+/// * `stats` — O(1) aggregate row statistics of the cover.
+/// * `current_len` / `cand_len` — the materialized set sizes.
+/// * `lout_total` — exact `Σ_{u ∈ context} |Lout(u)|` (the caller reads
+///   row lengths while it has the context set in hand).
+/// * `probe_budget` — compatibility shortcut: at or under this many
+///   candidate probes the step stays on pairwise probes unpriced.
+/// * `force` — test/CLI hook pinning one strategy.
+pub fn plan_connection_step(
+    stats: &CoverStats,
+    current_len: usize,
+    lout_total: usize,
+    cand_len: usize,
+    probe_budget: usize,
+    force: Option<Strategy>,
+) -> StepPlan {
+    let cur = current_len as f64;
+    let cand = cand_len as f64;
+    let avg_inv_in = stats.avg_inv_in();
+    let avg_inv_out = stats.avg_inv_out();
+    let avg_lin = stats.avg_lin();
+    let avg_lout = stats.avg_lout();
+
+    // One probe costs a signature check plus (on hits or filter misses) a
+    // bounded merge of two label rows.
+    let pairwise = cur * cand * (2.0 + (avg_lin + avg_lout) / 2.0);
+    // Enumeration expands every context node's centers through `inv_in`
+    // *without* cross-node center dedup, and re-sorts per node.
+    let enumerate = (cur + lout_total as f64) * (1.5 + avg_inv_in) + cand;
+    // The forward join expands each distinct center once; the center set
+    // is at most the summed Lout rows and at most every node.
+    let centers = ((current_len + lout_total) as f64).min(stats.nodes as f64);
+    let forward = cur + centers * (1.0 + avg_inv_in) + cand;
+    // The backward join stamps the context set, then walks each
+    // candidate's ancestor rows (early exit ignored — a conservative
+    // upper bound).
+    let backward = cur + cand * (2.0 + avg_lin * (1.0 + avg_inv_out) + avg_inv_out);
+
+    let costs = StepCosts {
+        pairwise,
+        enumerate,
+        forward,
+        backward,
+    };
+    if let Some(strategy) = force {
+        return StepPlan {
+            strategy,
+            costs,
+            forced: true,
+            budget_shortcut: false,
+        };
+    }
+    if current_len.saturating_mul(cand_len) <= probe_budget {
+        return StepPlan {
+            strategy: Strategy::PairwiseProbe,
+            costs,
+            forced: false,
+            budget_shortcut: true,
+        };
+    }
+    StepPlan {
+        strategy: costs.cheapest(),
+        costs,
+        forced: false,
+        budget_shortcut: false,
+    }
+}
+
+/// Point-in-time per-strategy execution totals (one cell per
+/// [`Strategy`], in [`Strategy::ALL`] order semantics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCounts {
+    /// `//` steps executed as pairwise probes.
+    pub pairwise_probe: u64,
+    /// Steps executed as per-node enumeration.
+    pub enumerate: u64,
+    /// Steps executed as forward hop joins.
+    pub forward_hop_join: u64,
+    /// Steps executed as backward hop joins.
+    pub backward_hop_join: u64,
+}
+
+impl PlanCounts {
+    /// Total `//` steps executed.
+    pub fn total(&self) -> u64 {
+        self.pairwise_probe + self.enumerate + self.forward_hop_join + self.backward_hop_join
+    }
+
+    /// The count for one strategy.
+    pub fn get(&self, strategy: Strategy) -> u64 {
+        match strategy {
+            Strategy::PairwiseProbe => self.pairwise_probe,
+            Strategy::Enumerate => self.enumerate,
+            Strategy::ForwardHopJoin => self.forward_hop_join,
+            Strategy::BackwardHopJoin => self.backward_hop_join,
+        }
+    }
+
+    /// `(label, count)` pairs in exposition order, for metrics renderers.
+    pub fn as_labeled(&self) -> [(&'static str, u64); 4] {
+        [
+            (Strategy::PairwiseProbe.label(), self.pairwise_probe),
+            (Strategy::Enumerate.label(), self.enumerate),
+            (Strategy::ForwardHopJoin.label(), self.forward_hop_join),
+            (Strategy::BackwardHopJoin.label(), self.backward_hop_join),
+        ]
+    }
+
+    pub(crate) fn from_cells(cells: [u64; 4]) -> Self {
+        PlanCounts {
+            pairwise_probe: cells[0],
+            enumerate: cells[1],
+            forward_hop_join: cells[2],
+            backward_hop_join: cells[3],
+        }
+    }
+}
+
+/// Shared, thread-safe per-strategy execution counters — the serving
+/// layer hangs one of these off the engine (behind an `Arc`) and folds
+/// every query's [`PlanCounts`] into it, so plan regressions show up in
+/// `GET /stats` and Prometheus `/metrics` instead of only in latency.
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    cells: [AtomicU64; 4],
+}
+
+impl PlanCounters {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        PlanCounters::default()
+    }
+
+    /// Records one executed step.
+    pub fn record(&self, strategy: Strategy) {
+        self.cells[strategy.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one query's tallies in (relaxed atomics; scrapes may be a
+    /// hair stale but never torn).
+    pub fn add(&self, counts: PlanCounts) {
+        for s in Strategy::ALL {
+            let n = counts.get(s);
+            if n != 0 {
+                self.cells[s.index()].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Point-in-time totals.
+    pub fn counts(&self) -> PlanCounts {
+        PlanCounts::from_cells([
+            self.cells[0].load(Ordering::Relaxed),
+            self.cells[1].load(Ordering::Relaxed),
+            self.cells[2].load(Ordering::Relaxed),
+            self.cells[3].load(Ordering::Relaxed),
+        ])
+    }
+}
+
+/// One step's record in an explained evaluation.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Step index within the expression (0 = the seed step).
+    pub step: usize,
+    /// The step's axis.
+    pub axis: Axis,
+    /// Context-set size going in (0 for the seed step).
+    pub input: usize,
+    /// Candidate-set size (connection steps only).
+    pub candidates: usize,
+    /// Result-set size coming out.
+    pub output: usize,
+    /// The chosen plan (connection steps only; `None` for seed and child
+    /// steps, which have a single implementation).
+    pub plan: Option<StepPlan>,
+}
+
+/// EXPLAIN output of one evaluation: per-step sizes, estimates, and the
+/// strategy that ran. Render it against the expression it came from with
+/// [`QueryPlanReport::render`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryPlanReport {
+    /// One record per executed step, in order. Evaluation short-circuits
+    /// on an empty context set, so this may be shorter than the
+    /// expression.
+    pub steps: Vec<StepReport>,
+}
+
+impl QueryPlanReport {
+    /// Tallies the executed strategies (what serving folds into
+    /// [`PlanCounters`]).
+    pub fn strategy_counts(&self) -> PlanCounts {
+        let mut cells = [0u64; 4];
+        for step in &self.steps {
+            if let Some(plan) = &step.plan {
+                cells[plan.strategy.index()] += 1;
+            }
+        }
+        PlanCounts::from_cells(cells)
+    }
+
+    /// Renders a human-readable plan, one line per step, labeling steps
+    /// with the expression they came from.
+    pub fn render(&self, expr: &PathExpr) -> String {
+        let mut out = String::new();
+        for report in &self.steps {
+            let step_src = expr
+                .steps
+                .get(report.step)
+                .map(|s| {
+                    format!(
+                        "{}{}",
+                        match s.axis {
+                            Axis::Child => "/",
+                            Axis::Connection => "//",
+                        },
+                        s.tag.as_deref().unwrap_or("*")
+                    )
+                })
+                .unwrap_or_default();
+            out.push_str(&format!("step {}  {:<16}", report.step, step_src));
+            match &report.plan {
+                Some(plan) => {
+                    let how = if plan.forced {
+                        " (forced)"
+                    } else if plan.budget_shortcut {
+                        " (budget)"
+                    } else {
+                        ""
+                    };
+                    out.push_str(&format!(
+                        "strategy={}{how}  context={} candidates={}  est: pairwise={:.0} enumerate={:.0} forward={:.0} backward={:.0}",
+                        plan.strategy,
+                        report.input,
+                        report.candidates,
+                        plan.costs.pairwise,
+                        plan.costs.enumerate,
+                        plan.costs.forward,
+                        plan.costs.backward,
+                    ));
+                }
+                None if report.step == 0 => out.push_str("seed"),
+                None if report.axis == Axis::Child => {
+                    out.push_str(&format!("tree-child  context={}", report.input))
+                }
+                None => out.push_str(&format!(
+                    "no candidates  context={} candidates=0",
+                    report.input
+                )),
+            }
+            out.push_str(&format!("  -> {} matches\n", report.output));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CoverStats {
+        CoverStats {
+            nodes: 1_000,
+            lin_entries: 4_000,
+            lout_entries: 2_000,
+        }
+    }
+
+    #[test]
+    fn budget_shortcut_keeps_tiny_steps_on_probes() {
+        let plan = plan_connection_step(&stats(), 4, 12, 100, 4_096, None);
+        assert_eq!(plan.strategy, Strategy::PairwiseProbe);
+        assert!(plan.budget_shortcut);
+    }
+
+    #[test]
+    fn large_steps_leave_pairwise() {
+        // 1k × 1k probes is priced far above a linear hop join.
+        let plan = plan_connection_step(&stats(), 1_000, 3_000, 1_000, 4_096, None);
+        assert!(!plan.budget_shortcut);
+        assert_ne!(plan.strategy, Strategy::PairwiseProbe);
+        assert!(plan.costs.get(plan.strategy) <= plan.costs.pairwise);
+    }
+
+    #[test]
+    fn tiny_candidate_side_prefers_the_backward_join() {
+        // Huge context, two candidates: the ancestor-side join touches a
+        // couple of rows; the forward expansion touches the world.
+        let plan = plan_connection_step(&stats(), 900, 5_000, 2, 0, None);
+        assert_eq!(plan.strategy, Strategy::BackwardHopJoin);
+    }
+
+    #[test]
+    fn forward_join_beats_enumeration() {
+        // Same shape, but enumeration revisits shared centers; the
+        // forward join's dedup makes it at most as expensive.
+        let plan = plan_connection_step(&stats(), 500, 10_000, 5_000, 0, None);
+        assert!(plan.costs.forward <= plan.costs.enumerate);
+        assert_eq!(plan.strategy, Strategy::ForwardHopJoin);
+    }
+
+    #[test]
+    fn force_overrides_everything() {
+        let plan = plan_connection_step(&stats(), 1, 0, 1, 4_096, Some(Strategy::Enumerate));
+        assert_eq!(plan.strategy, Strategy::Enumerate);
+        assert!(plan.forced);
+    }
+
+    #[test]
+    fn counters_fold_counts() {
+        let counters = PlanCounters::new();
+        counters.record(Strategy::ForwardHopJoin);
+        counters.add(PlanCounts {
+            pairwise_probe: 2,
+            enumerate: 0,
+            forward_hop_join: 1,
+            backward_hop_join: 3,
+        });
+        let counts = counters.counts();
+        assert_eq!(counts.pairwise_probe, 2);
+        assert_eq!(counts.forward_hop_join, 2);
+        assert_eq!(counts.backward_hop_join, 3);
+        assert_eq!(counts.total(), 7);
+        assert_eq!(counts.as_labeled()[2], ("forward_hop_join", 2));
+    }
+
+    #[test]
+    fn report_renders_step_lines() {
+        let expr = crate::parse_path("//a//b").unwrap();
+        let report = QueryPlanReport {
+            steps: vec![
+                StepReport {
+                    step: 0,
+                    axis: Axis::Connection,
+                    input: 0,
+                    candidates: 0,
+                    output: 3,
+                    plan: None,
+                },
+                StepReport {
+                    step: 1,
+                    axis: Axis::Connection,
+                    input: 3,
+                    candidates: 9,
+                    output: 2,
+                    plan: Some(plan_connection_step(&stats(), 3, 4, 9, 0, None)),
+                },
+            ],
+        };
+        let text = report.render(&expr);
+        assert!(text.contains("step 0"), "{text}");
+        assert!(text.contains("//b"), "{text}");
+        assert!(text.contains("strategy="), "{text}");
+        assert_eq!(report.strategy_counts().total(), 1);
+    }
+}

@@ -3,10 +3,13 @@
 //! every expression shape, and the ranked evaluator must agree on
 //! membership with correct minimal distances.
 
-use hopi_core::DistanceCoverBuilder;
+use hopi_core::{DistanceCoverBuilder, FrozenCover};
 use hopi_graph::{traversal, DistanceClosure};
 use hopi_partition::{build_index, BuildConfig};
-use hopi_query::{evaluate, evaluate_ranked, parse_path, Axis, PathExpr, Step, TagIndex};
+use hopi_query::{
+    evaluate, evaluate_ranked, evaluate_with, parse_path, Axis, EvalOptions, PathExpr, Step,
+    Strategy as PlanStrategy, TagIndex,
+};
 use hopi_xml::{Collection, ElemId, XmlDocument};
 use proptest::prelude::*;
 use rustc_hash::FxHashSet;
@@ -138,6 +141,30 @@ proptest! {
             let got = evaluate(&c, &index, &tags, &expr);
             let expect = oracle(&c, &expr);
             prop_assert_eq!(got, expect, "expr {}", expr);
+        }
+    }
+
+    #[test]
+    fn all_four_strategies_match_oracle((docs, links, shapes) in arb_collection()) {
+        // Every physical `//`-step strategy — forced via `EvalOptions` —
+        // agrees with the BFS oracle on arbitrary (cyclic) collections,
+        // against both the mutable index and the frozen CSR cover.
+        let c = realize(&docs, &links, &shapes);
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let frozen = FrozenCover::from_cover(index.cover());
+        let tags = TagIndex::build(&c);
+        for expr in expressions() {
+            let expect = oracle(&c, &expr);
+            for strategy in PlanStrategy::ALL {
+                let options = EvalOptions {
+                    force_strategy: Some(strategy),
+                    ..EvalOptions::default()
+                };
+                let mutable = evaluate_with(&c, &index, &tags, &expr, &options);
+                prop_assert_eq!(&mutable, &expect, "expr {} strategy {} mutable", expr, strategy);
+                let frozen_r = evaluate_with(&c, &frozen, &tags, &expr, &options);
+                prop_assert_eq!(&frozen_r, &expect, "expr {} strategy {} frozen", expr, strategy);
+            }
         }
     }
 

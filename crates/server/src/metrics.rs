@@ -151,8 +151,15 @@ impl Metrics {
 
     /// Renders the Prometheus-style text exposition served at `/metrics`.
     /// `epoch` and `uptime` come from the server (gauges alongside the
-    /// counters).
-    pub fn render(&self, epoch: u64, uptime: Duration, workers: usize) -> String {
+    /// counters); `plan` carries the engine's per-strategy `//`-step
+    /// execution totals as `(strategy label, count)` pairs.
+    pub fn render(
+        &self,
+        epoch: u64,
+        uptime: Duration,
+        workers: usize,
+        plan: &[(&'static str, u64)],
+    ) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("# TYPE hopi_requests_total counter\n");
         for e in ALL_ENDPOINTS {
@@ -186,6 +193,12 @@ impl Metrics {
             "hopi_connections_total {}\n",
             self.connections.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE hopi_query_plan_total counter\n");
+        for (label, count) in plan {
+            out.push_str(&format!(
+                "hopi_query_plan_total{{strategy=\"{label}\"}} {count}\n"
+            ));
+        }
         out.push_str("# TYPE hopi_snapshot_epoch gauge\n");
         out.push_str(&format!("hopi_snapshot_epoch {epoch}\n"));
         out.push_str("# TYPE hopi_uptime_seconds gauge\n");
@@ -233,9 +246,15 @@ mod tests {
         );
         assert_eq!(m.total_requests(), 3);
 
-        let text = m.render(7, Duration::from_secs(2), 4);
+        let text = m.render(
+            7,
+            Duration::from_secs(2),
+            4,
+            &[("forward_hop_join", 9), ("pairwise_probe", 1)],
+        );
         assert!(text.contains("hopi_requests_total{endpoint=\"connected\"} 2"));
         assert!(text.contains("hopi_request_errors_total{endpoint=\"query\"} 1"));
+        assert!(text.contains("hopi_query_plan_total{strategy=\"forward_hop_join\"} 9"));
         assert!(text.contains("hopi_snapshot_epoch 7"));
         assert!(text.contains("hopi_worker_threads 4"));
     }

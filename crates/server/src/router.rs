@@ -125,15 +125,25 @@ fn stats(state: &AppState) -> Response {
     );
     w.field_bool("distance_aware", s.distance_aware);
     w.field_bool("read_only", state.read_only);
+    // Which physical `//`-step plans have run (engine-lifetime totals) —
+    // scrape twice to see where query traffic lands.
+    w.field_obj("plan");
+    for (label, count) in s.plan.as_labeled() {
+        w.field_u64(label, count);
+    }
+    w.field_u64("total", s.plan.total());
+    w.close_obj();
     w.close_obj();
     Response::json(w.finish())
 }
 
 fn metrics(state: &AppState) -> Response {
+    let plan = state.engine.snapshot_stats().plan;
     Response::text(state.metrics.render(
         state.engine.epoch(),
         state.started.elapsed(),
         state.workers,
+        &plan.as_labeled(),
     ))
 }
 

@@ -107,6 +107,24 @@ fn read_endpoints_answer_from_one_snapshot() {
     assert_eq!(results, vec![true, false, true]);
     assert_eq!(epoch_of(&batch), epoch_of(&stats));
 
+    // The /query calls above executed `//` steps: the per-strategy plan
+    // counters must show up in /stats and the Prometheus exposition.
+    let stats = get_json(&mut c, "/stats");
+    let plan = stats.get("plan").expect("plan object in /stats");
+    assert!(
+        plan.get("total").and_then(Json::as_u64).unwrap() > 0,
+        "plan counters tally executed steps"
+    );
+    let metrics = c.get("/metrics").expect("metrics scrape");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .body
+            .contains("hopi_query_plan_total{strategy=\"pairwise_probe\"}"),
+        "{}",
+        metrics.body
+    );
+
     handle.shutdown();
 }
 

@@ -72,7 +72,8 @@ pub use hopi_store as store;
 pub use hopi_xml as xml;
 
 pub use hopi_build::{
-    Hopi, HopiBuilder, HopiError, HopiSnapshot, OnlineHopi, QueryOptions, SnapshotStats, Stats,
+    Hopi, HopiBuilder, HopiError, HopiSnapshot, OnlineHopi, PlanCounts, QueryOptions,
+    QueryPlanReport, SnapshotStats, Stats, Strategy,
 };
 
 /// Convenience re-exports for the common workflow: parse or generate a
@@ -83,12 +84,15 @@ pub mod prelude {
         Hopi, HopiBuilder, HopiError, HopiIndex, HopiSnapshot, OnlineHopi, QueryOptions,
         SnapshotStats, Stats,
     };
-    pub use hopi_core::{FrozenCover, LabelSource};
+    pub use hopi_core::{CoverStats, FrozenCover, LabelSource};
     pub use hopi_maintenance::{DeletionAlgorithm, DeletionOutcome, DocumentLinks, RebuildPolicy};
     pub use hopi_partition::{
         EdgeWeightStrategy, OldPartitionerConfig, Partitioning, TcPartitionerConfig,
     };
-    pub use hopi_query::{EvalOptions, RankedMatch};
+    // `Strategy` stays out of the prelude on purpose: glob-importing it
+    // alongside `proptest::prelude::*` (which exports a `Strategy` trait)
+    // would make the name ambiguous. Reach it as `hopi::Strategy`.
+    pub use hopi_query::{EvalOptions, PlanCounts, QueryPlanReport, RankedMatch};
     pub use hopi_store::LinLoutStore;
     pub use hopi_xml::{Collection, CollectionStats, DocId, ElemId, Link, XmlDocument};
 }

@@ -371,6 +371,37 @@ fn distance_cover_tracks_incremental_inserts() {
 }
 
 #[test]
+fn query_plans_are_explained_and_counted() {
+    let hopi = library();
+    let snap = hopi.snapshot();
+
+    // EXPLAIN returns the same answer plus a per-step plan.
+    let (result, report) = hopi.query_explained("//article//thm").unwrap();
+    assert_eq!(result, hopi.query("//article//thm").unwrap());
+    assert_eq!(report.steps.len(), 2);
+    assert!(report.steps[1].plan.is_some(), "connection step has a plan");
+    let parsed = hopi::query::parse_path("//article//thm").unwrap();
+    assert!(report.render(&parsed).contains("strategy="));
+
+    // Snapshot queries tally into the engine-shared plan counters,
+    // visible through SnapshotStats.
+    let before = snap.stats().plan.total();
+    snap.query("//article//thm").unwrap();
+    let (snap_result, _) = snap.query_explained("//article//thm").unwrap();
+    assert_eq!(snap_result, result);
+    let after = snap.stats().plan.total();
+    assert!(
+        after >= before + 2,
+        "plan counters advance: {before} -> {after}"
+    );
+    assert_eq!(
+        hopi.plan_counts().total(),
+        after,
+        "engine shares the counters"
+    );
+}
+
+#[test]
 fn snapshot_is_immutable_and_matches_engine() {
     let mut hopi = library();
     let snap = hopi.snapshot();
