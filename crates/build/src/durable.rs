@@ -1,0 +1,374 @@
+//! Durable operation: checkpoints + write-ahead log for the serving
+//! engine.
+//!
+//! The paper's §1.1 index runs 24×7 and absorbs updates without
+//! interrupting query service — which also means a crash must not lose
+//! mutations the service acknowledged. This module supplies the
+//! machinery [`crate::OnlineHopi`] uses in durable mode:
+//!
+//! * every mutation is appended to a [`Wal`] (as a
+//!   [`hopi_store::WalRecord`], the persisted twin of
+//!   `hopi_maintenance::CollectionUpdate`) **while the engine write lock
+//!   is held**, so log order always equals apply order, and is
+//!   acknowledged only after the record is fsynced — by default through
+//!   the WAL's *group commit*, where one fsync covers every record queued
+//!   behind it;
+//! * a **checkpoint** atomically persists collection + frozen cover +
+//!   the covered WAL sequence number in one file
+//!   ([`hopi_store::save_checkpoint`]) and rotates the log;
+//! * **recovery** ([`recover_dir`]) loads the last checkpoint and
+//!   replays the WAL tail past it, tolerating a torn final record (the
+//!   WAL truncates it — such a record was never durable, hence never
+//!   acknowledged).
+//!
+//! Crash-ordering argument: a mutation is acknowledged only after its
+//! record is durable, records are applied at recovery in log order, and
+//! the checkpoint file names the exact sequence number its state covers
+//! (so a crash *between* checkpoint rename and log rotation merely
+//! replays records the checkpoint already contains — replay skips them
+//! by sequence number). At every instant the directory holds a complete
+//! old state or a complete new state.
+
+use crate::error::HopiError;
+use crate::facade::{Hopi, HopiBuilder};
+use hopi_maintenance::DocumentLinks;
+use hopi_store::{load_checkpoint, save_checkpoint, PersistError, StoredIndex, SyncPolicy, Wal};
+use hopi_store::{sync_parent_dir, WalRecord};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// File holding the last checkpoint (collection + frozen cover + seq).
+pub const CHECKPOINT_FILE: &str = "checkpoint.hopi";
+/// The write-ahead log of mutations since the last checkpoint.
+pub const WAL_FILE: &str = "wal.log";
+/// Lock file (held via an OS advisory lock) preventing two engines from
+/// sharing a state directory — rotation by one would strand the other's
+/// acked writes on an unlinked inode.
+pub const LOCK_FILE: &str = "lock";
+
+/// Exclusive ownership of a durable state directory for as long as the
+/// value lives: an OS advisory lock (`flock`) held on the open `lock`
+/// file. The kernel releases it when the holding process dies — even on
+/// kill -9 — so there is no stale-lock state, no pid bookkeeping, and no
+/// steal race; a live holder (in any pid namespace) makes acquisition
+/// fail. The file itself is never removed; only the held lock matters.
+pub(crate) struct DirLock {
+    /// Held open for the lock's lifetime; dropping releases the lock.
+    _file: std::fs::File,
+}
+
+impl DirLock {
+    pub(crate) fn acquire(dir: &Path) -> Result<DirLock, HopiError> {
+        let path = dir.join(LOCK_FILE);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(PersistError::Io)?;
+        match file.try_lock() {
+            Ok(()) => {
+                // The pid is written for `ls`-level diagnostics only.
+                use std::io::Write as _;
+                let _ = file.set_len(0);
+                let _ = write!(&file, "{}", std::process::id());
+                Ok(DirLock { _file: file })
+            }
+            Err(std::fs::TryLockError::WouldBlock) => {
+                let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                Err(HopiError::Persist(PersistError::Format(format!(
+                    "state directory is locked by a live engine (pid {}); two engines \
+                     sharing one WAL would lose acknowledged writes ({})",
+                    holder.trim(),
+                    path.display()
+                ))))
+            }
+            Err(std::fs::TryLockError::Error(e)) => Err(HopiError::Persist(PersistError::Io(e))),
+        }
+    }
+}
+
+/// How a durable engine is opened (see
+/// [`crate::OnlineHopi::open_durable`]).
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Directory holding `checkpoint.hopi` and `wal.log`.
+    pub dir: PathBuf,
+    /// When appended records reach disk. [`SyncPolicy::GroupCommit`] is
+    /// the durable default; [`SyncPolicy::PerOp`] is the naive baseline;
+    /// [`SyncPolicy::Never`] trades durability for bulk-load speed.
+    pub policy: SyncPolicy,
+}
+
+impl DurableConfig {
+    /// Group-commit durability in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            policy: SyncPolicy::GroupCommit,
+        }
+    }
+
+    /// Overrides the sync policy.
+    pub fn policy(mut self, policy: SyncPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub(crate) fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+
+    pub(crate) fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+}
+
+/// Observability snapshot of the durability state (surfaced at
+/// `GET /stats` and `hopi serve --wal`).
+#[derive(Clone, Copy, Debug)]
+pub struct WalStats {
+    /// WAL sequence number covered by the last checkpoint.
+    pub last_checkpoint_seq: u64,
+    /// Serving epoch at which the last checkpoint was taken (0 when no
+    /// checkpoint has been taken in this process yet).
+    pub last_checkpoint_epoch: u64,
+    /// Sequence number of the last appended record.
+    pub appended_seq: u64,
+    /// Sequence number through which records are fsynced.
+    pub durable_seq: u64,
+    /// Records appended since the last checkpoint.
+    pub records_since_checkpoint: u64,
+    /// Current WAL file length in bytes.
+    pub wal_bytes: u64,
+    /// `false` after a WAL append/fsync failure: the in-memory state may
+    /// be ahead of the log, and mutations are refused until a checkpoint
+    /// re-establishes a durable baseline.
+    pub healthy: bool,
+}
+
+/// Outcome of a checkpoint (see [`crate::OnlineHopi::checkpoint`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointStats {
+    /// WAL sequence number the checkpoint covers.
+    pub seq: u64,
+    /// WAL bytes truncated away by the rotation.
+    pub wal_bytes_truncated: u64,
+}
+
+/// The durability state attached to a durable [`crate::OnlineHopi`].
+pub(crate) struct Durability {
+    wal: Wal,
+    checkpoint_path: PathBuf,
+    policy: SyncPolicy,
+    last_checkpoint_seq: AtomicU64,
+    last_checkpoint_epoch: AtomicU64,
+    /// Set when an append or fsync failed: memory may be ahead of the
+    /// log, so further mutations are refused until a checkpoint succeeds.
+    failed: AtomicBool,
+    /// Serializes whole checkpoints (save + rotate): two concurrent
+    /// `/admin/checkpoint` calls must not interleave their file writes.
+    checkpoint_lock: std::sync::Mutex<()>,
+    /// Exclusive ownership of the state directory, released on drop.
+    _lock: DirLock,
+}
+
+impl Durability {
+    pub(crate) fn new(
+        wal: Wal,
+        checkpoint_path: PathBuf,
+        policy: SyncPolicy,
+        seq: u64,
+        lock: DirLock,
+    ) -> Self {
+        Durability {
+            wal,
+            checkpoint_path,
+            policy,
+            last_checkpoint_seq: AtomicU64::new(seq),
+            last_checkpoint_epoch: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            checkpoint_lock: std::sync::Mutex::new(()),
+            _lock: lock,
+        }
+    }
+
+    /// Refuses mutations after a WAL failure (memory ahead of the log).
+    pub(crate) fn check_healthy(&self) -> Result<(), HopiError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(HopiError::Persist(PersistError::Format(
+                "the write-ahead log failed earlier; checkpoint to re-establish durability".into(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Appends (no fsync yet unless the policy is per-op). Call while
+    /// holding the engine write lock.
+    pub(crate) fn append(&self, rec: &WalRecord) -> Result<u64, HopiError> {
+        self.wal.append(rec, self.policy).map_err(|e| {
+            self.failed.store(true, Ordering::Release);
+            HopiError::Persist(PersistError::Io(e))
+        })
+    }
+
+    /// Group-commits through `seq` (no-op for per-op/never policies).
+    pub(crate) fn commit(&self, seq: u64) -> Result<(), HopiError> {
+        if self.policy != SyncPolicy::GroupCommit {
+            return Ok(());
+        }
+        self.wal.commit(seq).map_err(|e| {
+            self.failed.store(true, Ordering::Release);
+            HopiError::Persist(PersistError::Io(e))
+        })
+    }
+
+    /// Atomically persists the engine's state and rotates the log. The
+    /// caller must hold the engine lock (read suffices: appends happen
+    /// under the write lock) so the WAL sequence cannot move under us.
+    ///
+    /// A *failed* checkpoint poisons the durability layer: the on-disk
+    /// state may no longer line up with memory (e.g. the checkpoint
+    /// renamed but the rotation failed), so mutations are refused until
+    /// a later checkpoint succeeds and re-establishes the baseline.
+    pub(crate) fn checkpoint(
+        &self,
+        engine: &Hopi,
+        epoch: u64,
+    ) -> Result<CheckpointStats, HopiError> {
+        let _serialize = self.checkpoint_lock.lock().expect("checkpoint lock");
+        let seq = self.wal.appended_seq();
+        let bytes_before = self.wal.len_bytes();
+        let result = save_checkpoint(
+            &self.checkpoint_path,
+            engine.collection(),
+            &engine.freeze(),
+            seq,
+        )
+        .and_then(|()| self.wal.rotate(seq));
+        if let Err(e) = result {
+            self.failed.store(true, Ordering::Release);
+            return Err(e.into());
+        }
+        self.last_checkpoint_seq.store(seq, Ordering::Release);
+        self.last_checkpoint_epoch.store(epoch, Ordering::Release);
+        // A fresh checkpoint covers everything, including mutations a
+        // failed WAL could not log.
+        self.failed.store(false, Ordering::Release);
+        Ok(CheckpointStats {
+            seq,
+            wal_bytes_truncated: bytes_before.saturating_sub(self.wal.len_bytes()),
+        })
+    }
+
+    pub(crate) fn stats(&self) -> WalStats {
+        let last = self.last_checkpoint_seq.load(Ordering::Acquire);
+        let appended = self.wal.appended_seq();
+        WalStats {
+            last_checkpoint_seq: last,
+            last_checkpoint_epoch: self.last_checkpoint_epoch.load(Ordering::Acquire),
+            appended_seq: appended,
+            durable_seq: self.wal.durable_seq(),
+            records_since_checkpoint: appended.saturating_sub(last),
+            wal_bytes: self.wal.len_bytes(),
+            healthy: !self.failed.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Applies one recovered WAL record to an engine. Replay runs the same
+/// §6 incremental algorithms the original mutation ran.
+fn apply_record(engine: &mut Hopi, rec: WalRecord) -> Result<(), HopiError> {
+    match rec {
+        WalRecord::InsertLink { from, to } => engine.insert_link(from, to).map(|_| ()),
+        WalRecord::DeleteLink { from, to } => engine.delete_link(from, to).map(|_| ()),
+        WalRecord::InsertDocument {
+            doc,
+            outgoing,
+            incoming,
+        } => engine
+            .insert_document(doc, &DocumentLinks { outgoing, incoming })
+            .map(|_| ()),
+        WalRecord::DeleteDocument { doc } => engine.delete_document(doc).map(|_| ()),
+        WalRecord::ModifyDocument {
+            doc,
+            new_doc,
+            outgoing,
+            incoming,
+        } => engine
+            .modify_document(doc, new_doc, &DocumentLinks { outgoing, incoming })
+            .map(|_| ()),
+    }
+}
+
+/// Recovers an engine from a durable directory: loads the last
+/// checkpoint, replays the WAL tail past its sequence number (a torn
+/// final record is truncated, not an error), and returns the engine, the
+/// reopened log, and the checkpoint sequence.
+///
+/// Only records with `seq > checkpoint.seq` are applied, so a crash
+/// between checkpoint write and log rotation cannot double-apply.
+pub(crate) fn recover_dir(
+    config: &DurableConfig,
+    builder: HopiBuilder,
+) -> Result<(Hopi, Wal, u64), HopiError> {
+    let ckpt = load_checkpoint(&config.checkpoint_path())?;
+    let mut engine = builder.open_stored(ckpt.collection, StoredIndex::Frozen(ckpt.frozen))?;
+    // A missing log (e.g. a checkpoint-only restore from backup) is
+    // recreated at the *checkpoint's* sequence — a base of 0 would make
+    // the next recovery skip every new record as "already inside the
+    // checkpoint" and silently drop acknowledged mutations.
+    let wal_path = config.wal_path();
+    let (wal, records) = if wal_path.exists() {
+        Wal::open(&wal_path)?
+    } else {
+        (Wal::create(&wal_path, ckpt.seq)?, Vec::new())
+    };
+    if wal.base_seq() > ckpt.seq {
+        return Err(HopiError::Persist(PersistError::Format(format!(
+            "WAL starts after sequence {} but the checkpoint covers only {}: records are missing",
+            wal.base_seq(),
+            ckpt.seq
+        ))));
+    }
+    for (seq, rec) in records {
+        if seq <= ckpt.seq {
+            continue; // already inside the checkpoint
+        }
+        apply_record(&mut engine, rec).map_err(|e| {
+            HopiError::Persist(PersistError::Format(format!(
+                "WAL record {seq} does not apply to the recovered state: {e}"
+            )))
+        })?;
+    }
+    Ok((engine, wal, ckpt.seq))
+}
+
+/// Initializes a fresh durable directory around an already-built engine:
+/// writes the initial checkpoint (sequence 0) and creates an empty log.
+pub(crate) fn init_dir(config: &DurableConfig, engine: &Hopi) -> Result<(Wal, u64), HopiError> {
+    std::fs::create_dir_all(&config.dir).map_err(PersistError::Io)?;
+    let wal_path = config.wal_path();
+    if wal_path.exists() && !config.checkpoint_path().exists() {
+        // Our ordering always makes the checkpoint durable before the log
+        // exists, so this state indicates tampering or corruption; refuse
+        // to silently discard whatever the log holds.
+        return Err(HopiError::Persist(PersistError::Format(
+            "found a WAL without a checkpoint; remove wal.log to re-initialize".into(),
+        )));
+    }
+    save_checkpoint(
+        &config.checkpoint_path(),
+        engine.collection(),
+        &engine.freeze(),
+        0,
+    )?;
+    let wal = Wal::create(&wal_path, 0)?;
+    sync_parent_dir(&wal_path).map_err(PersistError::Io)?;
+    Ok((wal, 0))
+}
+
+/// Is `dir` an initialized durable directory (has a checkpoint)?
+pub fn is_durable_dir(dir: &Path) -> bool {
+    dir.join(CHECKPOINT_FILE).exists()
+}

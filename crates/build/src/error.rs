@@ -54,6 +54,9 @@ pub enum HopiError {
     /// A distance query against an engine built without
     /// [`distance_aware`](crate::HopiBuilder::distance_aware).
     DistanceDisabled,
+    /// A durability operation (checkpoint, WAL inspection) against an
+    /// engine that was not opened in durable mode.
+    DurabilityDisabled,
     /// Index persistence failed.
     Persist(hopi_store::PersistError),
 }
@@ -85,6 +88,10 @@ impl std::fmt::Display for HopiError {
             HopiError::DistanceDisabled => write!(
                 f,
                 "distance queries need an engine built with distance_aware(true)"
+            ),
+            HopiError::DurabilityDisabled => write!(
+                f,
+                "this engine was not opened in durable mode (no write-ahead log)"
             ),
             HopiError::Persist(e) => write!(f, "persistence error: {e}"),
         }

@@ -216,7 +216,18 @@ impl HopiBuilder {
     /// file thaws with no re-sorting — rows are stored sorted — so opening
     /// for serving is cheap.
     pub fn open(self, collection: Collection, path: &Path) -> Result<Hopi, HopiError> {
-        let (cover, distance) = match load_index(path)? {
+        let stored = load_index(path)?;
+        self.open_stored(collection, stored)
+    }
+
+    /// Assembles an engine from an already-loaded index (the shared tail
+    /// of [`HopiBuilder::open`] and durable-checkpoint recovery).
+    pub(crate) fn open_stored(
+        self,
+        collection: Collection,
+        stored: StoredIndex,
+    ) -> Result<Hopi, HopiError> {
+        let (cover, distance) = match stored {
             StoredIndex::Frozen(frozen) => {
                 let distance = match frozen.thaw_distance() {
                     Some(d) => Some(d),
@@ -270,6 +281,22 @@ impl HopiBuilder {
             report,
             plan_counters: Arc::new(PlanCounters::new()),
         })
+    }
+}
+
+impl HopiBuilder {
+    /// Recovers an engine from a durable state directory written by
+    /// [`crate::OnlineHopi::open_durable`]: loads `checkpoint.hopi` and
+    /// replays the `wal.log` tail past the checkpoint's sequence number.
+    /// A torn final WAL record (crash mid-append) is truncated, not an
+    /// error — such a record was never durable, hence never acknowledged.
+    pub fn recover(self, dir: &Path) -> Result<Hopi, HopiError> {
+        let config = crate::durable::DurableConfig::new(dir);
+        // Held only for the recovery itself (which may truncate a torn
+        // WAL tail); the returned engine is detached from the directory.
+        let _lock = crate::durable::DirLock::acquire(dir)?;
+        let (engine, _wal, _seq) = crate::durable::recover_dir(&config, self)?;
+        Ok(engine)
     }
 }
 
@@ -350,6 +377,14 @@ impl Hopi {
         Hopi::builder().open(collection, path)
     }
 
+    /// Recovers an engine from a durable state directory: the last
+    /// checkpoint plus a replay of any WAL tail past it (see
+    /// [`HopiBuilder::recover`]). Every mutation that was acknowledged
+    /// durably before a crash is present in the recovered engine.
+    pub fn recover(dir: &Path) -> Result<Hopi, HopiError> {
+        Hopi::builder().recover(dir)
+    }
+
     /// Persists the index in the paper's LIN/LOUT table layout. A
     /// distance-aware engine persists the DIST column too, so
     /// [`Hopi::open`] restores distance queries.
@@ -369,12 +404,19 @@ impl Hopi {
     /// distance-aware engine freezes the distance cover (annotations
     /// included), so distance queries survive the round trip.
     pub fn save_frozen(&self, path: &Path) -> Result<(), HopiError> {
-        let frozen = match &self.distance {
+        save_frozen(&self.freeze(), path)?;
+        Ok(())
+    }
+
+    /// The engine's cover in the frozen serving layout (distance
+    /// annotations included for a distance-aware engine) — what
+    /// [`Hopi::save_frozen`] persists and what a durable checkpoint
+    /// stores.
+    pub(crate) fn freeze(&self) -> hopi_core::FrozenCover {
+        match &self.distance {
             Some(cover) => hopi_core::FrozenCover::from_distance_cover(cover),
             None => hopi_core::FrozenCover::from_cover(self.index.cover()),
-        };
-        save_frozen(&frozen, path)?;
-        Ok(())
+        }
     }
 
     // ------------------------------------------------------------------
@@ -493,6 +535,19 @@ impl Hopi {
     /// dangling web links are dropped), an unresolvable reference is an
     /// error here — the caller named a specific target.
     pub fn insert_xml(&mut self, name: &str, xml: &str) -> Result<DocId, HopiError> {
+        let (doc, links) = self.prepare_xml(name, xml)?;
+        self.insert_document(doc, &links)
+    }
+
+    /// Parses one XML document and resolves its `href` references against
+    /// the collection, without inserting anything — the validation half of
+    /// [`Hopi::insert_xml`]. The durable write path uses this to build the
+    /// WAL record before applying the insertion.
+    pub fn prepare_xml(
+        &self,
+        name: &str,
+        xml: &str,
+    ) -> Result<(XmlDocument, DocumentLinks), HopiError> {
         if self.collection.doc_ids().any(|d| {
             self.collection
                 .document(d)
@@ -508,7 +563,7 @@ impl Hopi {
             let target = self.resolve(&doc, &anchor)?;
             links.outgoing.push((p.from, target));
         }
-        self.insert_document(parsed.doc, &links)
+        Ok((parsed.doc, links))
     }
 
     /// Inserts an inter-document link incrementally (§6.1). Returns the

@@ -18,6 +18,10 @@
 //! * [`HopiError`] — the single error type crossing this boundary,
 //!   replacing the expert layer's mix of panics, `Option`s and per-crate
 //!   errors.
+//! * **Durable mode** — [`OnlineHopi::open_durable`] adds a write-ahead
+//!   log with group commit and atomic checkpoints: acknowledged mutations
+//!   survive a crash, and [`Hopi::recover`] replays the WAL tail past the
+//!   last checkpoint (tolerating a torn final record).
 //!
 //! ## Quickstart
 //!
@@ -49,15 +53,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 mod error;
 mod facade;
 mod online;
 mod snapshot;
 
+pub use durable::{
+    is_durable_dir, CheckpointStats, DurableConfig, WalStats, CHECKPOINT_FILE, LOCK_FILE, WAL_FILE,
+};
 pub use error::HopiError;
 pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
 pub use snapshot::{HopiSnapshot, SnapshotStats};
+
+// The WAL sync policy is part of the durable-open surface.
+pub use hopi_store::SyncPolicy;
 
 // Query-plan observability: the per-`//`-step strategy, counters, and
 // EXPLAIN report types surfaced through [`Hopi::query_explained`],

@@ -21,15 +21,18 @@
 //! * a reader holding an `Arc<HopiSnapshot>` (via [`OnlineHopi::snapshot`])
 //!   gets repeatable reads across many calls for free.
 
+use crate::durable::{recover_dir, DirLock, Durability, DurableConfig};
 use crate::error::HopiError;
-use crate::facade::Hopi;
+use crate::facade::{Hopi, HopiBuilder};
 use crate::snapshot::{HopiSnapshot, SnapshotStats};
+use crate::{CheckpointStats, WalStats};
 use hopi_maintenance::{
     collection_delta, delta_replays_exactly, CollectionUpdate, DeletionOutcome, DocumentLinks,
 };
 use hopi_partition::BuildReport;
 use hopi_query::RankedMatch;
-use hopi_xml::{DocId, ElemId, XmlDocument};
+use hopi_store::WalRecord;
+use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
 use parking_lot::RwLock;
 use rustc_hash::FxHashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,6 +65,9 @@ pub struct OnlineHopi {
     /// snapshot carries a strictly larger [`HopiSnapshot::epoch`] than the
     /// one it replaces (publishes are serialized by the engine write lock).
     epoch: Arc<AtomicU64>,
+    /// Durable mode (write-ahead log + checkpoints); `None` for plain
+    /// in-memory serving.
+    durability: Option<Arc<Durability>>,
 }
 
 impl OnlineHopi {
@@ -73,7 +79,113 @@ impl OnlineHopi {
             engine: Arc::new(RwLock::new(hopi)),
             serving: Arc::new(RwLock::new(snapshot)),
             epoch: Arc::new(AtomicU64::new(0)),
+            durability: None,
         }
+    }
+
+    /// Opens a **durable** engine over a state directory holding
+    /// `checkpoint.hopi` + `wal.log`.
+    ///
+    /// * If the directory has a checkpoint, the engine is recovered from
+    ///   it and the WAL tail past it is replayed (a torn final record is
+    ///   truncated, never an error) — `bootstrap` is ignored.
+    /// * Otherwise a fresh engine is built from `bootstrap` (empty when
+    ///   `None`), an initial checkpoint is written, and an empty log is
+    ///   created.
+    ///
+    /// From then on every mutation is appended to the WAL under the
+    /// engine write lock (log order = apply order) and acknowledged only
+    /// once durable under the configured [`hopi_store::SyncPolicy`] —
+    /// group commit by default, where one fsync covers every mutation
+    /// queued behind it. [`OnlineHopi::checkpoint`] persists the full
+    /// state atomically and truncates the log.
+    ///
+    /// ```no_run
+    /// use hopi_build::{DurableConfig, Hopi, OnlineHopi};
+    ///
+    /// let config = DurableConfig::new("/var/lib/hopi");
+    /// let online = OnlineHopi::open_durable(&config, Hopi::builder(), None)?;
+    /// online.insert_xml("note", "<r/>")?; // durable once this returns
+    /// # Ok::<(), hopi_build::HopiError>(())
+    /// ```
+    pub fn open_durable(
+        config: &DurableConfig,
+        builder: HopiBuilder,
+        bootstrap: Option<Collection>,
+    ) -> Result<Self, HopiError> {
+        if crate::durable::is_durable_dir(&config.dir) {
+            let lock = DirLock::acquire(&config.dir)?;
+            let (engine, wal, seq) = recover_dir(config, builder)?;
+            Ok(Self::with_durability(engine, wal, config, seq, lock))
+        } else {
+            Self::bootstrap_durable(config, builder.build(bootstrap.unwrap_or_default())?)
+        }
+    }
+
+    /// Initializes a fresh durable state directory around an
+    /// already-built engine (e.g. one opened from a prebuilt index file)
+    /// and serves it durably. Refuses a directory that already holds a
+    /// checkpoint — recover that with [`OnlineHopi::open_durable`]
+    /// instead, so an existing durable state can never be silently
+    /// overwritten.
+    pub fn bootstrap_durable(config: &DurableConfig, engine: Hopi) -> Result<Self, HopiError> {
+        if crate::durable::is_durable_dir(&config.dir) {
+            return Err(HopiError::Persist(hopi_store::PersistError::Format(
+                format!(
+                    "{} already holds a durable checkpoint; open_durable recovers it",
+                    config.dir.display()
+                ),
+            )));
+        }
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| HopiError::Persist(hopi_store::PersistError::Io(e)))?;
+        let lock = DirLock::acquire(&config.dir)?;
+        let (wal, seq) = crate::durable::init_dir(config, &engine)?;
+        Ok(Self::with_durability(engine, wal, config, seq, lock))
+    }
+
+    fn with_durability(
+        engine: Hopi,
+        wal: hopi_store::Wal,
+        config: &DurableConfig,
+        seq: u64,
+        lock: DirLock,
+    ) -> Self {
+        let mut online = OnlineHopi::new(engine);
+        online.durability = Some(Arc::new(Durability::new(
+            wal,
+            config.checkpoint_path(),
+            config.policy,
+            seq,
+            lock,
+        )));
+        online
+    }
+
+    /// Is this engine running with a write-ahead log?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Durability observability (WAL length, last checkpoint, fsync
+    /// horizon); `None` for a non-durable engine.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.stats())
+    }
+
+    /// Atomically persists the current state (collection + frozen cover +
+    /// WAL sequence) and truncates the log. Blocks mutations for the
+    /// duration (queries keep running on snapshots). Errors with
+    /// [`HopiError::DurabilityDisabled`] on a non-durable engine.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, HopiError> {
+        let durability = self
+            .durability
+            .as_ref()
+            .ok_or(HopiError::DurabilityDisabled)?;
+        // The read lock excludes writers (appends happen under the write
+        // lock), freezing engine state and WAL sequence together.
+        let guard = self.engine.read();
+        durability.checkpoint(&guard, self.epoch.load(Ordering::Relaxed))
     }
 
     /// The current serving snapshot (O(1): one `Arc` clone under a
@@ -143,11 +255,27 @@ impl OnlineHopi {
     /// Applies a batch of mutations under one write lock and publishes
     /// **one** fresh snapshot afterwards — cheaper than a snapshot refresh
     /// per call when loading many documents or links.
-    pub fn update_batch<R>(&self, f: impl FnOnce(&mut Hopi) -> R) -> R {
+    ///
+    /// In durable mode the closure's mutations cannot be logged
+    /// individually (they are arbitrary), so the batch is made durable
+    /// wholesale: a checkpoint is taken before this returns. A
+    /// successful checkpoint also cures an earlier WAL failure (it
+    /// captures the whole state). A failed one comes back as `Err` —
+    /// the batch is applied in memory and published, but **not durable**
+    /// — and leaves the durability layer poisoned, so subsequent
+    /// mutations are refused until a checkpoint succeeds. On a
+    /// non-durable engine this never errors.
+    pub fn update_batch<R>(&self, f: impl FnOnce(&mut Hopi) -> R) -> Result<R, HopiError> {
         let mut guard = self.engine.write();
         let out = f(&mut guard);
+        let checkpointed = match &self.durability {
+            Some(d) => d
+                .checkpoint(&guard, self.epoch.load(Ordering::Relaxed))
+                .map(|_| ()),
+            None => Ok(()),
+        };
         self.publish(&guard);
-        out
+        checkpointed.map(|()| out)
     }
 
     /// Incremental document insertion (brief write lock + snapshot
@@ -157,30 +285,92 @@ impl OnlineHopi {
         doc: XmlDocument,
         links: &DocumentLinks,
     ) -> Result<DocId, HopiError> {
-        self.mutate(|h| h.insert_document(doc, links))
+        // Record built from the caller's inputs *before* taking the write
+        // lock, so the clone does not lengthen the critical section.
+        let rec = self
+            .durability
+            .is_some()
+            .then(|| WalRecord::InsertDocument {
+                doc: doc.clone(),
+                outgoing: links.outgoing.clone(),
+                incoming: links.incoming.clone(),
+            });
+        self.mutate(|h| {
+            let id = h.insert_document(doc, links)?;
+            Ok((id, rec))
+        })
     }
 
     /// Parses and inserts one XML document (brief write lock + snapshot
     /// refresh).
     pub fn insert_xml(&self, name: &str, xml: &str) -> Result<DocId, HopiError> {
-        self.mutate(|h| h.insert_xml(name, xml))
+        let log = self.durability.is_some();
+        self.mutate(|h| {
+            let (doc, links) = h.prepare_xml(name, xml)?;
+            let rec = log.then(|| WalRecord::InsertDocument {
+                doc: doc.clone(),
+                outgoing: links.outgoing.clone(),
+                incoming: links.incoming.clone(),
+            });
+            let id = h.insert_document(doc, &links)?;
+            Ok((id, rec))
+        })
     }
 
     /// Incremental link insertion (brief write lock + snapshot refresh).
-    /// Duplicates are a no-op returning `Ok(0)`.
+    /// Duplicates are a no-op returning `Ok(0)` — and append no WAL
+    /// record, so a durable engine pays no fsync for them.
     pub fn insert_link(&self, from: ElemId, to: ElemId) -> Result<usize, HopiError> {
-        self.mutate(|h| h.insert_link(from, to))
+        self.mutate(|h| {
+            let duplicate = h.collection().has_link(from, to);
+            let out = h.insert_link(from, to)?;
+            Ok((
+                out,
+                (!duplicate).then_some(WalRecord::InsertLink { from, to }),
+            ))
+        })
     }
 
     /// Incremental document deletion (brief write lock + snapshot
     /// refresh).
     pub fn delete_document(&self, d: DocId) -> Result<DeletionOutcome, HopiError> {
-        self.mutate(|h| h.delete_document(d))
+        self.mutate(|h| {
+            let out = h.delete_document(d)?;
+            Ok((out, Some(WalRecord::DeleteDocument { doc: d })))
+        })
     }
 
     /// Incremental link deletion (brief write lock + snapshot refresh).
     pub fn delete_link(&self, from: ElemId, to: ElemId) -> Result<DeletionOutcome, HopiError> {
-        self.mutate(|h| h.delete_link(from, to))
+        self.mutate(|h| {
+            let out = h.delete_link(from, to)?;
+            Ok((out, Some(WalRecord::DeleteLink { from, to })))
+        })
+    }
+
+    /// Replaces a document with a new version (drop + reinsert, paper
+    /// §6.3; brief write lock + snapshot refresh). Returns the new
+    /// document id.
+    pub fn modify_document(
+        &self,
+        d: DocId,
+        new_doc: XmlDocument,
+        links: &DocumentLinks,
+    ) -> Result<DocId, HopiError> {
+        // Clone outside the write lock, as in `insert_document`.
+        let rec = self
+            .durability
+            .is_some()
+            .then(|| WalRecord::ModifyDocument {
+                doc: d,
+                new_doc: new_doc.clone(),
+                outgoing: links.outgoing.clone(),
+                incoming: links.incoming.clone(),
+            });
+        self.mutate(|h| {
+            let id = h.modify_document(d, new_doc, links)?;
+            Ok((id, rec))
+        })
     }
 
     /// Rebuilds in a background thread from a snapshot, then swaps the
@@ -227,39 +417,93 @@ impl OnlineHopi {
             // deleted mid-build, or a link between two mid-build
             // documents). Rebuild from the live collection — still a
             // consistent swap, just under the lock.
-            let mut fallback = builder
-                .build(guard.collection().clone())
-                .expect("rebuilding a valid collection cannot fail");
-            fallback.plan_counters = guard.plan_counters.clone();
-            let report = fallback.report().clone();
-            *guard = fallback;
-            self.publish(&guard);
-            return report;
+            return self.swap_fallback_rebuild(&mut guard, builder);
         }
         fresh.plan_counters = guard.plan_counters.clone();
         let report = fresh.report().clone();
         for update in delta {
             let replayed = match update {
                 CollectionUpdate::InsertLink(f, t) => fresh.insert_link(f, t).map(|_| ()),
+                CollectionUpdate::DeleteLink(f, t) => fresh.delete_link(f, t).map(|_| ()),
                 CollectionUpdate::InsertDocument(doc, links) => {
                     fresh.insert_document(doc, &links).map(|_| ())
                 }
                 CollectionUpdate::DeleteDocument(d) => fresh.delete_document(d).map(|_| ()),
+                CollectionUpdate::ModifyDocument(d, doc, links) => {
+                    fresh.modify_document(d, doc, &links).map(|_| ())
+                }
             };
-            replayed.expect("an exactly-replayable delta applies cleanly");
+            if replayed.is_err() {
+                // A surprising delta must never panic the rebuild thread:
+                // fall back to rebuilding from the live collection under
+                // the lock (always consistent, just slower).
+                return self.swap_fallback_rebuild(&mut guard, builder);
+            }
         }
         *guard = fresh;
         self.publish(&guard);
         report
     }
 
+    /// The in-lock fallback rebuild: build from the live collection,
+    /// carry the plan counters over, swap, publish.
+    fn swap_fallback_rebuild(
+        &self,
+        guard: &mut parking_lot::RwLockWriteGuard<'_, Hopi>,
+        builder: HopiBuilder,
+    ) -> BuildReport {
+        let mut fallback = builder
+            .build(guard.collection().clone())
+            .expect("rebuilding a valid collection cannot fail");
+        fallback.plan_counters = guard.plan_counters.clone();
+        let report = fallback.report().clone();
+        **guard = fallback;
+        self.publish(guard);
+        report
+    }
+
     /// Runs one mutation under the write lock; on success publishes a
     /// fresh snapshot before releasing it (so no query epoch can observe
     /// the mutation without its index updates).
-    fn mutate<R>(&self, f: impl FnOnce(&mut Hopi) -> Result<R, HopiError>) -> Result<R, HopiError> {
+    ///
+    /// The durable write path threads through here: the closure returns
+    /// the WAL record describing the mutation it applied, the record is
+    /// appended **while the write lock is held** (log order = apply
+    /// order), and after the lock is released the record is
+    /// group-committed — this call does not return success until the
+    /// mutation is durable, but the fsync it waits on is shared with
+    /// every mutation queued behind it.
+    fn mutate<R>(
+        &self,
+        f: impl FnOnce(&mut Hopi) -> Result<(R, Option<WalRecord>), HopiError>,
+    ) -> Result<R, HopiError> {
         let mut guard = self.engine.write();
-        let out = f(&mut guard)?;
+        if let Some(d) = &self.durability {
+            d.check_healthy()?;
+        }
+        let (out, rec) = f(&mut guard)?;
+        let committed_seq = match (&self.durability, rec) {
+            (Some(d), Some(rec)) => {
+                let seq = match d.append(&rec) {
+                    Ok(seq) => seq,
+                    Err(e) => {
+                        // The mutation is applied in memory but not
+                        // logged; publish (readers may as well see it) and
+                        // report the durability failure. `append` poisoned
+                        // the layer, so no later ack can outrun this hole.
+                        self.publish(&guard);
+                        return Err(e);
+                    }
+                };
+                Some(seq)
+            }
+            _ => None,
+        };
         self.publish(&guard);
+        drop(guard);
+        if let (Some(d), Some(seq)) = (&self.durability, committed_seq) {
+            d.commit(seq)?;
+        }
         Ok(out)
     }
 

@@ -171,18 +171,27 @@ pub fn query(args: &[String]) -> Result<(), String> {
 }
 
 /// `hopi serve --dir DIR [--index FILE] [--port N] [--threads N]
-/// [--frozen] [--distance]`
+/// [--frozen] [--distance] [--wal STATEDIR] [--wal-sync group|per-op|none]`
 ///
 /// Serves the collection over HTTP (see `hopi-server` for the endpoint
-/// surface). Blocks until stdin reaches EOF or a `quit` line arrives —
-/// the CLI's shutdown signal — then drains in-flight requests and exits.
+/// surface). With `--wal STATEDIR` the server runs durably: every
+/// mutation is group-committed to `STATEDIR/wal.log` before it is
+/// acknowledged, `POST /admin/checkpoint` snapshots the state atomically,
+/// and on startup an existing checkpoint + WAL tail is recovered
+/// (`--dir` then only seeds the very first boot). Blocks until stdin
+/// reaches EOF or a `quit` line arrives — the CLI's shutdown signal —
+/// then drains in-flight requests and exits.
 pub fn serve(args: &[String]) -> Result<(), String> {
-    use hopi_build::OnlineHopi;
+    use hopi_build::{DurableConfig, OnlineHopi, SyncPolicy};
     use hopi_server::ServerConfig;
     use std::io::BufRead;
     use std::io::Write as _;
 
-    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    // --dir is the bootstrap source; a --wal directory that already holds
+    // a checkpoint recovers without it, so only require it when used.
+    let dir = flag_value(args, "--dir");
+    let require_dir =
+        || -> Result<String, String> { dir.clone().ok_or_else(|| "missing --dir DIR".into()) };
     let port: u16 = flag_value(args, "--port")
         .unwrap_or_else(|| "7070".into())
         .parse()
@@ -193,29 +202,86 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bad --threads: {e}"))?;
     let frozen = args.iter().any(|a| a == "--frozen");
     let distance = args.iter().any(|a| a == "--distance");
+    let wal_dir = flag_value(args, "--wal");
+    let wal_sync = match flag_value(args, "--wal-sync").as_deref() {
+        None | Some("group") => SyncPolicy::GroupCommit,
+        Some("per-op") => SyncPolicy::PerOp,
+        Some("none") => SyncPolicy::Never,
+        Some(other) => return Err(format!("unknown --wal-sync '{other}' (group|per-op|none)")),
+    };
 
-    let collection = load_dir(&dir)?;
     let builder = Hopi::builder().distance_aware(distance);
-    let hopi = match flag_value(args, "--index") {
-        Some(index_path) => builder
-            .open(collection, Path::new(&index_path))
-            .map_err(|e| format!("load failed: {e}"))?,
-        None => {
+    let online = match wal_dir {
+        Some(state_dir) => {
+            let config = DurableConfig::new(&state_dir).policy(wal_sync);
+            let recovering = hopi_build::is_durable_dir(Path::new(&state_dir));
             let t = Instant::now();
-            let built = builder
-                .build(collection)
-                .map_err(|e| format!("build failed: {e}"))?;
+            let index = flag_value(args, "--index");
+            let online = if recovering {
+                // The checkpoint + WAL win over --dir/--index.
+                if index.is_some() {
+                    eprintln!("note: --index is ignored; recovering from the durable state dir");
+                }
+                OnlineHopi::open_durable(&config, builder, None)
+            } else {
+                // First boot: seed from the XML directory, through the
+                // prebuilt index when one is given.
+                let collection = load_dir(&require_dir()?)?;
+                match index {
+                    Some(index_path) => {
+                        let hopi = builder
+                            .open(collection, Path::new(&index_path))
+                            .map_err(|e| format!("load failed: {e}"))?;
+                        OnlineHopi::bootstrap_durable(&config, hopi)
+                    }
+                    None => OnlineHopi::open_durable(&config, builder, Some(collection)),
+                }
+            }
+            .map_err(|e| format!("durable open failed: {e}"))?;
+            let stats = online.read(|h| h.stats());
+            let wal = online.wal_stats().expect("durable engine has WAL stats");
             eprintln!(
-                "built {} cover entries in {:?} (pass --index FILE to skip this)",
-                built.report().cover_size,
+                "{} durable state in {state_dir}: {} docs, {} cover entries, \
+                 WAL seq {} (checkpoint at {}) in {:?}",
+                if recovering {
+                    "recovered"
+                } else {
+                    "initialized"
+                },
+                stats.documents,
+                stats.cover_entries,
+                wal.appended_seq,
+                wal.last_checkpoint_seq,
                 t.elapsed()
             );
-            built
+            online
+        }
+        None => {
+            let collection = load_dir(&require_dir()?)?;
+            let hopi = match flag_value(args, "--index") {
+                Some(index_path) => builder
+                    .open(collection, Path::new(&index_path))
+                    .map_err(|e| format!("load failed: {e}"))?,
+                None => {
+                    let t = Instant::now();
+                    let built = builder
+                        .build(collection)
+                        .map_err(|e| format!("build failed: {e}"))?;
+                    eprintln!(
+                        "built {} cover entries in {:?} (pass --index FILE to skip this)",
+                        built.report().cover_size,
+                        t.elapsed()
+                    );
+                    built
+                }
+            };
+            OnlineHopi::new(hopi)
         }
     };
 
+    let durable = online.is_durable();
     let handle = hopi_server::serve(
-        OnlineHopi::new(hopi),
+        online,
         ServerConfig {
             addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
             threads,
@@ -225,15 +291,16 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     println!("hopi-server listening on http://{}", handle.addr());
     println!(
-        "  {} worker threads, {}; endpoints: /healthz /stats /metrics /connected \
+        "  {} worker threads, {}{}; endpoints: /healthz /stats /metrics /connected \
          /connected_many /distance /descendants /ancestors /query /documents /links \
-         /admin/rebuild /admin/save",
+         /admin/rebuild /admin/save /admin/checkpoint",
         handle.state().workers,
         if frozen {
             "frozen (read-only)"
         } else {
             "read-write"
         },
+        if durable { ", durable (WAL)" } else { "" },
     );
     println!("  close stdin or type 'quit' for graceful shutdown");
     std::io::stdout().flush().ok();
@@ -248,6 +315,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             Ok(0) | Err(_) => break,
             Ok(_) if line.trim() == "quit" => break,
             Ok(_) => {}
+        }
+    }
+    if durable {
+        // Graceful exit: checkpoint so the next boot skips WAL replay. A
+        // kill -9 skips this — recovery replays the log instead.
+        match handle.state().engine.checkpoint() {
+            Ok(ck) => println!("checkpointed at WAL seq {}", ck.seq),
+            Err(e) => eprintln!("checkpoint on shutdown failed: {e}"),
         }
     }
     handle.shutdown();

@@ -234,3 +234,116 @@ fn query_parse_error_reported() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&docs).ok();
 }
+
+/// `hopi serve --wal`: acked HTTP mutations survive a SIGKILL. Boots a
+/// durable server, mutates, kills the process without checkpointing,
+/// restarts on the same state directory, and verifies recovery.
+#[test]
+fn serve_wal_survives_kill_dash_nine() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    // Keep the stdout reader alive alongside the child: dropping it would
+    // close the pipe and make the server's own prints fail.
+    fn spawn_durable(
+        docs: &PathBuf,
+        state: &PathBuf,
+    ) -> (
+        std::process::Child,
+        String,
+        BufReader<std::process::ChildStdout>,
+    ) {
+        let mut child = hopi()
+            .args(["serve", "--dir"])
+            .arg(docs)
+            .args(["--wal"])
+            .arg(state)
+            .args(["--port", "0", "--threads", "2"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn hopi serve --wal");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            assert!(
+                stdout.read_line(&mut line).unwrap() > 0,
+                "serve exited before announcing its address"
+            );
+            if let Some(rest) = line.trim().strip_prefix("hopi-server listening on http://") {
+                break rest.to_string();
+            }
+        };
+        (child, addr, stdout)
+    }
+
+    fn exchange(addr: &str, request: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    let docs = tempdir("wal_docs");
+    let state = tempdir("wal_state");
+    std::fs::write(docs.join("a.xml"), r#"<r><x href="b"/></r>"#).unwrap();
+    std::fs::write(docs.join("b.xml"), "<r><sec/></r>").unwrap();
+
+    let (mut child, addr, _stdout) = spawn_durable(&docs, &state);
+    // Mutate over HTTP: insert a document citing b, and a raw link.
+    let body = r#"<note><cite xlink:href="b"/></note>"#;
+    let resp = exchange(
+        &addr,
+        &format!(
+            "POST /documents?name=survivor HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(resp.starts_with("HTTP/1.1 200"), "insert: {resp}");
+    let resp = exchange(
+        &addr,
+        "POST /links?from=3&to=0 HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\
+         Connection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 200"), "link: {resp}");
+
+    // kill -9: no graceful shutdown, no checkpoint.
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // Restart on the same state directory; the WAL tail replays.
+    let (mut child, addr, mut stdout2) = spawn_durable(&docs, &state);
+    let resp = exchange(
+        &addr,
+        "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 200"), "stats: {resp}");
+    assert!(resp.contains("\"durable\":true"), "stats: {resp}");
+    assert!(resp.contains("\"documents\":3"), "stats: {resp}");
+    // The inserted document's root (element 4) still reaches b's sec (3)
+    // through its citation, and the raw link 3 → 0 survived.
+    let resp = exchange(
+        &addr,
+        "GET /connected?u=4&v=3 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.contains("\"connected\":true"), "doc replay: {resp}");
+    let resp = exchange(
+        &addr,
+        "GET /connected?u=3&v=0 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.contains("\"connected\":true"), "link replay: {resp}");
+
+    // Graceful shutdown this time (writes a checkpoint on the way out).
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    stdout2.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("checkpointed at WAL seq"), "shutdown: {rest}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status:?}");
+
+    std::fs::remove_dir_all(&docs).ok();
+    std::fs::remove_dir_all(&state).ok();
+}

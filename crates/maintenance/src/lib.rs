@@ -46,5 +46,7 @@ pub use insert::{
     integrate_document_distance, DocumentLinks, LinkError,
 };
 pub use modify::modify_document;
-pub use online::{collection_delta, delta_replays_exactly, CollectionUpdate, OnlineIndex};
+pub use online::{
+    apply_update, collection_delta, delta_replays_exactly, CollectionUpdate, OnlineIndex,
+};
 pub use rebuild::{degradation, rebuild, should_rebuild, Degradation, RebuildPolicy};

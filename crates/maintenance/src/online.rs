@@ -25,15 +25,22 @@ use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
-/// One collection-level update, as captured while a background rebuild is
-/// running and replayed onto the fresh index before the swap.
+/// One collection-level update: the vocabulary shared by mid-rebuild
+/// catch-up replay (captured while a background rebuild runs, replayed
+/// onto the fresh index before the swap) and the durable write-ahead log
+/// (`hopi_store::wal::WalRecord` is its persisted twin).
 pub enum CollectionUpdate {
     /// A link was inserted between two pre-existing documents.
     InsertLink(ElemId, ElemId),
+    /// An inter-document link was deleted.
+    DeleteLink(ElemId, ElemId),
     /// A document was inserted, with its links.
     InsertDocument(XmlDocument, DocumentLinks),
     /// A document was deleted.
     DeleteDocument(DocId),
+    /// A document was replaced by a new version (drop + reinsert, paper
+    /// §6.3; the replacement is assigned a fresh document id).
+    ModifyDocument(DocId, XmlDocument, DocumentLinks),
 }
 
 struct State {
@@ -149,22 +156,107 @@ impl OnlineIndex {
         }
         let mut fresh_collection = snapshot;
         for update in delta {
-            match update {
-                CollectionUpdate::InsertLink(f, t) => {
-                    insert_link(&mut fresh_collection, &mut fresh, f, t)
-                        .expect("replayed link endpoints are live");
-                }
-                CollectionUpdate::InsertDocument(doc, links) => {
-                    insert_document(&mut fresh_collection, &mut fresh, doc, &links);
-                }
-                CollectionUpdate::DeleteDocument(d) => {
-                    delete_document(&mut fresh_collection, &mut fresh, d);
-                }
+            if apply_update(&mut fresh_collection, &mut fresh, update).is_err() {
+                // A surprising delta (endpoints that are not live, a
+                // missing link, …) must never panic the rebuild thread:
+                // fall back to the in-lock rebuild from the live
+                // collection, which is always consistent.
+                let (rebuilt, report) = build_index(collection, config);
+                *index = rebuilt;
+                return report;
             }
         }
         *index = fresh;
         report
     }
+}
+
+/// Applies one replayed update to a collection/index pair, reporting
+/// (instead of panicking on) updates that do not fit the current state —
+/// the caller falls back to a full rebuild.
+pub fn apply_update(
+    collection: &mut Collection,
+    index: &mut HopiIndex,
+    update: CollectionUpdate,
+) -> Result<(), String> {
+    match update {
+        CollectionUpdate::InsertLink(f, t) => insert_link(collection, index, f, t)
+            .map(|_| ())
+            .map_err(|e| format!("insert link {f} → {t}: {e:?}")),
+        CollectionUpdate::DeleteLink(f, t) => {
+            if !collection.has_link(f, t) {
+                return Err(format!("delete link {f} → {t}: no such link"));
+            }
+            crate::delete::delete_link(collection, index, f, t);
+            Ok(())
+        }
+        CollectionUpdate::InsertDocument(doc, links) => {
+            validate_links(collection, &doc, &links)?;
+            insert_document(collection, index, doc, &links);
+            Ok(())
+        }
+        CollectionUpdate::DeleteDocument(d) => {
+            if collection.document(d).is_none() {
+                return Err(format!("delete document {d}: not live"));
+            }
+            delete_document(collection, index, d);
+            Ok(())
+        }
+        CollectionUpdate::ModifyDocument(d, new_doc, links) => {
+            if collection.document(d).is_none() {
+                return Err(format!("modify document {d}: not live"));
+            }
+            let endpoint_outside = |e: ElemId| match collection.doc_of(e) {
+                Some(owner) if owner != d => Ok(()),
+                Some(_) => Err(format!("modify document {d}: link endpoint {e} inside it")),
+                None => Err(format!("modify document {d}: dead link endpoint {e}")),
+            };
+            for &(_, t) in &links.outgoing {
+                endpoint_outside(t)?;
+            }
+            for &(s, _) in &links.incoming {
+                endpoint_outside(s)?;
+            }
+            validate_local_ids(&new_doc, &links)?;
+            crate::modify::modify_document(collection, index, d, new_doc, &links);
+            Ok(())
+        }
+    }
+}
+
+/// Both endpoints of every document link must be live, and local ids must
+/// fall inside the new document.
+fn validate_links(
+    collection: &Collection,
+    doc: &XmlDocument,
+    links: &DocumentLinks,
+) -> Result<(), String> {
+    validate_local_ids(doc, links)?;
+    for &(_, t) in &links.outgoing {
+        if collection.doc_of(t).is_none() {
+            return Err(format!("insert document: dead link target {t}"));
+        }
+    }
+    for &(s, _) in &links.incoming {
+        if collection.doc_of(s).is_none() {
+            return Err(format!("insert document: dead link source {s}"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_local_ids(doc: &XmlDocument, links: &DocumentLinks) -> Result<(), String> {
+    for &(local, _) in &links.outgoing {
+        if local as usize >= doc.len() {
+            return Err(format!("local element {local} out of range"));
+        }
+    }
+    for &(_, local) in &links.incoming {
+        if local as usize >= doc.len() {
+            return Err(format!("local element {local} out of range"));
+        }
+    }
+    Ok(())
 }
 
 /// Would replaying `delta` onto `snapshot` reproduce the live collection's
@@ -185,12 +277,30 @@ pub fn delta_replays_exactly(
     let mut available: rustc_hash::FxHashSet<DocId> = snapshot.doc_ids().collect();
     let mut next_doc = snapshot.doc_id_bound() as DocId;
     let mut next_elem = snapshot.elem_id_bound() as ElemId;
+    // Would appending `doc` as id `next_doc` reproduce live's assignment,
+    // with every linked-to document already replayed?
+    let appends_exactly = |doc: &XmlDocument,
+                           links: &DocumentLinks,
+                           next_doc: DocId,
+                           next_elem: ElemId,
+                           available: &rustc_hash::FxHashSet<DocId>| {
+        let live_doc = match live.document(next_doc) {
+            Some(d) => d,
+            None => return false,
+        };
+        if live_doc.len() != doc.len() || live.global_id(next_doc, 0) != next_elem {
+            return false;
+        }
+        let endpoint_ok = |e: ElemId| live.doc_of(e).is_some_and(|d| available.contains(&d));
+        links.outgoing.iter().all(|&(_, t)| endpoint_ok(t))
+            && links.incoming.iter().all(|&(s, _)| endpoint_ok(s))
+    };
     for update in delta {
         match update {
             CollectionUpdate::DeleteDocument(d) => {
                 available.remove(d);
             }
-            CollectionUpdate::InsertLink(from, to) => {
+            CollectionUpdate::InsertLink(from, to) | CollectionUpdate::DeleteLink(from, to) => {
                 let ok = [*from, *to]
                     .into_iter()
                     .all(|e| live.doc_of(e).is_some_and(|d| available.contains(&d)));
@@ -199,22 +309,19 @@ pub fn delta_replays_exactly(
                 }
             }
             CollectionUpdate::InsertDocument(doc, links) => {
-                // Replay will assign id `next_doc` and element base
-                // `next_elem`; live must agree.
-                let live_doc = match live.document(next_doc) {
-                    Some(d) => d,
-                    None => return false,
-                };
-                if live_doc.len() != doc.len() || live.global_id(next_doc, 0) != next_elem {
+                if !appends_exactly(doc, links, next_doc, next_elem, &available) {
                     return false;
                 }
-                // Every linked-to document must already exist at replay
-                // time.
-                let endpoint_ok =
-                    |e: ElemId| live.doc_of(e).is_some_and(|d| available.contains(&d));
-                if !links.outgoing.iter().all(|&(_, t)| endpoint_ok(t))
-                    || !links.incoming.iter().all(|&(s, _)| endpoint_ok(s))
-                {
+                available.insert(next_doc);
+                next_doc += 1;
+                next_elem += doc.len() as ElemId;
+            }
+            CollectionUpdate::ModifyDocument(d, doc, links) => {
+                // Drop + reinsert: the replacement takes the next fresh id.
+                if !available.remove(d) {
+                    return false;
+                }
+                if !appends_exactly(doc, links, next_doc, next_elem, &available) {
                     return false;
                 }
                 available.insert(next_doc);
@@ -241,6 +348,21 @@ pub fn collection_delta(
         if live.document(d).is_none() {
             updates.push(CollectionUpdate::DeleteDocument(d));
         }
+    }
+    // Deleted links whose endpoint documents both survive. (Links that
+    // died *with* a document are covered by its DeleteDocument; without
+    // these records a link deleted mid-rebuild would silently come back
+    // from the snapshot-built index.)
+    let mut dead_links: Vec<(ElemId, ElemId)> = snapshot_links
+        .iter()
+        .copied()
+        .filter(|&(from, to)| {
+            !live.has_link(from, to) && live.doc_of(from).is_some() && live.doc_of(to).is_some()
+        })
+        .collect();
+    dead_links.sort_unstable(); // set iteration order → deterministic delta
+    for (from, to) in dead_links {
+        updates.push(CollectionUpdate::DeleteLink(from, to));
     }
     // Insertions: live docs beyond the snapshot (ids are never reused, so
     // any doc id not in the snapshot list is new).
@@ -323,6 +445,128 @@ mod tests {
         live.add_link(live.global_id(1, 0), live.global_id(0, 1));
         let delta = delta_of(&snapshot, &live);
         assert!(delta_replays_exactly(&snapshot, &live, &delta));
+    }
+
+    #[test]
+    fn mid_window_link_deletion_appears_in_delta_and_replays() {
+        // A link deleted between snapshot and live must be replayed as a
+        // DeleteLink — without it the snapshot-built index would resurrect
+        // the connection.
+        let mut snapshot = two_doc_snapshot();
+        snapshot.add_link(snapshot.global_id(0, 1), snapshot.global_id(1, 0));
+        let mut live = snapshot.clone();
+        live.remove_link(live.global_id(0, 1), live.global_id(1, 0));
+        let delta = delta_of(&snapshot, &live);
+        assert!(matches!(
+            delta.as_slice(),
+            [CollectionUpdate::DeleteLink(_, _)]
+        ));
+        assert!(delta_replays_exactly(&snapshot, &live, &delta));
+    }
+
+    #[test]
+    fn link_dying_with_its_document_is_not_replayed_twice() {
+        let mut snapshot = two_doc_snapshot();
+        snapshot.add_link(snapshot.global_id(0, 1), snapshot.global_id(1, 0));
+        let mut live = snapshot.clone();
+        live.remove_document(1); // takes the link down with it
+        let delta = delta_of(&snapshot, &live);
+        assert!(matches!(
+            delta.as_slice(),
+            [CollectionUpdate::DeleteDocument(1)]
+        ));
+        assert!(delta_replays_exactly(&snapshot, &live, &delta));
+    }
+
+    #[test]
+    fn modify_document_accounts_like_drop_plus_reinsert() {
+        let snapshot = two_doc_snapshot();
+        // Live state after modify_document(0, new_doc): doc 0 tombstoned,
+        // replacement appended as doc 2.
+        let mut live = snapshot.clone();
+        live.remove_document(0);
+        let mut new_doc = XmlDocument::new("a2", "r");
+        new_doc.add_element(0, "s");
+        live.add_document(new_doc.clone());
+        let delta = vec![CollectionUpdate::ModifyDocument(
+            0,
+            new_doc.clone(),
+            DocumentLinks::default(),
+        )];
+        assert!(delta_replays_exactly(&snapshot, &live, &delta));
+        // Modifying a document that is not available cannot replay.
+        let bad = vec![CollectionUpdate::ModifyDocument(
+            7,
+            new_doc,
+            DocumentLinks::default(),
+        )];
+        assert!(!delta_replays_exactly(&snapshot, &live, &bad));
+    }
+
+    #[test]
+    fn surprising_updates_fail_gracefully_not_by_panic() {
+        // apply_update must reject (not panic on) updates that do not fit
+        // the collection — the rebuild thread falls back to a full build.
+        let (mut c, mut index) = {
+            let c = two_doc_snapshot();
+            let (index, _) = build_index(&c, &BuildConfig::default());
+            (c, index)
+        };
+        let cases = vec![
+            CollectionUpdate::InsertLink(0, 999),
+            CollectionUpdate::DeleteLink(0, 3),
+            CollectionUpdate::DeleteDocument(9),
+            CollectionUpdate::InsertDocument(
+                XmlDocument::new("x", "r"),
+                DocumentLinks {
+                    outgoing: vec![(0, 999)],
+                    incoming: vec![],
+                },
+            ),
+            CollectionUpdate::ModifyDocument(
+                9,
+                XmlDocument::new("y", "r"),
+                DocumentLinks::default(),
+            ),
+        ];
+        for update in cases {
+            assert!(apply_update(&mut c, &mut index, update).is_err());
+        }
+        // The collection is untouched by the rejected updates.
+        assert_eq!(c.doc_count(), 2);
+        assert!(c.links().is_empty());
+    }
+
+    #[test]
+    fn rebuild_catches_up_with_mid_window_link_deletion() {
+        let c = dblp(&DblpConfig::scaled(0.003));
+        let (online, _) = OnlineIndex::new(c, &BuildConfig::default());
+        let docs: Vec<DocId> = online.read(|c, _| c.doc_ids().collect());
+        let (from, to) = online.read(|c, _| {
+            (
+                c.global_id(docs[0], 0),
+                c.global_id(docs[docs.len() / 2], 0),
+            )
+        });
+        online.insert_link(from, to).unwrap();
+        // Simulate "deleted while the rebuild ran": rebuild_blocking
+        // snapshots, then we race a deletion in before its swap by doing
+        // the deletion through the same write path the window would see.
+        let mut guard_snapshot = online.read(|c, _| c.clone());
+        guard_snapshot.remove_link(from, to);
+        // Directly exercise delta construction + replay exactness.
+        let live = guard_snapshot;
+        let snap_docs: Vec<DocId> = online.read(|c, _| c.doc_ids().collect());
+        let snap_links: rustc_hash::FxHashSet<(ElemId, ElemId)> =
+            online.read(|c, _| c.links().iter().map(|l| (l.from, l.to)).collect());
+        let delta = collection_delta(&snap_docs, &snap_links, &live);
+        assert!(delta
+            .iter()
+            .any(|u| matches!(u, CollectionUpdate::DeleteLink(f, t) if *f == from && *t == to)));
+        // End to end: after really deleting and rebuilding, exactness holds.
+        let (online2, _) = OnlineIndex::new(live, &BuildConfig::default());
+        online2.rebuild_blocking(&BuildConfig::default());
+        assert_exact(&online2);
     }
 
     #[test]

@@ -43,12 +43,14 @@ pub enum Endpoint {
     AdminRebuild,
     /// `POST /admin/save`
     AdminSave,
+    /// `POST /admin/checkpoint`
+    AdminCheckpoint,
     /// Anything else (404s, bad methods, parse failures).
     Other,
 }
 
 /// All endpoints, in `/metrics` exposition order.
-pub const ALL_ENDPOINTS: [Endpoint; 16] = [
+pub const ALL_ENDPOINTS: [Endpoint; 17] = [
     Endpoint::Healthz,
     Endpoint::Stats,
     Endpoint::Metrics,
@@ -64,6 +66,7 @@ pub const ALL_ENDPOINTS: [Endpoint; 16] = [
     Endpoint::DeleteLink,
     Endpoint::AdminRebuild,
     Endpoint::AdminSave,
+    Endpoint::AdminCheckpoint,
     Endpoint::Other,
 ];
 
@@ -86,6 +89,7 @@ impl Endpoint {
             Endpoint::DeleteLink => "delete_link",
             Endpoint::AdminRebuild => "admin_rebuild",
             Endpoint::AdminSave => "admin_save",
+            Endpoint::AdminCheckpoint => "admin_checkpoint",
             Endpoint::Other => "other",
         }
     }

@@ -53,12 +53,13 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
         (Method::Delete, "/links") => (Endpoint::DeleteLink, delete_link(state, req)),
         (Method::Post, "/admin/rebuild") => (Endpoint::AdminRebuild, admin_rebuild(state)),
         (Method::Post, "/admin/save") => (Endpoint::AdminSave, admin_save(state, req)),
+        (Method::Post, "/admin/checkpoint") => (Endpoint::AdminCheckpoint, admin_checkpoint(state)),
         // Known paths with the wrong method get a 405, unknown paths 404.
         (
             _,
             "/healthz" | "/stats" | "/metrics" | "/connected" | "/connected_many" | "/distance"
             | "/descendants" | "/ancestors" | "/query" | "/documents" | "/links" | "/admin/rebuild"
-            | "/admin/save",
+            | "/admin/save" | "/admin/checkpoint",
         ) => (
             Endpoint::Other,
             Response::error(405, &format!("method not allowed on {path}")),
@@ -81,7 +82,9 @@ fn status_of(e: &HopiError) -> u16 {
         | HopiError::UnknownElement(_)
         | HopiError::UnknownLink { .. }
         | HopiError::UnresolvedRef { .. } => 404,
-        HopiError::DuplicateDocumentName(_) | HopiError::DistanceDisabled => 409,
+        HopiError::DuplicateDocumentName(_)
+        | HopiError::DistanceDisabled
+        | HopiError::DurabilityDisabled => 409,
         _ => 500,
     }
 }
@@ -125,6 +128,19 @@ fn stats(state: &AppState) -> Response {
     );
     w.field_bool("distance_aware", s.distance_aware);
     w.field_bool("read_only", state.read_only);
+    // Durability: WAL length and checkpoint horizon (absent = in-memory).
+    w.field_bool("durable", state.engine.is_durable());
+    if let Some(wal) = state.engine.wal_stats() {
+        w.field_obj("wal");
+        w.field_u64("records_since_checkpoint", wal.records_since_checkpoint);
+        w.field_u64("bytes", wal.wal_bytes);
+        w.field_u64("appended_seq", wal.appended_seq);
+        w.field_u64("durable_seq", wal.durable_seq);
+        w.field_u64("last_checkpoint_seq", wal.last_checkpoint_seq);
+        w.field_u64("last_checkpoint_epoch", wal.last_checkpoint_epoch);
+        w.field_bool("healthy", wal.healthy);
+        w.close_obj();
+    }
     // Which physical `//`-step plans have run (engine-lifetime totals) —
     // scrape twice to see where query traffic lands.
     w.field_obj("plan");
@@ -433,6 +449,23 @@ fn admin_rebuild(state: &AppState) -> Response {
     w.field_u64("epoch", state.engine.epoch());
     w.close_obj();
     Response::json(w.finish())
+}
+
+fn admin_checkpoint(state: &AppState) -> Response {
+    // Legal in frozen mode: a checkpoint persists state, it does not
+    // mutate it. Blocks writers briefly; readers stay on snapshots.
+    match state.engine.checkpoint() {
+        Ok(ck) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.field_u64("seq", ck.seq);
+            w.field_u64("wal_bytes_truncated", ck.wal_bytes_truncated);
+            w.field_u64("epoch", state.engine.epoch());
+            w.close_obj();
+            Response::json(w.finish())
+        }
+        Err(e) => engine_error(&e),
+    }
 }
 
 fn admin_save(state: &AppState, req: &Request) -> Response {

@@ -386,15 +386,17 @@ fn concurrent_readers_during_update_batch_and_rebuild() {
 
     // Writer: batched inserts (one epoch per batch) plus a rebuild.
     for round in 0..5 {
-        engine.update_batch(|h| {
-            for i in 0..4 {
-                h.insert_xml(
-                    &format!("w{round}_{i}"),
-                    r#"<note><cite xlink:href="a"/></note>"#,
-                )
-                .expect("insert under readers");
-            }
-        });
+        engine
+            .update_batch(|h| {
+                for i in 0..4 {
+                    h.insert_xml(
+                        &format!("w{round}_{i}"),
+                        r#"<note><cite xlink:href="a"/></note>"#,
+                    )
+                    .expect("insert under readers");
+                }
+            })
+            .expect("non-durable batch cannot fail");
     }
     let report = engine.rebuild_blocking();
     assert!(report.cover_size > 0);
@@ -411,5 +413,145 @@ fn concurrent_readers_during_update_batch_and_rebuild() {
     assert_eq!(engine.epoch(), 6);
     let stats = engine.snapshot_stats();
     assert_eq!(stats.documents, 2 + 20);
+    handle.shutdown();
+}
+
+/// The durability acceptance path: serve a durable engine, mutate over
+/// HTTP, kill the server without checkpointing, reopen the directory —
+/// every acknowledged mutation is present.
+#[test]
+fn durable_serving_survives_a_crash_without_checkpoint() {
+    use hopi_build::{DurableConfig, SyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("hopi_server_durable_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = DurableConfig::new(&dir).policy(SyncPolicy::GroupCommit);
+    let bootstrap = Hopi::builder()
+        .parse([
+            ("a", r#"<r><cite xlink:href="b"/></r>"#),
+            ("b", "<r><sec/></r>"),
+        ])
+        .unwrap()
+        .collection()
+        .clone();
+    let engine = OnlineHopi::open_durable(&config, Hopi::builder(), Some(bootstrap)).unwrap();
+    let handle = serve(
+        engine,
+        ServerConfig {
+            addr: loopback(),
+            threads: 4,
+            read_only: false,
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // /stats announces durability and an empty WAL.
+    let stats = get_json(&mut c, "/stats");
+    assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(true));
+    let wal = stats.get("wal").expect("wal object");
+    assert_eq!(
+        wal.get("records_since_checkpoint").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // Acked mutations over HTTP: a document, a link, a deletion.
+    let resp = c
+        .request(
+            "POST",
+            "/documents?name=crashnote",
+            r#"<note><cite xlink:href="b"/></note>"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = parse(&resp.body)
+        .unwrap()
+        .get("doc")
+        .and_then(Json::as_u64)
+        .unwrap() as u32;
+    let resp = c.request("POST", "/links?from=3&to=0", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let resp = c.request("DELETE", "/links?from=3&to=0", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let stats = get_json(&mut c, "/stats");
+    let wal = stats.get("wal").expect("wal object");
+    assert_eq!(
+        wal.get("records_since_checkpoint").and_then(Json::as_u64),
+        Some(3)
+    );
+    let appended = wal.get("appended_seq").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        wal.get("durable_seq").and_then(Json::as_u64),
+        Some(appended),
+        "an acked mutation is a durable mutation"
+    );
+
+    // Kill without checkpointing (drop = the in-process kill -9: nothing
+    // is flushed beyond what each ack already made durable).
+    drop(c);
+    handle.shutdown();
+
+    // Reopen the directory: checkpoint(initial) + WAL tail replay.
+    let recovered = Hopi::recover(&dir).unwrap();
+    let note_root = recovered.collection().global_id(doc, 0);
+    assert!(
+        recovered.connected(note_root, 3),
+        "recovered document still cites b's sec"
+    );
+    assert!(
+        !recovered.collection().has_link(3, 0),
+        "the acked deletion survived too"
+    );
+
+    // And the recovered directory serves again, with a working
+    // /admin/checkpoint that truncates the WAL.
+    let engine = OnlineHopi::open_durable(&config, Hopi::builder(), None).unwrap();
+    let handle = serve(
+        engine,
+        ServerConfig {
+            addr: loopback(),
+            threads: 2,
+            read_only: false,
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let before = get_json(&mut c, "/stats");
+    assert_eq!(
+        before
+            .get("wal")
+            .and_then(|w| w.get("records_since_checkpoint"))
+            .and_then(Json::as_u64),
+        Some(3),
+        "pre-checkpoint WAL tail is still there after recovery"
+    );
+    let resp = c.request("POST", "/admin/checkpoint", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let ck = parse(&resp.body).unwrap();
+    assert_eq!(ck.get("seq").and_then(Json::as_u64), Some(3));
+    let after = get_json(&mut c, "/stats");
+    assert_eq!(
+        after
+            .get("wal")
+            .and_then(|w| w.get("records_since_checkpoint"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+    drop(c);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `POST /admin/checkpoint` on a non-durable engine is a clean 409.
+#[test]
+fn checkpoint_without_wal_is_409() {
+    let handle = serve_small(false, false);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c.request("POST", "/admin/checkpoint", "").unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    let stats = get_json(&mut c, "/stats");
+    assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(false));
+    assert!(stats.get("wal").is_none());
     handle.shutdown();
 }

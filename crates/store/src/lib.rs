@@ -26,7 +26,12 @@
 //! labels. [`persist`] serializes the tables to a compact binary file —
 //! either as rows ([`save_store`]) or as a single length-prefixed CSR blob
 //! of a frozen cover ([`save_frozen`]), the serving layout that loads with
-//! no re-sorting; [`load_index`] auto-detects the layout.
+//! no re-sorting; [`load_index`] auto-detects the layout. All index files
+//! are written crash-atomically (temp file + fsync + rename + directory
+//! fsync). [`wal`] adds the durable write path: a length-prefixed,
+//! checksummed write-ahead log of collection mutations with group commit,
+//! paired with atomic checkpoints ([`save_checkpoint`]) that snapshot
+//! collection + frozen cover at a WAL sequence number.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +39,12 @@
 pub mod engine;
 pub mod persist;
 pub mod table;
+pub mod wal;
 
 pub use engine::LinLoutStore;
 pub use persist::{
-    load_frozen, load_index, load_store, save_frozen, save_store, PersistError, StoredIndex,
+    atomic_write_file, load_checkpoint, load_frozen, load_index, load_store, save_checkpoint,
+    save_frozen, save_store, sync_parent_dir, Checkpoint, PersistError, StoredIndex,
 };
 pub use table::IndexOrganizedTable;
+pub use wal::{SyncPolicy, Wal, WalRecord};

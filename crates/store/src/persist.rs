@@ -78,6 +78,62 @@ const VERSION_ROWS_ONLY: u32 = 1;
 const FLAG_DIST: u32 = 1;
 /// Flags bit 1: the payload is a frozen CSR blob, not rows.
 const FLAG_FROZEN: u32 = 2;
+/// Flags bit 2: the file is a checkpoint (collection + frozen cover +
+/// WAL sequence number; see [`save_checkpoint`]).
+const FLAG_CHECKPOINT: u32 = 4;
+
+/// Writes `bytes` to `path` crash-atomically: the bytes go to a temporary
+/// file in the same directory, are fsynced, renamed over the target, and
+/// the directory is fsynced — at every instant `path` holds either the
+/// old complete file or the new complete file, never a torn mix.
+pub fn atomic_write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // Unique per call, not just per process: two threads writing the same
+    // target concurrently must not truncate each other's temp file.
+    static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("hopi-file");
+    let tmp_name = format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let install = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = install() {
+        // Leave nothing behind on failure (e.g. ENOSPC mid-write).
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// or create durable. A no-op error-swallow is deliberate on platforms
+/// where directories cannot be opened for sync.
+pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    match std::fs::File::open(dir) {
+        Ok(f) => f.sync_all(),
+        // Some platforms refuse opening directories; the rename itself is
+        // still ordered after the file fsync, which is the critical part.
+        Err(_) => Ok(()),
+    }
+}
 
 /// Errors raised by save/load.
 #[derive(Debug)]
@@ -127,8 +183,7 @@ pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError>
             }
         }
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&buf)?;
+    atomic_write_file(path, &buf)?;
     Ok(())
 }
 
@@ -148,6 +203,11 @@ pub fn load_index(path: &Path) -> Result<StoredIndex, PersistError> {
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
     if raw.len() >= 12 && &raw[..4] == MAGIC {
         let flags = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]);
+        if flags & FLAG_CHECKPOINT != 0 {
+            return Err(PersistError::Format(
+                "file is a durable checkpoint; load it with load_checkpoint".into(),
+            ));
+        }
         if flags & FLAG_FROZEN != 0 {
             return decode_frozen(&raw).map(StoredIndex::Frozen);
         }
@@ -177,6 +237,11 @@ fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
         return Err(PersistError::Version(version));
     }
     let flags = buf.get_u32_le();
+    if flags & FLAG_CHECKPOINT != 0 {
+        return Err(PersistError::Format(
+            "file is a durable checkpoint; load it with load_checkpoint".into(),
+        ));
+    }
     if flags & FLAG_FROZEN != 0 {
         return Err(PersistError::Format(
             "file holds a frozen CSR cover; load it with load_frozen / load_index".into(),
@@ -217,15 +282,26 @@ fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
 /// blob (header flags bit 1 set; bit 0 when distance annotations are
 /// stored). Loading it back with [`load_frozen`] involves no sorting.
 pub fn save_frozen(frozen: &FrozenCover, path: &Path) -> Result<(), PersistError> {
-    let n = frozen.num_nodes();
-    let data = frozen.label_data();
     let dists = frozen.label_dists();
     let flags = FLAG_FROZEN | if dists.is_some() { FLAG_DIST } else { 0 };
-    let words = 2 * (n + 1) + data.len() * if dists.is_some() { 2 } else { 1 };
-    let mut buf: Vec<u8> = Vec::with_capacity(28 + 4 * words);
+    let mut buf: Vec<u8> = Vec::with_capacity(28);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&flags.to_le_bytes());
+    encode_frozen_payload(frozen, &mut buf);
+    atomic_write_file(path, &buf)?;
+    Ok(())
+}
+
+/// Appends the frozen cover's CSR payload (`n`, `data_len`, offset tables,
+/// data, optional dist column) to `buf` — the section shared by frozen
+/// index files and checkpoints.
+fn encode_frozen_payload(frozen: &FrozenCover, buf: &mut Vec<u8>) {
+    let n = frozen.num_nodes();
+    let data = frozen.label_data();
+    let dists = frozen.label_dists();
+    let words = 2 * (n + 1) + data.len() * if dists.is_some() { 2 } else { 1 };
+    buf.reserve(16 + 4 * words);
     buf.extend_from_slice(&(n as u64).to_le_bytes());
     buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
     for section in [frozen.lin_offsets(), frozen.lout_offsets()] {
@@ -239,9 +315,6 @@ pub fn save_frozen(frozen: &FrozenCover, path: &Path) -> Result<(), PersistError
     for &d in dists.unwrap_or(&[]) {
         buf.extend_from_slice(&d.to_le_bytes());
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&buf)?;
-    Ok(())
 }
 
 /// Loads a frozen cover persisted with [`save_frozen`], rebuilding the
@@ -267,12 +340,28 @@ fn decode_frozen(raw: &[u8]) -> Result<FrozenCover, PersistError> {
         return Err(PersistError::Version(version));
     }
     let flags = buf.get_u32_le();
+    if flags & FLAG_CHECKPOINT != 0 {
+        return Err(PersistError::Format(
+            "file is a durable checkpoint; load it with load_checkpoint".into(),
+        ));
+    }
     if flags & FLAG_FROZEN == 0 {
         return Err(PersistError::Format(
             "file holds LIN/LOUT rows; load it with load_store / load_index".into(),
         ));
     }
-    let with_dist = flags & FLAG_DIST != 0;
+    decode_frozen_payload(&mut buf, flags & FLAG_DIST != 0)
+}
+
+/// Reads the frozen CSR payload section, which must consume the rest of
+/// the buffer exactly.
+fn decode_frozen_payload(
+    buf: &mut Cursor<'_>,
+    with_dist: bool,
+) -> Result<FrozenCover, PersistError> {
+    if buf.remaining() < 16 {
+        return Err(PersistError::Format("truncated CSR section".into()));
+    }
     let n = buf.get_u64_le() as usize;
     let data_len = buf.get_u64_le() as usize;
     let dist_words = if with_dist { data_len } else { 0 };
@@ -291,12 +380,108 @@ fn decode_frozen(raw: &[u8]) -> Result<FrozenCover, PersistError> {
     }
     let read_words =
         |k: usize, buf: &mut Cursor<'_>| -> Vec<u32> { (0..k).map(|_| buf.get_u32_le()).collect() };
-    let lin_off = read_words(n + 1, &mut buf);
-    let lout_off = read_words(n + 1, &mut buf);
-    let data = read_words(data_len, &mut buf);
-    let dist = with_dist.then(|| read_words(data_len, &mut buf));
+    let lin_off = read_words(n + 1, buf);
+    let lout_off = read_words(n + 1, buf);
+    let data = read_words(data_len, buf);
+    let dist = with_dist.then(|| read_words(data_len, buf));
     FrozenCover::from_label_csr(lin_off, lout_off, data, dist)
         .map_err(|e| PersistError::Format(format!("invalid CSR blob: {e}")))
+}
+
+/// A loaded durable checkpoint: the collection and frozen cover as of WAL
+/// sequence number [`Checkpoint::seq`]. Recovery replays the WAL records
+/// with sequence numbers greater than `seq` on top of this state.
+pub struct Checkpoint {
+    /// The collection at checkpoint time (ids reconstructed exactly,
+    /// tombstones included).
+    pub collection: hopi_xml::Collection,
+    /// The cover at checkpoint time, in the frozen serving layout
+    /// (distance-annotated when the engine was distance-aware).
+    pub frozen: FrozenCover,
+    /// WAL sequence number covered by this checkpoint.
+    pub seq: u64,
+}
+
+/// Persists a checkpoint crash-atomically (temp file + fsync + rename +
+/// directory fsync): collection, frozen cover, and the WAL sequence
+/// number the pair is consistent with, in one file — a crash can never
+/// leave a collection from one checkpoint next to an index from another.
+///
+/// ```text
+/// magic    4 bytes  "HOPI"
+/// version  u32      2
+/// flags    u32      bit 2 (CHECKPOINT) | bit 1 (FROZEN) [| bit 0 DIST]
+/// seq      u64      WAL sequence number covered
+/// coll_len u64      collection blob length
+/// coll     bytes    hopi_xml::codec::encode_collection
+/// csr      …        frozen CSR payload (same section as save_frozen)
+/// ```
+pub fn save_checkpoint(
+    path: &Path,
+    collection: &hopi_xml::Collection,
+    frozen: &FrozenCover,
+    seq: u64,
+) -> Result<(), PersistError> {
+    let coll = hopi_xml::codec::encode_collection(collection);
+    let flags = FLAG_CHECKPOINT
+        | FLAG_FROZEN
+        | if frozen.label_dists().is_some() {
+            FLAG_DIST
+        } else {
+            0
+        };
+    let mut buf: Vec<u8> = Vec::with_capacity(28 + coll.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&flags.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(coll.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&coll);
+    encode_frozen_payload(frozen, &mut buf);
+    atomic_write_file(path, &buf)?;
+    Ok(())
+}
+
+/// Loads a checkpoint written by [`save_checkpoint`].
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, PersistError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = Cursor::new(&raw);
+    if buf.remaining() < 28 {
+        return Err(PersistError::Format("truncated checkpoint header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::Version(version));
+    }
+    let flags = buf.get_u32_le();
+    if flags & FLAG_CHECKPOINT == 0 {
+        return Err(PersistError::Format(
+            "file is not a checkpoint; load it with load_index".into(),
+        ));
+    }
+    let seq = buf.get_u64_le();
+    let coll_len = buf.get_u64_le() as usize;
+    if buf.remaining() < coll_len {
+        return Err(PersistError::Format(format!(
+            "collection blob of {coll_len} bytes exceeds file"
+        )));
+    }
+    let mut coll_bytes = vec![0u8; coll_len];
+    buf.copy_to_slice(&mut coll_bytes);
+    let collection = hopi_xml::codec::decode_collection(&coll_bytes)
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+    let frozen = decode_frozen_payload(&mut buf, flags & FLAG_DIST != 0)?;
+    Ok(Checkpoint {
+        collection,
+        frozen,
+        seq,
+    })
 }
 
 #[cfg(test)]
@@ -421,6 +606,55 @@ mod tests {
         assert_eq!(loaded.entry_count(), store.entry_count());
         assert!(matches!(load_index(&dir), Ok(StoredIndex::Rows(_))));
         std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_type_confusion() {
+        use hopi_xml::{Collection, XmlDocument};
+        let mut c = Collection::new();
+        let mut d = XmlDocument::new("a", "r");
+        d.add_element(0, "s");
+        c.add_document(d);
+        c.add_document(XmlDocument::new("b", "r"));
+        c.add_link(1, 2);
+        let ghost = c.add_document(XmlDocument::new("ghost", "r"));
+        c.remove_document(ghost);
+        let tc = TransitiveClosure::from_graph(&c.element_graph());
+        let cover = CoverBuilder::new(&tc).build();
+        let frozen = FrozenCover::from_cover(&cover);
+        let path = std::env::temp_dir().join("hopi_persist_ckpt.idx");
+        save_checkpoint(&path, &c, &frozen, 42).unwrap();
+        let ckpt = load_checkpoint(&path).unwrap();
+        assert_eq!(ckpt.seq, 42);
+        assert_eq!(ckpt.collection.doc_id_bound(), c.doc_id_bound());
+        assert_eq!(ckpt.collection.elem_id_bound(), c.elem_id_bound());
+        assert_eq!(ckpt.collection.links(), c.links());
+        assert_eq!(ckpt.frozen.size(), frozen.size());
+        assert!(ckpt.frozen.connected(0, 2));
+        // Every other loader refuses a checkpoint with a pointer to the
+        // right entry, and vice versa.
+        assert!(matches!(load_index(&path), Err(PersistError::Format(_))));
+        assert!(matches!(load_store(&path), Err(PersistError::Format(_))));
+        assert!(matches!(load_frozen(&path), Err(PersistError::Format(_))));
+        save_frozen(&frozen, &path).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("hopi_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("file.bin");
+        atomic_write_file(&target, b"first").unwrap();
+        atomic_write_file(&target, b"second").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second");
+        let stray = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(stray, 1, "temp files must not survive a write");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

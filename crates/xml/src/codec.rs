@@ -1,0 +1,322 @@
+//! Exact binary serialization of [`XmlDocument`]s and [`Collection`]s.
+//!
+//! The XML text form ([`Collection::serialize_document`]) is lossy: link
+//! attributes are unique per element and unanchored targets degrade to
+//! root references, and re-parsing a collection with tombstoned document
+//! slots would compact ids. Durable persistence (checkpoints, the
+//! write-ahead log) needs the *id assignment itself* to survive a round
+//! trip — the HOPI index and every WAL record speak global element ids —
+//! so this codec stores the model faithfully: every document slot ever
+//! allocated (live or tombstoned, with its reserved id range), element
+//! trees, anchors, intra-document links, and the inter-document link set.
+//!
+//! All integers are little-endian. Strings are length-prefixed UTF-8.
+//! The codec carries no magic/version header of its own; embedding
+//! formats (the checkpoint file, WAL records) provide framing.
+
+use crate::collection::{Collection, ElemId};
+use crate::model::{LocalElemId, XmlDocument};
+
+/// A malformed byte stream handed to the decoder.
+#[derive(Debug)]
+pub struct CodecError(String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "collection codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl CodecError {
+    fn new(msg: impl Into<String>) -> Self {
+        CodecError(msg.into())
+    }
+}
+
+/// A little-endian read cursor that fails cleanly on truncation.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// A `u32` length that must be plausible for the bytes remaining —
+    /// rejects counts a corrupt stream could use to force huge
+    /// allocations.
+    fn len(&mut self, per_item: usize) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(per_item.max(1)) > self.remaining() {
+            return Err(CodecError::new(format!("length {n} exceeds payload")));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len(1)?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| CodecError::new("string is not UTF-8"))
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the exact binary form of one document to `out`.
+pub fn encode_document(doc: &XmlDocument, out: &mut Vec<u8>) {
+    put_str(out, &doc.name);
+    out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+    for (id, e) in doc.elements() {
+        if id != 0 {
+            out.extend_from_slice(&e.parent.expect("non-root has a parent").to_le_bytes());
+        }
+        put_str(out, &e.tag);
+    }
+    let anchors: Vec<(&String, &LocalElemId)> = {
+        let mut a: Vec<_> = doc.anchors().collect();
+        a.sort_by(|x, y| x.0.cmp(y.0)); // deterministic bytes
+        a
+    };
+    out.extend_from_slice(&(anchors.len() as u32).to_le_bytes());
+    for (name, &el) in anchors {
+        put_str(out, name);
+        out.extend_from_slice(&el.to_le_bytes());
+    }
+    out.extend_from_slice(&(doc.intra_links().len() as u32).to_le_bytes());
+    for &(f, t) in doc.intra_links() {
+        out.extend_from_slice(&f.to_le_bytes());
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+}
+
+/// Reads one document written by [`encode_document`].
+pub(crate) fn decode_document_from(r: &mut Reader<'_>) -> Result<XmlDocument, CodecError> {
+    let name = r.str()?;
+    let n = r.len(1)?;
+    if n == 0 {
+        return Err(CodecError::new("document has no root element"));
+    }
+    let root_tag = r.str()?;
+    let mut doc = XmlDocument::new(name, root_tag);
+    for id in 1..n {
+        let parent = r.u32()?;
+        if parent as usize >= id {
+            return Err(CodecError::new(format!(
+                "element {id} names parent {parent} at or after itself"
+            )));
+        }
+        let tag = r.str()?;
+        doc.add_element(parent, tag);
+    }
+    let anchors = r.len(5)?;
+    for _ in 0..anchors {
+        let anchor = r.str()?;
+        let el = r.u32()?;
+        if el as usize >= n {
+            return Err(CodecError::new(format!("anchor targets dead element {el}")));
+        }
+        doc.set_anchor(anchor, el);
+    }
+    let intra = r.len(8)?;
+    for _ in 0..intra {
+        let f = r.u32()?;
+        let t = r.u32()?;
+        if f as usize >= n || t as usize >= n {
+            return Err(CodecError::new(format!(
+                "intra link {f} → {t} out of range"
+            )));
+        }
+        doc.add_intra_link(f, t);
+    }
+    Ok(doc)
+}
+
+/// Decodes a document from a standalone buffer (must consume it fully).
+pub fn decode_document(bytes: &[u8]) -> Result<XmlDocument, CodecError> {
+    let mut r = Reader::new(bytes);
+    let doc = decode_document_from(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(CodecError::new(format!(
+            "{} trailing bytes after document",
+            r.remaining()
+        )));
+    }
+    Ok(doc)
+}
+
+/// Serializes a collection — including tombstoned document slots and their
+/// reserved id ranges — so [`decode_collection`] reconstructs the global
+/// id assignment exactly.
+pub fn encode_collection(c: &Collection) -> Vec<u8> {
+    let ranges = c.slot_ranges();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
+    for (d, &(base, end)) in ranges.iter().enumerate() {
+        out.extend_from_slice(&base.to_le_bytes());
+        out.extend_from_slice(&end.to_le_bytes());
+        match c.document(d as u32) {
+            Some(doc) => {
+                out.push(1);
+                encode_document(doc, &mut out);
+            }
+            None => out.push(0),
+        }
+    }
+    out.extend_from_slice(&(c.links().len() as u32).to_le_bytes());
+    for l in c.links() {
+        out.extend_from_slice(&l.from.to_le_bytes());
+        out.extend_from_slice(&l.to.to_le_bytes());
+    }
+    out
+}
+
+/// Reconstructs a collection written by [`encode_collection`].
+pub fn decode_collection(bytes: &[u8]) -> Result<Collection, CodecError> {
+    let mut r = Reader::new(bytes);
+    let slots_len = r.len(9)?;
+    let mut slots: Vec<Option<XmlDocument>> = Vec::with_capacity(slots_len);
+    let mut ranges: Vec<(ElemId, ElemId)> = Vec::with_capacity(slots_len);
+    for _ in 0..slots_len {
+        let base = r.u32()?;
+        let end = r.u32()?;
+        ranges.push((base, end));
+        slots.push(match r.u8()? {
+            0 => None,
+            1 => Some(decode_document_from(&mut r)?),
+            other => return Err(CodecError::new(format!("bad slot marker {other}"))),
+        });
+    }
+    let links_len = r.len(8)?;
+    let mut links = Vec::with_capacity(links_len);
+    for _ in 0..links_len {
+        links.push((r.u32()?, r.u32()?));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::new(format!(
+            "{} trailing bytes after collection",
+            r.remaining()
+        )));
+    }
+    Collection::from_parts(slots, ranges, links).map_err(CodecError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str) -> XmlDocument {
+        let mut d = XmlDocument::new(name, "r");
+        let a = d.add_element(0, "a");
+        let b = d.add_element(a, "b");
+        d.add_element(0, "c");
+        d.set_anchor("here", b);
+        d.add_intra_link(b, a);
+        d
+    }
+
+    fn assert_same_doc(x: &XmlDocument, y: &XmlDocument) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.len(), y.len());
+        for (id, e) in x.elements() {
+            assert_eq!(e, y.element(id));
+        }
+        assert_eq!(x.intra_links(), y.intra_links());
+        let mut ax: Vec<_> = x.anchors().collect();
+        let mut ay: Vec<_> = y.anchors().collect();
+        ax.sort();
+        ay.sort();
+        assert_eq!(ax, ay);
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let d = doc("alpha");
+        let mut bytes = Vec::new();
+        encode_document(&d, &mut bytes);
+        let back = decode_document(&bytes).unwrap();
+        assert_same_doc(&d, &back);
+    }
+
+    #[test]
+    fn collection_roundtrip_preserves_tombstones_and_ids() {
+        let mut c = Collection::new();
+        let d0 = c.add_document(doc("a"));
+        let d1 = c.add_document(doc("b"));
+        let d2 = c.add_document(doc("c"));
+        c.add_link(c.global_id(d0, 1), c.global_id(d1, 0));
+        c.add_link(c.global_id(d2, 0), c.global_id(d0, 3));
+        c.remove_document(d1); // tombstone in the middle
+        let bytes = encode_collection(&c);
+        let back = decode_collection(&bytes).unwrap();
+        assert_eq!(back.doc_id_bound(), c.doc_id_bound());
+        assert_eq!(back.elem_id_bound(), c.elem_id_bound());
+        assert_eq!(back.document(d1), None);
+        assert_eq!(back.links(), c.links());
+        for d in c.doc_ids() {
+            assert_eq!(back.global_id(d, 0), c.global_id(d, 0));
+            assert_same_doc(back.document(d).unwrap(), c.document(d).unwrap());
+        }
+        // Fresh ids keep advancing past the tombstoned range.
+        let mut c2 = back.clone();
+        let d3 = c2.add_document(XmlDocument::new("d", "r"));
+        assert_eq!(c2.global_id(d3, 0) as usize, c.elem_id_bound());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_and_truncation() {
+        let mut c = Collection::new();
+        c.add_document(doc("a"));
+        let bytes = encode_collection(&c);
+        for cut in 0..bytes.len() {
+            assert!(decode_collection(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_collection(b"\xff\xff\xff\xff").is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_collection(&trailing).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_forward_parents_and_dead_links() {
+        let d = doc("a");
+        let mut bytes = Vec::new();
+        encode_document(&d, &mut bytes);
+        // Element 1's parent field sits right after the name and count and
+        // root tag; corrupt it to a forward reference.
+        let mut bad = bytes.clone();
+        let parent_off = 4 + d.name.len() + 4 + 4 + 1; // name, count, "r"
+        bad[parent_off..parent_off + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_document(&bad).is_err());
+    }
+}

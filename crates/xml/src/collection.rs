@@ -313,6 +313,74 @@ impl Collection {
         Some(doc.to_xml_string_with_links(&hrefs))
     }
 
+    /// The global-id range `(base, end_exclusive)` of every document slot
+    /// ever allocated, indexed by [`DocId`] — including tombstoned slots,
+    /// whose ranges stay reserved forever. Used by the persistence codec
+    /// ([`crate::codec`]) to reconstruct the id assignment exactly.
+    pub fn slot_ranges(&self) -> Vec<(ElemId, ElemId)> {
+        // `ranges` is pushed in `add_document` order and doc ids are
+        // assigned sequentially, so entry `i` describes doc id `i`.
+        self.ranges.iter().map(|&(b, e, _)| (b, e)).collect()
+    }
+
+    /// Reconstructs a collection from persisted parts: one slot per ever
+    /// allocated doc id (`None` = tombstone), the slot id ranges, and the
+    /// inter-document links. The inverse of reading [`Collection::document`]
+    /// / [`Collection::slot_ranges`] / [`Collection::links`] — global ids
+    /// (including tombstoned ranges) come back exactly as they were.
+    pub fn from_parts(
+        slots: Vec<Option<XmlDocument>>,
+        slot_ranges: Vec<(ElemId, ElemId)>,
+        links: Vec<(ElemId, ElemId)>,
+    ) -> Result<Collection, String> {
+        if slots.len() != slot_ranges.len() {
+            return Err(format!(
+                "{} document slots but {} id ranges",
+                slots.len(),
+                slot_ranges.len()
+            ));
+        }
+        let mut next_elem: ElemId = 0;
+        let mut docs = Vec::with_capacity(slots.len());
+        let mut ranges = Vec::with_capacity(slots.len());
+        for (i, (slot, &(base, end))) in slots.into_iter().zip(&slot_ranges).enumerate() {
+            if base != next_elem || end < base {
+                return Err(format!("slot {i} range [{base}, {end}) is not contiguous"));
+            }
+            if let Some(doc) = &slot {
+                if doc.len() as ElemId != end - base {
+                    return Err(format!(
+                        "slot {i} holds {} elements but spans {} ids",
+                        doc.len(),
+                        end - base
+                    ));
+                }
+            }
+            ranges.push((base, end, i as DocId));
+            docs.push(slot.map(|doc| DocEntry { doc, base }));
+            next_elem = end;
+        }
+        let mut out = Collection {
+            docs,
+            links: Vec::new(),
+            link_set: FxHashSet::default(),
+            next_elem,
+            ranges,
+        };
+        for (from, to) in links {
+            let (Some(fd), Some(td)) = (out.doc_of(from), out.doc_of(to)) else {
+                return Err(format!("link {from} → {to} has a dead endpoint"));
+            };
+            if fd == td {
+                return Err(format!("link {from} → {to} stays inside document {fd}"));
+            }
+            if out.link_set.insert((from, to)) {
+                out.links.push(Link { from, to });
+            }
+        }
+        Ok(out)
+    }
+
     /// Resolves a `docname#anchor` reference to a global element id.
     pub fn resolve_ref(&self, docname: &str, anchor: &str) -> Option<ElemId> {
         let (d, entry) = self

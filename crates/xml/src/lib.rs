@@ -14,6 +14,9 @@
 //!   INEX-like (deep link-free trees) collection generators standing in for
 //!   the paper's proprietary datasets (see DESIGN.md, substitutions).
 //! * [`stats`] — the collection features reported in the paper's Table 1.
+//! * [`codec`] — exact binary serialization of documents and collections
+//!   (tombstones and the global id assignment included), the form durable
+//!   persistence (checkpoints, WAL records) stores.
 //!
 //! Following the paper, the model "disregards the ordering of an element's
 //! children" for indexing purposes — child order is preserved in the tree
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod collection;
 pub mod generator;
 pub mod model;

@@ -23,7 +23,7 @@ pub struct Element {
 ///
 /// The *element-level graph* `G_E(d)` of the document is the tree edges plus
 /// the intra-links: `E_E(d) = E'_E(d) ∪ L_I(d)`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct XmlDocument {
     /// Document name, used as link target prefix (`name#anchor`).
     pub name: String,

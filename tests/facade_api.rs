@@ -488,15 +488,17 @@ fn online_reads_are_served_from_refreshed_snapshots() {
     assert!(!online.connected(note_root, thm), "refreshed after delete");
 
     // Batched updates publish once at the end.
-    let (x, y) = online.update_batch(|h| {
-        let x = h
-            .insert_xml("x", r#"<x><cite xlink:href="theory"/></x>"#)
-            .unwrap();
-        let y = h
-            .insert_xml("y", r#"<y><cite xlink:href="x"/></y>"#)
-            .unwrap();
-        (x, y)
-    });
+    let (x, y) = online
+        .update_batch(|h| {
+            let x = h
+                .insert_xml("x", r#"<x><cite xlink:href="theory"/></x>"#)
+                .unwrap();
+            let y = h
+                .insert_xml("y", r#"<y><cite xlink:href="x"/></y>"#)
+                .unwrap();
+            (x, y)
+        })
+        .expect("non-durable batch cannot fail");
     let snap = online.snapshot();
     let (xr, yr) = (
         snap.collection().global_id(x, 0),
