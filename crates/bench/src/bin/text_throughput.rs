@@ -1,0 +1,294 @@
+//! Content-and-structure throughput: the term-level inverted index fused
+//! into path evaluation, on an INEX-shaped collection with Zipf element
+//! text.
+//!
+//! Three workloads, each on the mutable engine and the frozen snapshot
+//! (which carries a [`hopi_text::FrozenTextIndex`] with CSR posting
+//! buffers), on 1 and N reader threads:
+//!
+//! * `structure` — pure structural path expressions, the no-text baseline
+//!   the content workloads are compared against.
+//! * `content` — the same step shapes with `contains(...)`/`about(...)`
+//!   predicates, mixing hot (`term0`), mid-vocabulary, and out-of-vocabulary
+//!   terms so the planner exercises both posting-driven pre-filtering and
+//!   candidate post-filtering.
+//! * `ranked` — content expressions through distance-ranked top-k with
+//!   BM25 score fusion (paper §5.1 extended with term scores).
+//!
+//! Emits `BENCH_text.json` and enforces a single-thread frozen `content`
+//! QPS floor so a posting-list or planner regression fails loudly in CI.
+//!
+//! ```sh
+//! cargo run -p hopi-bench --release --bin text_throughput \
+//!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_text.json]
+//! ```
+
+use hopi_bench::{add_cross_links, flag_arg, inex_collection, scale_arg, thread_ladder};
+use hopi_build::Hopi;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured cell of the matrix.
+struct Sample {
+    workload: &'static str,
+    mode: &'static str,
+    threads: usize,
+    ops: usize,
+    elapsed_ms: f64,
+}
+
+impl Sample {
+    fn qps(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ms / 1000.0).max(1e-9)
+    }
+}
+
+const STRUCTURE_EXPRS: [&str; 3] = ["//article//fig", "//sec//p", "/article/bdy//ss1"];
+
+/// Content-and-structure mix: hot term, mid-vocabulary term, conjunction,
+/// disjunction, and an out-of-vocabulary miss (the planner should spend
+/// almost nothing on it — the posting list is empty).
+const CONTENT_EXPRS: [&str; 5] = [
+    "//article//p[contains(., \"term0\")]",
+    "//sec//p[contains(., \"term7\")]",
+    "//article//sec[contains(., \"term0 term1\")]",
+    "//sec//p[about(., \"term2 term5 term9\")]",
+    "//article//p[contains(., \"zzz_out_of_vocab\")]",
+];
+
+const RANKED_EXPRS: [&str; 3] = [
+    "//article//p[about(., \"term0 term3\")]",
+    "//article//sec[contains(., \"term1\")]",
+    "//sec//p[about(., \"term4 term8\")]",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = scale_arg(if smoke { 0.0006 } else { 0.004 });
+    let out_path = flag_arg(&args, "--out").unwrap_or_else(|| "BENCH_text.json".into());
+    let reader_threads: usize = flag_arg(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(4)
+        });
+
+    // INEX-shaped collection (the generator fills Zipf element text by
+    // default) plus cross-document links, built distance-aware so the
+    // ranked workload runs.
+    let mut collection = inex_collection(scale);
+    add_cross_links(&mut collection);
+    let hopi = Hopi::builder()
+        .distance_aware(true)
+        .build(collection)
+        .expect("valid generated collection");
+    let stats = hopi.stats();
+    eprintln!(
+        "text_throughput — INEX-like @ scale {scale}: {} docs, {} elements, {} links; \
+         term index: {} terms, {} postings ({} bytes), {} texted elements; \
+         {reader_threads} reader threads",
+        stats.documents,
+        stats.elements,
+        stats.links,
+        stats.text.vocabulary,
+        stats.text.postings,
+        stats.text.postings_bytes,
+        stats.text.indexed_elements
+    );
+
+    let (struct_rounds, content_rounds, ranked_rounds) =
+        if smoke { (2, 2, 2) } else { (10, 10, 5) };
+
+    let snapshot = hopi.snapshot();
+    let engine = Arc::new(RwLock::new(hopi));
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &threads in &thread_ladder(reader_threads) {
+        for (workload, exprs, rounds, ranked) in [
+            ("structure", &STRUCTURE_EXPRS[..], struct_rounds, false),
+            ("content", &CONTENT_EXPRS[..], content_rounds, false),
+            ("ranked", &RANKED_EXPRS[..], ranked_rounds, true),
+        ] {
+            samples.push(run(
+                workload,
+                "mutable",
+                threads,
+                rounds * exprs.len(),
+                || {
+                    let engine = engine.clone();
+                    move || {
+                        let mut total = 0usize;
+                        for _ in 0..rounds {
+                            for expr in exprs {
+                                let guard = engine.read();
+                                total += if ranked {
+                                    guard.query_ranked(expr).expect("valid expr").len()
+                                } else {
+                                    guard.query(expr).expect("valid expr").len()
+                                };
+                            }
+                        }
+                        total
+                    }
+                },
+            ));
+            samples.push(run(
+                workload,
+                "frozen",
+                threads,
+                rounds * exprs.len(),
+                || {
+                    let snap = snapshot.clone();
+                    move || {
+                        let mut total = 0usize;
+                        for _ in 0..rounds {
+                            for expr in exprs {
+                                total += if ranked {
+                                    snap.query_ranked(expr).expect("valid expr").len()
+                                } else {
+                                    snap.query(expr).expect("valid expr").len()
+                                };
+                            }
+                        }
+                        total
+                    }
+                },
+            ));
+        }
+    }
+
+    // Persist and print the measurements *before* the regression gate, so
+    // a failing floor still leaves the trajectory data to diagnose it.
+    let ss = snapshot.stats();
+    let json = render_json(scale, smoke, &ss, &samples);
+    std::fs::write(&out_path, &json).expect("write BENCH_text.json");
+    eprintln!("wrote {out_path}");
+    print_table(&samples);
+
+    // Regression floor: frozen single-thread content-and-structure
+    // evaluation. The posting lists make content predicates *cheaper* than
+    // their structural skeletons; a drop below the floor means the term
+    // index stopped pulling its weight.
+    let floor = if smoke { 20.0 } else { 100.0 };
+    let content_frozen = samples
+        .iter()
+        .find(|s| s.workload == "content" && s.mode == "frozen" && s.threads == 1)
+        .map(Sample::qps)
+        .expect("content/frozen/1t sample");
+    assert!(
+        content_frozen >= floor,
+        "content workload regressed: {content_frozen:.1} QPS < floor {floor}"
+    );
+}
+
+/// Runs `make_worker()` on `threads` threads; every thread runs the full
+/// op script, so total ops = script_ops × threads (aggregate throughput).
+fn run<W, F>(
+    workload: &'static str,
+    mode: &'static str,
+    threads: usize,
+    script_ops: usize,
+    make_worker: F,
+) -> Sample
+where
+    W: FnOnce() -> usize + Send + 'static,
+    F: Fn() -> W,
+{
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(make_worker())).collect();
+        for h in handles {
+            sink += h.join().expect("reader thread");
+        }
+    });
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    std::hint::black_box(sink);
+    Sample {
+        workload,
+        mode,
+        threads,
+        ops: script_ops * threads,
+        elapsed_ms,
+    }
+}
+
+fn render_json(
+    scale: f64,
+    smoke: bool,
+    ss: &hopi_build::SnapshotStats,
+    samples: &[Sample],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"collection\": {{\"kind\": \"inex-linked\", \"scale\": {scale}, \
+         \"documents\": {}, \"elements\": {}, \"links\": {}, \"cover_entries\": {}}},\n",
+        ss.documents, ss.elements, ss.links, ss.cover_entries
+    ));
+    s.push_str(&format!(
+        "  \"text_index\": {{\"vocabulary\": {}, \"postings\": {}, \
+         \"postings_bytes\": {}, \"indexed_elements\": {}}},\n",
+        ss.text_vocabulary, ss.text_postings, ss.text_postings_bytes, ss.text_indexed_elements
+    ));
+    s.push_str(&format!("  \"smoke\": {smoke},\n  \"results\": [\n"));
+    for (i, r) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"ops\": {}, \"elapsed_ms\": {:.3}, \"qps\": {:.1}}}{}\n",
+            r.workload,
+            r.mode,
+            r.threads,
+            r.ops,
+            r.elapsed_ms,
+            r.qps(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"content_vs_structure\": {\n");
+    let mut cells: Vec<String> = Vec::new();
+    for threads in samples
+        .iter()
+        .map(|s| s.threads)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let find = |workload: &str| {
+            samples
+                .iter()
+                .find(|s| s.workload == workload && s.mode == "frozen" && s.threads == threads)
+                .map(Sample::qps)
+        };
+        if let (Some(content), Some(structure)) = (find("content"), find("structure")) {
+            cells.push(format!(
+                "    \"frozen_{threads}t\": {:.2}",
+                content / structure.max(1e-9)
+            ));
+        }
+    }
+    s.push_str(&cells.join(",\n"));
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+fn print_table(samples: &[Sample]) {
+    let t = hopi_bench::TablePrinter::new(&[
+        ("workload", 12),
+        ("mode", 8),
+        ("threads", 7),
+        ("ops", 10),
+        ("ms", 10),
+        ("qps", 12),
+    ]);
+    for r in samples {
+        t.row(&[
+            r.workload.into(),
+            r.mode.into(),
+            r.threads.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            format!("{:.0}", r.qps()),
+        ]);
+    }
+}

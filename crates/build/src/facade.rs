@@ -16,10 +16,11 @@ use hopi_maintenance::{
 };
 use hopi_partition::{build_index, BuildConfig, BuildReport, JoinAlgorithm, PartitionerChoice};
 use hopi_query::{
-    evaluate_ranked, parse_path, with_thread_evaluator, EvalOptions, PlanCounters, QueryPlanReport,
-    RankedMatch, TagIndex,
+    evaluate_ranked_with_text, parse_path, with_thread_evaluator, EvalOptions, PlanCounters,
+    QueryPlanReport, RankedMatch, TagIndex,
 };
 use hopi_store::{load_index, save_frozen, save_store, LinLoutStore, StoredIndex};
+use hopi_text::{TextIndex, TextSource, TextStats};
 use hopi_xml::parser::{parse_collection, parse_document};
 use hopi_xml::{Collection, DocId, ElemId, XmlDocument};
 use std::path::Path;
@@ -66,12 +67,13 @@ pub(crate) fn run_query<S: hopi_core::LabelSource>(
     tags: &TagIndex,
     options: &QueryOptions,
     counters: &PlanCounters,
+    text: Option<&dyn TextSource>,
     expr: &str,
 ) -> Result<Vec<ElemId>, HopiError> {
     let parsed = parse_path(expr)?;
     let options = options.eval_options();
     Ok(with_thread_evaluator(|ev| {
-        let result = ev.evaluate(collection, source, tags, &parsed, &options);
+        let result = ev.evaluate_with_text(collection, source, tags, &parsed, &options, text);
         counters.add(ev.strategy_counts());
         result
     }))
@@ -84,12 +86,14 @@ pub(crate) fn run_query_explained<S: hopi_core::LabelSource>(
     tags: &TagIndex,
     options: &QueryOptions,
     counters: &PlanCounters,
+    text: Option<&dyn TextSource>,
     expr: &str,
 ) -> Result<(Vec<ElemId>, QueryPlanReport), HopiError> {
     let parsed = parse_path(expr)?;
     let options = options.eval_options();
     Ok(with_thread_evaluator(|ev| {
-        let out = ev.evaluate_explained(collection, source, tags, &parsed, &options);
+        let out =
+            ev.evaluate_explained_with_text(collection, source, tags, &parsed, &options, text);
         counters.add(ev.strategy_counts());
         out
     }))
@@ -110,6 +114,8 @@ pub struct Stats {
     pub entries_per_element: f64,
     /// Entries of the distance cover, when distance queries are enabled.
     pub distance_entries: Option<usize>,
+    /// Term-index summary: vocabulary size, posting counts and bytes.
+    pub text: TextStats,
 }
 
 /// Configures and builds a [`Hopi`] engine (see [`Hopi::builder`]).
@@ -186,11 +192,13 @@ impl HopiBuilder {
         let distance = self
             .distance_aware
             .then(|| build_distance_cover(&collection));
+        let text = TextIndex::build(&collection);
         Ok(Hopi {
             collection,
             index,
             tags,
             distance,
+            text,
             config: self.config,
             options: self.options,
             report,
@@ -267,6 +275,7 @@ impl HopiBuilder {
         };
         let index = HopiIndex::from_cover(cover);
         let tags = TagIndex::build(&collection);
+        let text = TextIndex::build(&collection);
         let report = BuildReport {
             cover_size: index.size(),
             ..Default::default()
@@ -276,6 +285,7 @@ impl HopiBuilder {
             index,
             tags,
             distance,
+            text,
             config: self.config,
             options: self.options,
             report,
@@ -327,6 +337,9 @@ pub struct Hopi {
     index: HopiIndex,
     tags: TagIndex,
     distance: Option<DistanceCover>,
+    /// Term-level inverted index over element text, kept in lockstep with
+    /// the collection (content predicates consult it).
+    text: TextIndex,
     config: BuildConfig,
     options: QueryOptions,
     report: BuildReport,
@@ -467,6 +480,7 @@ impl Hopi {
             &self.tags,
             &self.options,
             &self.plan_counters,
+            Some(&self.text),
             expr,
         )
     }
@@ -481,17 +495,26 @@ impl Hopi {
             &self.tags,
             &self.options,
             &self.plan_counters,
+            Some(&self.text),
             expr,
         )
     }
 
     /// Evaluates a path expression with distance-ranked results (paper
     /// §5.1; best-ranked first, truncated to [`QueryOptions::top_k`]).
+    /// Content predicates filter membership, and the final step's
+    /// predicate fuses a BM25 text score into each match's score.
     /// Needs [`HopiBuilder::distance_aware`].
     pub fn query_ranked(&self, expr: &str) -> Result<Vec<RankedMatch>, HopiError> {
         let cover = self.distance_cover()?;
         let parsed = parse_path(expr)?;
-        let mut matches = evaluate_ranked(&self.collection, cover, &self.tags, &parsed);
+        let mut matches = evaluate_ranked_with_text(
+            &self.collection,
+            cover,
+            &self.tags,
+            &parsed,
+            Some(&self.text),
+        );
         if let Some(k) = self.options.top_k {
             matches.truncate(k);
         }
@@ -522,6 +545,11 @@ impl Hopi {
         self.validate_document_links(&doc, links)?;
         let d = insert_document(&mut self.collection, &mut self.index, doc, links);
         self.tags = TagIndex::build(&self.collection);
+        // Insertions extend the term index incrementally; the fresh
+        // document occupies a fresh global-id range.
+        let inserted = self.collection.document(d).expect("just inserted");
+        self.text
+            .index_document(self.collection.global_id(d, 0), inserted);
         if let Some(cover) = self.distance.as_mut() {
             // Insertions update the distance cover incrementally (§6); only
             // deletions fall back to a recompute.
@@ -671,6 +699,7 @@ impl Hopi {
             self.index.cover(),
             self.distance.as_ref(),
             &self.tags,
+            std::sync::Arc::new(hopi_text::FrozenTextIndex::from_index(&self.text)),
             self.options,
             epoch,
             self.plan_counters.clone(),
@@ -692,6 +721,7 @@ impl Hopi {
             cover_entries: entries,
             entries_per_element: entries as f64 / elements.max(1) as f64,
             distance_entries: self.distance.as_ref().map(DistanceCover::size),
+            text: self.text.stats(),
         }
     }
 
@@ -716,6 +746,13 @@ impl Hopi {
     /// `hopi_query::evaluate_with` with custom [`EvalOptions`]).
     pub fn tags(&self) -> &TagIndex {
         &self.tags
+    }
+
+    /// The term-level inverted text index (expert escape hatch — e.g. for
+    /// driving `hopi_query::evaluate_with_text` directly or inspecting
+    /// posting lists).
+    pub fn text(&self) -> &TextIndex {
+        &self.text
     }
 
     /// Per-strategy `//`-step execution totals since this engine (or the
@@ -749,10 +786,11 @@ impl Hopi {
     }
 
     /// Re-derives the structures deletions do not update incrementally
-    /// (tag index; distance cover when enabled — the paper gives
-    /// incremental distance maintenance for insertions only).
+    /// (tag index and term index; distance cover when enabled — the paper
+    /// gives incremental distance maintenance for insertions only).
     fn after_structural_change(&mut self) {
         self.tags = TagIndex::build(&self.collection);
+        self.text = TextIndex::build(&self.collection);
         self.refresh_distance();
     }
 

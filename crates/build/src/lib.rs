@@ -138,6 +138,65 @@ mod tests {
     }
 
     #[test]
+    fn content_queries_run_end_to_end() {
+        let mut hopi = Hopi::builder()
+            .distance_aware(true)
+            .parse([
+                (
+                    "a",
+                    r#"<r><s>xml indexing with hopi</s><cite xlink:href="b"/></r>"#,
+                ),
+                ("b", r#"<r><sec id="deep"><p>plain prose</p></sec></r>"#),
+            ])
+            .unwrap();
+
+        // Boolean path with a content predicate, live engine.
+        let s = hopi.query("//r//s[contains(., \"indexing\")]").unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(hopi
+            .query("//s[contains(., \"absent\")]")
+            .unwrap()
+            .is_empty());
+
+        // Snapshot answers identically from the frozen term index.
+        let snap = hopi.snapshot();
+        assert_eq!(snap.query("//r//s[contains(., \"indexing\")]").unwrap(), s);
+        let snap_stats = snap.stats();
+        assert!(snap_stats.text_vocabulary >= 5);
+        assert!(snap_stats.text_postings_bytes > 0);
+        assert_eq!(snap_stats.text_indexed_elements, 2);
+
+        // Ranked fusion: the matching element carries a text score.
+        let ranked = hopi.query_ranked("//r//s[about(., \"xml hopi\")]").unwrap();
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked[0].text_score > 0.0);
+        assert!(ranked[0].score() > 1.0 / (1.0 + ranked[0].distance as f64));
+
+        // Engine stats expose the term index.
+        let stats = hopi.stats();
+        assert_eq!(stats.text.indexed_elements, 2);
+        assert!(stats.text.vocabulary >= 5);
+
+        // Maintenance keeps the term index in lockstep.
+        let mut doc = XmlDocument::new("c", "r");
+        let x = doc.add_element(0, "x");
+        doc.set_text(x, "fresh indexing material");
+        let c = hopi
+            .insert_document(doc, &DocumentLinks::default())
+            .unwrap();
+        assert_eq!(
+            hopi.query("//x[contains(., \"indexing\")]").unwrap().len(),
+            1
+        );
+        hopi.delete_document(c).unwrap();
+        assert!(hopi
+            .query("//x[contains(., \"indexing\")]")
+            .unwrap()
+            .is_empty());
+        assert_eq!(hopi.stats().text.indexed_elements, 2);
+    }
+
+    #[test]
     fn errors_are_typed() {
         let mut hopi = engine();
         assert!(matches!(hopi.query("not-a-path"), Err(HopiError::Path(_))));

@@ -15,8 +15,10 @@ use crate::error::HopiError;
 use crate::facade::QueryOptions;
 use hopi_core::{DistanceCover, FrozenCover};
 use hopi_query::{
-    evaluate_ranked, parse_path, PlanCounters, PlanCounts, QueryPlanReport, RankedMatch, TagIndex,
+    evaluate_ranked_with_text, parse_path, PlanCounters, PlanCounts, QueryPlanReport, RankedMatch,
+    TagIndex,
 };
+use hopi_text::{FrozenTextIndex, TextSource};
 use hopi_xml::{Collection, ElemId};
 use std::sync::Arc;
 
@@ -48,6 +50,14 @@ pub struct SnapshotStats {
     /// of the engine tally here, so `/stats` scrapes see plan choices
     /// move).
     pub plan: PlanCounts,
+    /// Distinct terms in the frozen term index.
+    pub text_vocabulary: usize,
+    /// Postings (term, element) entries in the frozen term index.
+    pub text_postings: usize,
+    /// Bytes of the frozen posting buffers (ids + frequencies).
+    pub text_postings_bytes: usize,
+    /// Elements carrying text at capture time.
+    pub text_indexed_elements: usize,
 }
 
 /// A point-in-time, immutable serving view of an engine: frozen cover +
@@ -78,6 +88,9 @@ pub struct HopiSnapshot {
     /// The mutable-form distance cover, kept for ranked evaluation.
     ranked: Option<DistanceCover>,
     tags: TagIndex,
+    /// Frozen term-level inverted index behind an `Arc`, swapped in with
+    /// each published epoch (content predicates consult it).
+    text: Arc<FrozenTextIndex>,
     options: QueryOptions,
     /// The serving epoch this snapshot was published at (see
     /// [`SnapshotStats::epoch`]).
@@ -88,11 +101,13 @@ pub struct HopiSnapshot {
 }
 
 impl HopiSnapshot {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn capture(
         collection: &Collection,
         cover: &hopi_core::TwoHopCover,
         distance: Option<&DistanceCover>,
         tags: &TagIndex,
+        text: Arc<FrozenTextIndex>,
         options: QueryOptions,
         epoch: u64,
         plan_counters: Arc<PlanCounters>,
@@ -103,6 +118,7 @@ impl HopiSnapshot {
             frozen_distance: distance.map(FrozenCover::from_distance_cover),
             ranked: distance.cloned(),
             tags: tags.clone(),
+            text,
             options,
             epoch,
             plan_counters,
@@ -153,6 +169,7 @@ impl HopiSnapshot {
             &self.tags,
             &self.options,
             &self.plan_counters,
+            Some(self.text.as_ref()),
             expr,
         )
     }
@@ -166,16 +183,24 @@ impl HopiSnapshot {
             &self.tags,
             &self.options,
             &self.plan_counters,
+            Some(self.text.as_ref()),
             expr,
         )
     }
 
-    /// Distance-ranked path evaluation (paper §5.1). Needs a snapshot of a
+    /// Distance-ranked path evaluation (paper §5.1), with BM25 content
+    /// fusion from the final step's predicate. Needs a snapshot of a
     /// distance-aware engine.
     pub fn query_ranked(&self, expr: &str) -> Result<Vec<RankedMatch>, HopiError> {
         let cover = self.ranked.as_ref().ok_or(HopiError::DistanceDisabled)?;
         let parsed = parse_path(expr)?;
-        let mut matches = evaluate_ranked(&self.collection, cover, &self.tags, &parsed);
+        let mut matches = evaluate_ranked_with_text(
+            &self.collection,
+            cover,
+            &self.tags,
+            &parsed,
+            Some(self.text.as_ref()),
+        );
         if let Some(k) = self.options.top_k {
             matches.truncate(k);
         }
@@ -213,6 +238,12 @@ impl HopiSnapshot {
         &self.tags
     }
 
+    /// The frozen term-level inverted index (shared across snapshot
+    /// epochs; expert escape hatch).
+    pub fn text(&self) -> &Arc<FrozenTextIndex> {
+        &self.text
+    }
+
     /// Cover size `|L|` of the frozen cover (matches the engine's
     /// [`crate::Stats::cover_entries`] at capture time).
     pub fn cover_entries(&self) -> usize {
@@ -238,6 +269,10 @@ impl HopiSnapshot {
             cover_entries: self.frozen.size(),
             distance_aware: self.frozen_distance.is_some(),
             plan: self.plan_counters.counts(),
+            text_vocabulary: self.text.vocab_len(),
+            text_postings: self.text.stats().postings,
+            text_postings_bytes: self.text.postings_bytes(),
+            text_indexed_elements: self.text.indexed_elements(),
         }
     }
 

@@ -87,6 +87,16 @@ pub fn stats(args: &[String]) -> Result<(), String> {
                 None => String::new(),
             }
         );
+        println!(
+            "text: {} terms, {} postings ({} bytes, {:.2} per posting), \
+             {} texted elements, {} tokens",
+            es.text.vocabulary,
+            es.text.postings,
+            es.text.postings_bytes,
+            es.text.postings_bytes as f64 / es.text.postings.max(1) as f64,
+            es.text.indexed_elements,
+            es.text.total_tokens
+        );
         let snap = hopi.snapshot();
         let ss = snap.stats();
         println!(
@@ -137,18 +147,55 @@ pub fn build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `hopi query --dir DIR --index FILE [--explain] EXPR`
+/// `hopi query --dir DIR --index FILE [--explain | --ranked [--k N]] EXPR`
+///
+/// Supports content-and-structure expressions (`//sec[contains(., "xml")]`,
+/// `about(...)`). With `--ranked` the matches come back best-first with
+/// their fused distance + BM25 score (needs a distance-aware index).
 pub fn query(args: &[String]) -> Result<(), String> {
     let explain = args.iter().any(|a| a == "--explain");
-    // `--explain` is a bare switch; drop it before positional parsing
-    // (which assumes every `--flag` carries a value).
-    let args: Vec<String> = args.iter().filter(|a| *a != "--explain").cloned().collect();
+    let ranked = args.iter().any(|a| a == "--ranked");
+    if explain && ranked {
+        return Err("--explain and --ranked are mutually exclusive".into());
+    }
+    // `--explain`/`--ranked` are bare switches; drop them before positional
+    // parsing (which assumes every `--flag` carries a value).
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--explain" && *a != "--ranked")
+        .cloned()
+        .collect();
     let dir = flag_value(&args, "--dir").ok_or("missing --dir DIR")?;
     let index_path = flag_value(&args, "--index").ok_or("missing --index FILE")?;
+    let k: Option<usize> = match flag_value(&args, "--k") {
+        Some(raw) => Some(raw.parse().map_err(|e| format!("bad --k: {e}"))?),
+        None => None,
+    };
     let expr_src = positional(&args).ok_or("missing path expression")?;
     let collection = load_dir(&dir)?;
     let hopi =
         Hopi::open(collection, Path::new(&index_path)).map_err(|e| format!("load failed: {e}"))?;
+
+    if ranked {
+        let t = Instant::now();
+        let mut matches = hopi.query_ranked(&expr_src).map_err(|e| format!("{e}"))?;
+        if let Some(k) = k {
+            matches.truncate(k);
+        }
+        let elapsed = t.elapsed();
+        for m in &matches {
+            println!(
+                "{:8.4}  (distance {}, text {:.4})  {}",
+                m.score(),
+                m.distance,
+                m.text_score,
+                describe_element(hopi.collection(), m.element)?
+            );
+        }
+        eprintln!("{} matches in {elapsed:?}", matches.len());
+        return Ok(());
+    }
+
     let t = Instant::now();
     let (result, report) = if explain {
         let (result, report) = hopi

@@ -4,7 +4,8 @@
 //! hopi gen   --kind dblp|inex --scale 0.01 --out DIR     generate a sample collection
 //! hopi stats --dir DIR                                    Table-1 style statistics
 //! hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
-//! hopi query --dir DIR --index FILE [--explain] EXPR      evaluate a path expression
+//! hopi query --dir DIR --index FILE [--explain | --ranked [--k N]] EXPR
+//!                                                         evaluate a path expression
 //! hopi check --dir DIR --index FILE [--samples N]         verify index vs BFS oracle
 //! hopi serve --dir DIR [--index FILE] [--port N] [--threads N] [--frozen]
 //! ```
@@ -55,10 +56,11 @@ USAGE:
   hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
                                                     build and persist the index
                                                     (--frozen: CSR serving blob)
-  hopi query --dir DIR --index FILE [--explain] EXPR
-                                                    evaluate a path expression,
-                                                    e.g. \"//article//author\"
-                                                    (--explain: per-step plan on stderr)
+  hopi query --dir DIR --index FILE [--explain | --ranked [--k N]] EXPR
+                                                    evaluate a path expression, e.g.
+                                                    \"//article//sec[contains(., \\\"xml\\\")]\"
+                                                    (--explain: per-step plan on stderr;
+                                                    --ranked: fused distance+BM25 top-k)
   hopi check --dir DIR --index FILE [--samples N]   verify the index against a
                                                     BFS reachability oracle
   hopi serve --dir DIR [--index FILE] [--port N] [--threads N] [--frozen] [--distance]

@@ -82,6 +82,9 @@ fn full_workflow() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("cover entries"), "stats --index: {text}");
     assert!(text.contains("snapshot: epoch 0"), "stats --index: {text}");
+    // The generated collection carries Zipf text; the term index reports it.
+    assert!(text.contains("text: "), "stats --index: {text}");
+    assert!(text.contains("texted elements"), "stats --index: {text}");
 
     // query
     let out = hopi()
@@ -99,6 +102,42 @@ fn full_workflow() {
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("matches"), "query stderr: {stderr}");
+
+    // Content-and-structure query: `term0` is the generator's hottest
+    // Zipf term, so the predicate finds texted authors.
+    let out = hopi()
+        .args(["query", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .arg(r#"//article//author[contains(., "term0")]"#)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("matches"), "content query stderr: {stderr}");
+
+    // query --ranked needs a distance-aware index; this one is plain, so
+    // the CLI reports the typed engine error instead of panicking.
+    let out = hopi()
+        .args(["query", "--dir"])
+        .arg(&docs)
+        .args(["--index"])
+        .arg(&index)
+        .arg("--ranked")
+        .arg("//article//author")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("distance_aware"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // query --explain: same matches, plus a per-step plan on stderr.
     let out = hopi()

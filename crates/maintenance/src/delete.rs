@@ -399,6 +399,7 @@ mod tests {
             num_intra_links: 5,
             allow_cycles: true,
             seed: 77,
+            text: Default::default(),
         });
         let (mut index, _) = build_index(&c, &BuildConfig::default());
         let mut live: Vec<DocId> = c.doc_ids().collect();

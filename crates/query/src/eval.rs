@@ -19,10 +19,14 @@
 //! cyclic path back to the node, and self-cycles are a degenerate case for
 //! document data).
 
-use crate::expr::{parse_path, Axis, ParseError, PathExpr};
-use crate::plan::{plan_connection_step, QueryPlanReport, StepReport, Strategy};
+use crate::expr::{parse_path, Axis, ContentOp, ContentPredicate, ParseError, PathExpr};
+use crate::plan::{
+    plan_connection_step, plan_content_predicate, ContentPlacement, QueryPlanReport, StepReport,
+    Strategy,
+};
 use crate::tag_index::TagIndex;
 use hopi_core::{HopiIndex, LabelSource};
+use hopi_text::TextSource;
 use hopi_xml::{Collection, ElemId};
 use std::cell::RefCell;
 
@@ -121,6 +125,35 @@ pub fn evaluate_explained<S: LabelSource>(
     options: &EvalOptions,
 ) -> (Vec<ElemId>, QueryPlanReport) {
     with_thread_evaluator(|ev| ev.evaluate_explained(collection, index, tags, expr, options))
+}
+
+/// Like [`evaluate_with`], resolving content predicates against a term
+/// index. With `text = None` a content predicate matches nothing (there
+/// is no text to search).
+pub fn evaluate_with_text<S: LabelSource>(
+    collection: &Collection,
+    index: &S,
+    tags: &TagIndex,
+    expr: &PathExpr,
+    options: &EvalOptions,
+    text: Option<&dyn TextSource>,
+) -> Vec<ElemId> {
+    with_thread_evaluator(|ev| ev.evaluate_with_text(collection, index, tags, expr, options, text))
+}
+
+/// [`evaluate_with_text`] plus the EXPLAIN-style plan report (which
+/// records where each content predicate was placed).
+pub fn evaluate_explained_with_text<S: LabelSource>(
+    collection: &Collection,
+    index: &S,
+    tags: &TagIndex,
+    expr: &PathExpr,
+    options: &EvalOptions,
+    text: Option<&dyn TextSource>,
+) -> (Vec<ElemId>, QueryPlanReport) {
+    with_thread_evaluator(|ev| {
+        ev.evaluate_explained_with_text(collection, index, tags, expr, options, text)
+    })
 }
 
 thread_local! {
@@ -237,6 +270,10 @@ pub struct Evaluator {
     /// Wildcard candidate buffer (kept apart from `scratch` so a borrowed
     /// candidate slice can coexist with mutable scratch access).
     cand_buf: Vec<ElemId>,
+    /// Elements matching the current step's content predicate (sorted).
+    pred_matches: Vec<ElemId>,
+    /// Candidates surviving a pre-filtering content predicate.
+    pred_buf: Vec<ElemId>,
     /// Double-buffer for the step pipeline.
     next_buf: Vec<ElemId>,
     /// Strategy executions of the most recent run, [`Strategy`]-indexed.
@@ -259,7 +296,7 @@ impl Evaluator {
         expr: &PathExpr,
         options: &EvalOptions,
     ) -> Vec<ElemId> {
-        self.run(collection, index, tags, expr, options, None)
+        self.run(collection, index, tags, expr, options, None, None)
     }
 
     /// Evaluates with an EXPLAIN-style per-step plan report.
@@ -272,7 +309,52 @@ impl Evaluator {
         options: &EvalOptions,
     ) -> (Vec<ElemId>, QueryPlanReport) {
         let mut report = QueryPlanReport::default();
-        let out = self.run(collection, index, tags, expr, options, Some(&mut report));
+        let out = self.run(
+            collection,
+            index,
+            tags,
+            expr,
+            options,
+            None,
+            Some(&mut report),
+        );
+        (out, report)
+    }
+
+    /// Evaluates with content predicates resolved against `text` (see the
+    /// free [`evaluate_with_text`]).
+    pub fn evaluate_with_text<S: LabelSource>(
+        &mut self,
+        collection: &Collection,
+        index: &S,
+        tags: &TagIndex,
+        expr: &PathExpr,
+        options: &EvalOptions,
+        text: Option<&dyn TextSource>,
+    ) -> Vec<ElemId> {
+        self.run(collection, index, tags, expr, options, text, None)
+    }
+
+    /// [`Evaluator::evaluate_with_text`] plus the plan report.
+    pub fn evaluate_explained_with_text<S: LabelSource>(
+        &mut self,
+        collection: &Collection,
+        index: &S,
+        tags: &TagIndex,
+        expr: &PathExpr,
+        options: &EvalOptions,
+        text: Option<&dyn TextSource>,
+    ) -> (Vec<ElemId>, QueryPlanReport) {
+        let mut report = QueryPlanReport::default();
+        let out = self.run(
+            collection,
+            index,
+            tags,
+            expr,
+            options,
+            text,
+            Some(&mut report),
+        );
         (out, report)
     }
 
@@ -283,6 +365,7 @@ impl Evaluator {
         crate::plan::PlanCounts::from_cells(self.counts)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run<S: LabelSource>(
         &mut self,
         collection: &Collection,
@@ -290,6 +373,7 @@ impl Evaluator {
         tags: &TagIndex,
         expr: &PathExpr,
         options: &EvalOptions,
+        text: Option<&dyn TextSource>,
         mut report: Option<&mut QueryPlanReport>,
     ) -> Vec<ElemId> {
         self.counts = [0; 4];
@@ -297,6 +381,19 @@ impl Evaluator {
         let bound = collection.elem_id_bound().max(index.num_nodes());
         let stats = index.cover_stats();
         let mut current = seed(collection, tags, expr);
+        let mut seed_content = None;
+        if let Some(pred) = &expr.steps[0].predicate {
+            // The seed set is already materialized, so the predicate can
+            // only run as a post-filter over it.
+            seed_content = Some(ContentPlacement::PostFilter);
+            match text {
+                Some(src) => {
+                    predicate_matches(src, pred, &mut self.pred_matches);
+                    intersect_in_place(&mut current, &self.pred_matches);
+                }
+                None => current.clear(),
+            }
+        }
         if let Some(rep) = report.as_deref_mut() {
             rep.steps.push(StepReport {
                 step: 0,
@@ -305,6 +402,7 @@ impl Evaluator {
                 candidates: 0,
                 output: current.len(),
                 plan: None,
+                content: seed_content,
             });
         }
         for (step_idx, step) in expr.steps.iter().enumerate().skip(1) {
@@ -315,19 +413,54 @@ impl Evaluator {
             let mut next = std::mem::take(&mut self.next_buf);
             next.clear();
             let mut cand_len = 0;
+            let mut content = None;
             let plan = match step.axis {
                 Axis::Child => {
                     child_step(collection, &current, step.tag.as_deref(), &mut next);
+                    if let Some(pred) = &step.predicate {
+                        // Child steps materialize their output directly;
+                        // the predicate filters it afterwards.
+                        content = Some(ContentPlacement::PostFilter);
+                        if let Some(src) = text {
+                            predicate_matches(src, pred, &mut self.pred_matches);
+                        } else {
+                            self.pred_matches.clear();
+                        }
+                    }
                     None
                 }
                 Axis::Connection => {
-                    let cands: &[ElemId] = match step.tag.as_deref() {
+                    let mut cands: &[ElemId] = match step.tag.as_deref() {
                         Some(t) => tags.elements(t),
                         None => {
                             wildcard_candidates(collection, &mut self.cand_buf);
                             &self.cand_buf
                         }
                     };
+                    if let Some(pred) = &step.predicate {
+                        match text {
+                            Some(src) => {
+                                // Order content vs. structure by selectivity:
+                                // posting-length bound against the tag test's
+                                // candidate count.
+                                let placement = plan_content_predicate(
+                                    predicate_estimate(src, pred),
+                                    cands.len(),
+                                );
+                                content = Some(placement);
+                                predicate_matches(src, pred, &mut self.pred_matches);
+                                if placement == ContentPlacement::PreFilter {
+                                    intersect_into(cands, &self.pred_matches, &mut self.pred_buf);
+                                    cands = &self.pred_buf;
+                                }
+                            }
+                            None => {
+                                // No text index: the predicate matches nothing.
+                                content = Some(ContentPlacement::PostFilter);
+                                self.pred_matches.clear();
+                            }
+                        }
+                    }
                     cand_len = cands.len();
                     if cands.is_empty() {
                         None
@@ -362,6 +495,9 @@ impl Evaluator {
                     }
                 }
             };
+            if content == Some(ContentPlacement::PostFilter) {
+                intersect_in_place(&mut next, &self.pred_matches);
+            }
             debug_assert!(next.windows(2).all(|w| w[0] < w[1]), "sorted+deduped");
             if let Some(rep) = report.as_deref_mut() {
                 rep.steps.push(StepReport {
@@ -371,6 +507,7 @@ impl Evaluator {
                     candidates: cand_len,
                     output: next.len(),
                     plan,
+                    content,
                 });
             }
             // Keep the outgoing buffer for the next step / next query.
@@ -419,6 +556,86 @@ fn wildcard_candidates(collection: &Collection, out: &mut Vec<ElemId>) {
         out.extend(base..base + len);
     }
     debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// Upper bound on a predicate's matching-element count, from posting-list
+/// lengths alone: a conjunction can match at most its rarest term's df, a
+/// disjunction at most the sum of dfs.
+pub(crate) fn predicate_estimate(src: &dyn TextSource, pred: &ContentPredicate) -> usize {
+    match pred.op {
+        ContentOp::Contains => pred.terms.iter().map(|t| src.df(t)).min().unwrap_or(0),
+        ContentOp::About => pred.terms.iter().map(|t| src.df(t)).sum(),
+    }
+}
+
+/// Materializes the sorted element set matching a predicate:
+/// intersection of the term posting lists for `contains`, union for
+/// `about`.
+pub(crate) fn predicate_matches(
+    src: &dyn TextSource,
+    pred: &ContentPredicate,
+    out: &mut Vec<ElemId>,
+) {
+    out.clear();
+    match pred.op {
+        ContentOp::Contains => {
+            let mut lists = Vec::with_capacity(pred.terms.len());
+            for t in &pred.terms {
+                match src.lookup(t) {
+                    Some(p) => lists.push(p),
+                    // An out-of-vocabulary term empties the conjunction.
+                    None => return,
+                }
+            }
+            // Smallest list first keeps every later pass cheap.
+            lists.sort_by_key(|p| p.len());
+            out.extend_from_slice(lists[0].elems);
+            for p in &lists[1..] {
+                intersect_in_place(out, p.elems);
+                if out.is_empty() {
+                    return;
+                }
+            }
+        }
+        ContentOp::About => {
+            for t in &pred.terms {
+                if let Some(p) = src.lookup(t) {
+                    out.extend_from_slice(p.elems);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+    }
+}
+
+/// Keeps only the elements of `v` present in the sorted slice `other`
+/// (one merge walk; both inputs sorted).
+pub(crate) fn intersect_in_place(v: &mut Vec<ElemId>, other: &[ElemId]) {
+    let mut i = 0usize;
+    v.retain(|&e| {
+        while i < other.len() && other[i] < e {
+            i += 1;
+        }
+        i < other.len() && other[i] == e
+    });
+}
+
+/// Writes `a ∩ b` (both sorted) into `out`.
+fn intersect_into(a: &[ElemId], b: &[ElemId], out: &mut Vec<ElemId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
 }
 
 fn matches_tag(collection: &Collection, tags: &TagIndex, e: ElemId, tag: Option<&str>) -> bool {
@@ -723,6 +940,7 @@ mod tests {
                 num_links: 15,
                 num_intra_links: 5,
                 allow_cycles: true,
+                text: Default::default(),
                 seed,
             });
             let (index, _) = build_index(&c, &BuildConfig::default());
@@ -860,6 +1078,112 @@ mod tests {
         let text = report.render(&expr);
         assert!(text.contains("strategy="), "{text}");
         assert!(text.contains("//author"), "{text}");
+    }
+
+    fn text_fixture() -> (Collection, HopiIndex, TagIndex, hopi_text::TextIndex) {
+        let c = parse_collection([
+            (
+                "lib",
+                r#"<library>
+                     <shelf>
+                       <book><title>XML indexing with HOPI</title><author/></book>
+                       <book><title>cooking for crowds</title></book>
+                     </shelf>
+                     <link xlink:href="annex"/>
+                   </library>"#,
+            ),
+            (
+                "annex",
+                r#"<annex>
+                     <box><book><title>two hop indexing</title><author/></book></box>
+                   </annex>"#,
+            ),
+        ])
+        .unwrap();
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let tags = TagIndex::build(&c);
+        let text = hopi_text::TextIndex::build(&c);
+        (c, index, tags, text)
+    }
+
+    #[test]
+    fn content_predicates_filter_matches() {
+        let (c, i, t, text) = text_fixture();
+        let expr = parse_path("//library//title[contains(., \"indexing\")]").unwrap();
+        let r = evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+        // Both indexing titles are reachable from library (annex via link);
+        // the cooking title is filtered out.
+        assert_eq!(r.len(), 2, "{:?}", names(&c, &r));
+        // Conjunction: both terms must occur in the same element.
+        let expr = parse_path("//title[contains(., \"hop indexing\")]").unwrap();
+        let r = evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+        assert_eq!(r.len(), 1);
+        // Disjunction: either term qualifies.
+        let expr = parse_path("//title[about(., \"cooking hop\")]").unwrap();
+        let r = evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn content_predicate_without_text_index_matches_nothing() {
+        let (c, i, t, _) = text_fixture();
+        let expr = parse_path("//title[contains(., \"indexing\")]").unwrap();
+        assert!(evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), None).is_empty());
+        // Structure-only expressions are unaffected by the missing index.
+        let expr = parse_path("//library//title").unwrap();
+        let r = evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), None);
+        assert_eq!(r, evaluate(&c, &i, &t, &expr));
+    }
+
+    #[test]
+    fn content_placement_does_not_change_answers() {
+        let (c, i, t, text) = text_fixture();
+        let frozen_text = hopi_text::FrozenTextIndex::from_index(&text);
+        for query in [
+            "//library//title[contains(., \"indexing\")]",
+            "//book[about(., \"xml cooking\")]",
+            "//shelf//*[contains(., \"crowds\")]",
+            "/library//title[about(., \"hop\")]",
+            "//title[contains(., \"absent-term\")]",
+        ] {
+            let expr = parse_path(query).unwrap();
+            let mutable =
+                evaluate_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+            let frozen = evaluate_with_text(
+                &c,
+                &i,
+                &t,
+                &expr,
+                &EvalOptions::default(),
+                Some(&frozen_text),
+            );
+            assert_eq!(mutable, frozen, "mutable vs frozen text on {query}");
+            for strategy in Strategy::ALL {
+                let forced_r =
+                    evaluate_with_text(&c, &i, &t, &expr, &forced(strategy), Some(&text));
+                assert_eq!(forced_r, mutable, "{strategy} on {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_records_content_placement() {
+        let (c, i, t, text) = text_fixture();
+        let expr = parse_path("//library//title[contains(., \"indexing\")]").unwrap();
+        let (r, report) =
+            evaluate_explained_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+        assert_eq!(r.len(), 2);
+        assert!(report.steps[1].content.is_some());
+        let rendered = report.render(&expr);
+        assert!(rendered.contains("content="), "{rendered}");
+        // Seed-step predicates are recorded too.
+        let expr = parse_path("//title[about(., \"cooking\")]").unwrap();
+        let (_, report) =
+            evaluate_explained_with_text(&c, &i, &t, &expr, &EvalOptions::default(), Some(&text));
+        assert_eq!(
+            report.steps[0].content,
+            Some(crate::plan::ContentPlacement::PostFilter)
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`expr`] — a small path-expression language:
 //!   `//article//author`, `/site/nav//book/title`, `//*//sec` — child axis
 //!   (`/`), connection axis (`//`, parent/child *and* link edges, across
-//!   documents), tag tests and `*` wildcards.
+//!   documents), tag tests, `*` wildcards, and INEX-style content
+//!   predicates: `//sec[contains(., "xml indexing")]` (all terms) and
+//!   `//sec[about(., "…")]` (any term, the ranked-retrieval form).
 //! * [`tag_index`] — an inverted element-by-tag index used to seed and
 //!   filter step candidates.
 //! * [`eval`] — set-at-a-time evaluation against any
@@ -24,7 +26,8 @@
 //! * [`ranking`] — distance-ranked evaluation against a
 //!   [`hopi_core::DistanceCover`], scoring results XXL-style by link
 //!   distance (paper §5.1: "a path where an author element is found far
-//!   away from a book element should be ranked lower").
+//!   away from a book element should be ranked lower"), fused with BM25
+//!   text scores from the final step's content predicate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +40,14 @@ pub mod tag_index;
 pub mod witness;
 
 pub use eval::{
-    evaluate, evaluate_explained, evaluate_with, with_thread_evaluator, EvalError, EvalOptions,
-    Evaluator,
+    evaluate, evaluate_explained, evaluate_explained_with_text, evaluate_with, evaluate_with_text,
+    with_thread_evaluator, EvalError, EvalOptions, Evaluator,
 };
-pub use expr::{parse_path, Axis, ParseError, PathExpr, Step};
-pub use plan::{PlanCounters, PlanCounts, QueryPlanReport, StepPlan, StepReport, Strategy};
-pub use ranking::{evaluate_ranked, RankedMatch};
+pub use expr::{parse_path, Axis, ContentOp, ContentPredicate, ParseError, PathExpr, Step};
+pub use plan::{
+    plan_content_predicate, ContentPlacement, PlanCounters, PlanCounts, QueryPlanReport, StepPlan,
+    StepReport, Strategy,
+};
+pub use ranking::{evaluate_ranked, evaluate_ranked_with_text, RankedMatch};
 pub use tag_index::TagIndex;
 pub use witness::{verify_connection, witness_path, WitnessPath};

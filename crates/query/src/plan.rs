@@ -120,6 +120,42 @@ impl StepCosts {
     }
 }
 
+/// Where a step's content predicate runs relative to its structural
+/// join. Placement never changes answers — both orders compute the same
+/// intersection of structural matches and term matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentPlacement {
+    /// Filter the candidate set through the posting lists *before* the
+    /// structural join — the content side is the more selective one.
+    PreFilter,
+    /// Run the structural join first and filter its output — the
+    /// structure side is the more selective one.
+    PostFilter,
+}
+
+impl ContentPlacement {
+    /// Stable label used in explain output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentPlacement::PreFilter => "pre_filter",
+            ContentPlacement::PostFilter => "post_filter",
+        }
+    }
+}
+
+/// Orders a step's content predicate against its structural join by
+/// selectivity: the predicate's posting-length bound (min df over terms
+/// for conjunctive `contains`, Σ df for disjunctive `about`) against the
+/// structural candidate count. A predicate expected to match fewer
+/// elements than the tag test shrinks the join's candidate side first.
+pub fn plan_content_predicate(posting_estimate: usize, cand_len: usize) -> ContentPlacement {
+    if posting_estimate < cand_len {
+        ContentPlacement::PreFilter
+    } else {
+        ContentPlacement::PostFilter
+    }
+}
+
 /// The plan chosen for one `//` step, with the inputs that led to it.
 #[derive(Clone, Copy, Debug)]
 pub struct StepPlan {
@@ -311,6 +347,8 @@ pub struct StepReport {
     /// The chosen plan (connection steps only; `None` for seed and child
     /// steps, which have a single implementation).
     pub plan: Option<StepPlan>,
+    /// Content-predicate placement (`None` = structure-only step).
+    pub content: Option<ContentPlacement>,
 }
 
 /// EXPLAIN output of one evaluation: per-step sizes, estimates, and the
@@ -357,6 +395,9 @@ impl QueryPlanReport {
                 })
                 .unwrap_or_default();
             out.push_str(&format!("step {}  {:<16}", report.step, step_src));
+            if let Some(placement) = report.content {
+                out.push_str(&format!("content={}  ", placement.label()));
+            }
             match &report.plan {
                 Some(plan) => {
                     let how = if plan.forced {
@@ -474,6 +515,7 @@ mod tests {
                     candidates: 0,
                     output: 3,
                     plan: None,
+                    content: None,
                 },
                 StepReport {
                     step: 1,
@@ -482,6 +524,7 @@ mod tests {
                     candidates: 9,
                     output: 2,
                     plan: Some(plan_connection_step(&stats(), 3, 4, 9, 0, None)),
+                    content: Some(ContentPlacement::PreFilter),
                 },
             ],
         };
@@ -489,6 +532,21 @@ mod tests {
         assert!(text.contains("step 0"), "{text}");
         assert!(text.contains("//b"), "{text}");
         assert!(text.contains("strategy="), "{text}");
+        assert!(text.contains("content=pre_filter"), "{text}");
         assert_eq!(report.strategy_counts().total(), 1);
+    }
+
+    #[test]
+    fn content_placement_follows_selectivity() {
+        assert_eq!(
+            plan_content_predicate(10, 1_000),
+            ContentPlacement::PreFilter
+        );
+        assert_eq!(
+            plan_content_predicate(1_000, 10),
+            ContentPlacement::PostFilter
+        );
+        // Ties keep the structural join first (its output is exact).
+        assert_eq!(plan_content_predicate(5, 5), ContentPlacement::PostFilter);
     }
 }

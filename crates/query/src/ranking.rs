@@ -1,4 +1,4 @@
-//! Distance-ranked path evaluation (paper §5.1).
+//! Distance-ranked path evaluation with content-score fusion (paper §5.1).
 //!
 //! For IR-style XML retrieval, "the ranking of entire XML paths may take
 //! into consideration … the length of the connections between qualifying
@@ -8,37 +8,66 @@
 //! against a distance-aware cover, tracking for every result the minimal
 //! total link distance along the step chain, and scores matches
 //! XXL-style with a decaying `1 / (1 + distance)`.
+//!
+//! Content predicates fuse in: predicates on intermediate steps filter
+//! membership (an element without the terms cannot bind the step), while
+//! the **final** step's predicate additionally contributes a BM25 text
+//! score so that `//book//sec[about(., "xml indexing")]` ranks sections
+//! by both structural proximity and term relevance.
 
-use crate::expr::{Axis, PathExpr};
+use crate::expr::{Axis, ContentPredicate, PathExpr};
 use crate::tag_index::TagIndex;
 use hopi_core::DistanceCover;
+use hopi_text::{Bm25Scorer, TextSource};
 use hopi_xml::{Collection, ElemId};
 use rustc_hash::FxHashMap;
 
 /// A ranked match: an element plus the minimal accumulated distance of a
-/// qualifying path binding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// qualifying path binding and the BM25 text score of the final step's
+/// content predicate (0 when the step has none).
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankedMatch {
     /// The matched (final-step) element.
     pub element: ElemId,
     /// Minimal total number of edges across all steps.
     pub distance: u32,
+    /// BM25 score against the final step's predicate terms; `0.0` for
+    /// structure-only queries.
+    pub text_score: f64,
 }
 
 impl RankedMatch {
-    /// XXL-style decaying relevance score in `(0, 1]`.
+    /// Fused relevance: the XXL-style `1 / (1 + distance)` structural
+    /// decay, scaled up by `1 + text_score`. With no content predicate
+    /// this reduces to the pure distance score in `(0, 1]`.
     pub fn score(&self) -> f64 {
-        1.0 / (1.0 + self.distance as f64)
+        (1.0 + self.text_score) / (1.0 + self.distance as f64)
     }
 }
 
-/// Evaluates `expr` with distance tracking. Results are sorted by ascending
-/// total distance (ties by element id).
+/// Evaluates `expr` with distance tracking and no text index. Content
+/// predicates match nothing (see [`evaluate_ranked_with_text`]). Results
+/// are sorted by descending fused score (ties by element id).
 pub fn evaluate_ranked(
     collection: &Collection,
     cover: &DistanceCover,
     tags: &TagIndex,
     expr: &PathExpr,
+) -> Vec<RankedMatch> {
+    evaluate_ranked_with_text(collection, cover, tags, expr, None)
+}
+
+/// Evaluates `expr` with distance tracking and content-score fusion.
+/// Intermediate-step predicates filter bindings; the final step's
+/// predicate both filters and supplies each match's BM25 `text_score`.
+/// Without a text index, steps carrying predicates match nothing.
+/// Results are sorted by descending fused score (ties by element id).
+pub fn evaluate_ranked_with_text(
+    collection: &Collection,
+    cover: &DistanceCover,
+    tags: &TagIndex,
+    expr: &PathExpr,
+    text: Option<&dyn TextSource>,
 ) -> Vec<RankedMatch> {
     // dist[e] = minimal accumulated distance of a binding ending at e.
     let mut dist: FxHashMap<ElemId, u32> = FxHashMap::default();
@@ -58,6 +87,7 @@ pub fn evaluate_ranked(
             }
         }
     }
+    filter_by_predicate(&mut dist, first.predicate.as_ref(), text);
 
     for step in &expr.steps[1..] {
         let mut next: FxHashMap<ElemId, u32> = FxHashMap::default();
@@ -95,18 +125,51 @@ pub fn evaluate_ranked(
                 }
             }
         }
+        filter_by_predicate(&mut next, step.predicate.as_ref(), text);
         dist = next;
         if dist.is_empty() {
             break;
         }
     }
 
+    // The final step's predicate supplies the text component.
+    let scorer = match (expr.steps.last().and_then(|s| s.predicate.as_ref()), text) {
+        (Some(pred), Some(src)) => Some(Bm25Scorer::new(src, &pred.terms)),
+        _ => None,
+    };
     let mut out: Vec<RankedMatch> = dist
         .into_iter()
-        .map(|(element, distance)| RankedMatch { element, distance })
+        .map(|(element, distance)| RankedMatch {
+            element,
+            distance,
+            text_score: scorer.as_ref().map_or(0.0, |s| s.score(element)),
+        })
         .collect();
-    out.sort_unstable_by_key(|m| (m.distance, m.element));
+    out.sort_unstable_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .expect("scores are finite")
+            .then(a.element.cmp(&b.element))
+    });
     out
+}
+
+/// Drops bindings whose element fails `pred`. A predicate with no text
+/// index empties the map (content is unknowable, so nothing qualifies).
+fn filter_by_predicate(
+    dist: &mut FxHashMap<ElemId, u32>,
+    pred: Option<&ContentPredicate>,
+    text: Option<&dyn TextSource>,
+) {
+    let Some(pred) = pred else { return };
+    match text {
+        None => dist.clear(),
+        Some(src) => {
+            let mut matches = Vec::new();
+            crate::eval::predicate_matches(src, pred, &mut matches);
+            dist.retain(|e, _| matches.binary_search(e).is_ok());
+        }
+    }
 }
 
 fn relax(map: &mut FxHashMap<ElemId, u32>, e: ElemId, d: u32) {
@@ -156,7 +219,7 @@ mod tests {
         let c = parse_collection([
             (
                 "near",
-                r#"<book><chapter><author id="close"/></chapter></book>"#,
+                r#"<book><chapter><author id="close">xml indexing expert</author></chapter></book>"#,
             ),
             (
                 "far",
@@ -164,7 +227,7 @@ mod tests {
             ),
             (
                 "elsewhere",
-                r#"<page><sec><sub><author id="distant"/></sub></sec></page>"#,
+                r#"<page><sec><sub><author id="distant">xml novelist</author></sub></sec></page>"#,
             ),
         ])
         .unwrap();
@@ -222,13 +285,30 @@ mod tests {
         let a = RankedMatch {
             element: 0,
             distance: 0,
+            text_score: 0.0,
         };
         let b = RankedMatch {
             element: 0,
             distance: 5,
+            text_score: 0.0,
         };
         assert!(a.score() > b.score());
         assert_eq!(a.score(), 1.0);
+    }
+
+    #[test]
+    fn text_score_lifts_fused_score() {
+        let near = RankedMatch {
+            element: 0,
+            distance: 2,
+            text_score: 0.0,
+        };
+        let far_but_relevant = RankedMatch {
+            element: 1,
+            distance: 5,
+            text_score: 3.0,
+        };
+        assert!(far_but_relevant.score() > near.score());
     }
 
     #[test]
@@ -245,5 +325,58 @@ mod tests {
         ranked_sorted.sort_unstable();
         let boolean = crate::eval::evaluate(&c, &index, &tags, &expr);
         assert_eq!(ranked_sorted, boolean);
+    }
+
+    #[test]
+    fn final_step_predicate_filters_and_scores() {
+        let (c, cover, tags) = fixture();
+        let text = hopi_text::TextIndex::build(&c);
+        let expr = parse_path("//book//author[contains(., \"xml\")]").unwrap();
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|m| m.text_score > 0.0));
+        // "indexing" appears only in the close author's text.
+        let expr = parse_path("//book//author[contains(., \"indexing\")]").unwrap();
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].element, c.resolve_ref("near", "close").unwrap());
+        // Predicate but no text index: nothing qualifies.
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn intermediate_predicates_filter_membership_only() {
+        let (c, cover, tags) = fixture();
+        let text = hopi_text::TextIndex::build(&c);
+        // Restrict the middle binding to the close author's subtree path.
+        let expr = parse_path("//chapter[about(., \"expert\")]//author").unwrap();
+        // chapter has no direct text — the text sits on author — so no match.
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert!(r.is_empty());
+        // But a predicate naming the author's own text on the author step works,
+        // and an intermediate structure-only step leaves text_score at 0 when the
+        // final step carries no predicate.
+        let expr = parse_path("//author[about(., \"novelist\")]//author").unwrap();
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert!(r.is_empty()); // authors are leaves; sanity only.
+        let expr = parse_path("//book//author").unwrap();
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert!(r.iter().all(|m| m.text_score == 0.0));
+    }
+
+    #[test]
+    fn ranked_fusion_orders_by_combined_score() {
+        let (c, cover, tags) = fixture();
+        let text = hopi_text::TextIndex::build(&c);
+        let expr = parse_path("//book//author[about(., \"xml indexing expert\")]").unwrap();
+        let r = evaluate_ranked_with_text(&c, &cover, &tags, &expr, Some(&text));
+        assert_eq!(r.len(), 2);
+        // The close author matches all three terms AND is structurally
+        // nearer — it must rank first with a strictly higher fused score.
+        let close = c.resolve_ref("near", "close").unwrap();
+        assert_eq!(r[0].element, close);
+        assert!(r[0].score() > r[1].score());
+        assert!(r[0].text_score > r[1].text_score);
     }
 }

@@ -1,20 +1,23 @@
 //! Property tests for path evaluation: on arbitrary collections, the
 //! index-backed evaluator must agree with a naive BFS-based oracle for
-//! every expression shape, and the ranked evaluator must agree on
-//! membership with correct minimal distances.
+//! every expression shape (including content predicates against random
+//! element text), and the ranked evaluator must agree on membership with
+//! correct minimal distances.
 
 use hopi_core::{DistanceCoverBuilder, FrozenCover};
 use hopi_graph::{traversal, DistanceClosure};
 use hopi_partition::{build_index, BuildConfig};
 use hopi_query::{
-    evaluate, evaluate_ranked, evaluate_with, parse_path, Axis, EvalOptions, PathExpr, Step,
+    evaluate, evaluate_ranked, evaluate_ranked_with_text, evaluate_with, evaluate_with_text,
+    parse_path, Axis, ContentOp, ContentPredicate, EvalOptions, PathExpr, Step,
     Strategy as PlanStrategy, TagIndex,
 };
+use hopi_text::{FrozenTextIndex, TextIndex};
 use hopi_xml::{Collection, ElemId, XmlDocument};
 use proptest::prelude::*;
 use rustc_hash::FxHashSet;
 
-/// (element counts per doc, links, unused shape entropy).
+/// (element counts per doc, links, per-doc text entropy).
 type CollectionBlueprint = (Vec<usize>, Vec<(usize, usize)>, Vec<(usize, usize)>);
 
 /// Arbitrary collection with a limited tag alphabet so expressions match.
@@ -23,18 +26,35 @@ fn arb_collection() -> impl Strategy<Value = CollectionBlueprint> {
     docs.prop_flat_map(|docs| {
         let n = docs.len();
         let links = proptest::collection::vec((0..n, 0..n), 0..8);
-        let shapes = proptest::collection::vec((0..n, 0usize..100), 0..6);
-        (Just(docs), links, shapes)
+        let texts = proptest::collection::vec((0..n, 0usize..4096), 0..12);
+        (Just(docs), links, texts)
     })
 }
 
-fn realize(docs: &[usize], links: &[(usize, usize)], _shapes: &[(usize, usize)]) -> Collection {
+/// Small term alphabet so query phrases actually hit.
+const TERMS: [&str; 5] = ["xml", "hop", "index", "cover", "zig"];
+
+fn realize(docs: &[usize], links: &[(usize, usize)], texts: &[(usize, usize)]) -> Collection {
     let tags = ["a", "b", "c"];
     let mut c = Collection::new();
     for (i, &n) in docs.iter().enumerate() {
         let mut d = XmlDocument::new(format!("d{i}"), "root");
         for k in 1..n {
             d.add_element((k / 2) as u32, tags[k % tags.len()]);
+        }
+        // Scatter random multi-term text over random elements; repeated
+        // hits on one element append (so term frequencies vary too).
+        for &(_, ent) in texts.iter().filter(|&&(di, _)| di == i) {
+            let target = (ent % n) as u32;
+            let picked: Vec<&str> = TERMS
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (ent >> (j + 4)) & 1 == 1)
+                .map(|(_, t)| *t)
+                .collect();
+            if !picked.is_empty() {
+                d.append_text(target, &picked.join(" "));
+            }
         }
         c.add_document(d);
     }
@@ -48,6 +68,16 @@ fn realize(docs: &[usize], links: &[(usize, usize)], _shapes: &[(usize, usize)])
         c.add_link(c.global_id(da, la as u32), c.global_id(db, lb as u32));
     }
     c
+}
+
+/// Full-scan predicate check against the element's raw text.
+fn pred_holds(collection: &Collection, e: ElemId, pred: &ContentPredicate) -> bool {
+    let text = collection.element_text(e).unwrap_or_default();
+    let tokens: FxHashSet<String> = hopi_text::tokenize(text).collect();
+    match pred.op {
+        ContentOp::Contains => pred.terms.iter().all(|t| tokens.contains(t)),
+        ContentOp::About => pred.terms.iter().any(|t| tokens.contains(t)),
+    }
 }
 
 /// Naive oracle: evaluate step-by-step with BFS reachability.
@@ -76,6 +106,9 @@ fn oracle(collection: &Collection, expr: &PathExpr) -> Vec<ElemId> {
             .filter(|&e| matches(e, &expr.steps[0].tag))
             .collect(),
     };
+    if let Some(pred) = &expr.steps[0].predicate {
+        current.retain(|&e| pred_holds(collection, e, pred));
+    }
     for step in &expr.steps[1..] {
         let mut next: FxHashSet<ElemId> = FxHashSet::default();
         match step.axis {
@@ -106,6 +139,9 @@ fn oracle(collection: &Collection, expr: &PathExpr) -> Vec<ElemId> {
             }
         }
         current = next.into_iter().collect();
+        if let Some(pred) = &step.predicate {
+            current.retain(|&e| pred_holds(collection, e, pred));
+        }
         current.sort_unstable();
     }
     current.sort_unstable();
@@ -123,6 +159,25 @@ fn expressions() -> Vec<PathExpr> {
         "//c//a//b",
         "/root/a/b",
         "//*//a",
+    ]
+    .iter()
+    .map(|s| parse_path(s).unwrap())
+    .collect()
+}
+
+/// Expressions exercising content predicates at the seed, middle, and
+/// final step, in conjunctive and disjunctive form, plus an out-of-
+/// vocabulary term ("zag").
+fn content_expressions() -> Vec<PathExpr> {
+    [
+        "//a[contains(., \"xml\")]",
+        "//b[about(., \"xml hop\")]",
+        "//a[about(., \"hop cover\")]//b",
+        "/root//b[contains(., \"hop index\")]",
+        "//*[about(., \"cover\")]",
+        "//a//c[contains(., \"zig zag\")]",
+        "/root/a[contains(., \"index\")]/b",
+        "//c[contains(., \"xml\")]//a[about(., \"zig\")]",
     ]
     .iter()
     .map(|s| parse_path(s).unwrap())
@@ -187,6 +242,38 @@ proptest! {
     }
 
     #[test]
+    fn content_predicates_match_full_scan_oracle((docs, links, texts) in arb_collection()) {
+        // Content-and-structure queries agree with a naive full-scan
+        // oracle, through the mutable AND frozen term index, on the
+        // boolean AND ranked paths.
+        let c = realize(&docs, &links, &texts);
+        let (index, _) = build_index(&c, &BuildConfig::default());
+        let frozen_cover = FrozenCover::from_cover(index.cover());
+        let tags = TagIndex::build(&c);
+        let text = TextIndex::build(&c);
+        let frozen_text = FrozenTextIndex::from_index(&text);
+        let dc = DistanceClosure::from_graph(&c.element_graph());
+        let distance_cover = DistanceCoverBuilder::new(&dc).build();
+        let options = EvalOptions::default();
+        for expr in content_expressions() {
+            let expect = oracle(&c, &expr);
+            let mutable = evaluate_with_text(&c, &index, &tags, &expr, &options, Some(&text));
+            prop_assert_eq!(&mutable, &expect, "expr {} mutable", expr);
+            let frozen = evaluate_with_text(
+                &c, &frozen_cover, &tags, &expr, &options, Some(&frozen_text),
+            );
+            prop_assert_eq!(&frozen, &expect, "expr {} frozen", expr);
+            let mut ranked: Vec<ElemId> =
+                evaluate_ranked_with_text(&c, &distance_cover, &tags, &expr, Some(&text))
+                    .into_iter()
+                    .map(|m| m.element)
+                    .collect();
+            ranked.sort_unstable();
+            prop_assert_eq!(&ranked, &expect, "expr {} ranked", expr);
+        }
+    }
+
+    #[test]
     fn single_connection_step_distances_are_minimal((docs, links, shapes) in arb_collection()) {
         // For two-step //X//Y expressions, the reported distance must equal
         // the minimal BFS distance from any X element.
@@ -221,12 +308,14 @@ fn step_struct_is_constructible() {
             Step {
                 axis: Axis::Connection,
                 tag: Some("a".into()),
+                predicate: ContentPredicate::new(ContentOp::About, "hop"),
             },
             Step {
                 axis: Axis::Child,
                 tag: None,
+                predicate: None,
             },
         ],
     };
-    assert_eq!(expr.to_string(), "//a/*");
+    assert_eq!(expr.to_string(), "//a[about(., \"hop\")]/*");
 }

@@ -51,6 +51,14 @@ impl Json {
             .map(|n| n as u32)
     }
 
+    /// The value as a float (scores on the wire).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -102,6 +102,18 @@ impl Endpoint {
     }
 }
 
+/// Term-index gauges rendered at `/metrics`, sampled from the current
+/// snapshot at scrape time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TextGauges {
+    /// Distinct terms in the vocabulary.
+    pub vocabulary: u64,
+    /// Total (element, term) postings.
+    pub postings: u64,
+    /// Bytes held by the frozen posting buffers.
+    pub postings_bytes: u64,
+}
+
 /// One endpoint's counters.
 #[derive(Debug, Default)]
 pub struct EndpointMetrics {
@@ -156,13 +168,15 @@ impl Metrics {
     /// Renders the Prometheus-style text exposition served at `/metrics`.
     /// `epoch` and `uptime` come from the server (gauges alongside the
     /// counters); `plan` carries the engine's per-strategy `//`-step
-    /// execution totals as `(strategy label, count)` pairs.
+    /// execution totals as `(strategy label, count)` pairs; `text` carries
+    /// the snapshot's term-index sizes.
     pub fn render(
         &self,
         epoch: u64,
         uptime: Duration,
         workers: usize,
         plan: &[(&'static str, u64)],
+        text: TextGauges,
     ) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("# TYPE hopi_requests_total counter\n");
@@ -203,6 +217,20 @@ impl Metrics {
                 "hopi_query_plan_total{{strategy=\"{label}\"}} {count}\n"
             ));
         }
+        out.push_str("# TYPE hopi_text_vocabulary gauge\n");
+        out.push_str(&format!("hopi_text_vocabulary {}\n", text.vocabulary));
+        out.push_str("# TYPE hopi_text_postings gauge\n");
+        out.push_str(&format!("hopi_text_postings {}\n", text.postings));
+        out.push_str("# TYPE hopi_text_postings_bytes gauge\n");
+        out.push_str(&format!(
+            "hopi_text_postings_bytes {}\n",
+            text.postings_bytes
+        ));
+        out.push_str("# TYPE hopi_text_bytes_per_posting gauge\n");
+        out.push_str(&format!(
+            "hopi_text_bytes_per_posting {:.2}\n",
+            text.postings_bytes as f64 / text.postings.max(1) as f64
+        ));
         out.push_str("# TYPE hopi_snapshot_epoch gauge\n");
         out.push_str(&format!("hopi_snapshot_epoch {epoch}\n"));
         out.push_str("# TYPE hopi_uptime_seconds gauge\n");
@@ -255,10 +283,19 @@ mod tests {
             Duration::from_secs(2),
             4,
             &[("forward_hop_join", 9), ("pairwise_probe", 1)],
+            TextGauges {
+                vocabulary: 12,
+                postings: 30,
+                postings_bytes: 240,
+            },
         );
         assert!(text.contains("hopi_requests_total{endpoint=\"connected\"} 2"));
         assert!(text.contains("hopi_request_errors_total{endpoint=\"query\"} 1"));
         assert!(text.contains("hopi_query_plan_total{strategy=\"forward_hop_join\"} 9"));
+        assert!(text.contains("hopi_text_vocabulary 12"));
+        assert!(text.contains("hopi_text_postings 30"));
+        assert!(text.contains("hopi_text_postings_bytes 240"));
+        assert!(text.contains("hopi_text_bytes_per_posting 8.00"));
         assert!(text.contains("hopi_snapshot_epoch 7"));
         assert!(text.contains("hopi_worker_threads 4"));
     }

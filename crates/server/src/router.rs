@@ -141,6 +141,18 @@ fn stats(state: &AppState) -> Response {
         w.field_bool("healthy", wal.healthy);
         w.close_obj();
     }
+    // Term-index footprint: the content half of content-and-structure
+    // queries, sized from the snapshot's frozen posting buffers.
+    w.field_obj("text");
+    w.field_u64("vocabulary", s.text_vocabulary as u64);
+    w.field_u64("postings", s.text_postings as u64);
+    w.field_u64("postings_bytes", s.text_postings_bytes as u64);
+    w.field_f64(
+        "bytes_per_posting",
+        s.text_postings_bytes as f64 / s.text_postings.max(1) as f64,
+    );
+    w.field_u64("indexed_elements", s.text_indexed_elements as u64);
+    w.close_obj();
     // Which physical `//`-step plans have run (engine-lifetime totals) —
     // scrape twice to see where query traffic lands.
     w.field_obj("plan");
@@ -154,12 +166,17 @@ fn stats(state: &AppState) -> Response {
 }
 
 fn metrics(state: &AppState) -> Response {
-    let plan = state.engine.snapshot_stats().plan;
+    let s = state.engine.snapshot_stats();
     Response::text(state.metrics.render(
         state.engine.epoch(),
         state.started.elapsed(),
         state.workers,
-        &plan.as_labeled(),
+        &s.plan.as_labeled(),
+        crate::metrics::TextGauges {
+            vocabulary: s.text_vocabulary as u64,
+            postings: s.text_postings as u64,
+            postings_bytes: s.text_postings_bytes as u64,
+        },
     ))
 }
 
@@ -297,6 +314,7 @@ fn query(state: &AppState, req: &Request) -> Response {
             w.obj();
             w.field_u64("element", u64::from(m.element));
             w.field_u64("distance", u64::from(m.distance));
+            w.field_f64("text_score", m.text_score);
             w.field_f64("score", m.score());
             w.close_obj();
         }

@@ -11,14 +11,15 @@ fn loopback() -> SocketAddr {
     "127.0.0.1:0".parse().unwrap()
 }
 
-/// Two linked documents; `a`'s root (id 0) reaches `b`'s `<sec>` (id 3).
+/// Two linked documents; `a`'s root (id 0) reaches `b`'s `<sec>` (id 3),
+/// which carries element text for content-predicate queries.
 fn small_engine(distance_aware: bool) -> OnlineHopi {
     OnlineHopi::new(
         Hopi::builder()
             .distance_aware(distance_aware)
             .parse([
                 ("a", r#"<r><cite xlink:href="b"/></r>"#),
-                ("b", "<r><sec/></r>"),
+                ("b", "<r><sec>two hop indexing</sec></r>"),
             ])
             .expect("valid fixture"),
     )
@@ -86,6 +87,28 @@ fn read_endpoints_answer_from_one_snapshot() {
     let m = &ranked.get("matches").and_then(Json::as_arr).unwrap()[0];
     assert_eq!(m.get("element").and_then(Json::as_u64), Some(3));
     assert!(m.get("score").is_some());
+    assert_eq!(m.get("text_score").and_then(Json::as_f64), Some(0.0));
+
+    // Content-and-structure: the sec's element text answers a contains()
+    // predicate, and the ranked form fuses a positive BM25 text score.
+    let q = get_json(
+        &mut c,
+        "/query?expr=%2F%2Fr%2F%2Fsec%5Bcontains(.%2C%20%22indexing%22)%5D",
+    );
+    let hits = q.get("matches").and_then(Json::as_arr).unwrap();
+    assert_eq!(hits.len(), 1, "content predicate matches the texted sec");
+    let q = get_json(
+        &mut c,
+        "/query?expr=%2F%2Fr%2F%2Fsec%5Bcontains(.%2C%20%22absent%22)%5D",
+    );
+    assert_eq!(q.get("count").and_then(Json::as_u64), Some(0));
+    let ranked = get_json(
+        &mut c,
+        "/query?expr=%2F%2Fr%2F%2Fsec%5Babout(.%2C%20%22hop%20indexing%22)%5D&ranked=true",
+    );
+    let m = &ranked.get("matches").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(m.get("element").and_then(Json::as_u64), Some(3));
+    assert!(m.get("text_score").and_then(Json::as_f64).unwrap() > 0.0);
 
     // Batched probes answer on one epoch in order.
     let resp = c
@@ -115,6 +138,18 @@ fn read_endpoints_answer_from_one_snapshot() {
         plan.get("total").and_then(Json::as_u64).unwrap() > 0,
         "plan counters tally executed steps"
     );
+    // Term-index footprint in /stats: three distinct terms in one element.
+    let text = stats.get("text").expect("text object in /stats");
+    assert_eq!(text.get("vocabulary").and_then(Json::as_u64), Some(3));
+    assert_eq!(text.get("postings").and_then(Json::as_u64), Some(3));
+    assert!(text.get("postings_bytes").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        text.get("bytes_per_posting")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(text.get("indexed_elements").and_then(Json::as_u64), Some(1));
     let metrics = c.get("/metrics").expect("metrics scrape");
     assert_eq!(metrics.status, 200);
     assert!(
@@ -124,6 +159,12 @@ fn read_endpoints_answer_from_one_snapshot() {
         "{}",
         metrics.body
     );
+    assert!(
+        metrics.body.contains("hopi_text_vocabulary 3"),
+        "{}",
+        metrics.body
+    );
+    assert!(metrics.body.contains("hopi_text_postings_bytes "));
 
     handle.shutdown();
 }

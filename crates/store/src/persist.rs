@@ -4,16 +4,16 @@
 //!
 //! ```text
 //! magic   4 bytes  "HOPI"
-//! version u32      2 (1 accepted on load)
+//! version u32      3 (2 and 1 accepted on load)
 //! flags   u32      bit 0: DIST column present; bit 1 clear (row layout)
 //! lin_len u64      row count of LIN
 //! lout_len u64     row count of LOUT
 //! rows             (id: u32, other: u32 [, dist: u32]) × (lin_len + lout_len)
 //! ```
 //!
-//! Frozen format (version 2; written by [`save_frozen`], flags bit 1 set):
-//! the same 12-byte `magic`/`version`/`flags` prefix followed by one
-//! length-prefixed CSR blob —
+//! Frozen format (introduced in version 2; written by [`save_frozen`],
+//! flags bit 1 set): the same 12-byte `magic`/`version`/`flags` prefix
+//! followed by one length-prefixed CSR blob —
 //!
 //! ```text
 //! n        u64     node slots
@@ -71,7 +71,10 @@ impl<'a> Cursor<'a> {
 }
 
 const MAGIC: &[u8; 4] = b"HOPI";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+/// The last version whose checkpoint collection blobs carry no element
+/// text section (still loadable; text decodes as empty).
+const VERSION_NO_TEXT: u32 = 2;
 /// The last version writing the row layout only (still loadable).
 const VERSION_ROWS_ONLY: u32 = 1;
 /// Flags bit 0: DIST column present.
@@ -233,7 +236,7 @@ fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
         return Err(PersistError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION && version != VERSION_ROWS_ONLY {
+    if version != VERSION && version != VERSION_NO_TEXT && version != VERSION_ROWS_ONLY {
         return Err(PersistError::Version(version));
     }
     let flags = buf.get_u32_le();
@@ -336,7 +339,7 @@ fn decode_frozen(raw: &[u8]) -> Result<FrozenCover, PersistError> {
         return Err(PersistError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_NO_TEXT {
         return Err(PersistError::Version(version));
     }
     let flags = buf.get_u32_le();
@@ -409,7 +412,7 @@ pub struct Checkpoint {
 ///
 /// ```text
 /// magic    4 bytes  "HOPI"
-/// version  u32      2
+/// version  u32      3 (2 accepted on load: collection blob has no text)
 /// flags    u32      bit 2 (CHECKPOINT) | bit 1 (FROZEN) [| bit 0 DIST]
 /// seq      u64      WAL sequence number covered
 /// coll_len u64      collection blob length
@@ -456,7 +459,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, PersistError> {
         return Err(PersistError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_NO_TEXT {
         return Err(PersistError::Version(version));
     }
     let flags = buf.get_u32_le();
@@ -474,7 +477,9 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, PersistError> {
     }
     let mut coll_bytes = vec![0u8; coll_len];
     buf.copy_to_slice(&mut coll_bytes);
-    let collection = hopi_xml::codec::decode_collection(&coll_bytes)
+    // Pre-text checkpoints (version 2) carry collection blobs without the
+    // element-text section; text decodes as empty there.
+    let collection = hopi_xml::codec::decode_collection_versioned(&coll_bytes, version >= VERSION)
         .map_err(|e| PersistError::Format(e.to_string()))?;
     let frozen = decode_frozen_payload(&mut buf, flags & FLAG_DIST != 0)?;
     Ok(Checkpoint {

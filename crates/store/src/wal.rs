@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! magic     4 bytes  "HOPW"
-//! version   u32      1
+//! version   u32      2 (1 accepted: document blobs carry no element text)
 //! base_seq  u64      sequence number the file starts after
 //! records   (len: u32, crc32: u32, payload: len bytes) ×
 //! ```
@@ -48,7 +48,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
 
 const MAGIC: &[u8; 4] = b"HOPW";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// The last version whose document blobs carry no element text section.
+const VERSION_NO_TEXT: u32 = 1;
 const HEADER_LEN: u64 = 16;
 
 /// Distinguishes concurrent rotations' temp files within one process.
@@ -162,9 +164,9 @@ impl<'a> Take<'a> {
         (0..n).map(|_| Ok((self.u32()?, self.u32()?))).collect()
     }
 
-    fn doc(&mut self) -> Result<XmlDocument, PersistError> {
+    fn doc(&mut self, with_text: bool) -> Result<XmlDocument, PersistError> {
         let n = self.u32()? as usize;
-        codec::decode_document(self.bytes(n)?)
+        codec::decode_document_versioned(self.bytes(n)?, with_text)
             .map_err(|e| PersistError::Format(format!("WAL document blob: {e}")))
     }
 
@@ -226,7 +228,9 @@ impl WalRecord {
     }
 
     /// Deserializes a record payload written by [`WalRecord::encode`].
-    pub fn decode(payload: &[u8]) -> Result<WalRecord, PersistError> {
+    /// `with_text` reflects the log file's version: pre-text logs
+    /// (version 1) framed document blobs without the text section.
+    pub fn decode(payload: &[u8], with_text: bool) -> Result<WalRecord, PersistError> {
         let mut t = Take(payload);
         let tag = t.bytes(1)?[0];
         let rec = match tag {
@@ -239,14 +243,14 @@ impl WalRecord {
                 to: t.u32()?,
             },
             TAG_INSERT_DOC => WalRecord::InsertDocument {
-                doc: t.doc()?,
+                doc: t.doc(with_text)?,
                 outgoing: t.pairs()?,
                 incoming: t.pairs()?,
             },
             TAG_DELETE_DOC => WalRecord::DeleteDocument { doc: t.u32()? },
             TAG_MODIFY_DOC => WalRecord::ModifyDocument {
                 doc: t.u32()?,
-                new_doc: t.doc()?,
+                new_doc: t.doc(with_text)?,
                 outgoing: t.pairs()?,
                 incoming: t.pairs()?,
             },
@@ -348,9 +352,10 @@ impl Wal {
             return Err(PersistError::Format("not a HOPI WAL file".into()));
         }
         let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
-        if version != VERSION {
+        if version != VERSION && version != VERSION_NO_TEXT {
             return Err(PersistError::Version(version));
         }
+        let with_text = version >= VERSION;
         let base_seq = u64::from_le_bytes(raw[8..16].try_into().unwrap());
 
         let mut records = Vec::new();
@@ -370,7 +375,7 @@ impl Wal {
             if crc32(payload) != crc {
                 break; // corrupt payload
             }
-            let Ok(rec) = WalRecord::decode(payload) else {
+            let Ok(rec) = WalRecord::decode(payload, with_text) else {
                 break; // frame intact but payload undecodable: treat as tail
             };
             seq += 1;
@@ -569,6 +574,7 @@ mod tests {
         let s = doc.add_element(0, "sec");
         doc.set_anchor("s", s);
         doc.add_intra_link(s, 0);
+        doc.set_text(s, "two hop cover");
         vec![
             WalRecord::InsertLink { from: 3, to: 9 },
             WalRecord::InsertDocument {
@@ -591,7 +597,7 @@ mod tests {
     fn record_roundtrip() {
         for rec in sample_records() {
             let payload = rec.encode();
-            assert_eq!(WalRecord::decode(&payload).unwrap(), rec);
+            assert_eq!(WalRecord::decode(&payload, true).unwrap(), rec);
         }
     }
 

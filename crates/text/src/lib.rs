@@ -1,0 +1,169 @@
+//! Element-granular term index for content-and-structure queries.
+//!
+//! HOPI's workload (INEX) mixes structural axes with term predicates —
+//! `//section[about(., "xml indexing")]` — so the structure index needs a
+//! content-side companion. This crate provides it:
+//!
+//! * [`TextIndex`] — a mutable term-level inverted index over a
+//!   [`Collection`]'s element text: a [`Vocabulary`] (term → term id) plus
+//!   per-term posting lists of `(element id, term frequency)`.
+//! * [`FrozenTextIndex`] — the same data in two contiguous buffers
+//!   (offsets + postings), mirroring `FrozenCover`'s CSR design: one
+//!   `u32` offset row per term, postings concatenated in term order.
+//! * [`TextSource`] — the object-safe trait query evaluation scores
+//!   against, implemented by both forms.
+//! * [`Bm25Scorer`] — BM25-style tf·idf with element-length
+//!   normalization, fused into ranked retrieval by `hopi_query`.
+//!
+//! Tokenization ([`tokenize`]) is deliberately plain: Unicode
+//! alphanumeric runs, lowercased. Both index forms hand out posting
+//! lists as sorted slices so evaluation can intersect them with sorted
+//! candidate sets by merge or galloping search.
+
+mod frozen;
+mod index;
+mod score;
+
+pub use frozen::FrozenTextIndex;
+pub use index::{TextIndex, Vocabulary};
+pub use score::{Bm25Scorer, B, K1};
+
+use hopi_xml::collection::ElemId;
+
+/// Term identifier (index into a [`Vocabulary`]).
+pub type TermId = u32;
+
+/// Splits text into lowercase Unicode-alphanumeric tokens.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// One term's posting list: parallel slices of element ids (sorted
+/// ascending, unique) and term frequencies.
+#[derive(Clone, Copy, Debug)]
+pub struct PostingsRef<'a> {
+    /// Element ids holding the term, sorted ascending.
+    pub elems: &'a [ElemId],
+    /// Term frequency per element, parallel to `elems`.
+    pub tfs: &'a [u32],
+}
+
+impl<'a> PostingsRef<'a> {
+    /// Number of postings (the term's document frequency, element-granular).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the term occurs nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Term frequency in `elem` (0 when absent).
+    pub fn tf(&self, elem: ElemId) -> u32 {
+        match self.elems.binary_search(&elem) {
+            Ok(i) => self.tfs[i],
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Size and shape statistics of a term index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TextStats {
+    /// Distinct terms.
+    pub vocabulary: usize,
+    /// Total postings across all terms.
+    pub postings: usize,
+    /// Bytes held by posting storage (element ids + term frequencies).
+    pub postings_bytes: usize,
+    /// Elements that carry at least one token.
+    pub indexed_elements: usize,
+    /// Total token occurrences.
+    pub total_tokens: u64,
+}
+
+impl TextStats {
+    /// Posting storage cost per posting (0 when empty).
+    pub fn bytes_per_posting(&self) -> f64 {
+        if self.postings == 0 {
+            0.0
+        } else {
+            self.postings_bytes as f64 / self.postings as f64
+        }
+    }
+}
+
+/// What query evaluation needs from a term index, object-safe so the
+/// mutable and frozen forms interchange behind `&dyn TextSource`.
+pub trait TextSource: Sync {
+    /// The term's posting list, `None` when out of vocabulary.
+    fn lookup(&self, term: &str) -> Option<PostingsRef<'_>>;
+
+    /// Token count of an element (0 when it carries no text).
+    fn elem_len(&self, elem: ElemId) -> u32;
+
+    /// Number of elements carrying any text — the `N` of idf.
+    fn indexed_elements(&self) -> usize;
+
+    /// Total token occurrences across all elements.
+    fn total_tokens(&self) -> u64;
+
+    /// Size and shape statistics.
+    fn stats(&self) -> TextStats;
+
+    /// Document frequency of a term (posting-list length).
+    fn df(&self, term: &str) -> usize {
+        self.lookup(term).map_or(0, |p| p.len())
+    }
+
+    /// Mean token count over indexed elements (1.0 when empty, so
+    /// length normalization stays well-defined).
+    fn avg_elem_len(&self) -> f64 {
+        let n = self.indexed_elements();
+        if n == 0 {
+            1.0
+        } else {
+            self.total_tokens() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        let toks: Vec<String> = tokenize("XML-Indexing, 2-hop (HOPI)!").collect();
+        assert_eq!(toks, ["xml", "indexing", "2", "hop", "hopi"]);
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("  ,,  ").count(), 0);
+    }
+
+    #[test]
+    fn postings_tf_lookup() {
+        let p = PostingsRef {
+            elems: &[2, 5, 9],
+            tfs: &[1, 3, 2],
+        };
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.tf(5), 3);
+        assert_eq!(p.tf(4), 0);
+    }
+
+    #[test]
+    fn stats_bytes_per_posting() {
+        let s = TextStats {
+            vocabulary: 2,
+            postings: 4,
+            postings_bytes: 32,
+            indexed_elements: 3,
+            total_tokens: 10,
+        };
+        assert!((s.bytes_per_posting() - 8.0).abs() < 1e-9);
+        assert_eq!(TextStats::default().bytes_per_posting(), 0.0);
+    }
+}

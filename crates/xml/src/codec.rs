@@ -12,7 +12,11 @@
 //!
 //! All integers are little-endian. Strings are length-prefixed UTF-8.
 //! The codec carries no magic/version header of its own; embedding
-//! formats (the checkpoint file, WAL records) provide framing.
+//! formats (the checkpoint file, WAL records) provide framing — and
+//! therefore also the version gate for the element-text section: encoders
+//! always write it, while decoders take a `with_text` flag derived from
+//! the embedding format's version, so pre-text checkpoints and WAL files
+//! keep decoding byte-exactly.
 
 use crate::collection::{Collection, ElemId};
 use crate::model::{LocalElemId, XmlDocument};
@@ -118,10 +122,22 @@ pub fn encode_document(doc: &XmlDocument, out: &mut Vec<u8>) {
         out.extend_from_slice(&f.to_le_bytes());
         out.extend_from_slice(&t.to_le_bytes());
     }
+    // Text section (absent entirely in pre-text streams): count of
+    // non-empty entries, then (element id, text) pairs in id order.
+    let texts: Vec<(LocalElemId, &str)> = doc.texts().collect();
+    out.extend_from_slice(&(texts.len() as u32).to_le_bytes());
+    for (el, text) in texts {
+        out.extend_from_slice(&el.to_le_bytes());
+        put_str(out, text);
+    }
 }
 
-/// Reads one document written by [`encode_document`].
-pub(crate) fn decode_document_from(r: &mut Reader<'_>) -> Result<XmlDocument, CodecError> {
+/// Reads one document written by [`encode_document`]. `with_text` gates
+/// the trailing text section — `false` decodes pre-text streams.
+pub(crate) fn decode_document_from(
+    r: &mut Reader<'_>,
+    with_text: bool,
+) -> Result<XmlDocument, CodecError> {
     let name = r.str()?;
     let n = r.len(1)?;
     if n == 0 {
@@ -159,13 +175,30 @@ pub(crate) fn decode_document_from(r: &mut Reader<'_>) -> Result<XmlDocument, Co
         }
         doc.add_intra_link(f, t);
     }
+    if with_text {
+        let texts = r.len(8)?;
+        for _ in 0..texts {
+            let el = r.u32()?;
+            if el as usize >= n {
+                return Err(CodecError::new(format!("text targets dead element {el}")));
+            }
+            let text = r.str()?;
+            doc.set_text(el, text);
+        }
+    }
     Ok(doc)
 }
 
 /// Decodes a document from a standalone buffer (must consume it fully).
 pub fn decode_document(bytes: &[u8]) -> Result<XmlDocument, CodecError> {
+    decode_document_versioned(bytes, true)
+}
+
+/// Like [`decode_document`], decoding a pre-text stream when `with_text`
+/// is `false` (the caller reads the flag off its format version).
+pub fn decode_document_versioned(bytes: &[u8], with_text: bool) -> Result<XmlDocument, CodecError> {
     let mut r = Reader::new(bytes);
-    let doc = decode_document_from(&mut r)?;
+    let doc = decode_document_from(&mut r, with_text)?;
     if r.remaining() != 0 {
         return Err(CodecError::new(format!(
             "{} trailing bytes after document",
@@ -203,6 +236,16 @@ pub fn encode_collection(c: &Collection) -> Vec<u8> {
 
 /// Reconstructs a collection written by [`encode_collection`].
 pub fn decode_collection(bytes: &[u8]) -> Result<Collection, CodecError> {
+    decode_collection_versioned(bytes, true)
+}
+
+/// Like [`decode_collection`], decoding a pre-text stream when
+/// `with_text` is `false` (the caller reads the flag off its format
+/// version — e.g. a version-2 checkpoint predates element text).
+pub fn decode_collection_versioned(
+    bytes: &[u8],
+    with_text: bool,
+) -> Result<Collection, CodecError> {
     let mut r = Reader::new(bytes);
     let slots_len = r.len(9)?;
     let mut slots: Vec<Option<XmlDocument>> = Vec::with_capacity(slots_len);
@@ -213,7 +256,7 @@ pub fn decode_collection(bytes: &[u8]) -> Result<Collection, CodecError> {
         ranges.push((base, end));
         slots.push(match r.u8()? {
             0 => None,
-            1 => Some(decode_document_from(&mut r)?),
+            1 => Some(decode_document_from(&mut r, with_text)?),
             other => return Err(CodecError::new(format!("bad slot marker {other}"))),
         });
     }
@@ -242,6 +285,7 @@ mod tests {
         d.add_element(0, "c");
         d.set_anchor("here", b);
         d.add_intra_link(b, a);
+        d.set_text(b, "two hop cover & friends");
         d
     }
 
@@ -250,6 +294,7 @@ mod tests {
         assert_eq!(x.len(), y.len());
         for (id, e) in x.elements() {
             assert_eq!(e, y.element(id));
+            assert_eq!(x.text(id), y.text(id));
         }
         assert_eq!(x.intra_links(), y.intra_links());
         let mut ax: Vec<_> = x.anchors().collect();
@@ -305,6 +350,25 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(decode_collection(&trailing).is_err());
+    }
+
+    #[test]
+    fn pre_text_stream_decodes_with_versioned_flag() {
+        // A document without any text encodes to (pre-text bytes, then a
+        // zero-count text section) — strip the trailing section and the
+        // bytes are exactly what the old codec wrote.
+        let mut d = XmlDocument::new("old", "r");
+        let a = d.add_element(0, "a");
+        d.set_anchor("x", a);
+        d.add_intra_link(a, 0);
+        let mut bytes = Vec::new();
+        encode_document(&d, &mut bytes);
+        let old_bytes = &bytes[..bytes.len() - 4];
+        // Old-format decode succeeds and matches.
+        let back = decode_document_versioned(old_bytes, false).unwrap();
+        assert_same_doc(&d, &back);
+        // The text-aware decode rejects it (missing section).
+        assert!(decode_document_versioned(old_bytes, true).is_err());
     }
 
     #[test]

@@ -152,6 +152,13 @@ impl Collection {
         Some((d, e - base))
     }
 
+    /// Direct text of the element with global id `e` (`None` when the id is
+    /// dead, `""` when the element carries no text).
+    pub fn element_text(&self, e: ElemId) -> Option<&str> {
+        let (d, local) = self.to_local(e)?;
+        Some(self.docs[d as usize].as_ref().unwrap().doc.text(local))
+    }
+
     /// Adds an inter-document link between two global element ids. `L` is a
     /// set (paper §2), so exact duplicates are ignored; returns `true` when
     /// the link is new.
@@ -522,6 +529,22 @@ mod tests {
         expect.sort_by_key(|l| (l.from, l.to));
         got.sort_by_key(|l| (l.from, l.to));
         assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn element_text_by_global_id() {
+        let mut c = Collection::new();
+        let mut d = XmlDocument::new("a", "r");
+        let x = d.add_element(0, "x");
+        d.set_text(x, "hopi two hop");
+        c.add_document(d);
+        c.add_document(XmlDocument::new("b", "r"));
+        assert_eq!(c.element_text(1), Some("hopi two hop"));
+        assert_eq!(c.element_text(0), Some(""));
+        assert_eq!(c.element_text(99), None);
+        let mut c2 = c.clone();
+        c2.remove_document(0);
+        assert_eq!(c2.element_text(1), None);
     }
 
     #[test]

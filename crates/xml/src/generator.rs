@@ -13,6 +13,64 @@ use crate::model::XmlDocument;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+/// Synthetic element-text profile shared by all generators.
+///
+/// Terms are drawn Zipf-like from a closed vocabulary (`term0` is the most
+/// frequent), so benches and proptests exercise realistic selectivities:
+/// a few stop-word-like terms with huge posting lists, a long tail of rare
+/// ones. Text generation uses an RNG derived from the structure seed, so a
+/// config's tree shape and links are byte-identical to pre-text output.
+#[derive(Clone, Debug)]
+pub struct TextProfile {
+    /// Vocabulary size (distinct terms); 0 disables text entirely.
+    pub vocab: usize,
+    /// Zipf-like skew of term frequencies (0.0 = uniform draws).
+    pub skew: f64,
+    /// Mean tokens per text-bearing element.
+    pub mean_tokens: f64,
+    /// Fraction of elements that carry any text.
+    pub text_fraction: f64,
+}
+
+impl Default for TextProfile {
+    fn default() -> Self {
+        TextProfile {
+            vocab: 1000,
+            skew: 1.0,
+            mean_tokens: 6.0,
+            text_fraction: 0.4,
+        }
+    }
+}
+
+/// Seed tweak separating the text RNG stream from the structure stream.
+const TEXT_SEED_SALT: u64 = 0x7e87;
+
+/// Fills `d` with Zipf-distributed synthetic text per `profile`.
+fn fill_text(d: &mut XmlDocument, rng: &mut StdRng, profile: &TextProfile) {
+    if profile.vocab == 0 || profile.mean_tokens <= 0.0 || profile.text_fraction <= 0.0 {
+        return;
+    }
+    for id in 0..d.len() {
+        if !rng.gen_bool(profile.text_fraction.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let n = sample_count(rng, profile.mean_tokens).max(1);
+        let mut s = String::new();
+        for k in 0..n {
+            if k > 0 {
+                s.push(' ');
+            }
+            // Same power-law idiom as citation targets: low term ids are hot.
+            let u: f64 = rng.gen::<f64>().powf(1.0 + profile.skew.max(0.0));
+            let t = ((u * profile.vocab as f64) as usize).min(profile.vocab - 1);
+            s.push_str("term");
+            s.push_str(&t.to_string());
+        }
+        d.set_text(id as u32, s);
+    }
+}
+
 /// Configuration for the DBLP-like citation collection.
 ///
 /// Defaults reproduce the paper's ratios at `scale = 1.0`:
@@ -33,6 +91,8 @@ pub struct DblpConfig {
     /// Zipf-like skew for citation targets (popular papers attract more
     /// citations). 0.0 = uniform.
     pub popularity_skew: f64,
+    /// Element-text synthesis profile.
+    pub text: TextProfile,
     /// RNG seed.
     pub seed: u64,
 }
@@ -45,6 +105,7 @@ impl Default for DblpConfig {
             mean_citations: 4.08, // 25,368 / 6,210
             forward_fraction: 0.95,
             popularity_skew: 0.8,
+            text: TextProfile::default(),
             seed: 0x40b1,
         }
     }
@@ -68,6 +129,7 @@ impl DblpConfig {
 /// `cite` element carries an XLink to the root of the cited publication.
 pub fn dblp(config: &DblpConfig) -> Collection {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut text_rng = StdRng::seed_from_u64(config.seed ^ TEXT_SEED_SALT);
     let mut collection = Collection::new();
     let mut cite_elems: Vec<Vec<DocId>> = Vec::with_capacity(config.num_docs);
 
@@ -97,6 +159,7 @@ pub fn dblp(config: &DblpConfig) -> Collection {
             d.add_element(c, "label");
             cites.push(c);
         }
+        fill_text(&mut d, &mut text_rng, &config.text);
         collection.add_document(d);
         cite_elems.push(cites.into_iter().map(|c| c as DocId).collect());
     }
@@ -166,6 +229,8 @@ pub struct InexConfig {
     pub mean_elements: usize,
     /// Maximum tree depth.
     pub max_depth: usize,
+    /// Element-text synthesis profile.
+    pub text: TextProfile,
     /// RNG seed.
     pub seed: u64,
 }
@@ -176,6 +241,7 @@ impl Default for InexConfig {
             num_docs: 12_232,
             mean_elements: 986, // 12,061,348 / 12,232
             max_depth: 12,
+            text: TextProfile::default(),
             seed: 0x13e8,
         }
     }
@@ -199,6 +265,7 @@ impl InexConfig {
 /// structure: front matter, sections, subsections, paragraphs), no links.
 pub fn inex(config: &InexConfig) -> Collection {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut text_rng = StdRng::seed_from_u64(config.seed ^ TEXT_SEED_SALT);
     let mut collection = Collection::new();
     let tags = ["sec", "ss1", "ss2", "p", "ip1", "it", "b", "fig"];
     for i in 0..config.num_docs {
@@ -224,6 +291,7 @@ pub fn inex(config: &InexConfig) -> Collection {
                 }
             }
         }
+        fill_text(&mut d, &mut text_rng, &config.text);
         collection.add_document(d);
     }
     collection
@@ -251,6 +319,8 @@ pub struct RandomConfig {
     pub num_intra_links: usize,
     /// Allow link cycles between documents.
     pub allow_cycles: bool,
+    /// Element-text synthesis profile.
+    pub text: TextProfile,
     /// RNG seed.
     pub seed: u64,
 }
@@ -263,6 +333,7 @@ impl Default for RandomConfig {
             num_links: 30,
             num_intra_links: 10,
             allow_cycles: true,
+            text: TextProfile::default(),
             seed: 1,
         }
     }
@@ -273,6 +344,7 @@ impl Default for RandomConfig {
 /// only run from lower to higher document ids.
 pub fn random_collection(config: &RandomConfig) -> Collection {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut text_rng = StdRng::seed_from_u64(config.seed ^ TEXT_SEED_SALT);
     let mut collection = Collection::new();
     for i in 0..config.num_docs {
         let n = rng.gen_range(
@@ -293,6 +365,7 @@ pub fn random_collection(config: &RandomConfig) -> Collection {
                 }
             }
         }
+        fill_text(&mut d, &mut text_rng, &config.text);
         collection.add_document(d);
     }
     if config.num_docs >= 2 {
@@ -378,6 +451,7 @@ mod tests {
             num_docs: 10,
             mean_elements: 50,
             max_depth: 8,
+            text: TextProfile::default(),
             seed: 7,
         });
         assert_eq!(c.doc_count(), 10);
@@ -392,6 +466,7 @@ mod tests {
             num_docs: 3,
             mean_elements: 200,
             max_depth: 6,
+            text: TextProfile::default(),
             seed: 9,
         };
         let c = inex(&cfg);
@@ -422,5 +497,60 @@ mod tests {
         assert_eq!(g.node_count(), c.element_count());
         let (gd, _) = c.document_graph();
         assert_eq!(gd.node_count(), c.doc_count());
+    }
+
+    #[test]
+    fn generated_text_is_zipf_skewed() {
+        use rustc_hash::FxHashMap;
+        let c = inex(&InexConfig {
+            num_docs: 20,
+            mean_elements: 100,
+            max_depth: 8,
+            text: TextProfile::default(),
+            seed: 11,
+        });
+        let mut freq: FxHashMap<String, usize> = FxHashMap::default();
+        let mut texted = 0usize;
+        for d in c.doc_ids() {
+            let doc = c.document(d).unwrap();
+            for (_, t) in doc.texts() {
+                texted += 1;
+                for tok in t.split_whitespace() {
+                    *freq.entry(tok.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        assert!(texted > 100, "only {texted} elements carry text");
+        // Zipf skew: the hottest term dominates a mid-vocabulary term.
+        let total: usize = freq.values().sum();
+        let hot = freq.get("term0").copied().unwrap_or(0);
+        assert!(
+            hot * 20 > total / 10,
+            "term0 should be hot: {hot} of {total}"
+        );
+        let mid = freq.get("term500").copied().unwrap_or(0);
+        assert!(hot > mid * 4, "hot {hot} vs mid {mid}");
+    }
+
+    #[test]
+    fn text_profile_does_not_change_structure() {
+        let plain = RandomConfig {
+            text: TextProfile {
+                vocab: 0,
+                ..TextProfile::default()
+            },
+            ..Default::default()
+        };
+        let texted = RandomConfig::default();
+        let a = random_collection(&plain);
+        let b = random_collection(&texted);
+        assert_eq!(a.element_count(), b.element_count());
+        assert_eq!(a.links(), b.links());
+        for d in a.doc_ids() {
+            let (x, y) = (a.document(d).unwrap(), b.document(d).unwrap());
+            for (id, e) in x.elements() {
+                assert_eq!(e, y.element(id));
+            }
+        }
     }
 }

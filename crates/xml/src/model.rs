@@ -19,7 +19,8 @@ pub struct Element {
 }
 
 /// An XML document `d`: its element-level tree `T_E(d) = (V_E(d), E'_E(d))`
-/// plus the set `L_I(d)` of intra-document links.
+/// plus the set `L_I(d)` of intra-document links, plus element-granular
+/// text content for content-and-structure retrieval.
 ///
 /// The *element-level graph* `G_E(d)` of the document is the tree edges plus
 /// the intra-links: `E_E(d) = E'_E(d) ∪ L_I(d)`.
@@ -28,6 +29,9 @@ pub struct XmlDocument {
     /// Document name, used as link target prefix (`name#anchor`).
     pub name: String,
     elements: Vec<Element>,
+    /// Per-element text content, parallel to `elements` (empty string =
+    /// no text). Direct text of the element only, not of descendants.
+    texts: Vec<String>,
     intra_links: Vec<(LocalElemId, LocalElemId)>,
     /// `id="…"` anchors, for IDREF/XLink resolution.
     anchors: FxHashMap<String, LocalElemId>,
@@ -43,6 +47,7 @@ impl XmlDocument {
                 parent: None,
                 children: Vec::new(),
             }],
+            texts: vec![String::new()],
             intra_links: Vec::new(),
             anchors: FxHashMap::default(),
         }
@@ -80,8 +85,53 @@ impl XmlDocument {
             parent: Some(parent),
             children: Vec::new(),
         });
+        self.texts.push(String::new());
         self.elements[parent as usize].children.push(id);
         id
+    }
+
+    /// Replaces the text content of an element.
+    ///
+    /// # Panics
+    /// Panics if `id` does not exist.
+    pub fn set_text(&mut self, id: LocalElemId, text: impl Into<String>) {
+        assert!(
+            (id as usize) < self.elements.len(),
+            "element {id} out of range"
+        );
+        self.texts[id as usize] = text.into();
+    }
+
+    /// Appends text to an element, joining pieces with a single space —
+    /// how the parser accumulates mixed content split across child tags.
+    pub fn append_text(&mut self, id: LocalElemId, text: &str) {
+        assert!(
+            (id as usize) < self.elements.len(),
+            "element {id} out of range"
+        );
+        if text.is_empty() {
+            return;
+        }
+        let slot = &mut self.texts[id as usize];
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+
+    /// The text content of an element (empty string = no text).
+    pub fn text(&self, id: LocalElemId) -> &str {
+        &self.texts[id as usize]
+    }
+
+    /// Iterates over `(id, text)` pairs of the elements that carry text,
+    /// in id order.
+    pub fn texts(&self) -> impl Iterator<Item = (LocalElemId, &str)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(i, t)| (i as LocalElemId, t.as_str()))
     }
 
     /// Element accessor.
@@ -154,10 +204,10 @@ impl XmlDocument {
         n
     }
 
-    /// Serializes the document to XML text (tags and anchors only — the
-    /// model carries no text content, matching the paper's connection-index
-    /// abstraction). Intra-links are emitted as `idref` attributes when the
-    /// target has an anchor.
+    /// Serializes the document to XML text: tags, anchors, and element
+    /// text content (escaped; emitted before the element's children).
+    /// Intra-links are emitted as `idref` attributes when the target has
+    /// an anchor.
     pub fn to_xml_string(&self) -> String {
         self.to_xml_string_with_links(&[])
     }
@@ -207,16 +257,67 @@ impl XmlDocument {
         if let Some(h) = href_of.get(&id) {
             out.push_str(&format!(" xlink:href=\"{h}\""));
         }
-        if e.children.is_empty() {
+        let text = &self.texts[id as usize];
+        if e.children.is_empty() && text.is_empty() {
             out.push_str("/>");
             return;
         }
         out.push('>');
+        escape_text_into(text, out);
         for &c in &e.children {
             self.write_elem(c, anchor_of, refs, href_of, out);
         }
         out.push_str(&format!("</{}>", e.tag));
     }
+}
+
+/// Appends `text` to `out` with the XML-special characters `&`, `<`, `>`
+/// escaped, so serialized text content re-parses to the same string.
+pub(crate) fn escape_text_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Resolves the five predefined XML entities in raw text content (the
+/// inverse of [`escape_text_into`]; unknown entities pass through as-is,
+/// like a lenient non-validating processor).
+pub(crate) fn unescape_text(text: &str) -> String {
+    if !text.contains('&') {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let mut replaced = false;
+        for (entity, ch) in [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ] {
+            if let Some(tail) = rest.strip_prefix(entity) {
+                out.push(ch);
+                rest = tail;
+                replaced = true;
+                break;
+            }
+        }
+        if !replaced {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 #[cfg(test)]
@@ -279,5 +380,31 @@ mod tests {
     fn bad_parent_panics() {
         let mut d = XmlDocument::new("d", "r");
         d.add_element(99, "x");
+    }
+
+    #[test]
+    fn text_is_stored_and_serialized_escaped() {
+        let mut d = small_doc();
+        d.set_text(1, "XML <indexing> & retrieval");
+        d.append_text(1, "survey");
+        assert_eq!(d.text(1), "XML <indexing> & retrieval survey");
+        assert_eq!(d.text(0), "");
+        let entries: Vec<_> = d.texts().collect();
+        assert_eq!(entries, vec![(1, "XML <indexing> & retrieval survey")]);
+        let xml = d.to_xml_string();
+        assert!(
+            xml.contains("<title id=\"t\">XML &lt;indexing&gt; &amp; retrieval survey</title>"),
+            "{xml}"
+        );
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in ["a & b", "<tag>", "plain", "&unknown; stays", "a&&b"] {
+            let mut escaped = String::new();
+            escape_text_into(s, &mut escaped);
+            assert_eq!(unescape_text(&escaped), s, "{s}");
+        }
+        assert_eq!(unescape_text("&quot;q&apos;"), "\"q'");
     }
 }

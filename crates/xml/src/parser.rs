@@ -3,7 +3,8 @@
 //! The paper indexes "intra- or inter-document links (XPointer, XLink,
 //! ID/IDREF)". This parser extracts:
 //!
-//! * elements (tags only — text content is irrelevant to a connection index),
+//! * elements with their text content (element-granular, for the term
+//!   index behind content-and-structure queries),
 //! * `id="…"` / `xml:id="…"` anchors,
 //! * `idref="…"` attributes → intra-document links (space-separated list),
 //! * `xlink:href="…"` / `href="…"` attributes → intra-document links for
@@ -86,7 +87,16 @@ pub fn parse_document(name: &str, xml: &str) -> Result<ParsedDocument, ParseErro
                     .pop()
                     .ok_or_else(|| ParseError::Structure("unbalanced close tag".into()))?;
             }
-            Ok(_) => {} // text, comments, PIs, decls: irrelevant
+            Ok(Event::Text(ref t)) => {
+                // Text belongs to the innermost open element; pieces split
+                // by child tags accumulate space-joined. Text outside the
+                // root is dropped.
+                if let (Some(d), Some(&top)) = (doc.as_mut(), stack.last()) {
+                    let raw = String::from_utf8_lossy(t.as_ref());
+                    d.append_text(top, &crate::model::unescape_text(&raw));
+                }
+            }
+            Ok(_) => {} // comments, PIs, decls: irrelevant
         }
     }
     let mut doc =
@@ -274,10 +284,26 @@ mod tests {
         let a = d.add_element(0, "author");
         d.set_anchor("t1", t);
         d.add_intra_link(a, t);
+        d.set_text(t, "Indexing & Querying <XML>");
         let xml = d.to_xml_string();
         let p = parse_document("d", &xml).unwrap();
         assert_eq!(p.doc.len(), 3);
         assert_eq!(p.doc.intra_links(), &[(2, 1)]);
         assert_eq!(p.doc.element(1).tag, "title");
+        assert_eq!(p.doc.text(t), "Indexing & Querying <XML>");
+    }
+
+    #[test]
+    fn text_content_attaches_to_enclosing_element() {
+        let p = parse_document("d", "<a>alpha<b>beta</b>gamma<c/></a>").unwrap();
+        assert_eq!(p.doc.text(0), "alpha gamma");
+        assert_eq!(p.doc.text(1), "beta");
+        assert_eq!(p.doc.text(2), "");
+    }
+
+    #[test]
+    fn text_entities_are_resolved() {
+        let p = parse_document("d", "<a>x &amp; y &lt;z&gt;</a>").unwrap();
+        assert_eq!(p.doc.text(0), "x & y <z>");
     }
 }

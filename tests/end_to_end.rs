@@ -66,6 +66,7 @@ fn random_cyclic_collections_all_configs() {
             num_intra_links: 6,
             allow_cycles: true,
             seed,
+            text: Default::default(),
         });
         for builder in configurations() {
             let hopi = builder.build(c.clone()).unwrap();
@@ -82,6 +83,7 @@ fn inex_like_tree_collection() {
         mean_elements: 40,
         max_depth: 7,
         seed: 5,
+        text: Default::default(),
     });
     for builder in configurations() {
         let hopi = builder.build(c.clone()).unwrap();
@@ -128,6 +130,7 @@ fn full_lifecycle_build_maintain_query() {
         num_intra_links: 4,
         allow_cycles: true,
         seed: 9,
+        text: Default::default(),
     });
     let mut hopi = Hopi::build(c).unwrap();
     oracle_check(&hopi);
