@@ -17,6 +17,8 @@
 //! Criterion microbenches live in `benches/`: query latency and algorithmic
 //! kernels.
 
+#![forbid(unsafe_code)]
+
 use hopi_xml::generator::{dblp, inex, DblpConfig, InexConfig};
 use hopi_xml::Collection;
 

@@ -236,7 +236,12 @@ impl Durability {
         engine: &Hopi,
         epoch: u64,
     ) -> Result<CheckpointStats, HopiError> {
-        let _serialize = self.checkpoint_lock.lock().expect("checkpoint lock");
+        // Poison recovery: the lock only serializes checkpoints, and the
+        // `failed` flag already records a checkpoint that died mid-write.
+        let _serialize = self
+            .checkpoint_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let seq = self.wal.appended_seq();
         let bytes_before = self.wal.len_bytes();
         let result = save_checkpoint(

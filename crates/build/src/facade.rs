@@ -547,9 +547,10 @@ impl Hopi {
         self.tags = TagIndex::build(&self.collection);
         // Insertions extend the term index incrementally; the fresh
         // document occupies a fresh global-id range.
-        let inserted = self.collection.document(d).expect("just inserted");
-        self.text
-            .index_document(self.collection.global_id(d, 0), inserted);
+        if let Some(inserted) = self.collection.document(d) {
+            self.text
+                .index_document(self.collection.global_id(d, 0), inserted);
+        }
         if let Some(cover) = self.distance.as_mut() {
             // Insertions update the distance cover incrementally (§6); only
             // deletions fall back to a recompute.

@@ -399,11 +399,17 @@ impl OnlineHopi {
         let snapshot_links: FxHashSet<(ElemId, ElemId)> =
             snapshot.links().iter().map(|l| (l.from, l.to)).collect();
 
-        // 2. Build outside any lock.
-        let mut fresh = builder
-            .clone()
-            .build(snapshot.clone())
-            .expect("rebuilding a valid collection cannot fail");
+        // 2. Build outside any lock. A failed build of the snapshot (it
+        // was valid when captured) falls back to rebuilding from the
+        // live collection under the lock rather than panicking the
+        // rebuild thread.
+        let mut fresh = match builder.clone().build(snapshot.clone()) {
+            Ok(fresh) => fresh,
+            Err(_) => {
+                let mut guard = self.engine.write();
+                return self.swap_fallback_rebuild(&mut guard, builder);
+            }
+        };
 
         // 3. Swap under the write lock, replaying the delta between the
         // snapshot and the live collection onto the fresh engine. The
@@ -446,15 +452,18 @@ impl OnlineHopi {
     }
 
     /// The in-lock fallback rebuild: build from the live collection,
-    /// carry the plan counters over, swap, publish.
+    /// carry the plan counters over, swap, publish. If even the live
+    /// collection fails to build, the engine keeps serving its current
+    /// (consistent) index and the stale report says so — a rebuild is an
+    /// optimization, never worth a panic.
     fn swap_fallback_rebuild(
         &self,
         guard: &mut parking_lot::RwLockWriteGuard<'_, Hopi>,
         builder: HopiBuilder,
     ) -> BuildReport {
-        let mut fallback = builder
-            .build(guard.collection().clone())
-            .expect("rebuilding a valid collection cannot fail");
+        let Ok(mut fallback) = builder.build(guard.collection().clone()) else {
+            return guard.report().clone();
+        };
         fallback.plan_counters = guard.plan_counters.clone();
         let report = fallback.report().clone();
         **guard = fallback;

@@ -13,6 +13,8 @@
 //! A "collection directory" is a directory of `*.xml` files; the file stem
 //! is the document name used for cross-document `href` resolution.
 
+#![forbid(unsafe_code)]
+
 mod commands;
 mod load;
 

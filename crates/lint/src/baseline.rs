@@ -1,0 +1,224 @@
+//! The ratcheting baseline: per-`(file, rule)` finding counts, stored
+//! as a minimal TOML document (`lint_baseline.toml`).
+//!
+//! The contract is one-way: the checked-in baseline records *existing*
+//! debt and may only shrink. `--check` fails on either direction of
+//! drift — a count above its baseline is a **new finding**, a baseline
+//! entry above the actual count is **stale** (debt was paid down but the
+//! baseline was not regenerated, which would let new debt hide under the
+//! old allowance). `--update-baseline` regenerates the file and refuses
+//! to grow any entry unless forced.
+
+use std::collections::BTreeMap;
+
+/// `file → rule → count`, ordered for stable rendering.
+pub type Counts = BTreeMap<String, BTreeMap<String, u32>>;
+
+/// The drift between a scan and the baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Diff {
+    /// `(file, rule, actual, allowed)` where `actual > allowed`.
+    pub new: Vec<(String, String, u32, u32)>,
+    /// `(file, rule, allowed, actual)` where `allowed > actual`.
+    pub stale: Vec<(String, String, u32, u32)>,
+}
+
+impl Diff {
+    /// No drift in either direction.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares a scan against the baseline (missing entries count 0 on
+/// both sides).
+pub fn diff(actual: &Counts, baseline: &Counts) -> Diff {
+    let mut d = Diff::default();
+    for (file, rules) in actual {
+        for (rule, &n) in rules {
+            let allowed = baseline
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if n > allowed {
+                d.new.push((file.clone(), rule.clone(), n, allowed));
+            }
+        }
+    }
+    for (file, rules) in baseline {
+        for (rule, &allowed) in rules {
+            let n = actual
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if allowed > n {
+                d.stale.push((file.clone(), rule.clone(), allowed, n));
+            }
+        }
+    }
+    d
+}
+
+/// Entries that grew from `old` to `new` — `(file, rule, old, new)`.
+/// `--update-baseline` refuses these without `--force`.
+pub fn grown(old: &Counts, new: &Counts) -> Vec<(String, String, u32, u32)> {
+    let mut out = Vec::new();
+    for (file, rules) in new {
+        for (rule, &n) in rules {
+            let was = old
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if n > was {
+                out.push((file.clone(), rule.clone(), was, n));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the baseline document. Deterministic: files and rules in
+/// lexicographic order, one table per file.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# hopi-lint baseline — frozen panic/lock debt, per (file, rule) count.\n\
+         # This file may only shrink. Regenerate after paying debt down:\n\
+         #     cargo run -p hopi-lint -- --update-baseline\n\
+         # New findings (counts above these) fail `hopi-lint --check` and CI.\n",
+    );
+    for (file, rules) in counts {
+        if rules.is_empty() {
+            continue;
+        }
+        out.push('\n');
+        out.push_str(&format!("[\"{file}\"]\n"));
+        for (rule, n) in rules {
+            out.push_str(&format!("{rule} = {n}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the TOML subset written by [`render`]: `["path"]` tables with
+/// `rule = count` entries, `#` comments, blank lines.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("baseline line {lineno}: unterminated table header"))?
+                .trim();
+            let path = inner
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("baseline line {lineno}: table name must be quoted"))?;
+            if path.is_empty() {
+                return Err(format!("baseline line {lineno}: empty file path"));
+            }
+            counts.entry(path.to_string()).or_default();
+            current = Some(path.to_string());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("baseline line {lineno}: expected `rule = count`"))?;
+        let rule = key.trim();
+        let n: u32 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {lineno}: count is not a non-negative integer"))?;
+        let file = current
+            .as_ref()
+            .ok_or_else(|| format!("baseline line {lineno}: entry before any [\"file\"] table"))?;
+        if !crate::rules::ALL_RULES.contains(&rule) {
+            return Err(format!("baseline line {lineno}: unknown rule '{rule}'"));
+        }
+        if let Some(prev) = counts
+            .get_mut(file)
+            .and_then(|rules| rules.insert(rule.to_string(), n))
+        {
+            return Err(format!(
+                "baseline line {lineno}: duplicate entry for {file}/{rule} (was {prev})"
+            ));
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, u32)]) -> Counts {
+        let mut c = Counts::new();
+        for &(file, rule, n) in entries {
+            c.entry(file.into()).or_default().insert(rule.into(), n);
+        }
+        c
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = counts(&[
+            ("crates/core/src/cover.rs", "expect", 2),
+            ("crates/core/src/cover.rs", "slice-index", 7),
+            ("crates/store/src/wal.rs", "unwrap", 1),
+        ]);
+        let text = render(&c);
+        assert_eq!(parse(&text).unwrap(), c);
+        // Deterministic ordering.
+        assert_eq!(text, render(&parse(&text).unwrap()));
+    }
+
+    #[test]
+    fn diff_finds_new_and_stale() {
+        let base = counts(&[("a.rs", "unwrap", 2), ("b.rs", "panic", 1)]);
+        let actual = counts(&[("a.rs", "unwrap", 3), ("c.rs", "expect", 1)]);
+        let d = diff(&actual, &base);
+        assert_eq!(
+            d.new,
+            vec![
+                ("a.rs".into(), "unwrap".into(), 3, 2),
+                ("c.rs".into(), "expect".into(), 1, 0),
+            ]
+        );
+        assert_eq!(d.stale, vec![("b.rs".into(), "panic".into(), 1, 0)]);
+        assert!(diff(&base, &base).is_clean());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "unwrap = 1\n",                         // entry before table
+            "[\"a.rs\"]\nunwrap = -1\n",            // negative count
+            "[\"a.rs\"]\nunwrap 1\n",               // missing '='
+            "[\"a.rs\"\nunwrap = 1\n",              // unterminated header
+            "[a.rs]\nunwrap = 1\n",                 // unquoted path
+            "[\"a.rs\"]\nnot-a-rule = 1\n",         // unknown rule
+            "[\"a.rs\"]\nunwrap = 1\nunwrap = 2\n", // duplicate
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn grown_entries_detected() {
+        let old = counts(&[("a.rs", "unwrap", 2)]);
+        let new = counts(&[("a.rs", "unwrap", 1), ("a.rs", "panic", 1)]);
+        assert_eq!(
+            grown(&old, &new),
+            vec![("a.rs".into(), "panic".into(), 0, 1)]
+        );
+        assert!(grown(&new, &new).is_empty());
+    }
+}

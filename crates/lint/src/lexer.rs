@@ -1,0 +1,391 @@
+//! A hand-rolled Rust lexer — just enough fidelity for rule matching.
+//!
+//! The rules in [`crate::rules`] pattern-match token sequences, so the
+//! lexer's one job is to never mis-tokenize the constructs that would
+//! make a textual grep lie: string literals (including raw strings with
+//! arbitrarily many `#`s and byte/C-string prefixes) whose *contents*
+//! must never produce tokens, nested block comments, char literals vs
+//! lifetimes, and raw identifiers. Everything else is deliberately
+//! coarse: operators come out as single-character [`Tok::Punct`] tokens
+//! and numeric literals collapse into one [`Tok::Num`].
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `fn`, `r#match` → `match`).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`42`, `0xFF`, `1.5e-3`).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Tokenizes `src`, dropping whitespace and comments.
+///
+/// The scan is byte-oriented: every byte the lexer dispatches on (`"`,
+/// `'`, `/`, …) is ASCII and cannot appear inside a multi-byte UTF-8
+/// sequence, so literal contents are skipped safely. Non-ASCII bytes
+/// outside literals are treated as identifier characters.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if ident_start(c) => self.ident_or_prefixed_literal(),
+                c => {
+                    self.push(Tok::Punct(c as char));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b'\n' {
+                return; // the newline itself is handled by `run`
+            }
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if c == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if c == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// A plain (escaped) string literal, cursor on the opening `"`.
+    fn string(&mut self) {
+        let start_line = self.line;
+        self.i += 1;
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'\\' => {
+                    // Backslash-newline line continuation: the escaped
+                    // char may itself be the newline.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.push(Token {
+            tok: Tok::Str,
+            line: start_line,
+        });
+    }
+
+    /// A raw string literal, cursor on the first `#` or the `"`. The
+    /// closing quote must be followed by exactly as many `#`s as opened.
+    fn raw_string(&mut self) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if c == b'"' && self.b[self.i + 1..].iter().take(hashes).all(|&h| h == b'#') {
+                let have = self.b[self.i + 1..]
+                    .iter()
+                    .take_while(|&&h| h == b'#')
+                    .count();
+                if have >= hashes {
+                    self.i += 1 + hashes;
+                    break;
+                }
+                self.i += 1;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.out.push(Token {
+            tok: Tok::Str,
+            line: start_line,
+        });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'` then: escape → char; ident-start then `'` → char ('a');
+        // ident-start then more → lifetime ('static).
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.i += 3; // skip ', \, and the escape head
+                while let Some(&c) = self.b.get(self.i) {
+                    self.i += 1;
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char);
+            }
+            Some(c) if ident_start(c) => {
+                let mut j = self.i + 1;
+                while self.b.get(j).is_some_and(|&c| ident_continue(c)) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.push(Tok::Char);
+                    self.i = j + 1;
+                } else {
+                    self.push(Tok::Lifetime);
+                    self.i = j;
+                }
+            }
+            _ => {
+                // Non-ident char literal ('+', '✓') — scan to the close.
+                self.i += 1;
+                while let Some(&c) = self.b.get(self.i) {
+                    self.i += 1;
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        self.push(Tok::Num);
+        self.i += 1;
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b'.' {
+                // `1..n` is a range, `1.max(2)` a method call — only a
+                // digit continues the literal.
+                if !self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    return;
+                }
+                self.i += 1;
+            } else if (c == b'e' || c == b'E')
+                && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+            {
+                self.i += 3;
+            } else if c.is_ascii_alphanumeric() || c == b'_' {
+                self.i += 1;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// An identifier — unless it is a literal prefix (`r"`, `br#"`, `b'`,
+    /// `c"`) or a raw identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let mut j = self.i;
+        while self.b.get(j).is_some_and(|&c| ident_continue(c)) {
+            j += 1;
+        }
+        let word = &self.b[start..j];
+        let next = self.b.get(j).copied();
+        let is_str_prefix = matches!(word, b"r" | b"b" | b"br" | b"rb" | b"c" | b"cr");
+        if is_str_prefix && next == Some(b'"') {
+            self.i = j;
+            if word[0] == b'r' || word.get(1) == Some(&b'r') {
+                self.raw_string();
+            } else {
+                self.string();
+            }
+            return;
+        }
+        if is_str_prefix && next == Some(b'#') {
+            // `r#"…"#` / `br#"…"#` raw strings, or `r#ident`.
+            let after_hashes = self.b[j..].iter().take_while(|&&c| c == b'#').count() + j;
+            if self.b.get(after_hashes) == Some(&b'"') {
+                self.i = j;
+                self.raw_string();
+                return;
+            }
+            if word == b"r" && self.b.get(j + 1).is_some_and(|&c| ident_start(c)) {
+                // Raw identifier: emit the bare name (`r#match` → `match`).
+                let mut k = j + 1;
+                while self.b.get(k).is_some_and(|&c| ident_continue(c)) {
+                    k += 1;
+                }
+                let name = String::from_utf8_lossy(&self.b[j + 1..k]).into_owned();
+                self.push(Tok::Ident(name));
+                self.i = k;
+                return;
+            }
+        }
+        if word == b"b" && next == Some(b'\'') {
+            self.i = j;
+            self.char_or_lifetime();
+            return;
+        }
+        let name = String::from_utf8_lossy(word).into_owned();
+        self.push(Tok::Ident(name));
+        self.i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // `unwrap()` inside raw strings of every flavor must not tokenize.
+        let src =
+            r###"let a = r"x.unwrap()"; let b = r#"y.unwrap()"#; let c = br##"panic!("z")"##;"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn plain_strings_and_escapes() {
+        let ids = idents(r#"call("has \" quote and unwrap() inside", other)"#);
+        assert_eq!(ids, vec!["call", "other"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("a /* outer /* inner panic!() */ still comment */ b");
+        assert_eq!(ids, vec!["a", "b"]);
+        // Unterminated inner nesting swallows the rest.
+        assert_eq!(idents("a /* /* */ x"), vec!["a"]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks: Vec<Tok> = lex("'a' 'static x.f::<'b>() '\\n' b'q'")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        assert_eq!(toks[0], Tok::Char);
+        assert_eq!(toks[1], Tok::Lifetime);
+        assert!(toks.contains(&Tok::Lifetime));
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Char).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_unwrap_to_bare_names() {
+        assert_eq!(idents("r#match r#fn normal"), vec!["match", "fn", "normal"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn backslash_newline_continuation_counts_its_line() {
+        let toks = lex("let a = \"one \\\ntwo\";\nb");
+        assert_eq!(toks.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let ids = idents("for i in 0..n { 1.5e-3; x[1]; 2.max(y) }");
+        assert!(ids.contains(&"n".to_string()));
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,131 @@
+//! # hopi-lint — workspace static analysis with a ratcheting baseline
+//!
+//! The compiler and clippy cannot enforce HOPI's deployment invariants:
+//! that the 24×7 serve path (server → query eval → snapshot → WAL)
+//! never panics on a malformed request or a poisoned lock, and that no
+//! lock guard is held across an fsync (the group-commit latency bug
+//! class). This crate is a zero-dependency static-analysis pass that
+//! does — it lexes the workspace's Rust sources directly (raw strings,
+//! nested block comments, `#[cfg(test)]` tracking; no syn, consistent
+//! with the vendored-deps policy) and checks them against the rule
+//! catalog in [`rules`].
+//!
+//! Existing debt is frozen in `lint_baseline.toml` as per-`(file, rule)`
+//! counts; [`check`] fails on any count above its baseline (new debt)
+//! *or* below it (stale allowance — regenerate so new debt cannot hide
+//! under the old number). The baseline therefore only ratchets down.
+//!
+//! ```text
+//! cargo run -p hopi-lint -- --check             # CI entry point
+//! cargo run -p hopi-lint -- --list              # every finding, with lines
+//! cargo run -p hopi-lint -- --update-baseline   # after paying debt down
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use baseline::{Counts, Diff};
+use scan::FileFindings;
+use std::path::Path;
+
+/// Everything `--check` needs to report and exit.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Per-file findings from the scan.
+    pub reports: Vec<FileFindings>,
+    /// Aggregated counts of the scan.
+    pub actual: Counts,
+    /// Drift against the baseline.
+    pub diff: Diff,
+}
+
+impl CheckOutcome {
+    /// Did the check pass (no new findings, no stale entries)?
+    pub fn is_clean(&self) -> bool {
+        self.diff.is_clean()
+    }
+
+    /// Total findings in the scan (baselined ones included).
+    pub fn total_findings(&self) -> usize {
+        self.reports.iter().map(|r| r.findings.len()).sum()
+    }
+
+    /// Renders the failure report: one line per offending source line of
+    /// each drifted `(file, rule)`, then the stale entries.
+    pub fn render_failures(&self) -> String {
+        let mut out = String::new();
+        for (file, rule, actual, allowed) in &self.diff.new {
+            out.push_str(&format!(
+                "new findings: {file} rule `{rule}`: {actual} found, baseline allows {allowed}\n"
+            ));
+            for report in self.reports.iter().filter(|r| &r.path == file) {
+                for f in report.findings.iter().filter(|f| f.rule == rule) {
+                    out.push_str(&format!("    {file}:{} {}\n", f.line, f.excerpt));
+                }
+            }
+        }
+        for (file, rule, allowed, actual) in &self.diff.stale {
+            out.push_str(&format!(
+                "stale baseline entry: {file} rule `{rule}`: baseline allows {allowed} but only \
+                 {actual} remain — run `cargo run -p hopi-lint -- --update-baseline` to ratchet\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Scans `root` and diffs against the baseline at `baseline_path`
+/// (a missing baseline file means "no debt allowed").
+pub fn check(root: &Path, baseline_path: &Path) -> Result<CheckOutcome, String> {
+    let reports = scan::scan_workspace(root)?;
+    let actual = scan::counts(&reports);
+    let base = load_baseline(baseline_path)?;
+    let diff = baseline::diff(&actual, &base);
+    Ok(CheckOutcome {
+        reports,
+        actual,
+        diff,
+    })
+}
+
+/// Reads and parses a baseline file; `Ok(empty)` when it does not exist.
+pub fn load_baseline(path: &Path) -> Result<Counts, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => baseline::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Regenerates the baseline from a fresh scan. Refuses to grow any
+/// `(file, rule)` entry over the existing baseline unless `force` —
+/// growth means new debt, and new debt is what the ratchet exists to
+/// stop. Returns the rendered document that was written.
+pub fn update_baseline(root: &Path, baseline_path: &Path, force: bool) -> Result<String, String> {
+    let reports = scan::scan_workspace(root)?;
+    let actual = scan::counts(&reports);
+    let old = load_baseline(baseline_path)?;
+    // A missing baseline is the initial freeze — there is no ratchet to
+    // protect yet, so growth-from-nothing is expected.
+    let grown = if baseline_path.exists() {
+        baseline::grown(&old, &actual)
+    } else {
+        Vec::new()
+    };
+    if !grown.is_empty() && !force {
+        let mut msg =
+            String::from("refusing to grow the baseline (fix the findings, or pass --force):\n");
+        for (file, rule, was, now) in grown {
+            msg.push_str(&format!("    {file} rule `{rule}`: {was} -> {now}\n"));
+        }
+        return Err(msg);
+    }
+    let text = baseline::render(&actual);
+    std::fs::write(baseline_path, &text)
+        .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    Ok(text)
+}

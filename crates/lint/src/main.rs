@@ -1,0 +1,111 @@
+//! `hopi-lint` — the CI entry point for the workspace invariants.
+//!
+//! ```text
+//! hopi-lint [--check]                 diff the scan against lint_baseline.toml
+//! hopi-lint --list                    print every finding with its source line
+//! hopi-lint --update-baseline [--force]
+//! hopi-lint --root DIR --baseline FILE   (defaults: ., ROOT/lint_baseline.toml)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/stale baseline, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hopi-lint [--check | --list | --update-baseline [--force]] \
+                     [--root DIR] [--baseline FILE]";
+
+enum Mode {
+    Check,
+    List,
+    Update,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut force = false;
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--list" => mode = Mode::List,
+            "--update-baseline" => mode = Mode::Update,
+            "--force" => force = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => return usage_error("--baseline needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint_baseline.toml"));
+
+    match mode {
+        Mode::List => match hopi_lint::check(&root, &baseline_path) {
+            Ok(outcome) => {
+                for report in &outcome.reports {
+                    for f in &report.findings {
+                        println!("{}:{} [{}] {}", report.path, f.line, f.rule, f.excerpt);
+                    }
+                }
+                println!(
+                    "{} findings across {} scanned files",
+                    outcome.total_findings(),
+                    outcome.reports.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => io_error(&e),
+        },
+        Mode::Check => match hopi_lint::check(&root, &baseline_path) {
+            Ok(outcome) if outcome.is_clean() => {
+                println!(
+                    "hopi-lint clean: {} findings across {} files, all baselined",
+                    outcome.total_findings(),
+                    outcome.reports.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(outcome) => {
+                eprint!("{}", outcome.render_failures());
+                eprintln!(
+                    "hopi-lint: {} new, {} stale — the serve path must not grow panic paths",
+                    outcome.diff.new.len(),
+                    outcome.diff.stale.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => io_error(&e),
+        },
+        Mode::Update => match hopi_lint::update_baseline(&root, &baseline_path, force) {
+            Ok(text) => {
+                let entries = text.lines().filter(|l| l.contains(" = ")).count();
+                println!("wrote {} ({} entries)", baseline_path.display(), entries);
+                ExitCode::SUCCESS
+            }
+            Err(e) => io_error(&e),
+        },
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hopi-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("hopi-lint: {msg}");
+    ExitCode::from(2)
+}

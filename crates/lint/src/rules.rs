@@ -1,0 +1,539 @@
+//! The rule engine: test-region masking plus the project-invariant
+//! checks that run over a file's token stream.
+//!
+//! Three rule families (see DESIGN.md "Enforced invariants"):
+//!
+//! * **Panic ratchet** — `unwrap` / `expect` / `panic!` / `unreachable!`
+//!   and slice indexing in non-test serve-path code. Findings are
+//!   baselined per `(file, rule)` count; the baseline only shrinks.
+//! * **Lock-hold discipline** — a lock guard (`.lock()` / `.read()` /
+//!   `.write()` with no arguments) still live when an fsync-class call
+//!   (`sync_data`, `sync_all`, `sync_parent_dir`, `atomic_write_file`,
+//!   `fsync`) executes in the same scope: the WAL group-commit bug class.
+//! * **Crate hygiene** — crate roots carry `#![forbid(unsafe_code)]`,
+//!   library code does not print to stdio, and public signatures do not
+//!   use `Box<dyn … Error>` where a `HopiError`-family type belongs.
+
+use crate::lexer::{Tok, Token};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule name (the baseline key).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// Rule names of the panic-freedom ratchet.
+pub const PANIC_RULES: &[&str] = &["unwrap", "expect", "panic", "unreachable", "slice-index"];
+
+/// Every rule the engine can emit, for documentation and validation.
+pub const ALL_RULES: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "slice-index",
+    "lock-across-sync",
+    "missing-forbid-unsafe",
+    "print-in-lib",
+    "box-dyn-error",
+];
+
+/// fsync-class calls that must not run under a live lock guard.
+const SYNC_FNS: &[&str] = &[
+    "sync_data",
+    "sync_all",
+    "sync_parent_dir",
+    "atomic_write_file",
+    "fsync",
+];
+
+/// Keywords that, before a `[`, mean "array literal / pattern", not an
+/// index expression. Value-like words (`self`, `true`) are deliberately
+/// absent: `self[i]` *is* indexing.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "become", "box", "break", "const", "continue", "do", "dyn", "else",
+    "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "static", "struct", "trait", "try", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Marks every token that belongs to test-only code: items annotated
+/// with an attribute mentioning `test` (`#[cfg(test)]`, `#[test]`,
+/// `#[cfg(any(test, …))]`) and `mod tests { … }` blocks.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, '#') && is_punct(tokens, i + 1, '[') {
+            let (attr_end, has_test) = scan_attr(tokens, i + 1);
+            if has_test {
+                // Skip any further stacked attributes, then mask through
+                // the end of the annotated item.
+                let mut j = attr_end;
+                while is_punct(tokens, j, '#') && is_punct(tokens, j + 1, '[') {
+                    j = scan_attr(tokens, j + 1).0;
+                }
+                let end = scan_item(tokens, j);
+                for slot in mask.iter_mut().take(end).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        if ident_at(tokens, i) == Some("mod")
+            && ident_at(tokens, i + 1) == Some("tests")
+            && is_punct(tokens, i + 2, '{')
+        {
+            let end = match_brace(tokens, i + 2);
+            for slot in mask.iter_mut().take(end).skip(i) {
+                *slot = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute starting at its `[`; returns (index past the
+/// matching `]`, does any identifier inside equal `test`).
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, has_test);
+                }
+            }
+            Tok::Ident(s) if s == "test" => has_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (tokens.len(), has_test)
+}
+
+/// The index just past the item starting at `start`: through a balanced
+/// `{ … }` body, or past the first `;` outside parens/brackets.
+fn scan_item(tokens: &[Token], start: usize) -> usize {
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => return match_brace(tokens, i),
+            Tok::Punct(';') if paren == 0 && bracket == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// The index just past the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+fn excerpt(lines: &[&str], line: u32) -> String {
+    let text = lines.get(line as usize - 1).copied().unwrap_or("").trim();
+    let mut s: String = text.chars().take(120).collect();
+    if s.len() < text.len() {
+        s.push('…');
+    }
+    s
+}
+
+/// The panic-freedom ratchet: `.unwrap()`, `.expect(`, `panic!`,
+/// `unreachable!`, and index expressions in non-test code.
+pub fn panic_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(name) if (name == "unwrap" || name == "expect") => {
+                let prev_dot = i > 0 && is_punct(tokens, i - 1, '.');
+                if prev_dot && is_punct(tokens, i + 1, '(') {
+                    let rule = if name == "unwrap" { "unwrap" } else { "expect" };
+                    out.push(Finding {
+                        rule,
+                        line: t.line,
+                        excerpt: excerpt(lines, t.line),
+                    });
+                }
+            }
+            Tok::Ident(name)
+                if (name == "panic" || name == "unreachable") && is_punct(tokens, i + 1, '!') =>
+            {
+                let rule = if name == "panic" {
+                    "panic"
+                } else {
+                    "unreachable"
+                };
+                out.push(Finding {
+                    rule,
+                    line: t.line,
+                    excerpt: excerpt(lines, t.line),
+                });
+            }
+            Tok::Punct('[') if i > 0 => {
+                let indexes = match &tokens[i - 1].tok {
+                    Tok::Ident(prev) => !NON_INDEX_KEYWORDS.contains(&prev.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+                    _ => false,
+                };
+                if indexes {
+                    out.push(Finding {
+                        rule: "slice-index",
+                        line: t.line,
+                        excerpt: excerpt(lines, t.line),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Lock-hold discipline: a guard bound from a no-argument `.lock()` /
+/// `.read()` / `.write()` that is still live (same scope, not yet
+/// `drop`ped) when an fsync-class call executes.
+pub fn lock_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    struct Guard {
+        name: String,
+        depth: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i] {
+            i += 1;
+            continue;
+        }
+        match &tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(name) if name == "drop" && is_punct(tokens, i + 1, '(') => {
+                if let Some(dropped) = ident_at(tokens, i + 2) {
+                    if is_punct(tokens, i + 3, ')') {
+                        guards.retain(|g| g.name != dropped);
+                    }
+                }
+            }
+            Tok::Ident(name)
+                if SYNC_FNS.contains(&name.as_str()) && is_punct(tokens, i + 1, '(') =>
+            {
+                if let Some(g) = guards.last() {
+                    out.push(Finding {
+                        rule: "lock-across-sync",
+                        line: tokens[i].line,
+                        excerpt: format!(
+                            "guard `{}` held across {}(): {}",
+                            g.name,
+                            name,
+                            excerpt(lines, tokens[i].line)
+                        ),
+                    });
+                }
+            }
+            // Binding or reassignment: `let [mut] g = m.lock()…;` or
+            // `g = m.lock()…;` (re-arming after a `drop`). Field stores
+            // (`s.g = …`) are excluded — the guard escapes local scope
+            // and this heuristic cannot track it.
+            Tok::Ident(name)
+                if is_punct(tokens, i + 1, '=')
+                    && !is_punct(tokens, i + 2, '=')
+                    && !matches!(
+                        tokens.get(i.wrapping_sub(1)),
+                        Some(Token {
+                            tok: Tok::Punct('.'),
+                            ..
+                        })
+                    ) =>
+            {
+                let end = statement_end(tokens, i + 2);
+                if acquires_guard(tokens, i + 2, end) && !guards.iter().any(|g| g.name == *name) {
+                    guards.push(Guard {
+                        name: name.clone(),
+                        depth,
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index just past the `;` ending the statement starting at `start`
+/// (braces inside the statement — closures, blocks — are balanced over).
+fn statement_end(tokens: &[Token], start: usize) -> usize {
+    let mut brace = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => brace += 1,
+            Tok::Punct('}') => {
+                if brace == 0 {
+                    return i; // end of enclosing block: statement over
+                }
+                brace -= 1;
+            }
+            Tok::Punct(';') if brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Does `tokens[start..end]` contain a no-argument `.lock()` / `.read()`
+/// / `.write()` call (the guard-returning shapes of `Mutex`, `RwLock`,
+/// and parking_lot), or a call to a `lock_recover`-style poison-recovery
+/// wrapper (which returns the guard without a visible `.lock()`)?
+fn acquires_guard(tokens: &[Token], start: usize, end: usize) -> bool {
+    let mut i = start;
+    while i + 1 < end.min(tokens.len()) {
+        if is_punct(tokens, i, '.')
+            && matches!(ident_at(tokens, i + 1), Some("lock" | "read" | "write"))
+            && is_punct(tokens, i + 2, '(')
+            && is_punct(tokens, i + 3, ')')
+        {
+            return true;
+        }
+        if ident_at(tokens, i) == Some("lock_recover")
+            && is_punct(tokens, i + 1, '(')
+            && !is_punct(tokens, i.wrapping_sub(1), '.')
+        {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Crate hygiene for a crate-root file: `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe_finding(tokens: &[Token]) -> Option<Finding> {
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        if is_punct(tokens, i, '#')
+            && is_punct(tokens, i + 1, '!')
+            && is_punct(tokens, i + 2, '[')
+            && ident_at(tokens, i + 3) == Some("forbid")
+            && is_punct(tokens, i + 4, '(')
+            && ident_at(tokens, i + 5) == Some("unsafe_code")
+        {
+            return None;
+        }
+        i += 1;
+    }
+    Some(Finding {
+        rule: "missing-forbid-unsafe",
+        line: 1,
+        excerpt: "crate root lacks #![forbid(unsafe_code)]".into(),
+    })
+}
+
+/// Crate hygiene: stdio printing in library code.
+pub fn print_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if let Tok::Ident(name) = &t.tok {
+            if matches!(
+                name.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            ) && is_punct(tokens, i + 1, '!')
+            {
+                out.push(Finding {
+                    rule: "print-in-lib",
+                    line: t.line,
+                    excerpt: excerpt(lines, t.line),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Crate hygiene: `Box<dyn … Error …>` in library code, where a typed
+/// `HopiError`-family error belongs.
+pub fn box_dyn_error_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if let Tok::Ident(name) = &t.tok {
+            if name == "Box"
+                && is_punct(tokens, i + 1, '<')
+                && ident_at(tokens, i + 2) == Some("dyn")
+            {
+                let ends_with_error = tokens[i + 3..]
+                    .iter()
+                    .take(8)
+                    .any(|t| matches!(&t.tok, Tok::Ident(s) if s.ends_with("Error")));
+                if ends_with_error {
+                    out.push(Finding {
+                        rule: "box-dyn-error",
+                        line: t.line,
+                        excerpt: excerpt(lines, t.line),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<(String, u32)> {
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut all = panic_findings(&tokens, &mask, &lines);
+        all.extend(lock_findings(&tokens, &mask, &lines));
+        all.into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_unreachable() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    if a > b { panic!(\"boom\") } else { unreachable!() }\n}\n";
+        let got = findings(src);
+        assert!(got.contains(&("unwrap".into(), 2)));
+        assert!(got.contains(&("expect".into(), 3)));
+        assert!(got.contains(&("panic".into(), 4)));
+        assert!(got.contains(&("unreachable".into(), 4)));
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn raw_string_and_comment_contents_do_not_fire() {
+        let src = "fn f() {\n    let s = r#\"x.unwrap() and panic!(\"no\")\"#;\n    // a comment: .unwrap()\n    /* nested /* .expect(\"x\") */ panic! */\n    let _ = s;\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_and_mod_tests_are_masked() {
+        let src = "fn live() { }\n#[cfg(test)]\nmod checks {\n    fn t() { None::<u32>.unwrap(); }\n}\nmod tests {\n    fn t2() { panic!(\"x\") }\n}\n#[cfg(test)]\nfn helper(v: Vec<u32>) -> u32 { v[0] }\nfn tail(v: &[u32]) -> u32 { v[1] }\n";
+        let got = findings(src);
+        assert_eq!(got, vec![("slice-index".to_string(), 11)]);
+    }
+
+    #[test]
+    fn slice_index_heuristics() {
+        // Indexing fires; array literals, patterns, attributes, and
+        // macro bracket args do not.
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: &[u32], m: &std::collections::HashMap<u32,u32>) -> u32 {\n    let a = [1, 2, 3];\n    let [x, y] = [a[0], v[1]];\n    let z = vec![9];\n    for q in [x, y] { let _ = q; }\n    m[&0] + z[0] + f(v, m)[..][0]\n}\n";
+        let got: Vec<u32> = findings(src)
+            .into_iter()
+            .filter(|(r, _)| r == "slice-index")
+            .map(|(_, l)| l)
+            .collect();
+        // a[0], v[1] on line 5; m[&0], z[0], [..] and [0] on line 8.
+        assert_eq!(got, vec![5, 5, 8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn lock_across_sync_fires_and_respects_drop() {
+        let src = "fn bad(m: &std::sync::Mutex<std::fs::File>) {\n    let g = m.lock().unwrap_or_else(|e| e.into_inner());\n    g.sync_data().ok();\n}\nfn good(m: &std::sync::Mutex<std::fs::File>, f: &std::fs::File) {\n    let g = m.lock().unwrap_or_else(|e| e.into_inner());\n    drop(g);\n    f.sync_data().ok();\n}\nfn scoped(m: &std::sync::Mutex<u32>, f: &std::fs::File) {\n    { let _g = m.lock().unwrap_or_else(|e| e.into_inner()); }\n    f.sync_all().ok();\n}\nfn reads_are_not_guards(mut s: impl std::io::Read, f: &std::fs::File) {\n    let mut buf = [0u8; 4];\n    let _n = s.read(&mut buf);\n    f.sync_all().ok();\n}\n";
+        let got: Vec<(String, u32)> = findings(src)
+            .into_iter()
+            .filter(|(r, _)| r == "lock-across-sync")
+            .collect();
+        assert_eq!(got, vec![("lock-across-sync".to_string(), 3)]);
+    }
+
+    #[test]
+    fn lock_recover_wrapper_is_a_guard_acquisition() {
+        let src = "fn bad(m: &std::sync::Mutex<std::fs::File>) {\n    let g = lock_recover(m);\n    g.sync_data().ok();\n}\nfn good(m: &std::sync::Mutex<std::fs::File>, f: &std::fs::File) {\n    let g = lock_recover(m);\n    drop(g);\n    f.sync_all().ok();\n}\n";
+        let got: Vec<(String, u32)> = findings(src)
+            .into_iter()
+            .filter(|(r, _)| r == "lock-across-sync")
+            .collect();
+        assert_eq!(got, vec![("lock-across-sync".to_string(), 3)]);
+    }
+
+    #[test]
+    fn hygiene_rules() {
+        let with = lex("#![forbid(unsafe_code)]\nfn a() {}\n");
+        assert!(forbid_unsafe_finding(&with).is_none());
+        let without = lex("//! doc\nfn a() {}\n");
+        assert!(forbid_unsafe_finding(&without).is_some());
+
+        let src = "fn log() { println!(\"x\"); }\npub fn open() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }\n";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(print_findings(&tokens, &mask, &lines).len(), 1);
+        assert_eq!(box_dyn_error_findings(&tokens, &mask, &lines).len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Workspace walking and rule dispatch: which rules run on which files.
+//!
+//! The scan covers the root crate (`src/`) and every crate under
+//! `crates/`. Vendored stand-ins (`vendor/`), integration tests,
+//! benches, and examples are out of scope — the ratchet protects the
+//! code that serves traffic, not the code that exercises it.
+
+use crate::baseline::Counts;
+use crate::lexer::lex;
+use crate::rules::{self, Finding};
+use std::path::{Path, PathBuf};
+
+/// Crates on the 24×7 serve path: panic-ratchet and lock-hold rules
+/// apply to their non-test code.
+pub const SERVE_PATH_CRATES: &[&str] = &["server", "query", "core", "store", "build", "text"];
+
+/// Crates that are binaries/harnesses: exempt from the library-hygiene
+/// rules (stdio printing, `Box<dyn Error>` signatures).
+pub const BIN_CRATES: &[&str] = &["cli", "bench", "lint"];
+
+/// All findings of one scanned file.
+#[derive(Clone, Debug)]
+pub struct FileFindings {
+    /// Workspace-relative path with `/` separators (the baseline key).
+    pub path: String,
+    /// Findings in source order.
+    pub findings: Vec<Finding>,
+}
+
+/// Scans the workspace rooted at `root` and returns per-file findings
+/// for every in-scope `.rs` file (files with no findings included, so
+/// callers can report coverage).
+pub fn scan_workspace(root: &Path) -> Result<Vec<FileFindings>, String> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        scan_crate(root, "hopi", &root_src, &mut out)?;
+    }
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "no crates/ directory under {} — wrong --root?",
+            root.display()
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = dir.join("src");
+        if src.is_dir() {
+            scan_crate(root, &name, &src, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregates findings into baseline counts (files with no findings are
+/// omitted).
+pub fn counts(reports: &[FileFindings]) -> Counts {
+    let mut c = Counts::new();
+    for report in reports {
+        for f in &report.findings {
+            *c.entry(report.path.clone())
+                .or_default()
+                .entry(f.rule.to_string())
+                .or_insert(0) += 1;
+        }
+    }
+    c
+}
+
+fn scan_crate(
+    root: &Path,
+    crate_name: &str,
+    src: &Path,
+    out: &mut Vec<FileFindings>,
+) -> Result<(), String> {
+    let mut files = Vec::new();
+    collect_rs_files(src, &mut files)?;
+    files.sort();
+    let serve = SERVE_PATH_CRATES.contains(&crate_name);
+    let bin_crate = BIN_CRATES.contains(&crate_name);
+    for file in files {
+        let rel = relative_path(root, &file);
+        let is_crate_root = file.parent() == Some(src)
+            && matches!(
+                file.file_name().and_then(|n| n.to_str()),
+                Some("lib.rs" | "main.rs")
+            );
+        let in_bin_dir = file
+            .strip_prefix(src)
+            .ok()
+            .is_some_and(|p| p.starts_with("bin"));
+        let is_bin_root =
+            in_bin_dir || file.file_name().and_then(|n| n.to_str()) == Some("main.rs");
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let tokens = lex(&text);
+        let mask = rules::test_mask(&tokens);
+        let lines: Vec<&str> = text.lines().collect();
+
+        let mut findings = Vec::new();
+        if serve {
+            findings.extend(rules::panic_findings(&tokens, &mask, &lines));
+            findings.extend(rules::lock_findings(&tokens, &mask, &lines));
+        }
+        if is_crate_root {
+            findings.extend(rules::forbid_unsafe_finding(&tokens));
+        }
+        if !bin_crate && !is_bin_root {
+            findings.extend(rules::print_findings(&tokens, &mask, &lines));
+            findings.extend(rules::box_dyn_error_findings(&tokens, &mask, &lines));
+        }
+        findings.sort_by_key(|f| (f.line, f.rule));
+        out.push(FileFindings {
+            path: rel,
+            findings,
+        });
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across
+/// platforms, so baselines are portable).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

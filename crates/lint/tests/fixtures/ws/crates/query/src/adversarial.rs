@@ -1,0 +1,16 @@
+//! Adversarial shapes the lexer must not mis-tokenize.
+
+pub fn hidden() -> &'static str {
+    // .unwrap() inside a comment must not count
+    /* nor inside /* a nested */ block comment: panic!("no") */
+    r#"x.unwrap() and panic!("raw string contents do not count")"#
+}
+
+pub fn real(x: Option<u32>) -> u32 {
+    x.expect("the only live finding in this file")
+}
+
+#[cfg(test)]
+pub fn test_only(v: Vec<u32>) -> u32 {
+    v[0]
+}

@@ -1,0 +1,5 @@
+//! Fixture query crate root.
+
+#![forbid(unsafe_code)]
+
+mod adversarial;

@@ -1,0 +1,18 @@
+//! Fixture serve-path crate (deliberately missing `#![forbid(unsafe_code)]`).
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn pick(v: &[u32]) -> u32 {
+    v[0] + v[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        assert_eq!(super::take(Some(1)), 1);
+        None::<u32>.unwrap();
+    }
+}

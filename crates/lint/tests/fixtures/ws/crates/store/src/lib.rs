@@ -1,0 +1,8 @@
+//! Fixture store crate: a guard held across an fsync.
+
+#![forbid(unsafe_code)]
+
+pub fn flush(m: &std::sync::Mutex<std::fs::File>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    g.sync_data().ok();
+}

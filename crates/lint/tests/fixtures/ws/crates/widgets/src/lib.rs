@@ -1,0 +1,11 @@
+//! Fixture library crate with hygiene violations.
+
+#![forbid(unsafe_code)]
+
+pub fn log() {
+    println!("library code must not print");
+}
+
+pub fn open() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(())
+}

@@ -552,7 +552,7 @@ fn wildcard_candidates(collection: &Collection, out: &mut Vec<ElemId>) {
     out.reserve(collection.element_count());
     for d in collection.doc_ids() {
         let base = collection.global_id(d, 0);
-        let len = collection.document(d).expect("live doc").len() as u32;
+        let len = collection.document(d).map_or(0, |doc| doc.len() as u32);
         out.extend(base..base + len);
     }
     debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
@@ -663,7 +663,9 @@ fn child_step(
         let Some((d, local)) = collection.to_local(u) else {
             continue;
         };
-        let doc = collection.document(d).expect("live doc");
+        let Some(doc) = collection.document(d) else {
+            continue;
+        };
         let base = collection.global_id(d, 0);
         for &c in &doc.element(local).children {
             if tag.is_none_or(|t| doc.element(c).tag == t) {

@@ -97,7 +97,9 @@ pub fn evaluate_ranked_with_text(
                     let Some((d, local)) = collection.to_local(u) else {
                         continue;
                     };
-                    let doc = collection.document(d).expect("live doc");
+                    let Some(doc) = collection.document(d) else {
+                        continue;
+                    };
                     let base = collection.global_id(d, 0);
                     for &c in &doc.element(local).children {
                         if step.tag.as_deref().is_none_or(|t| doc.element(c).tag == t) {
@@ -147,8 +149,7 @@ pub fn evaluate_ranked_with_text(
         .collect();
     out.sort_unstable_by(|a, b| {
         b.score()
-            .partial_cmp(&a.score())
-            .expect("scores are finite")
+            .total_cmp(&a.score())
             .then(a.element.cmp(&b.element))
     });
     out
@@ -189,7 +190,7 @@ fn candidate_list<'a>(
             let mut out = Vec::with_capacity(collection.element_count());
             for d in collection.doc_ids() {
                 let base = collection.global_id(d, 0);
-                let len = collection.document(d).expect("live doc").len() as u32;
+                let len = collection.document(d).map_or(0, |doc| doc.len() as u32);
                 out.extend(base..base + len);
             }
             std::borrow::Cow::Owned(out)

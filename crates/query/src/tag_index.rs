@@ -20,7 +20,9 @@ impl TagIndex {
         let mut by_tag: FxHashMap<String, Vec<ElemId>> = FxHashMap::default();
         let mut total = 0usize;
         for d in collection.doc_ids() {
-            let doc = collection.document(d).expect("live doc");
+            let Some(doc) = collection.document(d) else {
+                continue;
+            };
             let base = collection.global_id(d, 0);
             for (local, e) in doc.elements() {
                 by_tag.entry(e.tag.clone()).or_default().push(base + local);

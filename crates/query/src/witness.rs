@@ -99,12 +99,19 @@ pub fn witness_path(
     nodes.reverse();
 
     let hop_of = |e: ElemId, via_link: bool| -> Hop {
-        let (d, local) = collection.to_local(e).expect("live element");
-        let doc = collection.document(d).expect("live doc");
+        // An unresolvable id (raced deletion) yields a hop with empty
+        // names rather than panicking the query thread.
+        let resolved = collection
+            .to_local(e)
+            .and_then(|(d, local)| collection.document(d).map(|doc| (doc, local)));
+        let (tag, document) = match resolved {
+            Some((doc, local)) => (doc.element(local).tag.clone(), doc.name.clone()),
+            None => (String::new(), String::new()),
+        };
         Hop {
             element: e,
-            tag: doc.element(local).tag.clone(),
-            document: doc.name.clone(),
+            tag,
+            document,
             via_link,
         }
     };

@@ -122,7 +122,7 @@ pub fn read_request(stream: &mut impl Read, carry: &mut Vec<u8>) -> Result<Reque
         carry.extend_from_slice(&chunk[..n]);
     };
 
-    let head = std::str::from_utf8(&carry[..head_end])
+    let head = std::str::from_utf8(carry.get(..head_end).unwrap_or_default())
         .map_err(|_| bad(400, "request head is not valid UTF-8"))?
         .to_string();
     let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
@@ -253,8 +253,8 @@ pub fn percent_decode(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
                 let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;

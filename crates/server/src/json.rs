@@ -152,7 +152,11 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+        {
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -284,11 +288,12 @@ impl<'a> Parser<'a> {
                     let start = self.pos - 1;
                     let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
                     let end = start + len;
-                    if end > self.bytes.len() {
-                        return Err(self.err("truncated UTF-8"));
-                    }
-                    // The input is a &str, so the slice is valid UTF-8.
-                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(chunk);
                     self.pos = end;
                 }
             }
@@ -333,7 +338,12 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // An empty or non-UTF-8 slice falls through to "malformed number".
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .unwrap_or_default();
         text.parse::<f64>()
             .ok()
             .filter(|n| n.is_finite())

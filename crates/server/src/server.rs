@@ -177,25 +177,23 @@ pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandl
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
-    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-        .map(|i| {
-            let rx = rx.clone();
-            let state = state.clone();
-            let stop = stop.clone();
-            std::thread::Builder::new()
-                .name(format!("hopi-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &state, &stop))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = rx.clone();
+        let state = state.clone();
+        let stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("hopi-worker-{i}"))
+            .spawn(move || worker_loop(&rx, &state, &stop))?;
+        worker_handles.push(handle);
+    }
 
     let acceptor = {
         let stop = stop.clone();
         let state = state.clone();
         std::thread::Builder::new()
             .name("hopi-acceptor".into())
-            .spawn(move || accept_loop(&listener, &tx, &state, &stop))
-            .expect("spawn acceptor thread")
+            .spawn(move || accept_loop(&listener, &tx, &state, &stop))?
     };
 
     Ok(ServerHandle {
@@ -249,8 +247,14 @@ fn worker_loop(
     stop: &AtomicBool,
 ) {
     loop {
-        // Hold the lock only for the dequeue, not while serving.
-        let next = { rx.lock().expect("queue lock").recv() };
+        // Hold the lock only for the dequeue, not while serving. A
+        // poisoned queue lock must not kill the worker: recover the
+        // guard — the receiver is safe to use after any panic.
+        let next = {
+            rx.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv()
+        };
         match next {
             Ok(stream) => serve_connection(stream, state, stop),
             Err(_) => return,

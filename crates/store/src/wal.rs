@@ -45,7 +45,36 @@ use hopi_xml::{codec, XmlDocument};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned lock instead of
+/// panicking. Sound here because every WAL critical section mutates
+/// [`WalInner`] in panic-free steps (file writes surface as `Err`, the
+/// counters update by plain arithmetic afterwards), so a panic elsewhere
+/// on a lock-holding thread cannot leave the inner state torn.
+/// Recovering keeps one crashed worker from taking the whole log — and
+/// with it every serve-path mutation — down with it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Little-endian `u32` at `bytes[at..at + 4]`, typed error on truncation.
+fn le_u32(bytes: &[u8], at: usize) -> Result<u32, PersistError> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| PersistError::Format("truncated WAL frame".into()))
+}
+
+/// Little-endian `u64` at `bytes[at..at + 8]`, typed error on truncation.
+fn le_u64(bytes: &[u8], at: usize) -> Result<u64, PersistError> {
+    bytes
+        .get(at..at + 8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| PersistError::Format("truncated WAL header".into()))
+}
 
 const MAGIC: &[u8; 4] = b"HOPW";
 const VERSION: u32 = 2;
@@ -153,7 +182,7 @@ impl<'a> Take<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        le_u32(self.bytes(4)?, 0)
     }
 
     fn pairs(&mut self) -> Result<Vec<(u32, u32)>, PersistError> {
@@ -348,30 +377,33 @@ impl Wal {
     pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, WalRecord)>), PersistError> {
         let mut raw = Vec::new();
         File::open(path)?.read_to_end(&mut raw)?;
-        if raw.len() < HEADER_LEN as usize || &raw[..4] != MAGIC {
+        if raw.len() < HEADER_LEN as usize || !raw.starts_with(MAGIC) {
             return Err(PersistError::Format("not a HOPI WAL file".into()));
         }
-        let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        let version = le_u32(&raw, 4)?;
         if version != VERSION && version != VERSION_NO_TEXT {
             return Err(PersistError::Version(version));
         }
         let with_text = version >= VERSION;
-        let base_seq = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        let base_seq = le_u64(&raw, 8)?;
 
         let mut records = Vec::new();
         let mut pos = HEADER_LEN as usize;
         let mut seq = base_seq;
-        loop {
-            let rest = &raw[pos..];
+        while let Some(rest) = raw.get(pos..) {
             if rest.len() < 8 {
                 break; // torn frame header (or clean EOF)
             }
-            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            let (Ok(len), Ok(crc)) = (le_u32(rest, 0), le_u32(rest, 4)) else {
+                break; // unreachable given the length check, but typed
+            };
+            let len = len as usize;
             if len == 0 || len > rest.len() - 8 {
                 break; // torn payload
             }
-            let payload = &rest[8..8 + len];
+            let Some(payload) = rest.get(8..8 + len) else {
+                break; // torn payload
+            };
             if crc32(payload) != crc {
                 break; // corrupt payload
             }
@@ -411,22 +443,22 @@ impl Wal {
     /// The sequence number the current file starts after (= the sequence
     /// of the checkpoint that last rotated it).
     pub fn base_seq(&self) -> u64 {
-        *self.base_seq.lock().expect("wal base lock")
+        *lock_recover(&self.base_seq)
     }
 
     /// Sequence number of the last appended record.
     pub fn appended_seq(&self) -> u64 {
-        self.inner.lock().expect("wal lock").appended
+        lock_recover(&self.inner).appended
     }
 
     /// Sequence number through which records are fsynced.
     pub fn durable_seq(&self) -> u64 {
-        self.inner.lock().expect("wal lock").durable
+        lock_recover(&self.inner).durable
     }
 
     /// Current file length in bytes.
     pub fn len_bytes(&self) -> u64 {
-        self.inner.lock().expect("wal lock").bytes
+        lock_recover(&self.inner).bytes
     }
 
     /// Appends one record and returns its sequence number. Under
@@ -444,7 +476,7 @@ impl Wal {
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
 
-        let mut g = self.inner.lock().expect("wal lock");
+        let mut g = lock_recover(&self.inner);
         g.file.write_all(&frame)?;
         g.appended += 1;
         g.bytes += frame.len() as u64;
@@ -461,13 +493,13 @@ impl Wal {
     /// appended so far; committers of records covered by an in-flight or
     /// completed sync just wait for it.
     pub fn commit(&self, seq: u64) -> std::io::Result<()> {
-        let mut g = self.inner.lock().expect("wal lock");
+        let mut g = lock_recover(&self.inner);
         loop {
             if g.durable >= seq {
                 return Ok(());
             }
             if g.syncing {
-                g = self.synced.wait(g).expect("wal lock");
+                g = self.synced.wait(g).unwrap_or_else(PoisonError::into_inner);
                 continue;
             }
             // Become the leader: sync everything appended so far, with the
@@ -477,7 +509,7 @@ impl Wal {
             let file = g.file.try_clone()?;
             drop(g);
             let res = file.sync_data();
-            g = self.inner.lock().expect("wal lock");
+            g = lock_recover(&self.inner);
             g.syncing = false;
             if res.is_ok() {
                 g.durable = g.durable.max(target);
@@ -491,7 +523,7 @@ impl Wal {
             if done {
                 return Ok(());
             }
-            g = self.inner.lock().expect("wal lock");
+            g = lock_recover(&self.inner);
         }
     }
 
@@ -505,13 +537,6 @@ impl Wal {
     /// handle, and every counter untouched — a failed rotate can never
     /// strand later appends on an unlinked inode.
     pub fn rotate(&self, checkpoint_seq: u64) -> Result<(), PersistError> {
-        let mut g = self.inner.lock().expect("wal lock");
-        if checkpoint_seq != g.appended {
-            return Err(PersistError::Format(format!(
-                "rotate at seq {checkpoint_seq} but {} records are appended",
-                g.appended
-            )));
-        }
         let dir = self.path.parent().filter(|d| !d.as_os_str().is_empty());
         let tmp_name = format!(
             ".wal.rotate.{}.{}",
@@ -522,6 +547,12 @@ impl Wal {
             Some(d) => d.join(&tmp_name),
             None => PathBuf::from(&tmp_name),
         };
+        // Build and fsync the replacement *before* taking the inner lock:
+        // fsync latency is never paid under a lock (the lock-across-sync
+        // lint rule exists for exactly this shape), and readers of the
+        // sequence counters stay unblocked during the sync. Callers
+        // already serialize rotation against appends via their apply
+        // lock, so the pre-built file cannot go stale while we wait.
         let build = || -> std::io::Result<File> {
             let mut file = OpenOptions::new()
                 .create(true)
@@ -532,21 +563,37 @@ impl Wal {
             file.sync_all()?;
             Ok(file)
         };
-        // The handle's cursor sits right after the header; appends keep
-        // writing sequentially through it after the swap.
-        let file = match build().and_then(|f| std::fs::rename(&tmp, &self.path).map(|()| f)) {
+        let built = match build() {
             Ok(f) => f,
             Err(e) => {
                 std::fs::remove_file(&tmp).ok();
                 return Err(e.into());
             }
         };
-        g.file = file;
+        let mut g = lock_recover(&self.inner);
+        if checkpoint_seq != g.appended {
+            drop(g);
+            std::fs::remove_file(&tmp).ok();
+            return Err(PersistError::Format(format!(
+                "rotate at seq {checkpoint_seq} but records are appended past it"
+            )));
+        }
+        // The handle's cursor sits right after the header; appends keep
+        // writing sequentially through it after the swap. The rename is
+        // the commit point: an error before it leaves the old log, its
+        // handle, and every counter untouched — a failed rotate can never
+        // strand later appends on an unlinked inode.
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            drop(g);
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        g.file = built;
         g.appended = checkpoint_seq;
         g.durable = checkpoint_seq;
         g.bytes = HEADER_LEN;
         drop(g);
-        *self.base_seq.lock().expect("wal base lock") = checkpoint_seq;
+        *lock_recover(&self.base_seq) = checkpoint_seq;
         // Make the swap itself durable. If this fails (or we crash before
         // it lands), the *old* log may reappear after a restart — benign:
         // recovery skips its records by sequence number.

@@ -113,7 +113,9 @@ impl TextIndex {
         let mut index = Self::new();
         for d in collection.doc_ids() {
             let base = collection.global_id(d, 0);
-            index.index_document(base, collection.document(d).expect("live doc"));
+            if let Some(doc) = collection.document(d) {
+                index.index_document(base, doc);
+            }
         }
         index
     }

@@ -20,6 +20,8 @@
 //! lists as sorted slices so evaluation can intersect them with sorted
 //! candidate sets by merge or galloping search.
 
+#![forbid(unsafe_code)]
+
 mod frozen;
 mod index;
 mod score;
