@@ -24,8 +24,11 @@
 //!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_query.json]
 //! ```
 
-use hopi_bench::{add_cross_links, flag_arg, inex_collection, scale_arg, thread_ladder};
+use hopi_bench::{
+    add_cross_links, flag_arg, inex_collection, record_sampled, scale_arg, thread_ladder,
+};
 use hopi_build::{Hopi, HopiSnapshot};
+use hopi_obs::{Histogram, HistogramSnapshot, Stopwatch};
 use hopi_query::{evaluate_with, parse_path, EvalOptions, PathExpr, Strategy};
 use parking_lot::RwLock;
 use rand::prelude::*;
@@ -39,6 +42,9 @@ struct Sample {
     threads: usize,
     ops: usize,
     elapsed_ms: f64,
+    /// Per-operation latency across all threads (1/64 sampled for the
+    /// sub-microsecond workloads; per batch for `probe`/`frozen`).
+    latency: HistogramSnapshot,
 }
 
 impl Sample {
@@ -97,16 +103,18 @@ fn main() {
             "mutable",
             threads,
             probe_rounds * probe_pairs.len(),
-            || {
+            |lat| {
                 let engine = engine.clone();
                 let pairs = probe_pairs.clone();
                 move || {
                     let mut hits = 0usize;
                     for _ in 0..probe_rounds {
-                        for &(u, v) in &pairs {
+                        for (i, &(u, v)) in pairs.iter().enumerate() {
                             // One read-lock round trip per probe — the
                             // pre-snapshot OnlineHopi::connected path.
-                            hits += usize::from(engine.read().connected(u, v));
+                            hits += record_sampled(&lat, i, || {
+                                usize::from(engine.read().connected(u, v))
+                            });
                         }
                     }
                     hits
@@ -118,14 +126,16 @@ fn main() {
             "frozen",
             threads,
             probe_rounds * probe_pairs.len(),
-            || {
+            |lat| {
                 let snap = snapshot.clone();
                 let pairs = probe_pairs.clone();
                 move || {
                     let mut hits = 0usize;
                     let mut out = Vec::new();
                     for _ in 0..probe_rounds {
+                        let sw = Stopwatch::start();
                         snap.connected_many(&pairs, &mut out);
+                        lat.record_micros(sw.elapsed_micros());
                         hits += out.iter().filter(|&&b| b).count();
                     }
                     hits
@@ -139,14 +149,14 @@ fn main() {
             "mutable",
             threads,
             enum_rounds * enum_nodes.len(),
-            || {
+            |lat| {
                 let engine = engine.clone();
                 let nodes = enum_nodes.clone();
                 move || {
                     let mut total = 0usize;
                     for _ in 0..enum_rounds {
-                        for &u in &nodes {
-                            total += engine.read().descendants(u).len();
+                        for (i, &u) in nodes.iter().enumerate() {
+                            total += record_sampled(&lat, i, || engine.read().descendants(u).len());
                         }
                     }
                     total
@@ -158,15 +168,15 @@ fn main() {
             "frozen",
             threads,
             enum_rounds * enum_nodes.len(),
-            || {
+            |lat| {
                 let snap = snapshot.clone();
                 let nodes = enum_nodes.clone();
                 move || {
                     let mut total = 0usize;
                     let mut buf = Vec::new();
                     for _ in 0..enum_rounds {
-                        for &u in &nodes {
-                            snap.frozen().descendants_into(u, &mut buf);
+                        for (i, &u) in nodes.iter().enumerate() {
+                            record_sampled(&lat, i, || snap.frozen().descendants_into(u, &mut buf));
                             total += buf.len();
                         }
                     }
@@ -181,13 +191,15 @@ fn main() {
             "mutable",
             threads,
             path_rounds * path_exprs.len(),
-            || {
+            |lat| {
                 let engine = engine.clone();
                 move || {
                     let mut total = 0usize;
                     for _ in 0..path_rounds {
                         for expr in path_exprs {
+                            let sw = Stopwatch::start();
                             total += engine.read().query(expr).expect("valid expr").len();
+                            lat.record_micros(sw.elapsed_micros());
                         }
                     }
                     total
@@ -199,13 +211,15 @@ fn main() {
             "frozen",
             threads,
             path_rounds * path_exprs.len(),
-            || {
+            |lat| {
                 let snap = snapshot.clone();
                 move || {
                     let mut total = 0usize;
                     for _ in 0..path_rounds {
                         for expr in path_exprs {
+                            let sw = Stopwatch::start();
                             total += snap.query(expr).expect("valid expr").len();
+                            lat.record_micros(sw.elapsed_micros());
                         }
                     }
                     total
@@ -227,13 +241,14 @@ fn main() {
             "mutable",
             threads,
             path_rounds * path_exprs.len(),
-            || {
+            |lat| {
                 let engine = engine.clone();
                 let exprs = parsed.clone();
                 move || {
                     let mut total = 0usize;
                     for _ in 0..path_rounds {
                         for expr in &exprs {
+                            let sw = Stopwatch::start();
                             let guard = engine.read();
                             total += evaluate_with(
                                 guard.collection(),
@@ -243,6 +258,7 @@ fn main() {
                                 &hop_options,
                             )
                             .len();
+                            lat.record_micros(sw.elapsed_micros());
                         }
                     }
                     total
@@ -254,13 +270,14 @@ fn main() {
             "frozen",
             threads,
             path_rounds * path_exprs.len(),
-            || {
+            |lat| {
                 let snap = snapshot.clone();
                 let exprs = parsed.clone();
                 move || {
                     let mut total = 0usize;
                     for _ in 0..path_rounds {
                         for expr in &exprs {
+                            let sw = Stopwatch::start();
                             total += evaluate_with(
                                 snap.collection(),
                                 snap.frozen(),
@@ -269,6 +286,7 @@ fn main() {
                                 &hop_options,
                             )
                             .len();
+                            lat.record_micros(sw.elapsed_micros());
                         }
                     }
                     total
@@ -322,12 +340,16 @@ fn run<W, F>(
 ) -> Sample
 where
     W: FnOnce() -> usize + Send + 'static,
-    F: Fn() -> W,
+    F: Fn(Arc<Histogram>) -> W,
 {
+    // One shared lock-free histogram; every worker records into it.
+    let latency = Arc::new(Histogram::new());
     let t0 = Instant::now();
     let mut sink = 0usize;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(make_worker())).collect();
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(make_worker(latency.clone())))
+            .collect();
         for h in handles {
             sink += h.join().expect("reader thread");
         }
@@ -340,6 +362,7 @@ where
         threads,
         ops: script_ops * threads,
         elapsed_ms,
+        latency: latency.snapshot(),
     }
 }
 
@@ -359,13 +382,17 @@ fn render_json(
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
-             \"ops\": {}, \"elapsed_ms\": {:.3}, \"qps\": {:.1}}}{}\n",
+             \"ops\": {}, \"elapsed_ms\": {:.3}, \"qps\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
             r.workload,
             r.mode,
             r.threads,
             r.ops,
             r.elapsed_ms,
             r.qps(),
+            r.latency.quantile_micros(0.50),
+            r.latency.quantile_micros(0.95),
+            r.latency.quantile_micros(0.99),
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -404,6 +431,8 @@ fn print_table(samples: &[Sample]) {
         ("ops", 10),
         ("ms", 10),
         ("qps", 12),
+        ("p50µs", 8),
+        ("p99µs", 8),
     ]);
     for r in samples {
         t.row(&[
@@ -413,6 +442,8 @@ fn print_table(samples: &[Sample]) {
             r.ops.to_string(),
             format!("{:.1}", r.elapsed_ms),
             format!("{:.0}", r.qps()),
+            r.latency.quantile_micros(0.50).to_string(),
+            r.latency.quantile_micros(0.99).to_string(),
         ]);
     }
 }

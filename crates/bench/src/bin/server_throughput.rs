@@ -16,11 +16,13 @@
 //!
 //! ```sh
 //! cargo run -p hopi-bench --release --bin server_throughput \
-//!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_server.json]
+//!     [--scale 0.004] [--threads N] [--smoke] [--out BENCH_server.json] \
+//!     [--metrics-out metrics.prom]
 //! ```
 
 use hopi_bench::{add_cross_links, flag_arg, inex_collection, scale_arg, thread_ladder};
 use hopi_build::{Hopi, OnlineHopi};
+use hopi_obs::{Histogram, HistogramSnapshot, Stopwatch};
 use hopi_server::{serve, Client, ServerConfig};
 use rand::prelude::*;
 use std::net::SocketAddr;
@@ -36,6 +38,8 @@ struct Sample {
     requests: usize,
     probes: usize,
     elapsed_ms: f64,
+    /// Per-request round-trip latency across all client threads.
+    latency: HistogramSnapshot,
 }
 
 impl Sample {
@@ -96,6 +100,7 @@ fn main() {
             addr: "127.0.0.1:0".parse().unwrap(),
             threads: client_threads.max(2),
             read_only: false,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -112,10 +117,12 @@ fn main() {
             point_rounds * point_paths.len(),
             point_rounds * point_paths.len(),
             addr,
-            |client| {
+            |client, lat| {
                 for _ in 0..point_rounds {
                     for path in &point_paths {
+                        let sw = Stopwatch::start();
                         let resp = client.get(path).expect("probe request");
+                        lat.record_micros(sw.elapsed_micros());
                         assert_eq!(resp.status, 200, "{}", resp.body);
                     }
                 }
@@ -127,23 +134,45 @@ fn main() {
             batch_rounds * batch_bodies.len(),
             batch_rounds * batch_bodies.len() * BATCH,
             addr,
-            |client| {
+            |client, lat| {
                 for _ in 0..batch_rounds {
                     for body in &batch_bodies {
+                        let sw = Stopwatch::start();
                         let resp = client
                             .request("POST", "/connected_many", body)
                             .expect("batch request");
+                        lat.record_micros(sw.elapsed_micros());
                         assert_eq!(resp.status, 200, "{}", resp.body);
                     }
                 }
             },
         ));
-        samples.push(run("stats", clients, stats_requests, 0, addr, |client| {
-            for _ in 0..stats_requests {
-                let resp = client.get("/stats").expect("stats request");
-                assert_eq!(resp.status, 200, "{}", resp.body);
-            }
-        }));
+        samples.push(run(
+            "stats",
+            clients,
+            stats_requests,
+            0,
+            addr,
+            |client, lat| {
+                for _ in 0..stats_requests {
+                    let sw = Stopwatch::start();
+                    let resp = client.get("/stats").expect("stats request");
+                    lat.record_micros(sw.elapsed_micros());
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                }
+            },
+        ));
+    }
+
+    // Optionally scrape the server's own /metrics exposition (the CI
+    // smoke run parses it with the check_metrics bin and archives it
+    // next to BENCH_server.json).
+    if let Some(metrics_out) = flag_arg(&args, "--metrics-out") {
+        let mut client = Client::connect(addr).expect("metrics client");
+        let resp = client.get("/metrics").expect("metrics scrape");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        std::fs::write(&metrics_out, &resp.body).expect("write metrics scrape");
+        eprintln!("wrote {metrics_out}");
     }
 
     handle.shutdown();
@@ -177,15 +206,18 @@ fn run<F>(
     script: F,
 ) -> Sample
 where
-    F: Fn(&mut Client) + Sync,
+    F: Fn(&mut Client, &Histogram) + Sync,
 {
+    // One shared lock-free histogram: every client thread records each
+    // request's round-trip latency into it as it goes.
+    let latency = Histogram::new();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 scope.spawn(|| {
                     let mut client = Client::connect(addr).expect("client connects");
-                    script(&mut client);
+                    script(&mut client, &latency);
                 })
             })
             .collect();
@@ -200,6 +232,7 @@ where
         requests: requests * clients,
         probes: probes * clients,
         elapsed_ms,
+        latency: latency.snapshot(),
     }
 }
 
@@ -222,7 +255,8 @@ fn render_json(
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"clients\": {}, \"requests\": {}, \
-             \"probes\": {}, \"elapsed_ms\": {:.3}, \"rps\": {:.1}, \"probes_per_s\": {:.1}}}{}\n",
+             \"probes\": {}, \"elapsed_ms\": {:.3}, \"rps\": {:.1}, \"probes_per_s\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {:.1}}}{}\n",
             r.workload,
             r.clients,
             r.requests,
@@ -230,6 +264,10 @@ fn render_json(
             r.elapsed_ms,
             r.rps(),
             r.probes_per_s(),
+            r.latency.quantile_micros(0.50),
+            r.latency.quantile_micros(0.95),
+            r.latency.quantile_micros(0.99),
+            r.latency.mean_micros(),
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -245,6 +283,8 @@ fn print_table(samples: &[Sample]) {
         ("ms", 10),
         ("req/s", 12),
         ("probes/s", 12),
+        ("p50µs", 8),
+        ("p99µs", 8),
     ]);
     for r in samples {
         t.row(&[
@@ -254,6 +294,8 @@ fn print_table(samples: &[Sample]) {
             format!("{:.1}", r.elapsed_ms),
             format!("{:.0}", r.rps()),
             format!("{:.0}", r.probes_per_s()),
+            r.latency.quantile_micros(0.50).to_string(),
+            r.latency.quantile_micros(0.99).to_string(),
         ]);
     }
 }

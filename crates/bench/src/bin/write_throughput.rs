@@ -24,6 +24,7 @@
 
 use hopi_bench::{flag_arg, TablePrinter};
 use hopi_build::{DurableConfig, Hopi, OnlineHopi, SyncPolicy};
+use hopi_obs::{Histogram, HistogramSnapshot, Stopwatch};
 use hopi_xml::{Collection, XmlDocument};
 use std::time::Instant;
 
@@ -39,6 +40,10 @@ struct Sample {
     threads: usize,
     ops: usize,
     elapsed_ms: f64,
+    /// Per-insert ack latency across all writer threads — under group
+    /// commit this is the queue-behind-the-shared-fsync time the paper's
+    /// durability section trades throughput against.
+    latency: HistogramSnapshot,
 }
 
 impl Sample {
@@ -98,13 +103,17 @@ fn run(
     };
     let plan = link_plan(docs, ops);
     let chunk = ops.div_ceil(threads);
+    let latency = Histogram::new();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for part in plan.chunks(chunk) {
             let online = online.clone();
+            let latency = &latency;
             scope.spawn(move || {
                 for &(from, to) in part {
+                    let sw = Stopwatch::start();
                     online.insert_link(from, to).expect("valid link insert");
+                    latency.record_micros(sw.elapsed_micros());
                 }
             });
         }
@@ -117,6 +126,7 @@ fn run(
         threads,
         ops,
         elapsed_ms,
+        latency: latency.snapshot(),
     }
 }
 
@@ -131,12 +141,16 @@ fn render_json(docs: u32, smoke: bool, samples: &[Sample], speedup: f64) -> Stri
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"config\": \"{}\", \"threads\": {}, \"ops\": {}, \
-             \"elapsed_ms\": {:.3}, \"ops_per_s\": {:.1}}}{}\n",
+             \"elapsed_ms\": {:.3}, \"ops_per_s\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
             r.config,
             r.threads,
             r.ops,
             r.elapsed_ms,
             r.ops_per_s(),
+            r.latency.quantile_micros(0.50),
+            r.latency.quantile_micros(0.95),
+            r.latency.quantile_micros(0.99),
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -191,6 +205,8 @@ fn main() {
         ("ops", 8),
         ("ms", 10),
         ("ops/s", 12),
+        ("p50µs", 8),
+        ("p99µs", 8),
     ]);
     for r in &samples {
         t.row(&[
@@ -199,6 +215,8 @@ fn main() {
             r.ops.to_string(),
             format!("{:.1}", r.elapsed_ms),
             format!("{:.0}", r.ops_per_s()),
+            r.latency.quantile_micros(0.50).to_string(),
+            r.latency.quantile_micros(0.99).to_string(),
         ]);
     }
 

@@ -64,6 +64,22 @@ pub fn flag_arg(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Runs `f`, recording its latency into `hist` on every 64th call
+/// (indexed by `i`). Sampling keeps the two timer reads off most
+/// iterations of sub-microsecond workloads, so the histogram reflects
+/// the operation rather than the act of measuring it; quantiles over
+/// the 1/64 sample converge to the true distribution's.
+pub fn record_sampled<T>(hist: &hopi_obs::Histogram, i: usize, f: impl FnOnce() -> T) -> T {
+    if i.is_multiple_of(64) {
+        let sw = hopi_obs::Stopwatch::start();
+        let out = f();
+        hist.record_micros(sw.elapsed_micros());
+        out
+    } else {
+        f()
+    }
+}
+
 /// The thread counts a throughput bench measures: single-threaded plus
 /// the requested count (deduplicated when they coincide).
 pub fn thread_ladder(n: usize) -> Vec<usize> {

@@ -147,6 +147,19 @@ pub struct WalStats {
     pub healthy: bool,
 }
 
+/// Point-in-time copies of the WAL's durability histograms: the fsync
+/// wall-time distribution and the records-per-group-commit batch sizes
+/// (see [`hopi_store::WalMetrics`]). The distributions — not means —
+/// are what show whether group commit amortizes under load; surfaced at
+/// `GET /stats` and `/metrics`.
+#[derive(Clone, Debug)]
+pub struct WalHistograms {
+    /// fsync (`sync_data`) wall time, microsecond buckets.
+    pub fsync: hopi_obs::HistogramSnapshot,
+    /// Records made durable per fsync.
+    pub batch: hopi_obs::HistogramSnapshot,
+}
+
 /// Outcome of a checkpoint (see [`crate::OnlineHopi::checkpoint`]).
 #[derive(Clone, Copy, Debug)]
 pub struct CheckpointStats {
@@ -264,6 +277,13 @@ impl Durability {
             seq,
             wal_bytes_truncated: bytes_before.saturating_sub(self.wal.len_bytes()),
         })
+    }
+
+    pub(crate) fn histograms(&self) -> WalHistograms {
+        WalHistograms {
+            fsync: self.wal.metrics().fsync.snapshot(),
+            batch: self.wal.metrics().batch.snapshot(),
+        }
     }
 
     pub(crate) fn stats(&self) -> WalStats {

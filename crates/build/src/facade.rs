@@ -704,6 +704,7 @@ impl Hopi {
             self.options,
             epoch,
             self.plan_counters.clone(),
+            &self.report,
         ))
     }
 

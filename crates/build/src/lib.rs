@@ -60,15 +60,17 @@ mod online;
 mod snapshot;
 
 pub use durable::{
-    is_durable_dir, CheckpointStats, DurableConfig, WalStats, CHECKPOINT_FILE, LOCK_FILE, WAL_FILE,
+    is_durable_dir, CheckpointStats, DurableConfig, WalHistograms, WalStats, CHECKPOINT_FILE,
+    LOCK_FILE, WAL_FILE,
 };
 pub use error::HopiError;
 pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
-pub use snapshot::{HopiSnapshot, SnapshotStats};
+pub use snapshot::{BuildPhaseTimings, HopiSnapshot, SnapshotStats};
 
-// The WAL sync policy is part of the durable-open surface.
-pub use hopi_store::SyncPolicy;
+// The WAL sync policy and on-disk format version are part of the
+// durable-open surface.
+pub use hopi_store::{SyncPolicy, STORE_FORMAT_VERSION};
 
 // Query-plan observability: the per-`//`-step strategy, counters, and
 // EXPLAIN report types surfaced through [`Hopi::query_explained`],

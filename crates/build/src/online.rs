@@ -173,6 +173,12 @@ impl OnlineHopi {
         self.durability.as_ref().map(|d| d.stats())
     }
 
+    /// Point-in-time copies of the WAL's fsync-latency and group-commit
+    /// batch-size histograms; `None` for a non-durable engine.
+    pub fn wal_histograms(&self) -> Option<crate::durable::WalHistograms> {
+        self.durability.as_ref().map(|d| d.histograms())
+    }
+
     /// Atomically persists the current state (collection + frozen cover +
     /// WAL sequence) and truncates the log. Blocks mutations for the
     /// duration (queries keep running on snapshots). Errors with

@@ -14,6 +14,8 @@
 use crate::error::HopiError;
 use crate::facade::QueryOptions;
 use hopi_core::{DistanceCover, FrozenCover};
+use hopi_obs::Stopwatch;
+use hopi_partition::BuildReport;
 use hopi_query::{
     evaluate_ranked_with_text, parse_path, PlanCounters, PlanCounts, QueryPlanReport, RankedMatch,
     TagIndex,
@@ -21,6 +23,38 @@ use hopi_query::{
 use hopi_text::{FrozenTextIndex, TextSource};
 use hopi_xml::{Collection, ElemId};
 use std::sync::Arc;
+
+/// Wall-clock milliseconds of each phase that produced the snapshot's
+/// index: the paper's §4 partition → per-partition covers → cover join
+/// pipeline, plus the CSR freeze performed at capture time. Rebuilds
+/// (`POST /admin/rebuild`) refresh these; `/stats` exposes them so the
+/// cost balance between phases is observable in production, not just in
+/// the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildPhaseTimings {
+    /// Partitioning the collection graph (§4.3 partitioner).
+    pub partition_ms: u64,
+    /// Building per-partition covers (§3.3).
+    pub covers_ms: u64,
+    /// Joining covers across partitions (§4.1).
+    pub join_ms: u64,
+    /// Freezing the cover into serving CSR form at capture.
+    pub freeze_ms: u64,
+    /// Build total (partition + covers + join) plus the freeze.
+    pub total_ms: u64,
+}
+
+impl BuildPhaseTimings {
+    pub(crate) fn from_report(report: &BuildReport, freeze_ms: u64) -> Self {
+        BuildPhaseTimings {
+            partition_ms: report.partition_ms,
+            covers_ms: report.covers_ms,
+            join_ms: report.join_ms,
+            freeze_ms,
+            total_ms: report.total_ms + freeze_ms,
+        }
+    }
+}
 
 /// A point-in-time summary of a serving snapshot (see
 /// [`HopiSnapshot::stats`] / [`crate::OnlineHopi::snapshot_stats`]): the
@@ -58,6 +92,9 @@ pub struct SnapshotStats {
     pub text_postings_bytes: usize,
     /// Elements carrying text at capture time.
     pub text_indexed_elements: usize,
+    /// Per-phase wall times of the build that produced this snapshot's
+    /// index (partition / covers / join / freeze).
+    pub build: BuildPhaseTimings,
 }
 
 /// A point-in-time, immutable serving view of an engine: frozen cover +
@@ -98,6 +135,9 @@ pub struct HopiSnapshot {
     /// Engine-shared per-strategy execution counters (every query against
     /// this snapshot tallies its `//`-step plans here).
     plan_counters: Arc<PlanCounters>,
+    /// Phase timings of the build behind this snapshot (see
+    /// [`BuildPhaseTimings`]).
+    build: BuildPhaseTimings,
 }
 
 impl HopiSnapshot {
@@ -111,17 +151,25 @@ impl HopiSnapshot {
         options: QueryOptions,
         epoch: u64,
         plan_counters: Arc<PlanCounters>,
+        report: &BuildReport,
     ) -> Self {
+        // The freeze is itself a build phase worth watching: CSR packing
+        // is linear but runs on every publish.
+        let sw = Stopwatch::start();
+        let frozen = FrozenCover::from_cover(cover);
+        let frozen_distance = distance.map(FrozenCover::from_distance_cover);
+        let freeze_ms = sw.elapsed().as_millis() as u64;
         HopiSnapshot {
             collection: collection.clone(),
-            frozen: FrozenCover::from_cover(cover),
-            frozen_distance: distance.map(FrozenCover::from_distance_cover),
+            frozen,
+            frozen_distance,
             ranked: distance.cloned(),
             tags: tags.clone(),
             text,
             options,
             epoch,
             plan_counters,
+            build: BuildPhaseTimings::from_report(report, freeze_ms),
         }
     }
 
@@ -273,6 +321,7 @@ impl HopiSnapshot {
             text_postings: self.text.stats().postings,
             text_postings_bytes: self.text.postings_bytes(),
             text_indexed_elements: self.text.indexed_elements(),
+            build: self.build,
         }
     }
 

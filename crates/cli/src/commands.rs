@@ -63,7 +63,13 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 
 /// `hopi stats --dir DIR [--index FILE]`
 pub fn stats(args: &[String]) -> Result<(), String> {
-    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR")?;
+    // `--slow` interrogates a *running* server's slow-query log instead
+    // of a collection directory.
+    if args.iter().any(|a| a == "--slow") {
+        let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
+        return slow_log(&addr);
+    }
+    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR (or --slow --addr HOST:PORT)")?;
     let collection = load_dir(&dir)?;
     let s = CollectionStats::of(&collection);
     println!("{s}");
@@ -103,6 +109,55 @@ pub fn stats(args: &[String]) -> Result<(), String> {
             "snapshot: epoch {}, {} nodes, {} cover entries, distance-aware: {}",
             ss.epoch, ss.nodes, ss.cover_entries, ss.distance_aware
         );
+    }
+    Ok(())
+}
+
+/// `hopi stats --slow [--addr HOST:PORT]` — fetches `GET /debug/slow`
+/// from a running server and pretty-prints the captured requests,
+/// slowest first, with their trace ids and per-stage breakdowns.
+fn slow_log(addr: &str) -> Result<(), String> {
+    use hopi_server::json::{parse, Json};
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad --addr '{addr}': {e}"))?;
+    let mut client =
+        hopi_server::Client::connect(sock).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = client
+        .get("/debug/slow")
+        .map_err(|e| format!("GET /debug/slow failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /debug/slow -> {}: {}", resp.status, resp.body));
+    }
+    let body = parse(&resp.body).map_err(|e| format!("bad /debug/slow JSON: {e}"))?;
+    let threshold = body
+        .get("threshold_micros")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let entries = body.get("slow").and_then(Json::as_arr).unwrap_or_default();
+    println!(
+        "slow-query log at {addr}: {} captured (threshold {threshold}µs)",
+        entries.len()
+    );
+    for e in entries {
+        let trace = e.get("trace").and_then(Json::as_str).unwrap_or("?");
+        let endpoint = e.get("endpoint").and_then(Json::as_str).unwrap_or("?");
+        let micros = e.get("micros").and_then(Json::as_u64).unwrap_or(0);
+        let epoch = e.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        print!("  {micros:>8}µs  {trace}  {endpoint}  epoch={epoch}");
+        if let Some(detail) = e.get("detail").and_then(Json::as_str) {
+            print!("  {detail}");
+        }
+        println!();
+        if let Some(stages) = e.get("stages").and_then(Json::as_obj) {
+            let breakdown: Vec<String> = stages
+                .iter()
+                .filter_map(|(stage, us)| Some(format!("{stage}={}µs", us.as_u64()?)))
+                .collect();
+            if !breakdown.is_empty() {
+                println!("            stages: {}", breakdown.join(" "));
+            }
+        }
     }
     Ok(())
 }
@@ -249,6 +304,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bad --threads: {e}"))?;
     let frozen = args.iter().any(|a| a == "--frozen");
     let distance = args.iter().any(|a| a == "--distance");
+    // Milliseconds on the flag (human-facing), micros internally.
+    let slow_threshold_micros: u64 = match flag_value(args, "--slow-threshold") {
+        Some(ms) => ms
+            .parse::<u64>()
+            .map(|ms| ms.saturating_mul(1000))
+            .map_err(|e| format!("bad --slow-threshold (milliseconds): {e}"))?,
+        None => hopi_server::DEFAULT_SLOW_THRESHOLD_MICROS,
+    };
     let wal_dir = flag_value(args, "--wal");
     let wal_sync = match flag_value(args, "--wal-sync").as_deref() {
         None | Some("group") => SyncPolicy::GroupCommit,
@@ -333,14 +396,15 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
             threads,
             read_only: frozen,
+            slow_threshold_micros,
         },
     )
     .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     println!("hopi-server listening on http://{}", handle.addr());
     println!(
-        "  {} worker threads, {}{}; endpoints: /healthz /stats /metrics /connected \
-         /connected_many /distance /descendants /ancestors /query /documents /links \
-         /admin/rebuild /admin/save /admin/checkpoint",
+        "  {} worker threads, {}{}; endpoints: /healthz /stats /metrics /debug/slow \
+         /connected /connected_many /distance /descendants /ancestors /query /documents \
+         /links /admin/rebuild /admin/save /admin/checkpoint",
         handle.state().workers,
         if frozen {
             "frozen (read-only)"

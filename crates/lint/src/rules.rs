@@ -1,7 +1,7 @@
 //! The rule engine: test-region masking plus the project-invariant
 //! checks that run over a file's token stream.
 //!
-//! Three rule families (see DESIGN.md "Enforced invariants"):
+//! Four rule families (see DESIGN.md "Enforced invariants"):
 //!
 //! * **Panic ratchet** — `unwrap` / `expect` / `panic!` / `unreachable!`
 //!   and slice indexing in non-test serve-path code. Findings are
@@ -13,6 +13,8 @@
 //! * **Crate hygiene** — crate roots carry `#![forbid(unsafe_code)]`,
 //!   library code does not print to stdio, and public signatures do not
 //!   use `Box<dyn … Error>` where a `HopiError`-family type belongs.
+//! * **Timing discipline** — no raw `Instant::now()` in serve-path loop
+//!   bodies; hot-path timing goes through `hopi_obs::Stopwatch`/`Span`.
 
 use crate::lexer::{Tok, Token};
 
@@ -41,6 +43,7 @@ pub const ALL_RULES: &[&str] = &[
     "missing-forbid-unsafe",
     "print-in-lib",
     "box-dyn-error",
+    "instant-in-loop",
 ];
 
 /// fsync-class calls that must not run under a live lock guard.
@@ -413,6 +416,72 @@ pub fn print_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Fi
     out
 }
 
+/// Serve-path timing discipline: a raw `Instant::now()` inside a loop
+/// body. Hot loops must time through `hopi_obs::Stopwatch` / `Span`
+/// (which also feed the histograms) — a bare `Instant::now()` in a loop
+/// is either an unrecorded measurement or a per-iteration clock read
+/// that belongs outside the loop. The `obs` crate itself is exempt at
+/// the dispatch layer: it is where the clock reads are supposed to live.
+pub fn instant_in_loop_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    // Mark every token inside a `loop` / `while` / `for` body.
+    let mut in_loop = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !mask[i] && matches!(ident_at(tokens, i), Some("loop" | "while" | "for")) {
+            if let Some(open) = loop_body_open(tokens, i + 1) {
+                let end = match_brace(tokens, open);
+                for slot in in_loop.iter_mut().take(end).skip(open) {
+                    *slot = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || !in_loop[i] {
+            continue;
+        }
+        if ident_at(tokens, i) == Some("Instant")
+            && is_punct(tokens, i + 1, ':')
+            && is_punct(tokens, i + 2, ':')
+            && ident_at(tokens, i + 3) == Some("now")
+            && is_punct(tokens, i + 4, '(')
+        {
+            out.push(Finding {
+                rule: "instant-in-loop",
+                line: t.line,
+                excerpt: excerpt(lines, t.line),
+            });
+        }
+    }
+    out
+}
+
+/// The `{` opening the body of a loop whose keyword precedes `start`:
+/// the first `{` at paren/bracket depth 0 (skipping over the header's
+/// `while` condition or `for … in …` iterator expression).
+fn loop_body_open(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => return Some(i),
+            // A `;` or `}` before the body brace means this was not a
+            // loop header after all (e.g. `loop` as a macro ident).
+            Tok::Punct(';') | Tok::Punct('}') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
 /// Crate hygiene: `Box<dyn … Error …>` in library code, where a typed
 /// `HopiError`-family error belongs.
 pub fn box_dyn_error_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
@@ -520,6 +589,29 @@ mod tests {
             .filter(|(r, _)| r == "lock-across-sync")
             .collect();
         assert_eq!(got, vec![("lock-across-sync".to_string(), 3)]);
+    }
+
+    #[test]
+    fn instant_in_loop_flags_clock_reads_in_loop_bodies() {
+        let src = "use std::time::Instant;\nfn serve() {\n    let started = Instant::now();\n    loop {\n        let t = Instant::now();\n        let _ = (started, t);\n    }\n    while ready() {\n        handle(Instant::now());\n    }\n    for conn in conns() {\n        let _ = (conn, Instant::now());\n    }\n}\n";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        let got: Vec<u32> = instant_in_loop_findings(&tokens, &mask, &lines)
+            .into_iter()
+            .map(|f| f.line)
+            .collect();
+        // Line 3's Instant::now() is outside any loop and must not fire.
+        assert_eq!(got, vec![5, 9, 12]);
+    }
+
+    #[test]
+    fn instant_in_loop_ignores_headers_tests_and_stopwatch() {
+        let src = "fn ok() {\n    // for x in [Instant::now()] { } — comments don't fire\n    for i in [1, 2] {\n        let sw = hopi_obs::Stopwatch::start();\n        let _ = (i, sw);\n    }\n}\n#[cfg(test)]\nfn timed() {\n    loop {\n        let _ = std::time::Instant::now();\n        break;\n    }\n}\n";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        assert!(instant_in_loop_findings(&tokens, &mask, &lines).is_empty());
     }
 
     #[test]

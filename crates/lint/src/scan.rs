@@ -11,8 +11,10 @@ use crate::rules::{self, Finding};
 use std::path::{Path, PathBuf};
 
 /// Crates on the 24×7 serve path: panic-ratchet and lock-hold rules
-/// apply to their non-test code.
-pub const SERVE_PATH_CRATES: &[&str] = &["server", "query", "core", "store", "build", "text"];
+/// apply to their non-test code. `obs` is additionally exempt from the
+/// `instant-in-loop` timing rule — it is the timing layer.
+pub const SERVE_PATH_CRATES: &[&str] =
+    &["server", "query", "core", "store", "build", "text", "obs"];
 
 /// Crates that are binaries/harnesses: exempt from the library-hygiene
 /// rules (stdio printing, `Box<dyn Error>` signatures).
@@ -112,6 +114,9 @@ fn scan_crate(
         if serve {
             findings.extend(rules::panic_findings(&tokens, &mask, &lines));
             findings.extend(rules::lock_findings(&tokens, &mask, &lines));
+            if crate_name != "obs" {
+                findings.extend(rules::instant_in_loop_findings(&tokens, &mask, &lines));
+            }
         }
         if is_crate_root {
             findings.extend(rules::forbid_unsafe_finding(&tokens));

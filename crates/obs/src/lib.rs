@@ -1,0 +1,682 @@
+//! # hopi-obs — observability primitives for the HOPI runtime
+//!
+//! The paper's evaluation (§7) is entirely about measured build and
+//! query cost, so the runtime must be able to *observe* those costs in
+//! production, not just in benchmark harnesses. This crate is the
+//! zero-dependency instrumentation spine the other crates hang metrics
+//! on:
+//!
+//! * [`Histogram`] — a lock-free, mergeable log-linear latency
+//!   histogram over microseconds: a fixed bucket ladder (exact below
+//!   4 µs, then four linear sub-buckets per power of two, ≤ 25 %
+//!   relative quantile error), recorded with relaxed atomics so the hot
+//!   path is one `fetch_add`. [`HistogramSnapshot`] extracts quantiles
+//!   and renders Prometheus `_bucket`/`_sum`/`_count` exposition.
+//! * [`Span`] / [`Stopwatch`] — scoped timing that records into a
+//!   histogram on drop (or just measures). Serve-path code times
+//!   through these rather than calling `Instant::now()` inline;
+//!   `hopi-lint` enforces that with the `instant-in-loop` rule.
+//! * [`StageRegistry`] — a fixed taxonomy of pipeline stages, each with
+//!   its own histogram, so per-request stage breakdowns aggregate into
+//!   per-stage distributions.
+//! * [`TraceId`] / [`Trace`] — per-request trace ids (unique within a
+//!   process, seeded per process) and the per-request record of which
+//!   stages ran and how long each took; the server echoes the id in an
+//!   `x-hopi-trace` header and files slow requests by it.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: exact buckets for 0–3 µs, four linear
+/// sub-buckets per power of two from 2² µs through 2²⁷ µs, and one
+/// overflow (`+Inf`) bucket for ≥ 2²⁸ µs (≈ 268 s).
+pub const BUCKETS: usize = 109;
+
+/// Largest finite value the ladder distinguishes (2²⁸ − 1 µs);
+/// quantiles that land in the overflow bucket report this.
+pub const MAX_FINITE_MICROS: u64 = (1 << 28) - 1;
+
+/// Bucket holding `us`: identity below 4, then `(g-1)*4 + sub` where
+/// `g = floor(log2 us)` and `sub` is the next two bits below the
+/// leading one. Monotone in `us`; everything past the ladder clamps to
+/// the overflow bucket.
+fn bucket_index(us: u64) -> usize {
+    if us < 4 {
+        return us as usize;
+    }
+    let g = 63 - u64::from(us.leading_zeros());
+    let sub = (us >> (g - 2)) & 3;
+    let idx = ((g - 1) * 4 + sub) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `idx` in microseconds; `None` for
+/// the overflow (`+Inf`) bucket.
+pub fn bucket_upper_micros(idx: usize) -> Option<u64> {
+    if idx < 4 {
+        Some(idx as u64)
+    } else if idx + 1 >= BUCKETS {
+        None
+    } else {
+        let g = (idx / 4 + 1) as u32;
+        let s = (idx % 4) as u64;
+        Some((1u64 << g) + ((s + 1) << (g - 2)) - 1)
+    }
+}
+
+/// A lock-free log-linear latency histogram. `record` is one relaxed
+/// `fetch_add` per counter — safe to share across worker threads with
+/// no coordination; reads may observe a torn (but monotone) view, which
+/// is fine for monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record_micros(&self, us: u64) {
+        if let Some(b) = self.buckets.get(bucket_index(us)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_micros.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_micros(duration_micros(d));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every observation currently in `other` into `self`
+    /// (mergeable: per-thread histograms can fold into a global one).
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.sum_micros
+            .fetch_add(other.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile extraction and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A non-atomic copy of a [`Histogram`], cheap to merge and query.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum_micros: u64,
+    count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum_micros: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.sum_micros += other.sum_micros;
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile in microseconds: the inclusive upper bound of
+    /// the bucket holding the `ceil(q·count)`-th smallest observation.
+    /// Exact below 4 µs; otherwise at most 25 % above the true value
+    /// (the bucket's relative width). Returns 0 when empty and
+    /// [`MAX_FINITE_MICROS`] when the rank lands in the overflow
+    /// bucket.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_micros(idx).unwrap_or(MAX_FINITE_MICROS);
+            }
+        }
+        MAX_FINITE_MICROS
+    }
+
+    /// Renders Prometheus text-exposition series for this histogram:
+    /// cumulative `{name}_bucket{{…,le="…"}}` lines for every occupied
+    /// bucket plus `le="+Inf"`, then `{name}_sum` (seconds) and
+    /// `{name}_count`. `labels` is a pre-rendered `k="v",…` block
+    /// (possibly empty); `le` upper bounds are in seconds per
+    /// Prometheus convention.
+    pub fn render_prometheus(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            let last = idx + 1 == BUCKETS;
+            if c == 0 && !last {
+                continue;
+            }
+            let _ = match bucket_upper_micros(idx) {
+                Some(hi) => {
+                    let le = hi as f64 / 1e6;
+                    writeln!(
+                        out,
+                        "{name}_bucket{{{}le=\"{le}\"}} {cum}",
+                        label_prefix(labels)
+                    )
+                }
+                None => writeln!(
+                    out,
+                    "{name}_bucket{{{}le=\"+Inf\"}} {cum}",
+                    label_prefix(labels)
+                ),
+            };
+        }
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            label_block(labels),
+            self.sum_micros as f64 / 1e6
+        );
+        let _ = writeln!(out, "{name}_count{} {}", label_block(labels), self.count);
+    }
+
+    /// Like [`HistogramSnapshot::render_prometheus`], but with `le`
+    /// bounds and `_sum` in the recorded units themselves (for
+    /// histograms over counts — batch sizes — rather than durations).
+    pub fn render_prometheus_raw(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            let last = idx + 1 == BUCKETS;
+            if c == 0 && !last {
+                continue;
+            }
+            let _ = match bucket_upper_micros(idx) {
+                Some(hi) => {
+                    writeln!(
+                        out,
+                        "{name}_bucket{{{}le=\"{hi}\"}} {cum}",
+                        label_prefix(labels)
+                    )
+                }
+                None => writeln!(
+                    out,
+                    "{name}_bucket{{{}le=\"+Inf\"}} {cum}",
+                    label_prefix(labels)
+                ),
+            };
+        }
+        let _ = writeln!(out, "{name}_sum{} {}", label_block(labels), self.sum_micros);
+        let _ = writeln!(out, "{name}_count{} {}", label_block(labels), self.count);
+    }
+}
+
+fn label_prefix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+fn label_block(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A started wall-clock timer. The one sanctioned way for serve-path
+/// code to measure elapsed time (`hopi-lint` flags inline
+/// `Instant::now()` in loops); obs owns the `Instant` calls.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed microseconds since [`Stopwatch::start`].
+    pub fn elapsed_micros(&self) -> u64 {
+        duration_micros(self.start.elapsed())
+    }
+}
+
+/// A scoped timing span: measures from [`Span::enter`] until
+/// [`Span::finish`] (or drop) and records the duration into the bound
+/// histogram exactly once.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: Option<&'a Histogram>,
+    sw: Stopwatch,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span recording into `hist`.
+    pub fn enter(hist: &'a Histogram) -> Span<'a> {
+        Span {
+            hist: Some(hist),
+            sw: Stopwatch::start(),
+        }
+    }
+
+    /// Ends the span, records it, and returns the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        let us = self.sw.elapsed_micros();
+        if let Some(h) = self.hist.take() {
+            h.record_micros(us);
+        }
+        us
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record_micros(self.sw.elapsed_micros());
+        }
+    }
+}
+
+/// A fixed taxonomy of pipeline stages, each with its own histogram.
+/// Stage names are static so per-request [`Trace`] breakdowns aggregate
+/// here without allocation.
+#[derive(Debug)]
+pub struct StageRegistry {
+    stages: Vec<(&'static str, Histogram)>,
+}
+
+impl StageRegistry {
+    /// A registry with one histogram per stage name.
+    pub fn new(names: &[&'static str]) -> StageRegistry {
+        StageRegistry {
+            stages: names.iter().map(|n| (*n, Histogram::new())).collect(),
+        }
+    }
+
+    /// Records `us` microseconds against `stage` (unknown stages are
+    /// dropped — the taxonomy is closed by design).
+    pub fn record_micros(&self, stage: &str, us: u64) {
+        if let Some((_, h)) = self.stages.iter().find(|(n, _)| *n == stage) {
+            h.record_micros(us);
+        }
+    }
+
+    /// The histogram for `stage`, if registered.
+    pub fn histogram(&self, stage: &str) -> Option<&Histogram> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == stage)
+            .map(|(_, h)| h)
+    }
+
+    /// Iterates `(stage, histogram)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.stages.iter().map(|(n, h)| (*n, h))
+    }
+}
+
+/// A per-request trace id: unique within a process (atomic counter) and
+/// distinct across processes (per-process random seed), rendered as 16
+/// hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The next trace id.
+    pub fn next() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 is a bijection, so distinct counters yield distinct
+        // ids; the process seed decorrelates concurrent servers.
+        TraceId(splitmix64(
+            process_seed().wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        ))
+    }
+
+    /// The raw 64-bit id.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn process_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::OnceLock;
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        // RandomState carries the process's ASLR/time entropy; no extra
+        // dependency needed for a monitoring-grade seed.
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u32(std::process::id());
+        h.finish() | 1
+    })
+}
+
+/// One request's trace: its id, an optional human-readable detail (the
+/// query text, say), and how long each pipeline stage took. Built
+/// single-threaded inside the request handler; the server folds the
+/// stage durations into a [`StageRegistry`] and files slow traces in
+/// the slow-query log.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    id: TraceId,
+    detail: Option<String>,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::begin()
+    }
+}
+
+impl Trace {
+    /// Starts a trace with a fresh id.
+    pub fn begin() -> Trace {
+        Trace {
+            id: TraceId::next(),
+            detail: None,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    pub fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let v = f();
+        self.add(stage, sw.elapsed_micros());
+        v
+    }
+
+    /// Charges `us` microseconds to `stage` (accumulating if the stage
+    /// was already seen in this trace).
+    pub fn add(&mut self, stage: &'static str, us: u64) {
+        if let Some((_, total)) = self.stages.iter_mut().find(|(n, _)| *n == stage) {
+            *total += us;
+        } else {
+            self.stages.push((stage, us));
+        }
+    }
+
+    /// Attaches a human-readable detail (e.g. the query expression).
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = Some(detail.into());
+    }
+
+    /// The attached detail, if any.
+    pub fn detail(&self) -> Option<&str> {
+        self.detail.as_deref()
+    }
+
+    /// Stage durations in first-seen order.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_and_contiguous() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket indices never decrease as values grow.
+        let mut prev = 0usize;
+        for us in 0..10_000u64 {
+            let idx = bucket_index(us);
+            assert!(idx >= prev, "index regressed at {us}");
+            prev = idx;
+            let hi = bucket_upper_micros(idx).expect("finite");
+            assert!(us <= hi, "{us} above its bucket bound {hi}");
+            if idx > 0 {
+                let lo = bucket_upper_micros(idx - 1).expect("finite") + 1;
+                assert!(us >= lo, "{us} below its bucket floor {lo}");
+            }
+        }
+        // Overflow clamps to the last bucket.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 28), BUCKETS - 1);
+        assert!(bucket_upper_micros(BUCKETS - 1).is_none());
+        assert_eq!(bucket_upper_micros(BUCKETS - 2), Some(MAX_FINITE_MICROS));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 1, 2, 3] {
+            h.record_micros(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum_micros(), 7);
+        assert_eq!(s.quantile_micros(0.0), 0);
+        assert_eq!(s.quantile_micros(0.5), 1);
+        assert_eq!(s.quantile_micros(1.0), 3);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_true_value_within_25_percent() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * 37 + 5).collect();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let oracle = values[rank - 1]; // values are sorted
+            let got = s.quantile_micros(q);
+            assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+            assert!(4 * got <= 5 * oracle + 4, "q={q}: {got} >> oracle {oracle}");
+        }
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record_micros(v * 11);
+            b.record_micros(v * 13);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count(), 200);
+        assert_eq!(
+            s.sum_micros(),
+            (0..100u64).map(|v| v * 11 + v * 13).sum::<u64>()
+        );
+        let mut m = HistogramSnapshot::default();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_ends_at_inf() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 1 << 30] {
+            h.record_micros(v);
+        }
+        let mut out = String::new();
+        h.snapshot()
+            .render_prometheus("x_seconds", "endpoint=\"query\"", &mut out);
+        let mut last_cum = 0u64;
+        let mut saw_inf = false;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("x_seconds_bucket{endpoint=\"query\",le=") {
+                let cum: u64 = rest
+                    .split("} ")
+                    .nth(1)
+                    .expect("value")
+                    .parse()
+                    .expect("integer");
+                assert!(cum >= last_cum, "non-monotone: {line}");
+                last_cum = cum;
+                saw_inf |= rest.starts_with("\"+Inf\"");
+            }
+        }
+        assert!(saw_inf, "missing +Inf bucket:\n{out}");
+        assert_eq!(last_cum, 5);
+        assert!(out.contains("x_seconds_count{endpoint=\"query\"} 5"));
+        assert!(out.contains("x_seconds_sum{endpoint=\"query\"} "));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_render_as_hex() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = TraceId::next();
+            assert!(seen.insert(id.as_u64()), "duplicate trace id {id}");
+            let s = id.to_string();
+            assert_eq!(s.len(), 16);
+            assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_stages_and_registry_aggregates() {
+        let mut t = Trace::begin();
+        t.add("eval", 10);
+        t.add("serialize", 5);
+        t.add("eval", 7);
+        t.set_detail("//sec");
+        assert_eq!(t.stages(), &[("eval", 17), ("serialize", 5)]);
+        assert_eq!(t.detail(), Some("//sec"));
+
+        let reg = StageRegistry::new(&["eval", "serialize"]);
+        for (stage, us) in t.stages() {
+            reg.record_micros(stage, *us);
+        }
+        reg.record_micros("unknown", 99);
+        let eval = reg.histogram("eval").expect("registered").snapshot();
+        assert_eq!(eval.count(), 1);
+        assert_eq!(eval.sum_micros(), 17);
+        assert!(reg.histogram("unknown").is_none());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn span_records_once() {
+        let h = Histogram::new();
+        {
+            let _s = Span::enter(&h);
+        }
+        let us = Span::enter(&h).finish();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2, "drop and finish each record exactly once");
+        assert!(us < 1_000_000, "a no-op span should be fast");
+    }
+}

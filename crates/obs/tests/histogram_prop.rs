@@ -1,0 +1,131 @@
+//! Property tests for the latency histogram: quantiles must agree with
+//! a sorted-values oracle within the bucket ladder's error bound, and
+//! concurrent recording plus merging must lose nothing.
+
+use hopi_obs::{Histogram, HistogramSnapshot, MAX_FINITE_MICROS};
+use proptest::prelude::*;
+
+/// The ladder's contract: exact below 4 µs, else the reported quantile
+/// is the bucket's inclusive upper bound — at least the true value and
+/// at most 25 % above it.
+fn check_quantile(values: &mut [u64], qs: &[f64]) -> Result<(), TestCaseError> {
+    let h = Histogram::new();
+    for &v in values.iter() {
+        h.record_micros(v);
+    }
+    values.sort_unstable();
+    let s = h.snapshot();
+    prop_assert_eq!(s.count(), values.len() as u64);
+    prop_assert_eq!(s.sum_micros(), values.iter().sum::<u64>());
+    for &q in qs {
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let oracle = values[rank - 1].min(MAX_FINITE_MICROS);
+        let got = s.quantile_micros(q);
+        prop_assert!(
+            got >= oracle,
+            "q={} reported {} < oracle {}",
+            q,
+            got,
+            oracle
+        );
+        // 4·got ≤ 5·oracle + 4: ≤ 25 % relative error, with slack for
+        // the exact sub-4 µs buckets where oracle can be 0.
+        prop_assert!(
+            4 * got <= 5 * oracle + 4,
+            "q={} reported {} overshoots oracle {}",
+            q,
+            got,
+            oracle
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_oracle_within_bucket_error(
+        mut values in proptest::collection::vec(0u64..500_000_000, 1..400),
+        q_seed in 0u64..1_000,
+    ) {
+        let qs = [
+            0.0,
+            0.5,
+            0.95,
+            0.99,
+            1.0,
+            (q_seed % 1000) as f64 / 1000.0,
+        ];
+        check_quantile(&mut values, &qs)?;
+    }
+
+    #[test]
+    fn snapshot_merge_equals_recording_into_one(
+        a in proptest::collection::vec(0u64..10_000_000, 0..200),
+        b in proptest::collection::vec(0u64..10_000_000, 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a {
+            ha.record_micros(v);
+            hall.record_micros(v);
+        }
+        for &v in &b {
+            hb.record_micros(v);
+            hall.record_micros(v);
+        }
+        // Atomic merge and snapshot merge must both equal the union.
+        let mut snap = HistogramSnapshot::default();
+        snap.merge(&ha.snapshot());
+        snap.merge(&hb.snapshot());
+        ha.merge(&hb);
+        let union = hall.snapshot();
+        prop_assert_eq!(snap.count(), union.count());
+        prop_assert_eq!(snap.sum_micros(), union.sum_micros());
+        prop_assert_eq!(ha.snapshot().count(), union.count());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            prop_assert_eq!(snap.quantile_micros(q), union.quantile_micros(q));
+            prop_assert_eq!(ha.snapshot().quantile_micros(q), union.quantile_micros(q));
+        }
+    }
+}
+
+/// Hammer one shared histogram from many threads, then check nothing
+/// was dropped and the quantiles bound the recorded values.
+#[test]
+fn cross_thread_record_and_merge_are_consistent() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let shared = std::sync::Arc::new(Histogram::new());
+    let locals: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let local = Histogram::new();
+                for i in 0..PER_THREAD {
+                    // Deterministic per-thread values spanning the ladder.
+                    let v = (t * PER_THREAD + i) * 37 % 2_000_000;
+                    shared.record_micros(v);
+                    local.record_micros(v);
+                }
+                local.snapshot()
+            })
+        })
+        .collect();
+    let mut merged = HistogramSnapshot::default();
+    for handle in locals {
+        merged.merge(&handle.join().expect("recorder thread panicked"));
+    }
+    let shared = shared.snapshot();
+    assert_eq!(shared.count(), THREADS * PER_THREAD);
+    assert_eq!(merged.count(), shared.count());
+    assert_eq!(merged.sum_micros(), shared.sum_micros());
+    for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            merged.quantile_micros(q),
+            shared.quantile_micros(q),
+            "merged and shared disagree at q={q}"
+        );
+    }
+    assert!(shared.quantile_micros(1.0) < 2_500_000);
+}

@@ -109,6 +109,8 @@ pub struct BuildReport {
     pub cover_size: usize,
     /// Label entries added by the cover join.
     pub join_entries: usize,
+    /// Milliseconds spent partitioning the collection graph.
+    pub partition_ms: u64,
     /// Milliseconds spent building per-partition covers.
     pub covers_ms: u64,
     /// Milliseconds spent joining covers.
@@ -136,6 +138,7 @@ pub fn build_index(collection: &Collection, config: &BuildConfig) -> (HopiIndex,
         PartitionerChoice::Old(cfg) => old_partitioner::partition(collection, cfg),
         PartitionerChoice::Tc(cfg) => tc_partitioner::partition(collection, cfg),
     };
+    let partition_ms = t_total.elapsed().as_millis() as u64;
 
     // Cross-link targets per partition, for §4.2 center preselection.
     let mut preselect: FxHashMap<u32, Vec<ElemId>> = FxHashMap::default();
@@ -187,6 +190,7 @@ pub fn build_index(collection: &Collection, config: &BuildConfig) -> (HopiIndex,
         cross_links: partitioning.cross_links.len(),
         cover_size: cover.size(),
         join_entries,
+        partition_ms,
         covers_ms,
         join_ms,
         total_ms: t_total.elapsed().as_millis() as u64,

@@ -26,6 +26,7 @@ use crate::plan::{
 };
 use crate::tag_index::TagIndex;
 use hopi_core::{HopiIndex, LabelSource};
+use hopi_obs::Stopwatch;
 use hopi_text::TextSource;
 use hopi_xml::{Collection, ElemId};
 use std::cell::RefCell;
@@ -380,6 +381,9 @@ impl Evaluator {
         // Stamp tables must span every id either side can produce.
         let bound = collection.elem_id_bound().max(index.num_nodes());
         let stats = index.cover_stats();
+        // EXPLAIN ANALYZE: time each step only when a report is being
+        // built, so the plain path stays measurement-free.
+        let sw = report.as_ref().map(|_| Stopwatch::start());
         let mut current = seed(collection, tags, expr);
         let mut seed_content = None;
         if let Some(pred) = &expr.steps[0].predicate {
@@ -403,12 +407,14 @@ impl Evaluator {
                 output: current.len(),
                 plan: None,
                 content: seed_content,
+                elapsed_us: sw.map(|w| w.elapsed_micros()).unwrap_or(0),
             });
         }
         for (step_idx, step) in expr.steps.iter().enumerate().skip(1) {
             if current.is_empty() {
                 break;
             }
+            let sw = report.as_ref().map(|_| Stopwatch::start());
             let input = current.len();
             let mut next = std::mem::take(&mut self.next_buf);
             next.clear();
@@ -508,6 +514,7 @@ impl Evaluator {
                     output: next.len(),
                     plan,
                     content,
+                    elapsed_us: sw.map(|w| w.elapsed_micros()).unwrap_or(0),
                 });
             }
             // Keep the outgoing buffer for the next step / next query.
@@ -1080,6 +1087,14 @@ mod tests {
         let text = report.render(&expr);
         assert!(text.contains("strategy="), "{text}");
         assert!(text.contains("//author"), "{text}");
+        // EXPLAIN ANALYZE: every executed step carries a measured wall
+        // time (possibly 0µs on a coarse clock) and rendered rows/time.
+        assert!(text.contains("time="), "{text}");
+        assert!(
+            text.contains(&format!("rows: 3 -> {}", result.len())),
+            "{text}"
+        );
+        assert!(report.total_elapsed_us() >= report.steps[1].elapsed_us);
     }
 
     fn text_fixture() -> (Collection, HopiIndex, TagIndex, hopi_text::TextIndex) {

@@ -349,6 +349,9 @@ pub struct StepReport {
     pub plan: Option<StepPlan>,
     /// Content-predicate placement (`None` = structure-only step).
     pub content: Option<ContentPlacement>,
+    /// Wall time the step took, in microseconds (EXPLAIN ANALYZE: the
+    /// step actually ran; this is measured, not estimated).
+    pub elapsed_us: u64,
 }
 
 /// EXPLAIN output of one evaluation: per-step sizes, estimates, and the
@@ -373,6 +376,12 @@ impl QueryPlanReport {
             }
         }
         PlanCounts::from_cells(cells)
+    }
+
+    /// Total measured wall time across all executed steps, in
+    /// microseconds.
+    pub fn total_elapsed_us(&self) -> u64 {
+        self.steps.iter().map(|s| s.elapsed_us).sum()
     }
 
     /// Renders a human-readable plan, one line per step, labeling steps
@@ -427,8 +436,12 @@ impl QueryPlanReport {
                     report.input
                 )),
             }
-            out.push_str(&format!("  -> {} matches\n", report.output));
+            out.push_str(&format!(
+                "  rows: {} -> {}  time={}µs\n",
+                report.input, report.output, report.elapsed_us
+            ));
         }
+        out.push_str(&format!("total time={}µs\n", self.total_elapsed_us()));
         out
     }
 }
@@ -516,6 +529,7 @@ mod tests {
                     output: 3,
                     plan: None,
                     content: None,
+                    elapsed_us: 12,
                 },
                 StepReport {
                     step: 1,
@@ -525,6 +539,7 @@ mod tests {
                     output: 2,
                     plan: Some(plan_connection_step(&stats(), 3, 4, 9, 0, None)),
                     content: Some(ContentPlacement::PreFilter),
+                    elapsed_us: 30,
                 },
             ],
         };
@@ -533,7 +548,11 @@ mod tests {
         assert!(text.contains("//b"), "{text}");
         assert!(text.contains("strategy="), "{text}");
         assert!(text.contains("content=pre_filter"), "{text}");
+        assert!(text.contains("rows: 3 -> 2"), "{text}");
+        assert!(text.contains("time=30µs"), "{text}");
+        assert!(text.contains("total time=42µs"), "{text}");
         assert_eq!(report.strategy_counts().total(), 1);
+        assert_eq!(report.total_elapsed_us(), 42);
     }
 
     #[test]

@@ -16,13 +16,25 @@ pub struct Client {
     carry: Vec<u8>,
 }
 
-/// A parsed response: status code and body text.
+/// A parsed response: status code, headers, and body text.
 #[derive(Clone, Debug)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: String,
+}
+
+impl ClientResponse {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 impl Client {
@@ -75,13 +87,17 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-        let content_length: usize = head
+        let headers: Vec<(String, String)> = head
             .lines()
-            .find_map(|l| {
+            .skip(1)
+            .filter_map(|l| {
                 let (name, value) = l.split_once(':')?;
-                name.eq_ignore_ascii_case("content-length")
-                    .then(|| value.trim().parse().ok())?
+                Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
             })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find_map(|(n, v)| (n == "content-length").then(|| v.parse().ok())?)
             .unwrap_or(0);
 
         // Body: take buffered bytes, read the rest.
@@ -104,6 +120,7 @@ impl Client {
         }
         Ok(ClientResponse {
             status,
+            headers,
             body: String::from_utf8_lossy(&body).to_string(),
         })
     }

@@ -283,6 +283,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// The complete body.
     pub body: String,
+    /// Extra response headers (`x-hopi-trace`, …).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -292,6 +294,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body,
+            headers: Vec::new(),
         }
     }
 
@@ -301,16 +304,35 @@ impl Response {
             status,
             content_type: "application/json",
             body: crate::json::error_body(msg),
+            headers: Vec::new(),
         }
     }
 
-    /// A `200 OK` plain-text response (the `/metrics` exposition).
+    /// A `200 OK` plain-text response.
     pub fn text(body: String) -> Self {
         Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body,
+            headers: Vec::new(),
         }
+    }
+
+    /// A `200 OK` Prometheus text-exposition response (`/metrics`),
+    /// advertising exposition format 0.0.4.
+    pub fn prometheus(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds one response header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 }
 
@@ -336,14 +358,21 @@ fn reason(status: u16) -> &'static str {
 /// Writes `resp` (fixed `Content-Length`, never chunked). `close` echoes
 /// the connection disposition so clients see what the server will do.
 pub fn write_response(stream: &mut impl Write, resp: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(resp.body.as_bytes())?;
     stream.flush()
@@ -449,5 +478,17 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_and_prometheus_content_type() {
+        let mut out = Vec::new();
+        let resp = Response::prometheus("x 1\n".into())
+            .with_header("x-hopi-trace", "00000000deadbeef".into());
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.contains("x-hopi-trace: 00000000deadbeef\r\n"));
+        assert!(text.ends_with("\r\n\r\nx 1\n"));
     }
 }

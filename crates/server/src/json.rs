@@ -82,6 +82,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as an object's members, in document order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
 }
 
 /// Why a body failed to parse.

@@ -31,6 +31,7 @@
 //! | `DELETE /documents/{id}` | delete a document |
 //! | `POST /links` / `DELETE /links` | link maintenance |
 //! | `GET /healthz` / `GET /stats` / `GET /metrics` | observability |
+//! | `GET /debug/slow` | slow-query log (trace ids, stage breakdowns) |
 //! | `POST /admin/rebuild` / `POST /admin/save` | admin |
 //!
 //! ## Quickstart
@@ -64,7 +65,11 @@ pub mod json;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod slow;
 
 pub use client::{Client, ClientResponse};
 pub use router::AppState;
-pub use server::{serve, ServerConfig, ServerHandle, ShutdownTrigger};
+pub use server::{
+    serve, ServerConfig, ServerHandle, ShutdownTrigger, DEFAULT_SLOW_THRESHOLD_MICROS,
+};
+pub use slow::{SlowEntry, SlowLog, SLOW_LOG_CAPACITY};

@@ -1,13 +1,18 @@
-//! Per-endpoint serving counters, exposed at `GET /metrics`.
+//! Per-endpoint serving metrics, exposed at `GET /metrics`.
 //!
 //! Every handled request bumps one [`EndpointMetrics`] cell: request count,
-//! error count (any non-2xx status), and summed latency in microseconds —
-//! enough to derive QPS and mean latency from two scrapes. Counters are
-//! plain relaxed atomics: scrapes may be a hair stale but never torn, and
-//! the hot path pays two `fetch_add`s.
+//! error count (any non-2xx status), and a full latency *distribution*
+//! ([`hopi_obs::Histogram`]) — p50/p95/p99 are derivable from a single
+//! scrape, not just the mean. A shared [`StageRegistry`] breaks request
+//! time down by serve-loop stage ([`STAGES`]). Everything is relaxed
+//! atomics: scrapes may be a hair stale but never torn, and the hot path
+//! pays a handful of `fetch_add`s.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use hopi_build::WalHistograms;
+use hopi_obs::{Histogram, StageRegistry};
 
 /// The fixed endpoint universe (one counter cell each; unknown paths land
 /// in `Other`).
@@ -45,12 +50,14 @@ pub enum Endpoint {
     AdminSave,
     /// `POST /admin/checkpoint`
     AdminCheckpoint,
+    /// `GET /debug/slow`
+    DebugSlow,
     /// Anything else (404s, bad methods, parse failures).
     Other,
 }
 
 /// All endpoints, in `/metrics` exposition order.
-pub const ALL_ENDPOINTS: [Endpoint; 17] = [
+pub const ALL_ENDPOINTS: [Endpoint; 18] = [
     Endpoint::Healthz,
     Endpoint::Stats,
     Endpoint::Metrics,
@@ -67,8 +74,15 @@ pub const ALL_ENDPOINTS: [Endpoint; 17] = [
     Endpoint::AdminRebuild,
     Endpoint::AdminSave,
     Endpoint::AdminCheckpoint,
+    Endpoint::DebugSlow,
     Endpoint::Other,
 ];
+
+/// The per-request stage taxonomy recorded by the serve loop: socket
+/// read, routing + handler dispatch, engine evaluation, response body
+/// serialization, socket write. `Trace` stages outside this fixed set
+/// still appear in the slow-query log, just not as `/metrics` series.
+pub const STAGES: [&str; 5] = ["read", "route", "eval", "serialize", "write"];
 
 impl Endpoint {
     /// The label used in the `/metrics` exposition.
@@ -90,6 +104,7 @@ impl Endpoint {
             Endpoint::AdminRebuild => "admin_rebuild",
             Endpoint::AdminSave => "admin_save",
             Endpoint::AdminCheckpoint => "admin_checkpoint",
+            Endpoint::DebugSlow => "debug_slow",
             Endpoint::Other => "other",
         }
     }
@@ -116,23 +131,54 @@ pub struct TextGauges {
     pub postings_bytes: u64,
 }
 
-/// One endpoint's counters.
+/// One endpoint's counters and latency distribution.
 #[derive(Debug, Default)]
 pub struct EndpointMetrics {
     /// Requests handled.
     pub requests: AtomicU64,
     /// Requests answered with a non-2xx status.
     pub errors: AtomicU64,
-    /// Summed handling latency, microseconds.
-    pub micros: AtomicU64,
+    /// Full handling-latency distribution.
+    pub latency: Histogram,
+}
+
+/// One endpoint's latency digest, served in the `GET /stats` JSON.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// The endpoint's `/metrics` label.
+    pub endpoint: &'static str,
+    /// Requests handled.
+    pub count: u64,
+    /// Requests answered with a non-2xx status.
+    pub errors: u64,
+    /// Mean handling latency, microseconds.
+    pub mean_micros: f64,
+    /// Median handling latency, microseconds (bucket upper bound).
+    pub p50_micros: u64,
+    /// 95th-percentile handling latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile handling latency, microseconds.
+    pub p99_micros: u64,
 }
 
 /// The server-wide metrics registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     cells: [EndpointMetrics; ALL_ENDPOINTS.len()],
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Per-stage latency breakdown across all requests ([`STAGES`]).
+    pub stages: StageRegistry,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            cells: Default::default(),
+            connections: AtomicU64::new(0),
+            stages: StageRegistry::new(&STAGES),
+        }
+    }
 }
 
 impl Metrics {
@@ -148,10 +194,31 @@ impl Metrics {
         if !(200..300).contains(&status) {
             cell.errors.fetch_add(1, Ordering::Relaxed);
         }
-        cell.micros.fetch_add(
-            elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
+        cell.latency.record(elapsed);
+    }
+
+    /// Latency digests for every endpoint that has seen traffic,
+    /// in exposition order.
+    pub fn latency_summaries(&self) -> Vec<LatencySummary> {
+        ALL_ENDPOINTS
+            .iter()
+            .filter_map(|&e| {
+                let cell = self.endpoint(e);
+                let snap = cell.latency.snapshot();
+                if snap.is_empty() {
+                    return None;
+                }
+                Some(LatencySummary {
+                    endpoint: e.label(),
+                    count: snap.count(),
+                    errors: cell.errors.load(Ordering::Relaxed),
+                    mean_micros: snap.mean_micros(),
+                    p50_micros: snap.quantile_micros(0.50),
+                    p95_micros: snap.quantile_micros(0.95),
+                    p99_micros: snap.quantile_micros(0.99),
+                })
+            })
+            .collect()
     }
 
     /// One endpoint's counters.
@@ -168,19 +235,13 @@ impl Metrics {
     }
 
     /// Renders the Prometheus-style text exposition served at `/metrics`.
-    /// `epoch` and `uptime` come from the server (gauges alongside the
-    /// counters); `plan` carries the engine's per-strategy `//`-step
-    /// execution totals as `(strategy label, count)` pairs; `text` carries
-    /// the snapshot's term-index sizes.
-    pub fn render(
-        &self,
-        epoch: u64,
-        uptime: Duration,
-        workers: usize,
-        plan: &[(&'static str, u64)],
-        text: TextGauges,
-    ) -> String {
-        let mut out = String::with_capacity(2048);
+    pub fn render(&self, ctx: &RenderContext<'_>) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("# TYPE hopi_build_info gauge\n");
+        out.push_str(&format!(
+            "hopi_build_info{{version=\"{}\",store_format=\"{}\"}} 1\n",
+            ctx.version, ctx.store_format
+        ));
         out.push_str("# TYPE hopi_requests_total counter\n");
         for e in ALL_ENDPOINTS {
             let c = self.endpoint(e);
@@ -199,14 +260,29 @@ impl Metrics {
                 c.errors.load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE hopi_request_micros_total counter\n");
+        out.push_str("# TYPE hopi_request_duration_seconds histogram\n");
         for e in ALL_ENDPOINTS {
-            let c = self.endpoint(e);
-            out.push_str(&format!(
-                "hopi_request_micros_total{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                c.micros.load(Ordering::Relaxed)
-            ));
+            self.endpoint(e).latency.snapshot().render_prometheus(
+                "hopi_request_duration_seconds",
+                &format!("endpoint=\"{}\"", e.label()),
+                &mut out,
+            );
+        }
+        out.push_str("# TYPE hopi_stage_duration_seconds histogram\n");
+        for (stage, hist) in self.stages.iter() {
+            hist.snapshot().render_prometheus(
+                "hopi_stage_duration_seconds",
+                &format!("stage=\"{stage}\""),
+                &mut out,
+            );
+        }
+        if let Some(wal) = &ctx.wal {
+            out.push_str("# TYPE hopi_wal_fsync_duration_seconds histogram\n");
+            wal.fsync
+                .render_prometheus("hopi_wal_fsync_duration_seconds", "", &mut out);
+            out.push_str("# TYPE hopi_wal_group_commit_batch_records histogram\n");
+            wal.batch
+                .render_prometheus_raw("hopi_wal_group_commit_batch_records", "", &mut out);
         }
         out.push_str("# TYPE hopi_connections_total counter\n");
         out.push_str(&format!(
@@ -214,11 +290,18 @@ impl Metrics {
             self.connections.load(Ordering::Relaxed)
         ));
         out.push_str("# TYPE hopi_query_plan_total counter\n");
-        for (label, count) in plan {
+        for (label, count) in ctx.plan {
             out.push_str(&format!(
                 "hopi_query_plan_total{{strategy=\"{label}\"}} {count}\n"
             ));
         }
+        out.push_str("# TYPE hopi_rebuild_phase_ms gauge\n");
+        for (phase, ms) in ctx.build_phases {
+            out.push_str(&format!(
+                "hopi_rebuild_phase_ms{{phase=\"{phase}\"}} {ms}\n"
+            ));
+        }
+        let text = ctx.text;
         out.push_str("# TYPE hopi_text_vocabulary gauge\n");
         out.push_str(&format!("hopi_text_vocabulary {}\n", text.vocabulary));
         out.push_str("# TYPE hopi_text_postings gauge\n");
@@ -234,16 +317,41 @@ impl Metrics {
             text.postings_bytes as f64 / text.postings.max(1) as f64
         ));
         out.push_str("# TYPE hopi_snapshot_epoch gauge\n");
-        out.push_str(&format!("hopi_snapshot_epoch {epoch}\n"));
+        out.push_str(&format!("hopi_snapshot_epoch {}\n", ctx.epoch));
         out.push_str("# TYPE hopi_uptime_seconds gauge\n");
         out.push_str(&format!(
             "hopi_uptime_seconds {:.3}\n",
-            uptime.as_secs_f64()
+            ctx.uptime.as_secs_f64()
         ));
         out.push_str("# TYPE hopi_worker_threads gauge\n");
-        out.push_str(&format!("hopi_worker_threads {workers}\n"));
+        out.push_str(&format!("hopi_worker_threads {}\n", ctx.workers));
         out
     }
+}
+
+/// Everything `/metrics` renders besides the registry itself, sampled
+/// by the handler at scrape time.
+#[derive(Debug)]
+pub struct RenderContext<'a> {
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Per-strategy `//`-step execution totals, `(strategy, count)`.
+    pub plan: &'a [(&'static str, u64)],
+    /// Term-index sizes from the current snapshot.
+    pub text: TextGauges,
+    /// Wall time per phase of the build behind the current snapshot,
+    /// `(phase, milliseconds)`.
+    pub build_phases: &'a [(&'static str, u64)],
+    /// WAL durability distributions (durable mode only).
+    pub wal: Option<WalHistograms>,
+    /// Server crate version for `hopi_build_info`.
+    pub version: &'a str,
+    /// On-disk store format version for `hopi_build_info`.
+    pub store_format: u32,
 }
 
 #[cfg(test)]
@@ -256,6 +364,7 @@ mod tests {
         m.record(Endpoint::Connected, 200, Duration::from_micros(120));
         m.record(Endpoint::Connected, 200, Duration::from_micros(80));
         m.record(Endpoint::Query, 400, Duration::from_micros(10));
+        m.stages.record_micros("eval", 50);
         assert_eq!(
             m.endpoint(Endpoint::Connected)
                 .requests
@@ -268,37 +377,60 @@ mod tests {
                 .load(Ordering::Relaxed),
             0
         );
-        assert_eq!(
-            m.endpoint(Endpoint::Connected)
-                .micros
-                .load(Ordering::Relaxed),
-            200
-        );
+        assert_eq!(m.endpoint(Endpoint::Connected).latency.count(), 2);
         assert_eq!(
             m.endpoint(Endpoint::Query).errors.load(Ordering::Relaxed),
             1
         );
         assert_eq!(m.total_requests(), 3);
 
-        let text = m.render(
-            7,
-            Duration::from_secs(2),
-            4,
-            &[("forward_hop_join", 9), ("pairwise_probe", 1)],
-            TextGauges {
+        let summaries = m.latency_summaries();
+        assert_eq!(summaries.len(), 2, "only endpoints with traffic appear");
+        let conn = summaries
+            .iter()
+            .find(|s| s.endpoint == "connected")
+            .expect("connected summary");
+        assert_eq!(conn.count, 2);
+        assert_eq!(conn.errors, 0);
+        assert!(conn.p50_micros >= 80 && conn.p50_micros <= 100);
+        assert!(conn.p99_micros >= 120);
+
+        let text = m.render(&RenderContext {
+            epoch: 7,
+            uptime: Duration::from_secs(2),
+            workers: 4,
+            plan: &[("forward_hop_join", 9), ("pairwise_probe", 1)],
+            text: TextGauges {
                 vocabulary: 12,
                 postings: 30,
                 postings_bytes: 240,
             },
-        );
+            build_phases: &[("partition", 3), ("freeze", 1)],
+            wal: None,
+            version: "0.2.0",
+            store_format: 3,
+        });
+        assert!(text.contains("hopi_build_info{version=\"0.2.0\",store_format=\"3\"} 1"));
         assert!(text.contains("hopi_requests_total{endpoint=\"connected\"} 2"));
         assert!(text.contains("hopi_request_errors_total{endpoint=\"query\"} 1"));
+        assert!(text.contains("hopi_request_duration_seconds_bucket{endpoint=\"connected\",le="));
+        assert!(text.contains("hopi_request_duration_seconds_count{endpoint=\"connected\"} 2"));
+        // Idle endpoints still emit the +Inf bucket so series exist.
+        assert!(
+            text.contains("hopi_request_duration_seconds_bucket{endpoint=\"other\",le=\"+Inf\"} 0")
+        );
+        assert!(text.contains("hopi_stage_duration_seconds_count{stage=\"eval\"} 1"));
         assert!(text.contains("hopi_query_plan_total{strategy=\"forward_hop_join\"} 9"));
+        assert!(text.contains("hopi_rebuild_phase_ms{phase=\"partition\"} 3"));
         assert!(text.contains("hopi_text_vocabulary 12"));
         assert!(text.contains("hopi_text_postings 30"));
         assert!(text.contains("hopi_text_postings_bytes 240"));
         assert!(text.contains("hopi_text_bytes_per_posting 8.00"));
         assert!(text.contains("hopi_snapshot_epoch 7"));
         assert!(text.contains("hopi_worker_threads 4"));
+        assert!(
+            !text.contains("hopi_wal_fsync"),
+            "no WAL panel without durable mode"
+        );
     }
 }

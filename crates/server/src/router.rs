@@ -10,7 +10,9 @@
 use crate::http::{Method, Request, Response};
 use crate::json::{self, Json, JsonWriter};
 use crate::metrics::Endpoint;
+use crate::slow::SlowLog;
 use hopi_build::{HopiError, OnlineHopi};
+use hopi_obs::Trace;
 use std::time::Instant;
 
 /// Cap on `POST /connected_many` batch size (per request).
@@ -23,8 +25,10 @@ pub struct AppState {
     pub engine: OnlineHopi,
     /// Frozen serving: mutation and rebuild endpoints answer 403.
     pub read_only: bool,
-    /// Per-endpoint counters (rendered at `/metrics`).
+    /// Per-endpoint latency histograms and counters (`/metrics`).
     pub metrics: crate::metrics::Metrics,
+    /// The slow-query log (`GET /debug/slow`).
+    pub slow: SlowLog,
     /// Server start time (uptime gauge).
     pub started: Instant,
     /// Worker-pool size (gauge).
@@ -32,19 +36,23 @@ pub struct AppState {
 }
 
 /// Routes one request. Returns the endpoint cell to account it under and
-/// the response to write.
-pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
+/// the response to write. Handlers record their expensive stages (`eval`,
+/// `serialize`) and the request detail into `trace`; the serve loop folds
+/// the trace into the stage histograms and the slow-query log.
+pub fn route(state: &AppState, req: &Request, trace: &mut Trace) -> (Endpoint, Response) {
     let path = req.path.as_str();
     match (req.method, path) {
         (Method::Get, "/healthz") => (Endpoint::Healthz, healthz(state)),
         (Method::Get, "/stats") => (Endpoint::Stats, stats(state)),
         (Method::Get, "/metrics") => (Endpoint::Metrics, metrics(state)),
         (Method::Get, "/connected") => (Endpoint::Connected, connected(state, req)),
-        (Method::Post, "/connected_many") => (Endpoint::ConnectedMany, connected_many(state, req)),
+        (Method::Post, "/connected_many") => {
+            (Endpoint::ConnectedMany, connected_many(state, req, trace))
+        }
         (Method::Get, "/distance") => (Endpoint::Distance, distance(state, req)),
         (Method::Get, "/descendants") => (Endpoint::Descendants, neighborhood(state, req, false)),
         (Method::Get, "/ancestors") => (Endpoint::Ancestors, neighborhood(state, req, true)),
-        (Method::Get, "/query") => (Endpoint::Query, query(state, req)),
+        (Method::Get, "/query") => (Endpoint::Query, query(state, req, trace)),
         (Method::Post, "/documents") => (Endpoint::InsertDocument, insert_document(state, req)),
         (Method::Delete, p) if p.strip_prefix("/documents/").is_some() => {
             (Endpoint::DeleteDocument, delete_document(state, req))
@@ -54,12 +62,13 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
         (Method::Post, "/admin/rebuild") => (Endpoint::AdminRebuild, admin_rebuild(state)),
         (Method::Post, "/admin/save") => (Endpoint::AdminSave, admin_save(state, req)),
         (Method::Post, "/admin/checkpoint") => (Endpoint::AdminCheckpoint, admin_checkpoint(state)),
+        (Method::Get, "/debug/slow") => (Endpoint::DebugSlow, debug_slow(state)),
         // Known paths with the wrong method get a 405, unknown paths 404.
         (
             _,
             "/healthz" | "/stats" | "/metrics" | "/connected" | "/connected_many" | "/distance"
             | "/descendants" | "/ancestors" | "/query" | "/documents" | "/links" | "/admin/rebuild"
-            | "/admin/save" | "/admin/checkpoint",
+            | "/admin/save" | "/admin/checkpoint" | "/debug/slow",
         ) => (
             Endpoint::Other,
             Response::error(405, &format!("method not allowed on {path}")),
@@ -161,23 +170,91 @@ fn stats(state: &AppState) -> Response {
     }
     w.field_u64("total", s.plan.total());
     w.close_obj();
+    // Build-phase wall times behind the current snapshot.
+    w.field_obj("build_ms");
+    w.field_u64("partition", s.build.partition_ms);
+    w.field_u64("covers", s.build.covers_ms);
+    w.field_u64("join", s.build.join_ms);
+    w.field_u64("freeze", s.build.freeze_ms);
+    w.field_u64("total", s.build.total_ms);
+    w.close_obj();
+    // Per-endpoint latency digests from the histogram registry —
+    // p50/p95/p99 without waiting for a Prometheus scrape.
+    w.field_arr("latency");
+    for l in state.metrics.latency_summaries() {
+        w.obj();
+        w.field_str("endpoint", l.endpoint);
+        w.field_u64("count", l.count);
+        w.field_u64("errors", l.errors);
+        w.field_f64("mean_micros", l.mean_micros);
+        w.field_u64("p50_micros", l.p50_micros);
+        w.field_u64("p95_micros", l.p95_micros);
+        w.field_u64("p99_micros", l.p99_micros);
+        w.close_obj();
+    }
+    w.close_arr();
+    // Slow-query log summary (full entries at GET /debug/slow).
+    w.field_obj("slow");
+    w.field_u64("threshold_micros", state.slow.threshold_micros());
+    w.field_u64("captured", state.slow.snapshot().len() as u64);
+    w.close_obj();
     w.close_obj();
     Response::json(w.finish())
 }
 
 fn metrics(state: &AppState) -> Response {
     let s = state.engine.snapshot_stats();
-    Response::text(state.metrics.render(
-        state.engine.epoch(),
-        state.started.elapsed(),
-        state.workers,
-        &s.plan.as_labeled(),
-        crate::metrics::TextGauges {
+    let build_phases = [
+        ("partition", s.build.partition_ms),
+        ("covers", s.build.covers_ms),
+        ("join", s.build.join_ms),
+        ("freeze", s.build.freeze_ms),
+        ("total", s.build.total_ms),
+    ];
+    let ctx = crate::metrics::RenderContext {
+        epoch: state.engine.epoch(),
+        uptime: state.started.elapsed(),
+        workers: state.workers,
+        plan: &s.plan.as_labeled(),
+        text: crate::metrics::TextGauges {
             vocabulary: s.text_vocabulary as u64,
             postings: s.text_postings as u64,
             postings_bytes: s.text_postings_bytes as u64,
         },
-    ))
+        build_phases: &build_phases,
+        wal: state.engine.wal_histograms(),
+        version: env!("CARGO_PKG_VERSION"),
+        store_format: hopi_build::STORE_FORMAT_VERSION,
+    };
+    Response::prometheus(state.metrics.render(&ctx))
+}
+
+fn debug_slow(state: &AppState) -> Response {
+    let entries = state.slow.snapshot();
+    let mut w = JsonWriter::new();
+    w.obj();
+    w.field_u64("threshold_micros", state.slow.threshold_micros());
+    w.field_u64("count", entries.len() as u64);
+    w.field_arr("slow");
+    for e in &entries {
+        w.obj();
+        w.field_str("trace", &e.trace);
+        w.field_str("endpoint", e.endpoint);
+        if let Some(d) = &e.detail {
+            w.field_str("detail", d);
+        }
+        w.field_u64("micros", e.micros);
+        w.field_u64("epoch", e.epoch);
+        w.field_obj("stages");
+        for (stage, us) in &e.stages {
+            w.field_u64(stage, *us);
+        }
+        w.close_obj();
+        w.close_obj();
+    }
+    w.close_arr();
+    w.close_obj();
+    Response::json(w.finish())
 }
 
 fn connected(state: &AppState, req: &Request) -> Response {
@@ -194,7 +271,7 @@ fn connected(state: &AppState, req: &Request) -> Response {
     Response::json(w.finish())
 }
 
-fn connected_many(state: &AppState, req: &Request) -> Response {
+fn connected_many(state: &AppState, req: &Request, trace: &mut Trace) -> Response {
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => return Response::error(400, &e),
@@ -229,18 +306,20 @@ fn connected_many(state: &AppState, req: &Request) -> Response {
     // One snapshot, one batched kernel run — all answers on one epoch.
     let snap = state.engine.snapshot();
     let mut out = Vec::new();
-    snap.connected_many(&pairs, &mut out);
-    let mut w = JsonWriter::new();
-    w.obj();
-    w.field_arr("results");
-    for b in &out {
-        w.item_bool(*b);
-    }
-    w.close_arr();
-    w.field_u64("count", out.len() as u64);
-    w.field_u64("epoch", snap.epoch());
-    w.close_obj();
-    Response::json(w.finish())
+    trace.time("eval", || snap.connected_many(&pairs, &mut out));
+    trace.time("serialize", || {
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.field_arr("results");
+        for b in &out {
+            w.item_bool(*b);
+        }
+        w.close_arr();
+        w.field_u64("count", out.len() as u64);
+        w.field_u64("epoch", snap.epoch());
+        w.close_obj();
+        Response::json(w.finish())
+    })
 }
 
 fn distance(state: &AppState, req: &Request) -> Response {
@@ -286,10 +365,11 @@ fn neighborhood(state: &AppState, req: &Request, ancestors: bool) -> Response {
     Response::json(w.finish())
 }
 
-fn query(state: &AppState, req: &Request) -> Response {
+fn query(state: &AppState, req: &Request, trace: &mut Trace) -> Response {
     let Some(expr) = req.param("expr") else {
         return Response::error(400, "missing query parameter 'expr'");
     };
+    trace.set_detail(expr);
     let ranked = req.param("ranked") == Some("true");
     let k = match req.param("k") {
         None => None,
@@ -301,40 +381,44 @@ fn query(state: &AppState, req: &Request) -> Response {
     let snap = state.engine.snapshot();
     let mut w = JsonWriter::new();
     if ranked {
-        let mut matches = match snap.query_ranked(expr) {
+        let mut matches = match trace.time("eval", || snap.query_ranked(expr)) {
             Ok(m) => m,
             Err(e) => return engine_error(&e),
         };
         if let Some(k) = k {
             matches.truncate(k);
         }
-        w.obj();
-        w.field_arr("matches");
-        for m in &matches {
+        trace.time("serialize", || {
             w.obj();
-            w.field_u64("element", u64::from(m.element));
-            w.field_u64("distance", u64::from(m.distance));
-            w.field_f64("text_score", m.text_score);
-            w.field_f64("score", m.score());
-            w.close_obj();
-        }
-        w.close_arr();
-        w.field_u64("count", matches.len() as u64);
+            w.field_arr("matches");
+            for m in &matches {
+                w.obj();
+                w.field_u64("element", u64::from(m.element));
+                w.field_u64("distance", u64::from(m.distance));
+                w.field_f64("text_score", m.text_score);
+                w.field_f64("score", m.score());
+                w.close_obj();
+            }
+            w.close_arr();
+            w.field_u64("count", matches.len() as u64);
+        });
     } else {
-        let mut matches = match snap.query(expr) {
+        let mut matches = match trace.time("eval", || snap.query(expr)) {
             Ok(m) => m,
             Err(e) => return engine_error(&e),
         };
         if let Some(k) = k {
             matches.truncate(k);
         }
-        w.obj();
-        w.field_arr("matches");
-        for &e in &matches {
-            w.item_u64(u64::from(e));
-        }
-        w.close_arr();
-        w.field_u64("count", matches.len() as u64);
+        trace.time("serialize", || {
+            w.obj();
+            w.field_arr("matches");
+            for &e in &matches {
+                w.item_u64(u64::from(e));
+            }
+            w.close_arr();
+            w.field_u64("count", matches.len() as u64);
+        });
     }
     w.field_u64("epoch", snap.epoch());
     w.close_obj();

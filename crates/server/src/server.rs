@@ -16,7 +16,9 @@
 use crate::http::{read_request, write_response, RecvError, Response};
 use crate::metrics::Endpoint;
 use crate::router::{route, AppState};
+use crate::slow::SlowLog;
 use hopi_build::OnlineHopi;
+use hopi_obs::{Stopwatch, Trace};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,7 +53,13 @@ pub struct ServerConfig {
     /// Frozen serving: mutation endpoints answer 403; reads and admin
     /// save/metrics stay available.
     pub read_only: bool,
+    /// Requests at or above this handling latency are captured in the
+    /// slow-query log (`GET /debug/slow`). `0` captures every request.
+    pub slow_threshold_micros: u64,
 }
+
+/// Default slow-query capture threshold: 10 ms.
+pub const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 10_000;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -59,6 +67,7 @@ impl Default for ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 7070)),
             threads: 0,
             read_only: false,
+            slow_threshold_micros: DEFAULT_SLOW_THRESHOLD_MICROS,
         }
     }
 }
@@ -166,6 +175,7 @@ pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandl
         engine,
         read_only: config.read_only,
         metrics: crate::metrics::Metrics::new(),
+        slow: SlowLog::new(config.slow_threshold_micros),
         started: Instant::now(),
         workers,
     });
@@ -263,23 +273,57 @@ fn worker_loop(
 }
 
 /// One connection's keep-alive request loop.
+///
+/// Each handled request gets a fresh [`Trace`]: its id is echoed in the
+/// `x-hopi-trace` response header, its stage breakdown feeds the stage
+/// histograms and (past the threshold) the slow-query log. The recorded
+/// endpoint latency covers routing + handler + response write; the
+/// `read` stage additionally includes whatever keep-alive wait preceded
+/// the request's first byte within the last idle tick.
 fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>, stop: &AtomicBool) {
     let mut carry: Vec<u8> = Vec::new();
     // Time since the last completed request (or connect): bounds both
     // keep-alive idling and dribbled request heads.
-    let mut waiting_since = Instant::now();
+    let mut waiting_since = Stopwatch::start();
     loop {
+        let read_sw = Stopwatch::start();
         match read_request(&mut stream, &mut carry) {
             Ok(req) => {
-                let t0 = Instant::now();
-                let (endpoint, resp) = route(state, &req);
+                let mut trace = Trace::begin();
+                trace.add("read", read_sw.elapsed_micros());
+                let handle_sw = Stopwatch::start();
+                let (endpoint, resp) = route(state, &req, &mut trace);
+                let handled_us = handle_sw.elapsed_micros();
+                // `route` is handler time not already claimed by the
+                // handler's own stages — the stage set stays additive.
+                let inner: u64 = trace
+                    .stages()
+                    .iter()
+                    .filter(|(stage, _)| *stage != "read")
+                    .map(|(_, us)| us)
+                    .sum();
+                trace.add("route", handled_us.saturating_sub(inner));
+                let resp = resp.with_header("x-hopi-trace", trace.id().to_string());
                 // Finish the exchange even mid-shutdown; then close.
                 let close = req.close || stop.load(Ordering::SeqCst);
-                state.metrics.record(endpoint, resp.status, t0.elapsed());
-                if write_response(&mut stream, &resp, close).is_err() || close {
+                let write_sw = Stopwatch::start();
+                let write_ok = write_response(&mut stream, &resp, close).is_ok();
+                let write_us = write_sw.elapsed_micros();
+                trace.add("write", write_us);
+                let total_us = handled_us + write_us;
+                state
+                    .metrics
+                    .record(endpoint, resp.status, Duration::from_micros(total_us));
+                for &(stage, us) in trace.stages() {
+                    state.metrics.stages.record_micros(stage, us);
+                }
+                state
+                    .slow
+                    .offer(&trace, endpoint.label(), total_us, state.engine.epoch());
+                if !write_ok || close {
                     return;
                 }
-                waiting_since = Instant::now();
+                waiting_since = Stopwatch::start();
             }
             Err(RecvError::Eof) => return,
             Err(RecvError::Bad { status, msg }) => {

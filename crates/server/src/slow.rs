@@ -1,0 +1,140 @@
+//! The slow-query log: a fixed-capacity ring of the most recent requests
+//! that crossed the latency threshold, served at `GET /debug/slow`.
+//!
+//! Each captured entry carries the request's trace id (echoed to the
+//! client in the `x-hopi-trace` response header), its endpoint, the
+//! request detail (the query expression, when the handler set one), the
+//! per-stage latency breakdown from the request's [`Trace`], and the
+//! snapshot epoch it was answered on — enough to chase one slow request
+//! from a client log through `/debug/slow` and into `hopi query
+//! --explain` on the same expression. Capture is threshold-gated so the
+//! fast path pays one comparison and no lock; a threshold of `0`
+//! captures every request (useful in tests and short diagnostics
+//! sessions).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use hopi_obs::Trace;
+
+/// How many slow requests the ring retains (oldest evicted first).
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// One captured slow request.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// The request's trace id, as echoed in `x-hopi-trace`.
+    pub trace: String,
+    /// The endpoint's `/metrics` label.
+    pub endpoint: &'static str,
+    /// Handler-provided detail (the query expression), when set.
+    pub detail: Option<String>,
+    /// Total handling latency, microseconds.
+    pub micros: u64,
+    /// Snapshot epoch the request was answered on.
+    pub epoch: u64,
+    /// Per-stage latency breakdown, `(stage, microseconds)`.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+/// The threshold-gated ring buffer behind `GET /debug/slow`.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_micros: u64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log capturing requests at or above `threshold_micros`.
+    pub fn new(threshold_micros: u64) -> SlowLog {
+        SlowLog {
+            threshold_micros,
+            entries: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+        }
+    }
+
+    /// The capture threshold, microseconds.
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros
+    }
+
+    /// Captures one finished request if it crossed the threshold.
+    pub fn offer(&self, trace: &Trace, endpoint: &'static str, micros: u64, epoch: u64) {
+        if micros < self.threshold_micros {
+            return;
+        }
+        let entry = SlowEntry {
+            trace: trace.id().to_string(),
+            endpoint,
+            detail: trace.detail().map(str::to_string),
+            micros,
+            epoch,
+            stages: trace.stages().to_vec(),
+        };
+        // A poisoned log must not kill the worker; the ring is valid
+        // after any panic.
+        let mut ring = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() >= SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// The captured entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut entries: Vec<SlowEntry> = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.micros));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(detail: Option<&str>) -> Trace {
+        let mut t = Trace::begin();
+        t.add("eval", 30);
+        t.add("write", 5);
+        if let Some(d) = detail {
+            t.set_detail(d);
+        }
+        t
+    }
+
+    #[test]
+    fn gates_on_threshold_and_sorts_slowest_first() {
+        let log = SlowLog::new(100);
+        log.offer(&trace_with(None), "connected", 99, 1);
+        assert!(log.snapshot().is_empty(), "below threshold is dropped");
+        log.offer(&trace_with(Some("//a//b")), "query", 150, 1);
+        log.offer(&trace_with(None), "connected", 500, 2);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].endpoint, "connected");
+        assert_eq!(snap[0].micros, 500);
+        assert_eq!(snap[1].detail.as_deref(), Some("//a//b"));
+        assert_eq!(snap[1].stages, vec![("eval", 30), ("write", 5)]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowLog::new(0);
+        for i in 0..(SLOW_LOG_CAPACITY as u64 + 10) {
+            log.offer(&trace_with(None), "query", i, 0);
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY);
+        // The 10 oldest (smallest micros here) were evicted.
+        assert!(snap.iter().all(|e| e.micros >= 10));
+    }
+}

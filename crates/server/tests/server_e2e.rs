@@ -32,6 +32,7 @@ fn serve_small(distance_aware: bool, read_only: bool) -> hopi_server::ServerHand
             addr: loopback(),
             threads: 4,
             read_only,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")
@@ -482,6 +483,7 @@ fn durable_serving_survives_a_crash_without_checkpoint() {
             addr: loopback(),
             threads: 4,
             read_only: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -554,6 +556,7 @@ fn durable_serving_survives_a_crash_without_checkpoint() {
             addr: loopback(),
             threads: 2,
             read_only: false,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -594,5 +597,98 @@ fn checkpoint_without_wal_is_409() {
     let stats = get_json(&mut c, "/stats");
     assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(false));
     assert!(stats.get("wal").is_none());
+    handle.shutdown();
+}
+
+#[test]
+fn traces_and_slow_log_end_to_end() {
+    // Threshold 0 turns the slow log into a capture-everything ring, so
+    // an ordinary loopback query stands in for an "artificially slow" one.
+    let handle = serve(
+        small_engine(false),
+        ServerConfig {
+            addr: loopback(),
+            threads: 2,
+            read_only: false,
+            slow_threshold_micros: 0,
+        },
+    )
+    .expect("bind loopback");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Every response carries a fresh 16-hex trace id.
+    let mut ids = std::collections::HashSet::new();
+    for _ in 0..20 {
+        let resp = c.get("/healthz").expect("healthz");
+        let id = resp.header("x-hopi-trace").expect("trace header");
+        assert_eq!(id.len(), 16, "trace id is 16 hex chars: {id:?}");
+        assert!(id.chars().all(|ch| ch.is_ascii_hexdigit()));
+        assert!(ids.insert(id.to_string()), "trace ids must be unique");
+    }
+
+    // A query is captured in /debug/slow under its trace id, with the
+    // expression as detail and a per-stage breakdown.
+    let resp = c.get("/query?expr=%2F%2Fr%2F%2Fsec").expect("query");
+    assert_eq!(resp.status, 200);
+    let qid = resp
+        .header("x-hopi-trace")
+        .expect("trace header")
+        .to_string();
+    let slow = get_json(&mut c, "/debug/slow");
+    assert_eq!(slow.get("threshold_micros").and_then(Json::as_u64), Some(0));
+    let entries = slow.get("slow").and_then(Json::as_arr).expect("slow array");
+    let entry = entries
+        .iter()
+        .find(|e| e.get("trace").and_then(Json::as_str) == Some(qid.as_str()))
+        .expect("the query's trace id appears in the slow log");
+    assert_eq!(entry.get("endpoint").and_then(Json::as_str), Some("query"));
+    assert_eq!(entry.get("detail").and_then(Json::as_str), Some("//r//sec"));
+    let stages = entry.get("stages").expect("stages object");
+    for stage in ["read", "route", "eval", "serialize", "write"] {
+        assert!(
+            stages.get(stage).and_then(Json::as_u64).is_some(),
+            "stage {stage} missing from breakdown"
+        );
+    }
+
+    // /metrics advertises exposition format 0.0.4 and per-endpoint
+    // histogram series the digests derive from.
+    let m = c.get("/metrics").expect("metrics");
+    assert_eq!(
+        m.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    assert!(m
+        .body
+        .contains("hopi_request_duration_seconds_bucket{endpoint=\"query\""));
+    assert!(m
+        .body
+        .contains("hopi_request_duration_seconds_count{endpoint=\"healthz\"} 20"));
+    assert!(m
+        .body
+        .contains("hopi_stage_duration_seconds_bucket{stage=\"eval\""));
+    assert!(m.body.contains("hopi_build_info{version="));
+
+    // /stats surfaces p50/p95/p99 digests per endpoint.
+    let stats = get_json(&mut c, "/stats");
+    let latency = stats
+        .get("latency")
+        .and_then(Json::as_arr)
+        .expect("latency array");
+    let health = latency
+        .iter()
+        .find(|l| l.get("endpoint").and_then(Json::as_str) == Some("healthz"))
+        .expect("healthz digest");
+    assert_eq!(health.get("count").and_then(Json::as_u64), Some(20));
+    let p50 = health
+        .get("p50_micros")
+        .and_then(Json::as_u64)
+        .expect("p50");
+    let p99 = health
+        .get("p99_micros")
+        .and_then(Json::as_u64)
+        .expect("p99");
+    assert!(p50 <= p99, "quantiles are monotone: p50={p50} p99={p99}");
+
     handle.shutdown();
 }

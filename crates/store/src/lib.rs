@@ -45,6 +45,7 @@ pub use engine::LinLoutStore;
 pub use persist::{
     atomic_write_file, load_checkpoint, load_frozen, load_index, load_store, save_checkpoint,
     save_frozen, save_store, sync_parent_dir, Checkpoint, PersistError, StoredIndex,
+    STORE_FORMAT_VERSION,
 };
 pub use table::IndexOrganizedTable;
-pub use wal::{SyncPolicy, Wal, WalRecord};
+pub use wal::{SyncPolicy, Wal, WalMetrics, WalRecord};

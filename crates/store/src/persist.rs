@@ -72,6 +72,9 @@ impl<'a> Cursor<'a> {
 
 const MAGIC: &[u8; 4] = b"HOPI";
 const VERSION: u32 = 3;
+/// The on-disk format version currently written (`hopi_build_info`'s
+/// `store_format` label at `/metrics` reports this).
+pub const STORE_FORMAT_VERSION: u32 = VERSION;
 /// The last version whose checkpoint collection blobs carry no element
 /// text section (still loadable; text decodes as empty).
 const VERSION_NO_TEXT: u32 = 2;

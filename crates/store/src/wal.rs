@@ -41,6 +41,7 @@
 //! amortized batch latency.
 
 use crate::persist::{atomic_write_file, sync_parent_dir, PersistError};
+use hopi_obs::{Histogram, Span};
 use hopi_xml::{codec, XmlDocument};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -333,6 +334,17 @@ struct WalInner {
     syncing: bool,
 }
 
+/// Latency and batching distributions of the log's durability
+/// machinery. The *distribution* (not the mean) is what shows whether
+/// group commit actually amortizes fsyncs under load.
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    /// Wall time of each fsync (`sync_data`) the log issued.
+    pub fsync: Histogram,
+    /// Records made durable per group-commit fsync (the batch size).
+    pub batch: Histogram,
+}
+
 /// An append-only, checksummed mutation log with group commit. All
 /// methods take `&self`; the log is safe to share across threads.
 pub struct Wal {
@@ -340,6 +352,7 @@ pub struct Wal {
     synced: Condvar,
     path: PathBuf,
     base_seq: Mutex<u64>,
+    metrics: WalMetrics,
 }
 
 fn header(base_seq: u64) -> [u8; 16] {
@@ -367,6 +380,7 @@ impl Wal {
             synced: Condvar::new(),
             path: path.to_path_buf(),
             base_seq: Mutex::new(base_seq),
+            metrics: WalMetrics::default(),
         })
     }
 
@@ -435,9 +449,15 @@ impl Wal {
                 synced: Condvar::new(),
                 path: path.to_path_buf(),
                 base_seq: Mutex::new(base_seq),
+                metrics: WalMetrics::default(),
             },
             records,
         ))
+    }
+
+    /// The log's fsync-latency and batch-size histograms.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
     }
 
     /// The sequence number the current file starts after (= the sequence
@@ -482,8 +502,12 @@ impl Wal {
         g.bytes += frame.len() as u64;
         let seq = g.appended;
         if policy == SyncPolicy::PerOp {
+            let advanced = seq.saturating_sub(g.durable);
+            let span = Span::enter(&self.metrics.fsync);
             g.file.sync_data()?;
+            span.finish();
             g.durable = g.durable.max(seq);
+            self.metrics.batch.record_micros(advanced);
         }
         Ok(seq)
     }
@@ -506,13 +530,21 @@ impl Wal {
             // lock released so followers keep appending behind us.
             g.syncing = true;
             let target = g.appended;
+            let durable_before = g.durable;
             let file = g.file.try_clone()?;
             drop(g);
+            let span = Span::enter(&self.metrics.fsync);
             let res = file.sync_data();
+            span.finish();
             g = lock_recover(&self.inner);
             g.syncing = false;
             if res.is_ok() {
                 g.durable = g.durable.max(target);
+                // One fsync just covered this many records — the batch
+                // whose distribution shows whether group commit amortizes.
+                self.metrics
+                    .batch
+                    .record_micros(target.saturating_sub(durable_before));
             }
             let done = g.durable >= seq;
             // Notify with the lock released, so woken followers do not
@@ -638,6 +670,33 @@ mod tests {
             },
             WalRecord::DeleteDocument { doc: 1 },
         ]
+    }
+
+    #[test]
+    fn fsync_and_batch_histograms_track_durability() {
+        let path = tmp("metrics");
+        let wal = Wal::create(&path, 0).unwrap();
+        // Per-op: every append fsyncs a batch of exactly one record.
+        for rec in sample_records().iter().take(2) {
+            wal.append(rec, SyncPolicy::PerOp).unwrap();
+        }
+        let fsync = wal.metrics().fsync.snapshot();
+        let batch = wal.metrics().batch.snapshot();
+        assert_eq!(fsync.count(), 2);
+        assert_eq!(batch.count(), 2);
+        assert_eq!(batch.quantile_micros(1.0), 1);
+        // Group commit: three buffered appends covered by one commit —
+        // a single fsync whose batch is all three records.
+        for rec in sample_records().iter().take(3) {
+            wal.append(rec, SyncPolicy::GroupCommit).unwrap();
+        }
+        wal.commit(wal.appended_seq()).unwrap();
+        let fsync = wal.metrics().fsync.snapshot();
+        let batch = wal.metrics().batch.snapshot();
+        assert_eq!(fsync.count(), 3);
+        assert_eq!(batch.count(), 3);
+        assert_eq!(batch.quantile_micros(1.0), 3);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
