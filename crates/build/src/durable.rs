@@ -32,10 +32,13 @@
 use crate::error::HopiError;
 use crate::facade::{Hopi, HopiBuilder};
 use hopi_maintenance::DocumentLinks;
-use hopi_store::{load_checkpoint, save_checkpoint, PersistError, StoredIndex, SyncPolicy, Wal};
-use hopi_store::{sync_parent_dir, WalRecord};
+use hopi_store::{
+    load_checkpoint_in, save_checkpoint_in, PersistError, StoredIndex, SyncPolicy, Wal,
+};
+use hopi_store::{sync_parent_dir_in, StdVfs, Vfs, VfsFile, WalRecord};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// File holding the last checkpoint (collection + frozen cover + seq).
 pub const CHECKPOINT_FILE: &str = "checkpoint.hopi";
@@ -54,43 +57,39 @@ pub const LOCK_FILE: &str = "lock";
 /// fail. The file itself is never removed; only the held lock matters.
 pub(crate) struct DirLock {
     /// Held open for the lock's lifetime; dropping releases the lock.
-    _file: std::fs::File,
+    _file: Box<dyn VfsFile>,
 }
 
 impl DirLock {
-    pub(crate) fn acquire(dir: &Path) -> Result<DirLock, HopiError> {
+    pub(crate) fn acquire(vfs: &dyn Vfs, dir: &Path) -> Result<DirLock, HopiError> {
         let path = dir.join(LOCK_FILE);
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(&path)
-            .map_err(PersistError::Io)?;
+        let mut file = vfs.open_lock(&path).map_err(PersistError::Io)?;
         match file.try_lock() {
-            Ok(()) => {
+            Ok(true) => {
                 // The pid is written for `ls`-level diagnostics only.
-                use std::io::Write as _;
                 let _ = file.set_len(0);
-                let _ = write!(&file, "{}", std::process::id());
+                let _ = file.write_all(std::process::id().to_string().as_bytes());
                 Ok(DirLock { _file: file })
             }
-            Err(std::fs::TryLockError::WouldBlock) => {
-                let holder = std::fs::read_to_string(&path).unwrap_or_default();
+            Ok(false) => {
+                let holder = vfs
+                    .read(&path)
+                    .map(|b| String::from_utf8_lossy(&b).trim().to_string())
+                    .unwrap_or_default();
                 Err(HopiError::Persist(PersistError::Format(format!(
-                    "state directory is locked by a live engine (pid {}); two engines \
+                    "state directory is locked by a live engine (pid {holder}); two engines \
                      sharing one WAL would lose acknowledged writes ({})",
-                    holder.trim(),
                     path.display()
                 ))))
             }
-            Err(std::fs::TryLockError::Error(e)) => Err(HopiError::Persist(PersistError::Io(e))),
+            Err(e) => Err(HopiError::Persist(PersistError::Io(e))),
         }
     }
 }
 
 /// How a durable engine is opened (see
 /// [`crate::OnlineHopi::open_durable`]).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DurableConfig {
     /// Directory holding `checkpoint.hopi` and `wal.log`.
     pub dir: PathBuf,
@@ -98,20 +97,40 @@ pub struct DurableConfig {
     /// the durable default; [`SyncPolicy::PerOp`] is the naive baseline;
     /// [`SyncPolicy::Never`] trades durability for bulk-load speed.
     pub policy: SyncPolicy,
+    /// The I/O backend every durability syscall goes through:
+    /// [`hopi_store::StdVfs`] in production, [`hopi_store::FaultVfs`]
+    /// under fault injection.
+    pub vfs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for DurableConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableConfig")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DurableConfig {
-    /// Group-commit durability in `dir`.
+    /// Group-commit durability in `dir` on the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurableConfig {
             dir: dir.into(),
             policy: SyncPolicy::GroupCommit,
+            vfs: StdVfs::arc(),
         }
     }
 
     /// Overrides the sync policy.
     pub fn policy(mut self, policy: SyncPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the I/O backend (fault injection in tests).
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
         self
     }
 
@@ -182,6 +201,8 @@ pub(crate) struct Durability {
     /// Serializes whole checkpoints (save + rotate): two concurrent
     /// `/admin/checkpoint` calls must not interleave their file writes.
     checkpoint_lock: std::sync::Mutex<()>,
+    /// The I/O backend checkpoints are written through.
+    vfs: Arc<dyn Vfs>,
     /// Exclusive ownership of the state directory, released on drop.
     _lock: DirLock,
 }
@@ -192,6 +213,7 @@ impl Durability {
         checkpoint_path: PathBuf,
         policy: SyncPolicy,
         seq: u64,
+        vfs: Arc<dyn Vfs>,
         lock: DirLock,
     ) -> Self {
         Durability {
@@ -202,6 +224,7 @@ impl Durability {
             last_checkpoint_epoch: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             checkpoint_lock: std::sync::Mutex::new(()),
+            vfs,
             _lock: lock,
         }
     }
@@ -209,9 +232,9 @@ impl Durability {
     /// Refuses mutations after a WAL failure (memory ahead of the log).
     pub(crate) fn check_healthy(&self) -> Result<(), HopiError> {
         if self.failed.load(Ordering::Acquire) {
-            return Err(HopiError::Persist(PersistError::Format(
-                "the write-ahead log failed earlier; checkpoint to re-establish durability".into(),
-            )));
+            return Err(HopiError::Degraded(
+                "write-ahead log failed; serving reads only until a checkpoint succeeds".into(),
+            ));
         }
         Ok(())
     }
@@ -257,7 +280,8 @@ impl Durability {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let seq = self.wal.appended_seq();
         let bytes_before = self.wal.len_bytes();
-        let result = save_checkpoint(
+        let result = save_checkpoint_in(
+            &*self.vfs,
             &self.checkpoint_path,
             engine.collection(),
             &engine.freeze(),
@@ -337,17 +361,20 @@ pub(crate) fn recover_dir(
     config: &DurableConfig,
     builder: HopiBuilder,
 ) -> Result<(Hopi, Wal, u64), HopiError> {
-    let ckpt = load_checkpoint(&config.checkpoint_path())?;
+    let ckpt = load_checkpoint_in(&*config.vfs, &config.checkpoint_path())?;
     let mut engine = builder.open_stored(ckpt.collection, StoredIndex::Frozen(ckpt.frozen))?;
     // A missing log (e.g. a checkpoint-only restore from backup) is
     // recreated at the *checkpoint's* sequence — a base of 0 would make
     // the next recovery skip every new record as "already inside the
     // checkpoint" and silently drop acknowledged mutations.
     let wal_path = config.wal_path();
-    let (wal, records) = if wal_path.exists() {
-        Wal::open(&wal_path)?
+    let (wal, records) = if config.vfs.exists(&wal_path) {
+        Wal::open_in(config.vfs.clone(), &wal_path)?
     } else {
-        (Wal::create(&wal_path, ckpt.seq)?, Vec::new())
+        (
+            Wal::create_in(config.vfs.clone(), &wal_path, ckpt.seq)?,
+            Vec::new(),
+        )
     };
     if wal.base_seq() > ckpt.seq {
         return Err(HopiError::Persist(PersistError::Format(format!(
@@ -372,9 +399,12 @@ pub(crate) fn recover_dir(
 /// Initializes a fresh durable directory around an already-built engine:
 /// writes the initial checkpoint (sequence 0) and creates an empty log.
 pub(crate) fn init_dir(config: &DurableConfig, engine: &Hopi) -> Result<(Wal, u64), HopiError> {
-    std::fs::create_dir_all(&config.dir).map_err(PersistError::Io)?;
+    config
+        .vfs
+        .create_dir_all(&config.dir)
+        .map_err(PersistError::Io)?;
     let wal_path = config.wal_path();
-    if wal_path.exists() && !config.checkpoint_path().exists() {
+    if config.vfs.exists(&wal_path) && !config.vfs.exists(&config.checkpoint_path()) {
         // Our ordering always makes the checkpoint durable before the log
         // exists, so this state indicates tampering or corruption; refuse
         // to silently discard whatever the log holds.
@@ -382,14 +412,15 @@ pub(crate) fn init_dir(config: &DurableConfig, engine: &Hopi) -> Result<(Wal, u6
             "found a WAL without a checkpoint; remove wal.log to re-initialize".into(),
         )));
     }
-    save_checkpoint(
+    save_checkpoint_in(
+        &*config.vfs,
         &config.checkpoint_path(),
         engine.collection(),
         &engine.freeze(),
         0,
     )?;
-    let wal = Wal::create(&wal_path, 0)?;
-    sync_parent_dir(&wal_path).map_err(PersistError::Io)?;
+    let wal = Wal::create_in(config.vfs.clone(), &wal_path, 0)?;
+    sync_parent_dir_in(&*config.vfs, &wal_path).map_err(PersistError::Io)?;
     Ok((wal, 0))
 }
 

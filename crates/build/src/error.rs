@@ -57,6 +57,11 @@ pub enum HopiError {
     /// A durability operation (checkpoint, WAL inspection) against an
     /// engine that was not opened in durable mode.
     DurabilityDisabled,
+    /// The engine is serving in degraded (read-only) mode: the WAL or a
+    /// checkpoint failed, so mutations are refused until a successful
+    /// checkpoint re-establishes a durable baseline. Reads keep working.
+    /// The server maps this to `503` with a `Retry-After` header.
+    Degraded(String),
     /// Index persistence failed.
     Persist(hopi_store::PersistError),
 }
@@ -93,6 +98,7 @@ impl std::fmt::Display for HopiError {
                 f,
                 "this engine was not opened in durable mode (no write-ahead log)"
             ),
+            HopiError::Degraded(reason) => write!(f, "service degraded: {reason}"),
             HopiError::Persist(e) => write!(f, "persistence error: {e}"),
         }
     }

@@ -304,7 +304,7 @@ impl HopiBuilder {
         let config = crate::durable::DurableConfig::new(dir);
         // Held only for the recovery itself (which may truncate a torn
         // WAL tail); the returned engine is detached from the directory.
-        let _lock = crate::durable::DirLock::acquire(dir)?;
+        let _lock = crate::durable::DirLock::acquire(&*config.vfs, dir)?;
         let (engine, _wal, _seq) = crate::durable::recover_dir(&config, self)?;
         Ok(engine)
     }

@@ -68,9 +68,12 @@ pub use facade::{Hopi, HopiBuilder, QueryOptions, Stats};
 pub use online::OnlineHopi;
 pub use snapshot::{BuildPhaseTimings, HopiSnapshot, SnapshotStats};
 
-// The WAL sync policy and on-disk format version are part of the
-// durable-open surface.
-pub use hopi_store::{SyncPolicy, STORE_FORMAT_VERSION};
+// The WAL sync policy, on-disk format version, and the pluggable I/O
+// backend (StdVfs in production, FaultVfs under fault injection) are
+// part of the durable-open surface.
+pub use hopi_store::{
+    FaultKind, FaultOp, FaultOpKind, FaultVfs, StdVfs, SyncPolicy, Vfs, STORE_FORMAT_VERSION,
+};
 
 // Query-plan observability: the per-`//`-step strategy, counters, and
 // EXPLAIN report types surfaced through [`Hopi::query_explained`],

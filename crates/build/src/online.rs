@@ -114,7 +114,7 @@ impl OnlineHopi {
         bootstrap: Option<Collection>,
     ) -> Result<Self, HopiError> {
         if crate::durable::is_durable_dir(&config.dir) {
-            let lock = DirLock::acquire(&config.dir)?;
+            let lock = DirLock::acquire(&*config.vfs, &config.dir)?;
             let (engine, wal, seq) = recover_dir(config, builder)?;
             Ok(Self::with_durability(engine, wal, config, seq, lock))
         } else {
@@ -137,9 +137,11 @@ impl OnlineHopi {
                 ),
             )));
         }
-        std::fs::create_dir_all(&config.dir)
+        config
+            .vfs
+            .create_dir_all(&config.dir)
             .map_err(|e| HopiError::Persist(hopi_store::PersistError::Io(e)))?;
-        let lock = DirLock::acquire(&config.dir)?;
+        let lock = DirLock::acquire(&*config.vfs, &config.dir)?;
         let (wal, seq) = crate::durable::init_dir(config, &engine)?;
         Ok(Self::with_durability(engine, wal, config, seq, lock))
     }
@@ -157,6 +159,7 @@ impl OnlineHopi {
             config.checkpoint_path(),
             config.policy,
             seq,
+            config.vfs.clone(),
             lock,
         )));
         online

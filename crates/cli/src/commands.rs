@@ -61,7 +61,8 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `hopi stats --dir DIR [--index FILE]`
+/// `hopi stats --dir DIR [--index FILE]`, `hopi stats --addr HOST:PORT`,
+/// or `hopi stats --slow [--addr HOST:PORT]`
 pub fn stats(args: &[String]) -> Result<(), String> {
     // `--slow` interrogates a *running* server's slow-query log instead
     // of a collection directory.
@@ -69,7 +70,13 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
         return slow_log(&addr);
     }
-    let dir = flag_value(args, "--dir").ok_or("missing --dir DIR (or --slow --addr HOST:PORT)")?;
+    // `--addr` without `--slow` asks a running server for its health and
+    // serving statistics.
+    if let Some(addr) = flag_value(args, "--addr") {
+        return remote_stats(&addr);
+    }
+    let dir =
+        flag_value(args, "--dir").ok_or("missing --dir DIR (or --addr HOST:PORT for a server)")?;
     let collection = load_dir(&dir)?;
     let s = CollectionStats::of(&collection);
     println!("{s}");
@@ -113,16 +120,96 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Connects to a running server, folding every failure (malformed
+/// address, refused connection, timeout) into one human-readable line
+/// that names the address — the caller propagates it for a non-zero exit.
+fn connect_server(addr: &str) -> Result<hopi_server::Client, String> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| {
+            format!("bad server address '{addr}' (expected HOST:PORT, e.g. 127.0.0.1:7070)")
+        })?;
+    hopi_server::Client::connect(sock)
+        .map_err(|e| format!("cannot reach hopi server at {addr}: {e}"))
+}
+
+/// `hopi stats --addr HOST:PORT` — health and serving statistics from a
+/// running server (`GET /healthz` + `GET /stats`): degraded/read-only
+/// state, WAL health, snapshot epoch, and collection sizes.
+fn remote_stats(addr: &str) -> Result<(), String> {
+    use hopi_server::json::{parse, Json};
+    let mut client = connect_server(addr)?;
+    let health = client
+        .get("/healthz")
+        .map_err(|e| format!("GET /healthz from {addr} failed: {e}"))?;
+    let hbody = parse(&health.body).map_err(|e| format!("bad /healthz JSON: {e}"))?;
+    let degraded = hbody
+        .get("degraded")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let read_only = hbody
+        .get("read_only")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    print!("server at {addr}: ");
+    if degraded {
+        let reason = hbody
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        println!(
+            "DEGRADED ({}) — reads only, healthz {}",
+            reason, health.status
+        );
+    } else {
+        println!(
+            "healthy{} (healthz {})",
+            if read_only { ", read-only" } else { "" },
+            health.status
+        );
+    }
+    let resp = client
+        .get("/stats")
+        .map_err(|e| format!("GET /stats from {addr} failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /stats -> {}: {}", resp.status, resp.body));
+    }
+    let s = parse(&resp.body).map_err(|e| format!("bad /stats JSON: {e}"))?;
+    let u = |name: &str| s.get(name).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "  epoch {}: {} docs, {} elements, {} links, {} cover entries",
+        u("epoch"),
+        u("documents"),
+        u("elements"),
+        u("links"),
+        u("cover_entries")
+    );
+    let durable = s.get("durable").and_then(Json::as_bool).unwrap_or(false);
+    if let Some(wal) = s.get("wal").filter(|_| durable) {
+        let wu = |name: &str| wal.get(name).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  wal: healthy={}, seq {} (durable {}), {} records since checkpoint at seq {}",
+            wal.get("healthy").and_then(Json::as_bool).unwrap_or(false),
+            wu("appended_seq"),
+            wu("durable_seq"),
+            wu("records_since_checkpoint"),
+            wu("last_checkpoint_seq")
+        );
+    } else {
+        println!("  wal: none (not durable)");
+    }
+    Ok(())
+}
+
 /// `hopi stats --slow [--addr HOST:PORT]` — fetches `GET /debug/slow`
 /// from a running server and pretty-prints the captured requests,
 /// slowest first, with their trace ids and per-stage breakdowns.
 fn slow_log(addr: &str) -> Result<(), String> {
     use hopi_server::json::{parse, Json};
-    let sock: std::net::SocketAddr = addr
-        .parse()
-        .map_err(|e| format!("bad --addr '{addr}': {e}"))?;
-    let mut client =
-        hopi_server::Client::connect(sock).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = connect_server(addr)?;
     let resp = client
         .get("/debug/slow")
         .map_err(|e| format!("GET /debug/slow failed: {e}"))?;
@@ -273,7 +360,8 @@ pub fn query(args: &[String]) -> Result<(), String> {
 }
 
 /// `hopi serve --dir DIR [--index FILE] [--port N] [--threads N]
-/// [--frozen] [--distance] [--wal STATEDIR] [--wal-sync group|per-op|none]`
+/// [--frozen] [--distance] [--wal STATEDIR] [--wal-sync group|per-op|none]
+/// [--queue-capacity N] [--queue-deadline MS]`
 ///
 /// Serves the collection over HTTP (see `hopi-server` for the endpoint
 /// surface). With `--wal STATEDIR` the server runs durably: every
@@ -312,6 +400,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("bad --slow-threshold (milliseconds): {e}"))?,
         None => hopi_server::DEFAULT_SLOW_THRESHOLD_MICROS,
     };
+    let queue_capacity: usize = flag_value(args, "--queue-capacity")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+    let queue_deadline_millis: u64 = flag_value(args, "--queue-deadline")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|e| format!("bad --queue-deadline (milliseconds): {e}"))?;
     let wal_dir = flag_value(args, "--wal");
     let wal_sync = match flag_value(args, "--wal-sync").as_deref() {
         None | Some("group") => SyncPolicy::GroupCommit,
@@ -397,6 +493,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             threads,
             read_only: frozen,
             slow_threshold_micros,
+            queue_capacity,
+            queue_deadline_millis,
         },
     )
     .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;

@@ -55,6 +55,8 @@ USAGE:
   hopi gen   --kind dblp|inex --scale F --out DIR   generate a sample collection
   hopi stats --dir DIR [--index FILE]               collection statistics (Table 1)
                                                     (--index: engine + snapshot stats)
+  hopi stats --addr HOST:PORT                       a running server's health + stats
+                                                    (degraded/read-only, WAL health)
   hopi stats --slow [--addr HOST:PORT]              a running server's slow-query log
                                                     (trace ids + per-stage breakdowns)
   hopi build --dir DIR --out FILE [--mode default|flat|old] [--frozen]
@@ -68,7 +70,10 @@ USAGE:
   hopi check --dir DIR --index FILE [--samples N]   verify the index against a
                                                     BFS reachability oracle
   hopi serve --dir DIR [--index FILE] [--port N] [--threads N] [--frozen] [--distance]
-             [--slow-threshold MS]                  serve the collection over HTTP
+             [--slow-threshold MS] [--queue-capacity N] [--queue-deadline MS]
+                                                    serve the collection over HTTP
                                                     (--frozen: read-only; --slow-threshold:
                                                     slow-query log cutoff, default 10ms;
+                                                    --queue-capacity/--queue-deadline:
+                                                    admission control, overflow answers 429;
                                                     shutdown on stdin EOF or 'quit' line)";

@@ -15,6 +15,9 @@
 //!   use `Box<dyn … Error>` where a `HopiError`-family type belongs.
 //! * **Timing discipline** — no raw `Instant::now()` in serve-path loop
 //!   bodies; hot-path timing goes through `hopi_obs::Stopwatch`/`Span`.
+//! * **VFS discipline** — no direct `std::fs` / `File::` / `OpenOptions`
+//!   calls in the durability crates outside the VFS module itself: every
+//!   syscall site must go through `Vfs` so fault injection covers it.
 
 use crate::lexer::{Tok, Token};
 
@@ -44,6 +47,7 @@ pub const ALL_RULES: &[&str] = &[
     "print-in-lib",
     "box-dyn-error",
     "instant-in-loop",
+    "direct-io",
 ];
 
 /// fsync-class calls that must not run under a live lock guard.
@@ -482,6 +486,38 @@ fn loop_body_open(tokens: &[Token], start: usize) -> Option<usize> {
     None
 }
 
+/// VFS discipline: direct filesystem calls in non-test code of the
+/// durability crates, which must route all I/O through the `Vfs`
+/// abstraction so the fault-sweep harness can fail every syscall site.
+/// Fires on `fs::…` paths (which covers `std::fs::…`), bare `File::…`
+/// calls, and any `OpenOptions` use. A `File`/`OpenOptions` preceded by
+/// `::` is part of a longer path whose `fs` segment already fired — not
+/// counted again, so one call site is one finding.
+pub fn direct_io_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let path_continues = is_punct(tokens, i + 1, ':') && is_punct(tokens, i + 2, ':');
+        let after_path_sep = i >= 2 && is_punct(tokens, i - 1, ':') && is_punct(tokens, i - 2, ':');
+        let fires = match name.as_str() {
+            "fs" => path_continues,
+            "File" | "OpenOptions" => !after_path_sep,
+            _ => false,
+        };
+        if fires {
+            out.push(Finding {
+                rule: "direct-io",
+                line: t.line,
+                excerpt: excerpt(lines, t.line),
+            });
+        }
+    }
+    out
+}
+
 /// Crate hygiene: `Box<dyn … Error …>` in library code, where a typed
 /// `HopiError`-family error belongs.
 pub fn box_dyn_error_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Finding> {
@@ -612,6 +648,30 @@ mod tests {
         let mask = test_mask(&tokens);
         let lines: Vec<&str> = src.lines().collect();
         assert!(instant_in_loop_findings(&tokens, &mask, &lines).is_empty());
+    }
+
+    #[test]
+    fn direct_io_flags_fs_calls_once_per_site() {
+        let src = "use std::fs::File;\nfn load(p: &std::path::Path) -> std::io::Result<Vec<u8>> {\n    let _f = File::open(p)?;\n    let _o = std::fs::OpenOptions::new().append(true).open(p)?;\n    std::fs::rename(p, p)?;\n    fs::read(p)\n}\n";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        let got: Vec<u32> = direct_io_findings(&tokens, &mask, &lines)
+            .into_iter()
+            .map(|f| f.line)
+            .collect();
+        // One finding per site: the `use`, File::open, the OpenOptions
+        // path (counted at its `fs` segment), fs::rename, fs::read.
+        assert_eq!(got, vec![1, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn direct_io_ignores_vfs_idents_tests_and_strings() {
+        let src = "fn ok(vfs: &dyn Vfs, f: &mut dyn VfsFile) {\n    let _ = vfs.exists(std::path::Path::new(\"std::fs::File\"));\n    f.sync_data().ok();\n    // comment: std::fs::File::open\n}\n#[cfg(test)]\nmod checks {\n    fn t() { let _ = std::fs::read(\"x\"); }\n}\n";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        assert!(direct_io_findings(&tokens, &mask, &lines).is_empty());
     }
 
     #[test]

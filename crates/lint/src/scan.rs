@@ -20,6 +20,12 @@ pub const SERVE_PATH_CRATES: &[&str] =
 /// rules (stdio printing, `Box<dyn Error>` signatures).
 pub const BIN_CRATES: &[&str] = &["cli", "bench", "lint"];
 
+/// Crates whose non-test code must route every filesystem call through
+/// the `Vfs` abstraction (`crates/store/src/vfs.rs`), so the fault-sweep
+/// harness can fail each syscall site: direct `std::fs` / `File::` /
+/// `OpenOptions` use is ratcheted to zero outside the VFS module itself.
+pub const VFS_ONLY_CRATES: &[&str] = &["store", "build"];
+
 /// All findings of one scanned file.
 #[derive(Clone, Debug)]
 pub struct FileFindings {
@@ -117,6 +123,11 @@ fn scan_crate(
             if crate_name != "obs" {
                 findings.extend(rules::instant_in_loop_findings(&tokens, &mask, &lines));
             }
+        }
+        if VFS_ONLY_CRATES.contains(&crate_name)
+            && file.file_name().and_then(|n| n.to_str()) != Some("vfs.rs")
+        {
+            findings.extend(rules::direct_io_findings(&tokens, &mask, &lines));
         }
         if is_crate_root {
             findings.extend(rules::forbid_unsafe_finding(&tokens));

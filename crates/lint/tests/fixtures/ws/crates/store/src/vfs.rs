@@ -1,0 +1,7 @@
+//! Fixture VFS module: the one place in the store crate allowed to call
+//! the real filesystem directly — `direct-io` must not fire here.
+
+pub fn passthrough(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    let _o = std::fs::OpenOptions::new().read(true).open(path)?;
+    std::fs::read(path)
+}

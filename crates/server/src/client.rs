@@ -3,11 +3,156 @@
 //!
 //! One [`Client`] owns one keep-alive connection; requests are issued
 //! sequentially and responses parsed by `Content-Length` (the only framing
-//! the server emits).
+//! the server emits). For servers that shed load (`429`) or serve degraded
+//! (`503` + `Retry-After`), [`request_with_retry`] layers capped
+//! exponential backoff with deterministic jitter on top: the server names
+//! its own recovery horizon via `Retry-After`, and the client honors it
+//! over the computed delay.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Connect/read timeouts for [`Client::connect_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientTimeouts {
+    /// TCP connect timeout.
+    pub connect: Duration,
+    /// Per-read socket timeout (bounds a stalled response).
+    pub read: Duration,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Duration::from_secs(1),
+            read: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// The nominal delay for attempt `n` (0-based) is `base << n`, saturating
+/// at `cap`; jitter adds up to `jitter` (a fraction of the nominal delay)
+/// on top, derived deterministically from `seed` and the attempt number so
+/// retry schedules are reproducible in tests. A `Retry-After` value from
+/// the server overrides the computed delay entirely — the server knows its
+/// own recovery horizon better than any client-side guess.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// First-attempt delay.
+    pub base: Duration,
+    /// Upper bound on the nominal delay (jitter may exceed it by at most
+    /// `jitter * cap`).
+    pub cap: Duration,
+    /// Total attempts (the first try counts; `1` means no retries).
+    pub max_attempts: u32,
+    /// Jitter fraction in `[0, 1]`: the added jitter is uniform in
+    /// `[0, jitter * nominal]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            max_attempts: 5,
+            jitter: 0.25,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// SplitMix64: one multiply-xorshift round, enough to decorrelate jitter
+/// across attempts without pulling in an RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BackoffPolicy {
+    /// The jitter-free delay for 0-based attempt `n`: `base * 2^n`,
+    /// saturating at [`cap`](BackoffPolicy::cap). Monotone non-decreasing
+    /// in `n`.
+    pub fn nominal_delay(&self, attempt: u32) -> Duration {
+        // u128 so the doubling can never shift bits out before the cap
+        // clamps it (`checked_shl` only guards the shift amount, not
+        // value overflow).
+        let ms = ((self.base.as_millis()) << attempt.min(64)).min(self.cap.as_millis());
+        Duration::from_millis(ms as u64)
+    }
+
+    /// The actual delay before retrying 0-based attempt `attempt`: the
+    /// server's `Retry-After` when present, else the nominal delay plus
+    /// deterministic jitter in `[0, jitter * nominal]`.
+    pub fn delay(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        if let Some(ra) = retry_after {
+            return ra;
+        }
+        let nominal = self.nominal_delay(attempt);
+        let jitter_span_ms = (nominal.as_millis() as f64 * self.jitter.clamp(0.0, 1.0)) as u64;
+        if jitter_span_ms == 0 {
+            return nominal;
+        }
+        let roll = splitmix64(self.seed ^ u64::from(attempt)) % (jitter_span_ms + 1);
+        nominal + Duration::from_millis(roll)
+    }
+}
+
+/// Whether a response status asks the client to come back later.
+fn is_retryable_status(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// Parses a `Retry-After: <seconds>` header value (the only form the hopi
+/// server emits).
+fn parse_retry_after(resp: &ClientResponse) -> Option<Duration> {
+    resp.header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// Issues one request with retries: reconnects per attempt, backs off per
+/// `policy` on connect/IO errors and on `429`/`503` responses (honoring
+/// `Retry-After`), and returns the first conclusive response. After
+/// `max_attempts` the last response (even a `503`) or error is returned —
+/// the caller sees what the server last said, not a synthetic failure.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    timeouts: ClientTimeouts,
+    policy: &BackoffPolicy,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<ClientResponse> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        match Client::connect_with(addr, timeouts).and_then(|mut c| c.request(method, path, body)) {
+            Ok(resp) if is_retryable_status(resp.status) && attempt + 1 < attempts => {
+                let retry_after = parse_retry_after(&resp);
+                std::thread::sleep(policy.delay(attempt, retry_after));
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) => {
+                if attempt + 1 == attempts {
+                    return Err(e);
+                }
+                last_err = Some(e);
+                std::thread::sleep(policy.delay(attempt, None));
+            }
+        }
+    }
+    // Unreachable: the loop always returns on its last attempt. Surface
+    // the last error anyway rather than panicking a caller.
+    Err(last_err.unwrap_or_else(|| io::Error::other("retry loop exhausted")))
+}
 
 /// A keep-alive HTTP/1.1 connection to a [`crate::serve`]d endpoint.
 #[derive(Debug)]
@@ -38,11 +183,16 @@ impl ClientResponse {
 }
 
 impl Client {
-    /// Connects (1 s connect timeout, 10 s read timeout).
+    /// Connects with the default timeouts (1 s connect, 10 s read).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+        Client::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connects with explicit timeouts.
+    pub fn connect_with(addr: SocketAddr, timeouts: ClientTimeouts) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(timeouts.read))?;
         Ok(Client {
             stream,
             carry: Vec::new(),

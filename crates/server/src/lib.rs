@@ -67,9 +67,10 @@ pub mod router;
 pub mod server;
 pub mod slow;
 
-pub use client::{Client, ClientResponse};
-pub use router::AppState;
+pub use client::{request_with_retry, BackoffPolicy, Client, ClientResponse, ClientTimeouts};
+pub use router::{AppState, RETRY_AFTER_SECS};
 pub use server::{
-    serve, ServerConfig, ServerHandle, ShutdownTrigger, DEFAULT_SLOW_THRESHOLD_MICROS,
+    serve, ServerConfig, ServerHandle, ShutdownTrigger, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_QUEUE_DEADLINE_MILLIS, DEFAULT_SLOW_THRESHOLD_MICROS,
 };
 pub use slow::{SlowEntry, SlowLog, SLOW_LOG_CAPACITY};

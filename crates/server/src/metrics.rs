@@ -167,6 +167,10 @@ pub struct Metrics {
     cells: [EndpointMetrics; ALL_ENDPOINTS.len()],
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections shed by admission control (accept queue full, or the
+    /// queue wait blew the deadline) — each was answered `429` without
+    /// reaching a handler.
+    pub shed: AtomicU64,
     /// Per-stage latency breakdown across all requests ([`STAGES`]).
     pub stages: StageRegistry,
 }
@@ -176,6 +180,7 @@ impl Default for Metrics {
         Metrics {
             cells: Default::default(),
             connections: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             stages: StageRegistry::new(&STAGES),
         }
     }
@@ -288,6 +293,11 @@ impl Metrics {
         out.push_str(&format!(
             "hopi_connections_total {}\n",
             self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE hopi_requests_shed_total counter\n");
+        out.push_str(&format!(
+            "hopi_requests_shed_total {}\n",
+            self.shed.load(Ordering::Relaxed)
         ));
         out.push_str("# TYPE hopi_query_plan_total counter\n");
         for (label, count) in ctx.plan {
@@ -426,6 +436,7 @@ mod tests {
         assert!(text.contains("hopi_text_postings 30"));
         assert!(text.contains("hopi_text_postings_bytes 240"));
         assert!(text.contains("hopi_text_bytes_per_posting 8.00"));
+        assert!(text.contains("hopi_requests_shed_total 0"));
         assert!(text.contains("hopi_snapshot_epoch 7"));
         assert!(text.contains("hopi_worker_threads 4"));
         assert!(

@@ -18,6 +18,11 @@ use std::time::Instant;
 /// Cap on `POST /connected_many` batch size (per request).
 pub const MAX_PROBE_BATCH: usize = 65_536;
 
+/// `Retry-After` seconds sent with `503` responses (degraded mode and
+/// load shedding): long enough for a checkpoint or a queue drain, short
+/// enough that clients retry promptly once service recovers.
+pub const RETRY_AFTER_SECS: u64 = 1;
+
 /// Everything a handler can reach: the engine plus serving-mode and
 /// observability state.
 pub struct AppState {
@@ -94,12 +99,20 @@ fn status_of(e: &HopiError) -> u16 {
         HopiError::DuplicateDocumentName(_)
         | HopiError::DistanceDisabled
         | HopiError::DurabilityDisabled => 409,
+        HopiError::Degraded(_) => 503,
         _ => 500,
     }
 }
 
 fn engine_error(e: &HopiError) -> Response {
-    Response::error(status_of(e), &e.to_string())
+    let status = status_of(e);
+    let resp = Response::error(status, &e.to_string());
+    if status == 503 {
+        // Degraded mode is transient: a successful checkpoint clears it.
+        resp.with_header("retry-after", RETRY_AFTER_SECS.to_string())
+    } else {
+        resp
+    }
 }
 
 /// Rejects mutations in `--frozen` serving mode.
@@ -113,12 +126,30 @@ fn frozen_guard(state: &AppState) -> Option<Response> {
 }
 
 fn healthz(state: &AppState) -> Response {
+    // Real health, not an unconditional 200: a WAL-poisoned engine is
+    // serving reads only, and load balancers must see that as 503.
+    let wal = state.engine.wal_stats();
+    let degraded = wal.as_ref().is_some_and(|w| !w.healthy);
     let mut w = JsonWriter::new();
     w.obj();
-    w.field_bool("ok", true);
+    w.field_bool("ok", !degraded);
     w.field_u64("epoch", state.engine.epoch());
+    w.field_bool("read_only", state.read_only);
+    w.field_bool("degraded", degraded);
+    if degraded {
+        w.field_str(
+            "reason",
+            "write-ahead log failed; writes refused until a checkpoint succeeds \
+             (POST /admin/checkpoint)",
+        );
+    }
     w.close_obj();
-    Response::json(w.finish())
+    let mut resp = Response::json(w.finish());
+    if degraded {
+        resp.status = 503;
+        resp = resp.with_header("retry-after", RETRY_AFTER_SECS.to_string());
+    }
+    resp
 }
 
 fn stats(state: &AppState) -> Response {
@@ -139,6 +170,10 @@ fn stats(state: &AppState) -> Response {
     w.field_bool("read_only", state.read_only);
     // Durability: WAL length and checkpoint horizon (absent = in-memory).
     w.field_bool("durable", state.engine.is_durable());
+    w.field_bool(
+        "degraded",
+        state.engine.wal_stats().is_some_and(|wal| !wal.healthy),
+    );
     if let Some(wal) = state.engine.wal_stats() {
         w.field_obj("wal");
         w.field_u64("records_since_checkpoint", wal.records_since_checkpoint);

@@ -4,10 +4,16 @@
 //! Concurrency model — one worker per in-flight connection:
 //!
 //! * the **acceptor** thread accepts sockets and hands them to the pool
-//!   over an `mpsc` channel;
+//!   over a *bounded* `mpsc` channel (the admission queue): when every
+//!   worker is busy and the queue is full, new connections are shed on
+//!   the spot with `429` + `Retry-After` instead of piling up unbounded
+//!   — under overload the server degrades by refusing work it cannot
+//!   finish, not by falling over;
 //! * each **worker** owns one connection at a time and serves its
 //!   keep-alive request loop to completion (reads run lock-free on
-//!   snapshot epochs, so workers never contend with each other);
+//!   snapshot epochs, so workers never contend with each other); a
+//!   connection that waited in the queue longer than the admission
+//!   deadline is shed with `429` rather than served stale;
 //! * **shutdown** flips an atomic flag and wakes the acceptor with a
 //!   loopback connection (the std-only stand-in for a signal pipe);
 //!   workers finish the request in flight, then close. Idle keep-alive
@@ -56,10 +62,26 @@ pub struct ServerConfig {
     /// Requests at or above this handling latency are captured in the
     /// slow-query log (`GET /debug/slow`). `0` captures every request.
     pub slow_threshold_micros: u64,
+    /// Admission-queue depth: connections accepted while every worker is
+    /// busy wait here; beyond this the acceptor sheds with `429`. `0`
+    /// means [`DEFAULT_QUEUE_CAPACITY`].
+    pub queue_capacity: usize,
+    /// A connection that waited in the admission queue longer than this
+    /// is shed with `429` instead of served (its client has likely given
+    /// up or retried already). `0` means [`DEFAULT_QUEUE_DEADLINE_MILLIS`].
+    pub queue_deadline_millis: u64,
 }
 
 /// Default slow-query capture threshold: 10 ms.
 pub const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 10_000;
+
+/// Default admission-queue depth (connections parked beyond the worker
+/// pool before the acceptor starts shedding with `429`).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 128;
+
+/// Default admission deadline: a connection queued longer than this is
+/// shed with `429` when a worker finally picks it up.
+pub const DEFAULT_QUEUE_DEADLINE_MILLIS: u64 = 2_000;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -68,6 +90,8 @@ impl Default for ServerConfig {
             threads: 0,
             read_only: false,
             slow_threshold_micros: DEFAULT_SLOW_THRESHOLD_MICROS,
+            queue_capacity: 0,
+            queue_deadline_millis: 0,
         }
     }
 }
@@ -83,6 +107,41 @@ impl ServerConfig {
                 .unwrap_or(4)
         }
     }
+
+    /// Resolved admission-queue depth.
+    fn resolved_queue_capacity(&self) -> usize {
+        if self.queue_capacity > 0 {
+            self.queue_capacity
+        } else {
+            DEFAULT_QUEUE_CAPACITY
+        }
+    }
+
+    /// Resolved admission deadline.
+    fn resolved_queue_deadline(&self) -> Duration {
+        Duration::from_millis(if self.queue_deadline_millis > 0 {
+            self.queue_deadline_millis
+        } else {
+            DEFAULT_QUEUE_DEADLINE_MILLIS
+        })
+    }
+}
+
+/// A connection parked in the admission queue, stamped with its accept
+/// time so workers can shed entries whose wait blew the deadline.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted: Stopwatch,
+}
+
+/// Sheds one connection with `429 Too Many Requests` + `Retry-After`,
+/// counts it in `hopi_requests_shed_total`, and closes the socket.
+fn shed(mut stream: TcpStream, state: &Arc<AppState>, why: &str) {
+    state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    state.metrics.record(Endpoint::Other, 429, Duration::ZERO);
+    let resp = Response::error(429, why)
+        .with_header("retry-after", crate::router::RETRY_AFTER_SECS.to_string());
+    let _ = write_response(&mut stream, &resp, true);
 }
 
 /// A cloneable trigger that initiates graceful shutdown from anywhere (a
@@ -185,7 +244,8 @@ pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandl
         addr,
     };
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.resolved_queue_capacity());
+    let queue_deadline = config.resolved_queue_deadline();
     let rx = Arc::new(Mutex::new(rx));
     let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -194,7 +254,7 @@ pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandl
         let stop = stop.clone();
         let handle = std::thread::Builder::new()
             .name(format!("hopi-worker-{i}"))
-            .spawn(move || worker_loop(&rx, &state, &stop))?;
+            .spawn(move || worker_loop(&rx, &state, &stop, queue_deadline))?;
         worker_handles.push(handle);
     }
 
@@ -216,10 +276,12 @@ pub fn serve(engine: OnlineHopi, config: ServerConfig) -> io::Result<ServerHandl
 }
 
 /// Accepts until the stop flag flips; `tx` drops on exit, which drains the
-/// worker pool.
+/// worker pool. A full admission queue sheds the new connection with
+/// `429` right here instead of blocking the acceptor (blocking would turn
+/// overload into unbounded kernel backlog — clients deserve an answer).
 fn accept_loop(
     listener: &TcpListener,
-    tx: &mpsc::Sender<TcpStream>,
+    tx: &mpsc::SyncSender<QueuedConn>,
     state: &Arc<AppState>,
     stop: &AtomicBool,
 ) {
@@ -233,8 +295,16 @@ fn accept_loop(
                 state.metrics.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(IDLE_TICK));
-                if tx.send(stream).is_err() {
-                    return;
+                let queued = QueuedConn {
+                    stream,
+                    accepted: Stopwatch::start(),
+                };
+                match tx.try_send(queued) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(q)) => {
+                        shed(q.stream, state, "admission queue full; retry later");
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => return,
                 }
             }
             Err(_) => {
@@ -250,11 +320,14 @@ fn accept_loop(
 }
 
 /// Pulls connections off the queue until the channel closes (sender
-/// dropped by the acceptor on shutdown).
+/// dropped by the acceptor on shutdown). Entries that waited past the
+/// admission deadline are shed with `429` — serving them would spend a
+/// worker on a client that has most likely timed out and retried.
 fn worker_loop(
-    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    rx: &Arc<Mutex<mpsc::Receiver<QueuedConn>>>,
     state: &Arc<AppState>,
     stop: &AtomicBool,
+    queue_deadline: Duration,
 ) {
     loop {
         // Hold the lock only for the dequeue, not while serving. A
@@ -266,7 +339,14 @@ fn worker_loop(
                 .recv()
         };
         match next {
-            Ok(stream) => serve_connection(stream, state, stop),
+            Ok(q) if q.accepted.elapsed() >= queue_deadline => {
+                shed(
+                    q.stream,
+                    state,
+                    "queued past admission deadline; retry later",
+                );
+            }
+            Ok(q) => serve_connection(q.stream, state, stop),
             Err(_) => return,
         }
     }

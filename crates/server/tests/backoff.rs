@@ -1,0 +1,96 @@
+//! Property tests for the client retry policy ([`BackoffPolicy`]):
+//!
+//! * the nominal (jitter-free) delay sequence is monotone non-decreasing
+//!   and never exceeds the cap;
+//! * jitter stays within its advertised bounds (`[nominal, nominal *
+//!   (1 + jitter)]`, up to millisecond rounding) and is deterministic in
+//!   the seed;
+//! * a server-supplied `Retry-After` overrides the computed delay exactly.
+
+use hopi_server::BackoffPolicy;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policy_strategy() -> impl Strategy<Value = BackoffPolicy> {
+    // The vendored proptest has no f64 strategy: draw the jitter fraction
+    // in percent and divide.
+    (
+        1u64..=1_000,        // base ms
+        1u64..=60_000,       // cap ms
+        1u32..=10,           // attempts
+        0u64..=100,          // jitter, percent
+        0u64..=u64::MAX - 1, // seed
+    )
+        .prop_map(
+            |(base_ms, cap_ms, max_attempts, jitter_pct, seed)| BackoffPolicy {
+                base: Duration::from_millis(base_ms),
+                cap: Duration::from_millis(cap_ms.max(base_ms)),
+                max_attempts,
+                jitter: jitter_pct as f64 / 100.0,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn nominal_delays_are_monotone_and_capped(policy in policy_strategy()) {
+        let mut prev = Duration::ZERO;
+        for attempt in 0..32u32 {
+            let d = policy.nominal_delay(attempt);
+            prop_assert!(d >= prev, "attempt {attempt}: {d:?} < previous {prev:?}");
+            prop_assert!(d <= policy.cap, "attempt {attempt}: {d:?} exceeds cap {:?}", policy.cap);
+            prev = d;
+        }
+        // Once capped, the sequence stays pinned at the cap.
+        prop_assert_eq!(policy.nominal_delay(63), policy.cap);
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds(policy in policy_strategy(), attempt in 0u32..32) {
+        let nominal = policy.nominal_delay(attempt);
+        let actual = policy.delay(attempt, None);
+        prop_assert!(actual >= nominal, "jitter must only add: {actual:?} < {nominal:?}");
+        // Upper bound in whole milliseconds (the jitter granularity),
+        // +1 ms slack for the truncation in the span computation.
+        let span_ms = (nominal.as_millis() as f64 * policy.jitter) as u64 + 1;
+        let max = nominal + Duration::from_millis(span_ms);
+        prop_assert!(actual <= max, "{actual:?} > {max:?} (nominal {nominal:?}, jitter {})", policy.jitter);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_in_the_seed(policy in policy_strategy(), attempt in 0u32..32) {
+        prop_assert_eq!(policy.delay(attempt, None), policy.delay(attempt, None));
+        let reseeded = BackoffPolicy { seed: policy.seed.wrapping_add(1), ..policy };
+        // Different seeds are allowed to agree (small spans collide), but
+        // the same seed must always reproduce the same schedule.
+        prop_assert_eq!(reseeded.delay(attempt, None), reseeded.delay(attempt, None));
+    }
+
+    #[test]
+    fn retry_after_overrides_the_computed_delay(
+        policy in policy_strategy(),
+        attempt in 0u32..32,
+        retry_after_secs in 0u64..=120,
+    ) {
+        let ra = Duration::from_secs(retry_after_secs);
+        prop_assert_eq!(policy.delay(attempt, Some(ra)), ra);
+    }
+
+    #[test]
+    fn zero_jitter_means_exactly_nominal(
+        base_ms in 1u64..=1_000,
+        cap_ms in 1u64..=60_000,
+        attempt in 0u32..32,
+        seed in 0u64..=u64::MAX - 1,
+    ) {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms.max(base_ms)),
+            max_attempts: 3,
+            jitter: 0.0,
+            seed,
+        };
+        prop_assert_eq!(policy.delay(attempt, None), policy.nominal_delay(attempt));
+    }
+}

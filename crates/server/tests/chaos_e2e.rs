@@ -1,0 +1,209 @@
+//! Chaos end-to-end tests over loopback HTTP:
+//!
+//! * a WAL poisoned by an injected I/O fault flips the server into
+//!   degraded mode — writes answer `503` + `Retry-After`, reads and
+//!   `/metrics` keep serving, `/healthz` reports the reason with `503` —
+//!   and a successful `POST /admin/checkpoint` restores full service;
+//! * admission control sheds load instead of queueing unboundedly: with
+//!   one worker and a one-slot queue, the overflow connection gets `429`
+//!   immediately, a connection that out-waits the admission deadline
+//!   gets `429` at dequeue, and both appear in `hopi_requests_shed_total`.
+
+use hopi_build::{DurableConfig, FaultKind, FaultVfs, Hopi, OnlineHopi, SyncPolicy};
+use hopi_server::{serve, BackoffPolicy, Client, ClientTimeouts, ServerConfig};
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hopi_chaos_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn loopback() -> std::net::SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+fn seed_docs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("a", r#"<r><s/><cite xlink:href="b"/></r>"#),
+        ("b", "<r><sec/></r>"),
+    ]
+}
+
+/// Builds a durable engine whose first post-boot WAL operation fails,
+/// poisoning the log. Returns the engine plus the fault handle.
+fn poisoned_durable_engine(name: &str) -> (OnlineHopi, FaultVfs, PathBuf) {
+    // Enumerate the boot ops in a scratch directory.
+    let scratch = tempdir(&format!("{name}_scratch"));
+    let counting = FaultVfs::counting();
+    {
+        let config = DurableConfig::new(&scratch)
+            .policy(SyncPolicy::PerOp)
+            .vfs(Arc::new(counting.clone()));
+        let hopi = Hopi::builder().parse(seed_docs()).unwrap();
+        let online = OnlineHopi::bootstrap_durable(&config, hopi).unwrap();
+        drop(online);
+    }
+    let boot_ops = counting.op_count();
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Real boot: the first durability op after boot (the first mutation's
+    // WAL append) fails.
+    let dir = tempdir(name);
+    let fault = FaultVfs::failing(boot_ops + 1, FaultKind::Eio);
+    let config = DurableConfig::new(&dir)
+        .policy(SyncPolicy::PerOp)
+        .vfs(Arc::new(fault.clone()));
+    let hopi = Hopi::builder().parse(seed_docs()).unwrap();
+    let online = OnlineHopi::bootstrap_durable(&config, hopi).unwrap();
+    (online, fault, dir)
+}
+
+#[test]
+fn poisoned_wal_degrades_then_checkpoint_recovers_over_http() {
+    let (online, fault, dir) = poisoned_durable_engine("degrade");
+    let handle = serve(
+        online,
+        ServerConfig {
+            addr: loopback(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // Healthy before the fault fires.
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+
+    // The poisoning write: the injected WAL failure surfaces as a typed
+    // persistence error (500), not a hang or a panic.
+    let resp = c.request("POST", "/documents?name=poison", "<r/>").unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body);
+    assert!(fault.fired());
+
+    // Degraded mode: writes now answer 503 with Retry-After...
+    let resp = c
+        .request("POST", "/documents?name=refused", "<r/>")
+        .unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("degraded"));
+
+    // ...the health endpoint reports the reason with 503...
+    let resp = c.get("/healthz").unwrap();
+    assert_eq!(resp.status, 503);
+    assert!(resp.body.contains("\"degraded\":true"), "{}", resp.body);
+    assert!(resp.body.contains("write-ahead log"), "{}", resp.body);
+
+    // ...stats surface the flag for `hopi stats --addr`...
+    let resp = c.get("/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"degraded\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"healthy\":false"), "{}", resp.body);
+
+    // ...while reads keep serving from the snapshot.
+    assert_eq!(c.get("/connected?u=0&v=3").unwrap().status, 200);
+    assert_eq!(c.get("/query?expr=%2F%2Fr%2F%2Fsec").unwrap().status, 200);
+
+    // The retrying client sees the degraded answer, honors Retry-After,
+    // and gives up with the server's last word rather than an error.
+    let resp = hopi_server::request_with_retry(
+        handle.addr(),
+        ClientTimeouts::default(),
+        &BackoffPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(10),
+            ..BackoffPolicy::default()
+        },
+        "POST",
+        "/documents?name=retried",
+        "<r/>",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 503);
+
+    // Recovery: the fault was one-shot, so a checkpoint succeeds and
+    // re-establishes the durable baseline.
+    let resp = c.request("POST", "/admin/checkpoint", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    let resp = c
+        .request("POST", "/documents?name=recovered", "<r/>")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    handle.shutdown();
+
+    // The acked post-recovery write is durable on the real filesystem.
+    let recovered = Hopi::recover(&dir).unwrap();
+    let c = recovered.collection();
+    assert!(
+        c.doc_ids()
+            .any(|d| c.document(d).is_some_and(|doc| doc.name == "recovered")),
+        "acked post-recovery insert lost"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overflow_and_stale_connections_are_shed_with_429() {
+    let engine = OnlineHopi::new(Hopi::builder().parse(seed_docs()).unwrap());
+    let handle = serve(
+        engine,
+        ServerConfig {
+            addr: loopback(),
+            threads: 1,
+            queue_capacity: 1,
+            queue_deadline_millis: 50,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // C1 occupies the single worker (keep-alive: the worker owns the
+    // connection until it closes).
+    let mut c1 = Client::connect(addr).expect("c1");
+    assert_eq!(c1.get("/healthz").unwrap().status, 200);
+
+    // C2 parks in the one-slot admission queue.
+    let mut c2 = Client::connect(addr).expect("c2");
+
+    // C3 overflows the queue: the acceptor sheds it with 429 on the
+    // spot. The response is written unprompted, so read the raw socket.
+    let mut c3 = std::net::TcpStream::connect(addr).expect("c3");
+    c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut raw = String::new();
+    c3.read_to_string(&mut raw).expect("shed response");
+    assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+    assert!(raw.to_ascii_lowercase().contains("retry-after"), "{raw}");
+
+    // Let C2's queue wait blow the 50 ms admission deadline, then free
+    // the worker: C2 is shed at dequeue instead of served stale.
+    std::thread::sleep(Duration::from_millis(150));
+    drop(c1);
+    let resp = c2.get("/healthz").expect("stale response");
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // Both sheds are visible in /metrics.
+    let mut c4 = Client::connect(addr).expect("c4");
+    let metrics = c4.get("/metrics").unwrap().body;
+    let shed_line = metrics
+        .lines()
+        .find(|l| l.starts_with("hopi_requests_shed_total"))
+        .expect("shed counter exposed");
+    let shed: u64 = shed_line
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(shed >= 2, "expected both sheds counted: {shed_line}");
+
+    handle.shutdown();
+}

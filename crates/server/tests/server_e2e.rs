@@ -611,6 +611,7 @@ fn traces_and_slow_log_end_to_end() {
             threads: 2,
             read_only: false,
             slow_threshold_micros: 0,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

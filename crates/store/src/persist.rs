@@ -33,8 +33,8 @@
 
 use crate::engine::LinLoutStore;
 use crate::table::{IndexOrganizedTable, Row};
+use crate::vfs::{StdVfs, Vfs};
 use hopi_core::FrozenCover;
-use std::io::{Read, Write};
 use std::path::Path;
 
 /// Little-endian read cursor over a byte buffer.
@@ -93,6 +93,13 @@ const FLAG_CHECKPOINT: u32 = 4;
 /// the directory is fsynced — at every instant `path` holds either the
 /// old complete file or the new complete file, never a torn mix.
 pub fn atomic_write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_file_in(&StdVfs, path, bytes)
+}
+
+/// [`atomic_write_file`] through an explicit VFS backend — the variant
+/// the durable layer uses so fault injection covers every step (temp
+/// write, fsync, rename, directory fsync).
+pub fn atomic_write_file_in(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     // Unique per call, not just per process: two threads writing the same
     // target concurrently must not truncate each other's temp file.
     static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -111,34 +118,34 @@ pub fn atomic_write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         None => std::path::PathBuf::from(&tmp_name),
     };
     let install = || -> std::io::Result<()> {
-        let mut file = std::fs::File::create(&tmp)?;
+        let mut file = vfs.create(&tmp)?;
         file.write_all(bytes)?;
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, path)
+        vfs.rename(&tmp, path)
     };
     if let Err(e) = install() {
         // Leave nothing behind on failure (e.g. ENOSPC mid-write).
-        std::fs::remove_file(&tmp).ok();
+        vfs.remove_file(&tmp).ok();
         return Err(e);
     }
-    sync_parent_dir(path)
+    sync_parent_dir_in(vfs, path)
 }
 
 /// Fsyncs the directory containing `path`, making a just-completed rename
 /// or create durable. A no-op error-swallow is deliberate on platforms
 /// where directories cannot be opened for sync.
 pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    sync_parent_dir_in(&StdVfs, path)
+}
+
+/// [`sync_parent_dir`] through an explicit VFS backend.
+pub fn sync_parent_dir_in(vfs: &dyn Vfs, path: &Path) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => d,
         _ => Path::new("."),
     };
-    match std::fs::File::open(dir) {
-        Ok(f) => f.sync_all(),
-        // Some platforms refuse opening directories; the rename itself is
-        // still ordered after the file fsync, which is the critical part.
-        Err(_) => Ok(()),
-    }
+    vfs.sync_dir(dir)
 }
 
 /// Errors raised by save/load.
@@ -172,6 +179,11 @@ impl From<std::io::Error> for PersistError {
 
 /// Serializes a store to `path`.
 pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError> {
+    save_store_in(&StdVfs, store, path)
+}
+
+/// [`save_store`] through an explicit VFS backend.
+pub fn save_store_in(vfs: &dyn Vfs, store: &LinLoutStore, path: &Path) -> Result<(), PersistError> {
     let with_dist = store.lin().with_dist() || store.lout().with_dist();
     let per_row = if with_dist { 12 } else { 8 };
     let mut buf: Vec<u8> = Vec::with_capacity(28 + per_row * store.entry_count());
@@ -189,7 +201,7 @@ pub fn save_store(store: &LinLoutStore, path: &Path) -> Result<(), PersistError>
             }
         }
     }
-    atomic_write_file(path, &buf)?;
+    atomic_write_file_in(vfs, path, &buf)?;
     Ok(())
 }
 
@@ -205,8 +217,12 @@ pub enum StoredIndex {
 /// Loads either index layout, detecting the format from the header. Use
 /// this when the caller accepts both (e.g. `Hopi::open`).
 pub fn load_index(path: &Path) -> Result<StoredIndex, PersistError> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    load_index_in(&StdVfs, path)
+}
+
+/// [`load_index`] through an explicit VFS backend.
+pub fn load_index_in(vfs: &dyn Vfs, path: &Path) -> Result<StoredIndex, PersistError> {
+    let raw = vfs.read(path)?;
     if raw.len() >= 12 && &raw[..4] == MAGIC {
         let flags = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]);
         if flags & FLAG_CHECKPOINT != 0 {
@@ -223,9 +239,7 @@ pub fn load_index(path: &Path) -> Result<StoredIndex, PersistError> {
 
 /// Loads a store from `path`, rebuilding the backward indexes.
 pub fn load_store(path: &Path) -> Result<LinLoutStore, PersistError> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    decode_store(&raw)
+    decode_store(&StdVfs.read(path)?)
 }
 
 fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
@@ -288,6 +302,15 @@ fn decode_store(raw: &[u8]) -> Result<LinLoutStore, PersistError> {
 /// blob (header flags bit 1 set; bit 0 when distance annotations are
 /// stored). Loading it back with [`load_frozen`] involves no sorting.
 pub fn save_frozen(frozen: &FrozenCover, path: &Path) -> Result<(), PersistError> {
+    save_frozen_in(&StdVfs, frozen, path)
+}
+
+/// [`save_frozen`] through an explicit VFS backend.
+pub fn save_frozen_in(
+    vfs: &dyn Vfs,
+    frozen: &FrozenCover,
+    path: &Path,
+) -> Result<(), PersistError> {
     let dists = frozen.label_dists();
     let flags = FLAG_FROZEN | if dists.is_some() { FLAG_DIST } else { 0 };
     let mut buf: Vec<u8> = Vec::with_capacity(28);
@@ -295,7 +318,7 @@ pub fn save_frozen(frozen: &FrozenCover, path: &Path) -> Result<(), PersistError
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&flags.to_le_bytes());
     encode_frozen_payload(frozen, &mut buf);
-    atomic_write_file(path, &buf)?;
+    atomic_write_file_in(vfs, path, &buf)?;
     Ok(())
 }
 
@@ -326,9 +349,7 @@ fn encode_frozen_payload(frozen: &FrozenCover, buf: &mut Vec<u8>) {
 /// Loads a frozen cover persisted with [`save_frozen`], rebuilding the
 /// inverted sections by counting (no sorting anywhere on the load path).
 pub fn load_frozen(path: &Path) -> Result<FrozenCover, PersistError> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    decode_frozen(&raw)
+    decode_frozen(&StdVfs.read(path)?)
 }
 
 fn decode_frozen(raw: &[u8]) -> Result<FrozenCover, PersistError> {
@@ -428,6 +449,17 @@ pub fn save_checkpoint(
     frozen: &FrozenCover,
     seq: u64,
 ) -> Result<(), PersistError> {
+    save_checkpoint_in(&StdVfs, path, collection, frozen, seq)
+}
+
+/// [`save_checkpoint`] through an explicit VFS backend.
+pub fn save_checkpoint_in(
+    vfs: &dyn Vfs,
+    path: &Path,
+    collection: &hopi_xml::Collection,
+    frozen: &FrozenCover,
+    seq: u64,
+) -> Result<(), PersistError> {
     let coll = hopi_xml::codec::encode_collection(collection);
     let flags = FLAG_CHECKPOINT
         | FLAG_FROZEN
@@ -444,14 +476,18 @@ pub fn save_checkpoint(
     buf.extend_from_slice(&(coll.len() as u64).to_le_bytes());
     buf.extend_from_slice(&coll);
     encode_frozen_payload(frozen, &mut buf);
-    atomic_write_file(path, &buf)?;
+    atomic_write_file_in(vfs, path, &buf)?;
     Ok(())
 }
 
 /// Loads a checkpoint written by [`save_checkpoint`].
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, PersistError> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    load_checkpoint_in(&StdVfs, path)
+}
+
+/// [`load_checkpoint`] through an explicit VFS backend.
+pub fn load_checkpoint_in(vfs: &dyn Vfs, path: &Path) -> Result<Checkpoint, PersistError> {
+    let raw = vfs.read(path)?;
     let mut buf = Cursor::new(&raw);
     if buf.remaining() < 28 {
         return Err(PersistError::Format("truncated checkpoint header".into()));

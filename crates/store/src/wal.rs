@@ -40,13 +40,12 @@
 //! acknowledges a whole batch, turning per-operation fsync latency into
 //! amortized batch latency.
 
-use crate::persist::{atomic_write_file, sync_parent_dir, PersistError};
+use crate::persist::{atomic_write_file_in, sync_parent_dir_in, PersistError};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use hopi_obs::{Histogram, Span};
 use hopi_xml::{codec, XmlDocument};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Locks `m`, recovering the guard from a poisoned lock instead of
 /// panicking. Sound here because every WAL critical section mutates
@@ -323,7 +322,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 struct WalInner {
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Sequence number of the last appended record.
     appended: u64,
     /// Sequence number through which records are known durable.
@@ -353,6 +352,7 @@ pub struct Wal {
     path: PathBuf,
     base_seq: Mutex<u64>,
     metrics: WalMetrics,
+    vfs: Arc<dyn Vfs>,
 }
 
 fn header(base_seq: u64) -> [u8; 16] {
@@ -367,8 +367,13 @@ impl Wal {
     /// Creates a fresh, empty log whose first record will carry sequence
     /// `base_seq + 1`, atomically replacing anything at `path`.
     pub fn create(path: &Path, base_seq: u64) -> Result<Wal, PersistError> {
-        atomic_write_file(path, &header(base_seq))?;
-        let file = OpenOptions::new().append(true).open(path)?;
+        Wal::create_in(StdVfs::arc(), path, base_seq)
+    }
+
+    /// [`Wal::create`] through an explicit VFS backend.
+    pub fn create_in(vfs: Arc<dyn Vfs>, path: &Path, base_seq: u64) -> Result<Wal, PersistError> {
+        atomic_write_file_in(&*vfs, path, &header(base_seq))?;
+        let file = vfs.open_append(path)?;
         Ok(Wal {
             inner: Mutex::new(WalInner {
                 file,
@@ -381,6 +386,7 @@ impl Wal {
             path: path.to_path_buf(),
             base_seq: Mutex::new(base_seq),
             metrics: WalMetrics::default(),
+            vfs,
         })
     }
 
@@ -389,8 +395,15 @@ impl Wal {
     /// fsync), never reported as an error — those records were not durable
     /// and so were never acknowledged.
     pub fn open(path: &Path) -> Result<(Wal, Vec<(u64, WalRecord)>), PersistError> {
-        let mut raw = Vec::new();
-        File::open(path)?.read_to_end(&mut raw)?;
+        Wal::open_in(StdVfs::arc(), path)
+    }
+
+    /// [`Wal::open`] through an explicit VFS backend.
+    pub fn open_in(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+    ) -> Result<(Wal, Vec<(u64, WalRecord)>), PersistError> {
+        let raw = vfs.read(path)?;
         if raw.len() < HEADER_LEN as usize || !raw.starts_with(MAGIC) {
             return Err(PersistError::Format("not a HOPI WAL file".into()));
         }
@@ -431,12 +444,12 @@ impl Wal {
         if pos != raw.len() {
             // Drop the torn tail on disk so later appends start at a clean
             // record boundary.
-            let file = OpenOptions::new().write(true).open(path)?;
+            let file = vfs.open_rw(path)?;
             file.set_len(pos as u64)?;
             file.sync_all()?;
         }
 
-        let file = OpenOptions::new().append(true).open(path)?;
+        let file = vfs.open_append(path)?;
         Ok((
             Wal {
                 inner: Mutex::new(WalInner {
@@ -450,6 +463,7 @@ impl Wal {
                 path: path.to_path_buf(),
                 base_seq: Mutex::new(base_seq),
                 metrics: WalMetrics::default(),
+                vfs,
             },
             records,
         ))
@@ -585,12 +599,8 @@ impl Wal {
         // sequence counters stay unblocked during the sync. Callers
         // already serialize rotation against appends via their apply
         // lock, so the pre-built file cannot go stale while we wait.
-        let build = || -> std::io::Result<File> {
-            let mut file = OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .write(true)
-                .open(&tmp)?;
+        let build = || -> std::io::Result<Box<dyn VfsFile>> {
+            let mut file = self.vfs.create(&tmp)?;
             file.write_all(&header(checkpoint_seq))?;
             file.sync_all()?;
             Ok(file)
@@ -598,14 +608,14 @@ impl Wal {
         let built = match build() {
             Ok(f) => f,
             Err(e) => {
-                std::fs::remove_file(&tmp).ok();
+                self.vfs.remove_file(&tmp).ok();
                 return Err(e.into());
             }
         };
         let mut g = lock_recover(&self.inner);
         if checkpoint_seq != g.appended {
             drop(g);
-            std::fs::remove_file(&tmp).ok();
+            self.vfs.remove_file(&tmp).ok();
             return Err(PersistError::Format(format!(
                 "rotate at seq {checkpoint_seq} but records are appended past it"
             )));
@@ -615,9 +625,9 @@ impl Wal {
         // the commit point: an error before it leaves the old log, its
         // handle, and every counter untouched — a failed rotate can never
         // strand later appends on an unlinked inode.
-        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+        if let Err(e) = self.vfs.rename(&tmp, &self.path) {
             drop(g);
-            std::fs::remove_file(&tmp).ok();
+            self.vfs.remove_file(&tmp).ok();
             return Err(e.into());
         }
         g.file = built;
@@ -629,14 +639,14 @@ impl Wal {
         // Make the swap itself durable. If this fails (or we crash before
         // it lands), the *old* log may reappear after a restart — benign:
         // recovery skips its records by sequence number.
-        sync_parent_dir(&self.path)?;
+        sync_parent_dir_in(&*self.vfs, &self.path)?;
         Ok(())
     }
 
     /// Fsyncs the directory holding the log (call once after creating it
     /// so the file's existence itself is durable).
     pub fn sync_dir(&self) -> std::io::Result<()> {
-        sync_parent_dir(&self.path)
+        sync_parent_dir_in(&*self.vfs, &self.path)
     }
 }
 
