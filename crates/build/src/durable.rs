@@ -280,6 +280,7 @@ impl Durability {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let seq = self.wal.appended_seq();
         let bytes_before = self.wal.len_bytes();
+        // lint: allow(blocking-under-lock): sanctioned — the checkpoint write is exactly what checkpoint_lock serializes
         let result = save_checkpoint_in(
             &*self.vfs,
             &self.checkpoint_path,
@@ -287,6 +288,7 @@ impl Durability {
             &engine.freeze(),
             seq,
         )
+        // lint: allow(blocking-under-lock): sanctioned — WAL rotation must stay inside the same checkpoint critical section
         .and_then(|()| self.wal.rotate(seq));
         if let Err(e) = result {
             self.failed.store(true, Ordering::Release);

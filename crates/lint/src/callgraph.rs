@@ -1,0 +1,410 @@
+//! Symbol table and approximate call graph over the lexed workspace.
+//!
+//! The interprocedural rules ([`crate::summary`]) need to know, for
+//! every non-test function on the serve path, *where it is* (file,
+//! line, body token range, enclosing `impl` type) and *who it may
+//! call*. Rust name resolution is out of reach for a zero-dependency
+//! lexer, so the graph is approximate by design, erring toward extra
+//! edges (a missed deadlock is worse than an extra witness to review):
+//!
+//! * a call site is an identifier followed by `(` that is not a
+//!   keyword, macro, or one of the lock/blocking primitives the
+//!   summary pass consumes directly;
+//! * candidates are every workspace function with the same name,
+//!   narrowed by the `Type::` qualifier when present, by method-ness
+//!   (`.name(` prefers `self` methods), and by argument count when an
+//!   exact arity match exists (counting top-level commas — closures
+//!   with multi-parameter pipes can overcount, in which case the
+//!   narrowing falls back to all same-name candidates).
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{ident_at, is_punct, match_brace};
+
+/// One function definition found in a scanned file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Index of the source file in the scan's file list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type (`impl Wal` / `impl Vfs for StdVfs` →
+    /// `Wal` / `StdVfs`), used to key `self.field` lock paths.
+    pub self_type: Option<String>,
+    /// Whether the first parameter is `self` (any receiver shape).
+    pub has_self: bool,
+    /// Parameter count excluding `self`.
+    pub arity: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index just past the body's closing `}`.
+    pub body_end: usize,
+}
+
+impl FnItem {
+    /// Display name: `Type::name` for methods, bare `name` otherwise.
+    pub fn display(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Extracts every non-test function item (with a body) from one file's
+/// token stream. Nested functions are folded into their enclosing item:
+/// the body range of the outer function covers them, which is the
+/// attribution the summary pass wants.
+pub fn extract_fns(tokens: &[Token], mask: &[bool], file: usize) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    // (token index past the impl block, self type) — innermost last.
+    let mut impls: Vec<(usize, Option<String>)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while impls.last().is_some_and(|(end, _)| i >= *end) {
+            impls.pop();
+        }
+        if mask.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        match ident_at(tokens, i) {
+            Some("impl") => {
+                if let Some((open, ty)) = impl_header(tokens, i + 1) {
+                    impls.push((match_brace(tokens, open), ty));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            // Trait blocks scope their default methods the same way;
+            // the self type is the trait's own name.
+            Some("trait") => {
+                if let Some((open, _)) = impl_header(tokens, i + 1) {
+                    let name = ident_at(tokens, i + 1).map(str::to_string);
+                    impls.push((match_brace(tokens, open), name));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            Some("fn") => {
+                let self_type = impls.last().and_then(|(_, t)| t.clone());
+                if let Some(item) = parse_fn(tokens, i, file, self_type) {
+                    let next = item.body_end.max(i + 1);
+                    out.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses an `impl` header starting just past the keyword. Returns the
+/// opening-brace token index and the implementing type: the last
+/// identifier at angle-depth 0 (restarting after `for`, stopping at
+/// `where`), so `impl<T> fmt::Display for Wrapper<T> where …` → Wrapper.
+fn impl_header(tokens: &[Token], start: usize) -> Option<(usize, Option<String>)> {
+    let mut angle = 0i32;
+    let mut ty: Option<String> = None;
+    let mut collecting = true;
+    let mut i = start;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') if !is_punct(tokens, i.wrapping_sub(1), '-') => angle -= 1,
+            Tok::Punct('{') if angle <= 0 => return Some((i, ty)),
+            // `impl Trait for Type;` does not exist; a stray `;` means
+            // this was not an impl block after all.
+            Tok::Punct(';') if angle <= 0 => return None,
+            Tok::Ident(s) if angle <= 0 && collecting => match s.as_str() {
+                "for" => ty = None,
+                "where" => collecting = false,
+                "dyn" | "mut" | "const" | "unsafe" => {}
+                _ => ty = Some(s.clone()),
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a `fn` item at `at` (the keyword). `None` for fn-pointer
+/// types (`fn(u8) -> u8`) and bodyless trait declarations.
+fn parse_fn(tokens: &[Token], at: usize, file: usize, self_type: Option<String>) -> Option<FnItem> {
+    let name = ident_at(tokens, at + 1)?.to_string();
+    let mut i = at + 2;
+    if is_punct(tokens, i, '<') {
+        i = skip_angles(tokens, i);
+    }
+    if !is_punct(tokens, i, '(') {
+        return None;
+    }
+    let (params_end, has_self, arity) = parse_params(tokens, i);
+    // Scan the return type / where clause: the first `{` at depth 0
+    // opens the body; a `;` first means declaration-only.
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = params_end;
+    let body_open = loop {
+        match tokens.get(j).map(|t| &t.tok)? {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => break j,
+            Tok::Punct(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    Some(FnItem {
+        file,
+        name,
+        self_type,
+        has_self,
+        arity,
+        line: tokens[at].line,
+        body_open,
+        body_end: match_brace(tokens, body_open),
+    })
+}
+
+/// Index just past the `>` matching the `<` at `open`, treating `->`
+/// arrows inside `Fn(…) -> …` bounds as non-closers.
+fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') if !is_punct(tokens, i.wrapping_sub(1), '-') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Walks a parameter list from its `(`; returns (index past `)`,
+/// has-self, parameter count excluding self). Commas inside nested
+/// parens, brackets, and generic angles do not count.
+fn parse_params(tokens: &[Token], open: usize) -> (usize, bool, usize) {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut params = 0usize;
+    let mut saw_tokens = false;
+    let mut has_self = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('(') => {
+                paren += 1;
+                if paren > 1 {
+                    saw_tokens = true;
+                }
+            }
+            Tok::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    if saw_tokens {
+                        params += 1;
+                    }
+                    if has_self {
+                        params = params.saturating_sub(1);
+                    }
+                    return (i + 1, has_self, params);
+                }
+                saw_tokens = true;
+            }
+            Tok::Punct('[') => {
+                bracket += 1;
+                saw_tokens = true;
+            }
+            Tok::Punct(']') => {
+                bracket -= 1;
+                saw_tokens = true;
+            }
+            Tok::Punct('<') => {
+                angle += 1;
+                saw_tokens = true;
+            }
+            Tok::Punct('>') => {
+                if !is_punct(tokens, i.wrapping_sub(1), '-') {
+                    angle -= 1;
+                }
+                saw_tokens = true;
+            }
+            Tok::Punct(',') if paren == 1 && bracket == 0 && angle <= 0 => {
+                if saw_tokens {
+                    params += 1;
+                }
+                saw_tokens = false;
+            }
+            Tok::Ident(s) => {
+                if s == "self" && paren == 1 && params == 0 {
+                    has_self = true;
+                }
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+        i += 1;
+    }
+    (tokens.len(), has_self, params)
+}
+
+/// Name → candidate function indices, for call resolution.
+pub struct SymbolTable {
+    by_name: std::collections::BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the index over the full workspace function list.
+    pub fn new(fns: &[FnItem]) -> SymbolTable {
+        let mut by_name: std::collections::BTreeMap<String, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(idx);
+        }
+        SymbolTable { by_name }
+    }
+
+    /// Resolves a call to candidate definitions, narrowing in order by
+    /// `Type::` qualifier, method-ness, then exact arity. Each narrowing
+    /// step only applies when it leaves at least one candidate — an
+    /// overcounted closure argument must widen, not empty, the set.
+    pub fn resolve(
+        &self,
+        fns: &[FnItem],
+        name: &str,
+        qualifier: Option<&str>,
+        is_method: bool,
+        argc: usize,
+    ) -> Vec<usize> {
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let mut cands: Vec<usize> = all.clone();
+        if let Some(q) = qualifier {
+            let narrowed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].self_type.as_deref() == Some(q))
+                .collect();
+            if !narrowed.is_empty() {
+                cands = narrowed;
+            }
+        }
+        if is_method {
+            let narrowed: Vec<usize> = cands.iter().copied().filter(|&i| fns[i].has_self).collect();
+            if !narrowed.is_empty() {
+                cands = narrowed;
+            }
+        }
+        let exact: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].arity == argc)
+            .collect();
+        if !exact.is_empty() {
+            cands = exact;
+        }
+        cands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn fns_of(src: &str) -> Vec<FnItem> {
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        extract_fns(&tokens, &mask, 0)
+    }
+
+    #[test]
+    fn extracts_free_fns_and_methods() {
+        let src = "fn free(a: u32, b: u32) -> u32 { a + b }\n\
+                   struct W { n: u32 }\n\
+                   impl W {\n    fn get(&self) -> u32 { self.n }\n\
+                   fn set(&mut self, n: u32) { self.n = n; }\n}\n\
+                   impl std::fmt::Display for W {\n\
+                   fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { write!(f, \"{}\", self.n) }\n}\n";
+        let fns = fns_of(src);
+        let names: Vec<(String, Option<String>, bool, usize)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_type.clone(), f.has_self, f.arity))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, false, 2),
+                ("get".into(), Some("W".into()), true, 0),
+                ("set".into(), Some("W".into()), true, 1),
+                ("fmt".into(), Some("W".into()), true, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_where_clauses_and_decls() {
+        let src = "trait T {\n    fn decl_only(&self);\n\
+                   fn with_default(&self) -> u32 { 1 }\n}\n\
+                   fn generic<F: Fn(u32) -> u32>(f: F, m: std::collections::HashMap<u32, u32>) -> u32 where F: Clone { f(m.len() as u32) }\n";
+        let fns = fns_of(src);
+        let names: Vec<(String, usize)> = fns.iter().map(|f| (f.name.clone(), f.arity)).collect();
+        // decl_only has no body and is skipped; the HashMap<u32, u32>
+        // comma must not inflate generic's arity.
+        assert_eq!(
+            names,
+            vec![("with_default".into(), 0), ("generic".into(), 2)]
+        );
+        assert_eq!(fns[0].self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn test_fns_are_skipped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "live");
+    }
+
+    #[test]
+    fn resolution_narrows_by_qualifier_method_and_arity() {
+        let src = "struct A; struct B;\n\
+                   impl A { fn go(&self, x: u32, y: u32) -> u32 { x + y } }\n\
+                   impl B { fn go(&self, x: u32) -> u32 { x } }\n\
+                   fn go() {}\n";
+        let fns = fns_of(src);
+        let table = SymbolTable::new(&fns);
+        // Method call with two args → A::go only.
+        let got = table.resolve(&fns, "go", None, true, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(fns[got[0]].self_type.as_deref(), Some("A"));
+        // Qualified call → B::go even with a mismatched arity.
+        let got = table.resolve(&fns, "go", Some("B"), false, 9);
+        assert_eq!(got.len(), 1);
+        assert_eq!(fns[got[0]].self_type.as_deref(), Some("B"));
+        // Bare zero-arg call → the free fn.
+        let got = table.resolve(&fns, "go", None, false, 0);
+        assert_eq!(got.len(), 1);
+        assert!(fns[got[0]].self_type.is_none());
+        // Unknown names resolve to nothing.
+        assert!(table.resolve(&fns, "missing", None, false, 0).is_empty());
+    }
+}

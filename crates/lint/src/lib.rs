@@ -24,9 +24,11 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod summary;
 
 use baseline::{Counts, Diff};
 use scan::FileFindings;
@@ -52,6 +54,37 @@ impl CheckOutcome {
     /// Total findings in the scan (baselined ones included).
     pub fn total_findings(&self) -> usize {
         self.reports.iter().map(|r| r.findings.len()).sum()
+    }
+
+    /// Renders the failure report as GitHub Actions workflow commands
+    /// (`::error file=…,line=…::…`), so a failing CI lint job annotates
+    /// the offending lines directly in the diff view.
+    pub fn render_github_annotations(&self) -> String {
+        let mut out = String::new();
+        for (file, rule, _, _) in &self.diff.new {
+            for report in self.reports.iter().filter(|r| &r.path == file) {
+                for f in report.findings.iter().filter(|f| f.rule == rule) {
+                    // Workflow commands treat `%`, `\r`, `\n` as
+                    // terminators; the excerpt must be escaped.
+                    let msg = f
+                        .excerpt
+                        .replace('%', "%25")
+                        .replace('\r', "%0D")
+                        .replace('\n', "%0A");
+                    out.push_str(&format!(
+                        "::error file={file},line={}::[{rule}] {msg}\n",
+                        f.line
+                    ));
+                }
+            }
+        }
+        for (file, rule, allowed, actual) in &self.diff.stale {
+            out.push_str(&format!(
+                "::error file={file},line=1::[{rule}] stale baseline entry: allows {allowed} but \
+                 only {actual} remain — run --update-baseline\n"
+            ));
+        }
+        out
     }
 
     /// Renders the failure report: one line per offending source line of
@@ -90,6 +123,15 @@ pub fn check(root: &Path, baseline_path: &Path) -> Result<CheckOutcome, String> 
         actual,
         diff,
     })
+}
+
+/// Renders the interprocedural view of the workspace at `root`: every
+/// serve-path function with its resolved callees, reachable lock keys,
+/// and blocking-chain summary (`--dump-callgraph`).
+pub fn dump_callgraph(root: &Path) -> Result<String, String> {
+    let files = scan::load_workspace(root)?;
+    let serve = scan::serve_indices(&files);
+    Ok(summary::dump(&files, &serve))
 }
 
 /// Reads and parses a baseline file; `Ok(empty)` when it does not exist.

@@ -1,9 +1,11 @@
 //! `hopi-lint` — the CI entry point for the workspace invariants.
 //!
 //! ```text
-//! hopi-lint [--check]                 diff the scan against lint_baseline.toml
+//! hopi-lint [--check [--github]]      diff the scan against lint_baseline.toml
 //! hopi-lint --list                    print every finding with its source line
 //! hopi-lint --update-baseline [--force]
+//! hopi-lint --dump-callgraph          serve-path functions, callees, lock/blocking summaries
+//! hopi-lint --explain RULE            what a rule means and how to fix findings
 //! hopi-lint --root DIR --baseline FILE   (defaults: ., ROOT/lint_baseline.toml)
 //! ```
 //!
@@ -14,18 +16,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: hopi-lint [--check | --list | --update-baseline [--force]] \
-                     [--root DIR] [--baseline FILE]";
+const USAGE: &str = "usage: hopi-lint [--check [--github] | --list | --update-baseline [--force] \
+                     | --dump-callgraph | --explain RULE] [--root DIR] [--baseline FILE]";
 
 enum Mode {
     Check,
     List,
     Update,
+    DumpCallgraph,
+    Explain(String),
 }
 
 fn main() -> ExitCode {
     let mut mode = Mode::Check;
     let mut force = false;
+    let mut github = false;
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -34,7 +39,13 @@ fn main() -> ExitCode {
             "--check" => mode = Mode::Check,
             "--list" => mode = Mode::List,
             "--update-baseline" => mode = Mode::Update,
+            "--dump-callgraph" => mode = Mode::DumpCallgraph,
+            "--explain" => match args.next() {
+                Some(rule) => mode = Mode::Explain(rule),
+                None => return usage_error("--explain needs a rule name"),
+            },
             "--force" => force = true,
+            "--github" => github = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage_error("--root needs a directory"),
@@ -79,6 +90,9 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Ok(outcome) => {
+                if github {
+                    print!("{}", outcome.render_github_annotations());
+                }
                 eprint!("{}", outcome.render_failures());
                 eprintln!(
                     "hopi-lint: {} new, {} stale — the serve path must not grow panic paths",
@@ -96,6 +110,23 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => io_error(&e),
+        },
+        Mode::DumpCallgraph => match hopi_lint::dump_callgraph(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => io_error(&e),
+        },
+        Mode::Explain(rule) => match hopi_lint::rules::explain(&rule) {
+            Some(text) => {
+                println!("{rule}\n\n{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known = hopi_lint::rules::ALL_RULES.join(", ");
+                usage_error(&format!("unknown rule '{rule}' — known rules: {known}"))
+            }
         },
     }
 }

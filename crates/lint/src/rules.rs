@@ -48,10 +48,80 @@ pub const ALL_RULES: &[&str] = &[
     "box-dyn-error",
     "instant-in-loop",
     "direct-io",
+    "blocking-under-lock",
+    "lock-order",
 ];
 
+/// One paragraph per rule for `hopi-lint --explain RULE`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "unwrap" | "expect" | "panic" | "unreachable" => {
+            "Panic ratchet: `.unwrap()`, `.expect(…)`, `panic!`, and `unreachable!` in \
+             non-test serve-path code. The 24×7 serve path must turn malformed input and \
+             poisoned locks into typed errors, never a worker-killing panic. Existing debt \
+             is frozen per (file, rule) in lint_baseline.toml and may only shrink."
+        }
+        "slice-index" => {
+            "Panic ratchet: index expressions (`v[i]`, `map[&k]`) in non-test serve-path \
+             code. Out-of-range indexing panics the worker; prefer `get()` / iterators and \
+             handle the None arm. Frozen debt ratchets down via lint_baseline.toml."
+        }
+        "lock-across-sync" => {
+            "Lock-hold discipline (same scope): a guard bound from `.lock()` / `.read()` / \
+             `.write()` or `lock_recover(…)` is still live when an fsync-class call \
+             (sync_data, sync_all, sync_parent_dir, atomic_write_file, fsync) executes in \
+             the same lexical scope. This is the WAL group-commit latency bug class: every \
+             waiter queues behind a disk flush."
+        }
+        "blocking-under-lock" => {
+            "Interprocedural lock-hold discipline: a blocking operation (file I/O, fsync, \
+             socket read/write/accept, channel recv, thread::sleep, Condvar wait, join) is \
+             reachable through any chain of workspace calls while a lock guard is live. \
+             Generalizes lock-across-sync to arbitrary call depth using per-function \
+             summaries propagated over the approximate call graph. Sanctioned sites (the \
+             group-commit leader fsync, the checkpoint writer) carry a one-line \
+             `// lint: allow(blocking-under-lock)` annotation on or above the flagged line."
+        }
+        "lock-order" => {
+            "Deadlock freedom: the workspace-wide lock-acquisition-order graph (keyed by \
+             lock field path, e.g. `OnlineHopi.engine` → `Wal.inner`) must stay acyclic, \
+             in the spirit of kernel lockdep. An edge A → B is recorded whenever a \
+             function acquires B while holding A, directly or through calls; any cycle is \
+             a potential deadlock and is reported once with the full witness chain of \
+             functions and acquisition sites. `// lint: allow(lock-order)` suppresses a \
+             witness edge that is known-safe (e.g. guarded by a total external order)."
+        }
+        "missing-forbid-unsafe" => {
+            "Crate hygiene: every crate root carries `#![forbid(unsafe_code)]`. The \
+             workspace's safety argument is that there is no unsafe code to audit."
+        }
+        "print-in-lib" => {
+            "Crate hygiene: library code must not print to stdio (`println!`, `eprintln!`, \
+             `dbg!`, …). Observability goes through hopi-obs; binaries are exempt."
+        }
+        "box-dyn-error" => {
+            "Crate hygiene: `Box<dyn … Error>` in library signatures erases the error \
+             taxonomy. Use the typed `HopiError` family so callers can branch on failure \
+             class (and the degraded-mode server can pick the right status code)."
+        }
+        "instant-in-loop" => {
+            "Timing discipline: a raw `Instant::now()` inside a serve-path loop body is \
+             either an unrecorded measurement or a per-iteration clock read that belongs \
+             outside the loop. Hot-path timing goes through `hopi_obs::Stopwatch`/`Span`, \
+             which also feed the latency histograms."
+        }
+        "direct-io" => {
+            "VFS discipline: the durability crates (store, build) must route every \
+             filesystem call through the `Vfs` abstraction so the fault-injection sweep \
+             can fail each syscall site. Direct `std::fs` / `File::` / `OpenOptions` use \
+             outside the VFS module itself is ratcheted to zero."
+        }
+        _ => return None,
+    })
+}
+
 /// fsync-class calls that must not run under a live lock guard.
-const SYNC_FNS: &[&str] = &[
+pub(crate) const SYNC_FNS: &[&str] = &[
     "sync_data",
     "sync_all",
     "sync_parent_dir",
@@ -62,18 +132,18 @@ const SYNC_FNS: &[&str] = &[
 /// Keywords that, before a `[`, mean "array literal / pattern", not an
 /// index expression. Value-like words (`self`, `true`) are deliberately
 /// absent: `self[i]` *is* indexing.
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "as", "async", "await", "become", "box", "break", "const", "continue", "do", "dyn", "else",
     "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
     "move", "mut", "pub", "ref", "return", "static", "struct", "trait", "try", "type", "union",
     "unsafe", "use", "where", "while", "yield",
 ];
 
-fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
     matches!(tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
 }
 
-fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
     match tokens.get(i) {
         Some(Token {
             tok: Tok::Ident(s), ..
@@ -169,7 +239,7 @@ fn scan_item(tokens: &[Token], start: usize) -> usize {
 }
 
 /// The index just past the `}` matching the `{` at `open`.
-fn match_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn match_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < tokens.len() {
@@ -188,7 +258,7 @@ fn match_brace(tokens: &[Token], open: usize) -> usize {
     tokens.len()
 }
 
-fn excerpt(lines: &[&str], line: u32) -> String {
+pub(crate) fn excerpt(lines: &[&str], line: u32) -> String {
     let text = lines.get(line as usize - 1).copied().unwrap_or("").trim();
     let mut s: String = text.chars().take(120).collect();
     if s.len() < text.len() {
@@ -329,7 +399,7 @@ pub fn lock_findings(tokens: &[Token], mask: &[bool], lines: &[&str]) -> Vec<Fin
 
 /// Index just past the `;` ending the statement starting at `start`
 /// (braces inside the statement — closures, blocks — are balanced over).
-fn statement_end(tokens: &[Token], start: usize) -> usize {
+pub(crate) fn statement_end(tokens: &[Token], start: usize) -> usize {
     let mut brace = 0isize;
     let mut i = start;
     while i < tokens.len() {

@@ -1,0 +1,25 @@
+//! Fixture: two methods acquiring the same pair of mutexes in opposite
+//! orders — the lock-order rule must report one cycle, anchored at the
+//! second acquisition of `a`, with both witness chains rendered.
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    x: Mutex<u32>,
+    y: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn a(&self) -> u32 {
+        let gx = self.x.lock().unwrap_or_else(PoisonError::into_inner);
+        let gy = self.y.lock().unwrap_or_else(PoisonError::into_inner);
+        *gx + *gy
+    }
+
+    pub fn b(&self) -> u32 {
+        let gy = self.y.lock().unwrap_or_else(PoisonError::into_inner);
+        let gx = self.x.lock().unwrap_or_else(PoisonError::into_inner);
+        *gx - *gy
+    }
+}

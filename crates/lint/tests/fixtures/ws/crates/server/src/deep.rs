@@ -1,0 +1,31 @@
+//! Fixture: a blocking fsync reached two calls deep while a mutex guard
+//! is live (`top` → `mid` → `bottom` → `sync_data`), plus a negative
+//! twin that drops the guard before making the same call.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Deep {
+    m: Mutex<u32>,
+}
+
+impl Deep {
+    pub fn top(&self, f: &std::fs::File) {
+        let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+        mid(f);
+        drop(g);
+    }
+
+    pub fn dropped(&self, f: &std::fs::File) {
+        let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(g);
+        mid(f);
+    }
+}
+
+pub fn mid(f: &std::fs::File) {
+    bottom(f);
+}
+
+pub fn bottom(f: &std::fs::File) {
+    let _ = f.sync_data();
+}

@@ -53,6 +53,18 @@ fn fixture_workspace_findings_are_exact() {
         .collect();
     got.sort();
     let mut want: Vec<(String, String, u32)> = vec![
+        // build: two methods take the same pair of mutexes in opposite
+        // orders — one lock-order cycle, anchored at `a`'s second
+        // acquisition. The matching chains are checked separately in
+        // `fixture_witness_chains_render_across_functions`.
+        ("crates/build/src/lib.rs".into(), "lock-order".into(), 16),
+        // server/deep.rs: fsync two calls deep while a guard is live;
+        // the `dropped` twin releases the guard first and stays silent.
+        (
+            "crates/server/src/deep.rs".into(),
+            "blocking-under-lock".into(),
+            14,
+        ),
         // server: unmasked unwrap + two slice indexes + missing forbid;
         // the #[cfg(test)] mod with its unwrap() is masked.
         (
@@ -89,6 +101,47 @@ fn fixture_workspace_findings_are_exact() {
     ];
     want.sort();
     assert_eq!(got, want);
+}
+
+/// The interprocedural findings must carry human-readable witness
+/// chains spanning every function on the path, not just the anchor
+/// line — that is what makes a cross-file report actionable.
+#[test]
+fn fixture_witness_chains_render_across_functions() {
+    let reports = hopi_lint::scan::scan_workspace(&fixture_ws()).expect("scan fixture ws");
+    let excerpt = |path: &str, rule: &str| -> String {
+        reports
+            .iter()
+            .find(|r| r.path == path)
+            .and_then(|r| r.findings.iter().find(|f| f.rule == rule))
+            .unwrap_or_else(|| panic!("no {rule} finding in {path}"))
+            .excerpt
+            .clone()
+    };
+
+    let cycle = excerpt("crates/build/src/lib.rs", "lock-order");
+    assert!(
+        cycle.contains("deadlock cycle Pair.x → Pair.y → Pair.x"),
+        "cycle summary missing: {cycle}"
+    );
+    assert!(
+        cycle.contains("`Pair::a` holds Pair.x, acquires Pair.y (crates/build/src/lib.rs:16)"),
+        "first witness chain missing: {cycle}"
+    );
+    assert!(
+        cycle.contains("`Pair::b` holds Pair.y, acquires Pair.x (crates/build/src/lib.rs:22)"),
+        "second witness chain missing: {cycle}"
+    );
+
+    let deep = excerpt("crates/server/src/deep.rs", "blocking-under-lock");
+    for step in [
+        "`Deep::top` holds [Deep.m]",
+        "`Deep::top` calls `mid` (crates/server/src/deep.rs:14)",
+        "`mid` calls `bottom` (crates/server/src/deep.rs:26)",
+        "`bottom` does sync_data (crates/server/src/deep.rs:30)",
+    ] {
+        assert!(deep.contains(step), "witness step {step:?} missing: {deep}");
+    }
 }
 
 #[test]
@@ -178,6 +231,81 @@ fn binary_exit_codes_flip_on_injection() {
         String::from_utf8_lossy(&after.stderr)
     );
     assert!(String::from_utf8_lossy(&after.stderr).contains("unwrap"));
+}
+
+/// Copies the real `wal.rs` into a scratch store crate, freezes a
+/// baseline, then appends two methods that take `base_seq` and `inner`
+/// in opposite orders. The lock-order ratchet must flip `--check` from
+/// exit 0 to exit 1, and `--github` must emit a machine-readable
+/// annotation pointing at the offending file.
+#[test]
+fn injected_lock_inversion_in_wal_fails_the_check() {
+    let scratch = Scratch::new("walorder");
+    let src_dir = scratch.0.join("crates").join("store").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch crates");
+    let wal = workspace_root()
+        .join("crates")
+        .join("store")
+        .join("src")
+        .join("wal.rs");
+    let wal_copy = src_dir.join("wal.rs");
+    std::fs::copy(&wal, &wal_copy).expect("copy wal.rs");
+    let baseline = scratch.0.join("lint_baseline.toml");
+    hopi_lint::update_baseline(&scratch.0, &baseline, false).expect("initial baseline");
+
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_hopi-lint"))
+            .args(args)
+            .arg("--root")
+            .arg(&scratch.0)
+            .arg("--baseline")
+            .arg(&baseline)
+            .output()
+            .expect("run hopi-lint")
+    };
+    let before = run(&["--check"]);
+    assert!(
+        before.status.success(),
+        "clean copy must exit 0: {}",
+        String::from_utf8_lossy(&before.stderr)
+    );
+
+    let mut text = std::fs::read_to_string(&wal_copy).expect("read copied wal.rs");
+    text.push_str(concat!(
+        "\nimpl Wal {\n",
+        "    pub fn injected_a(&self) {\n",
+        "        let a = lock_recover(&self.base_seq);\n",
+        "        let b = lock_recover(&self.inner);\n",
+        "        drop(b);\n",
+        "        drop(a);\n",
+        "    }\n",
+        "    pub fn injected_b(&self) {\n",
+        "        let b = lock_recover(&self.inner);\n",
+        "        let a = lock_recover(&self.base_seq);\n",
+        "        drop(a);\n",
+        "        drop(b);\n",
+        "    }\n",
+        "}\n",
+    ));
+    std::fs::write(&wal_copy, text).expect("write injected wal.rs");
+
+    let after = run(&["--check", "--github"]);
+    let stderr = String::from_utf8_lossy(&after.stderr);
+    assert_eq!(
+        after.status.code(),
+        Some(1),
+        "lock inversion must exit 1: {stderr}"
+    );
+    assert!(
+        stderr.contains("lock-order"),
+        "report must name the rule: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&after.stdout);
+    assert!(
+        stdout.contains("::error file=crates/store/src/wal.rs,line=")
+            && stdout.contains("[lock-order]"),
+        "--github must emit an annotation: {stdout}"
+    );
 }
 
 #[test]

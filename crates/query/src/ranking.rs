@@ -71,7 +71,9 @@ pub fn evaluate_ranked_with_text(
 ) -> Vec<RankedMatch> {
     // dist[e] = minimal accumulated distance of a binding ending at e.
     let mut dist: FxHashMap<ElemId, u32> = FxHashMap::default();
-    let first = &expr.steps[0];
+    let Some(first) = expr.steps.first() else {
+        return Vec::new();
+    };
     match first.axis {
         Axis::Child => {
             for d in collection.doc_ids() {
@@ -89,7 +91,7 @@ pub fn evaluate_ranked_with_text(
     }
     filter_by_predicate(&mut dist, first.predicate.as_ref(), text);
 
-    for step in &expr.steps[1..] {
+    for step in expr.steps.iter().skip(1) {
         let mut next: FxHashMap<ElemId, u32> = FxHashMap::default();
         match step.axis {
             Axis::Child => {

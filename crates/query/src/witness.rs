@@ -74,11 +74,16 @@ pub fn witness_path(
     // BFS with parent pointers.
     let mut parent: Vec<u32> = vec![u32::MAX; graph.id_bound()];
     let mut queue = std::collections::VecDeque::from([u]);
-    parent[u as usize] = u;
+    if let Some(slot) = parent.get_mut(u as usize) {
+        *slot = u;
+    }
     'bfs: while let Some(x) = queue.pop_front() {
         for &y in graph.successors(x) {
-            if parent[y as usize] == u32::MAX {
-                parent[y as usize] = x;
+            let Some(slot) = parent.get_mut(y as usize) else {
+                continue;
+            };
+            if *slot == u32::MAX {
+                *slot = x;
                 if y == v {
                     break 'bfs;
                 }
@@ -86,14 +91,21 @@ pub fn witness_path(
             }
         }
     }
-    if parent[v as usize] == u32::MAX && u != v {
+    let parent_of = |e: ElemId| parent.get(e as usize).copied().unwrap_or(u32::MAX);
+    if parent_of(v) == u32::MAX && u != v {
         return None;
     }
-    // Backtrack.
+    // Backtrack. A broken parent chain (out-of-bounds or unvisited
+    // entry) cannot happen after the reachability check above, but it
+    // bails out rather than panicking or spinning.
     let mut nodes = vec![v];
     let mut cur = v;
     while cur != u {
-        cur = parent[cur as usize];
+        let p = parent_of(cur);
+        if p == u32::MAX {
+            return None;
+        }
+        cur = p;
         nodes.push(cur);
     }
     nodes.reverse();
@@ -119,10 +131,10 @@ pub fn witness_path(
         .iter()
         .enumerate()
         .map(|(i, &e)| {
-            let via_link = i > 0 && {
-                let prev = nodes[i - 1];
-                collection.doc_of(prev) != collection.doc_of(e)
-            };
+            let via_link = i
+                .checked_sub(1)
+                .and_then(|j| nodes.get(j))
+                .is_some_and(|&prev| collection.doc_of(prev) != collection.doc_of(e));
             hop_of(e, via_link)
         })
         .collect();

@@ -336,6 +336,7 @@ fn worker_loop(
         let next = {
             rx.lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint: allow(blocking-under-lock): sanctioned — the queue mutex IS the recv token; exactly one idle worker blocks on it by design
                 .recv()
         };
         match next {

@@ -511,6 +511,7 @@ impl Wal {
         frame.extend_from_slice(&payload);
 
         let mut g = lock_recover(&self.inner);
+        // lint: allow(blocking-under-lock): sanctioned — the frame write must happen under Wal.inner so log order is append order; it is buffered, the fsync is elsewhere
         g.file.write_all(&frame)?;
         g.appended += 1;
         g.bytes += frame.len() as u64;
